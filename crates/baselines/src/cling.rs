@@ -1,0 +1,181 @@
+//! Cling-style type-safe memory reuse (paper §7.4).
+//!
+//! Cling (Akritidis, USENIX Security 2010) does not prevent dangling
+//! pointers; it constrains what they can alias: freed memory is only ever
+//! reused for allocations from the **same allocation site** (≈ same type)
+//! and size class. A use-after-reallocation therefore reads an object of
+//! the same layout — type confusion (vtable hijack, pointer/data
+//! confusion) is off the table, but same-type data corruption and stale
+//! reads remain. The paper classifies this as *partial* temporal safety.
+
+use std::collections::HashMap;
+
+use cvkalloc::{AllocError, Block, DlAllocator};
+
+/// An allocation-site identifier (call site / type proxy).
+pub type SiteId = u32;
+
+/// A Cling-style allocator: per-(site, size-class) free lists; memory
+/// never crosses pools.
+///
+/// # Examples
+///
+/// ```
+/// use baselines::ClingHeap;
+///
+/// let mut h = ClingHeap::new(0x1000_0000, 1 << 20);
+/// let a = h.malloc(64, 1).unwrap();
+/// h.free(a.addr, 1).unwrap();
+/// // Another site never receives a's memory…
+/// let b = h.malloc(64, 2).unwrap();
+/// assert_ne!(b.addr, a.addr);
+/// // …but the same site does (type-safe reuse).
+/// let c = h.malloc(64, 1).unwrap();
+/// assert_eq!(c.addr, a.addr);
+/// ```
+#[derive(Debug)]
+pub struct ClingHeap {
+    arena: DlAllocator,
+    /// Freed blocks per (site, size class): only same-pool reuse.
+    pools: HashMap<(SiteId, u64), Vec<Block>>,
+    /// Live block → owning pool, to validate frees.
+    live: HashMap<u64, (SiteId, u64)>,
+    /// Bytes detained in pools (never returned to the arena).
+    pooled_bytes: u64,
+}
+
+impl ClingHeap {
+    /// A Cling heap over `[base, base + size)`.
+    pub fn new(base: u64, size: u64) -> ClingHeap {
+        ClingHeap {
+            arena: DlAllocator::new(base, size),
+            pools: HashMap::new(),
+            live: HashMap::new(),
+            pooled_bytes: 0,
+        }
+    }
+
+    fn class_of(size: u64) -> u64 {
+        cheri::granule_round_up(size).next_power_of_two()
+    }
+
+    /// Allocates `size` bytes on behalf of allocation site `site`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arena exhaustion.
+    pub fn malloc(&mut self, size: u64, site: SiteId) -> Result<Block, AllocError> {
+        let class = Self::class_of(size);
+        let block = match self.pools.get_mut(&(site, class)).and_then(Vec::pop) {
+            Some(b) => {
+                self.pooled_bytes -= b.size;
+                b
+            }
+            None => self.arena.malloc(class)?,
+        };
+        self.live.insert(block.addr, (site, class));
+        Ok(block)
+    }
+
+    /// Frees the allocation at `addr`, returning it to its site's pool
+    /// only.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidFree`] on double/wild frees or if `site` does
+    /// not match the allocation's owning site.
+    pub fn free(&mut self, addr: u64, site: SiteId) -> Result<(), AllocError> {
+        match self.live.remove(&addr) {
+            Some((owner, class)) if owner == site => {
+                let block = Block { addr, size: class };
+                self.pooled_bytes += class;
+                self.pools.entry((site, class)).or_default().push(block);
+                Ok(())
+            }
+            Some(entry) => {
+                self.live.insert(addr, entry);
+                Err(AllocError::InvalidFree { addr })
+            }
+            None => Err(AllocError::InvalidFree { addr }),
+        }
+    }
+
+    /// Bytes held back in pools (Cling's memory cost: pools never shrink).
+    pub fn pooled_bytes(&self) -> u64 {
+        self.pooled_bytes
+    }
+
+    /// `true` if a future `malloc` from `site` could receive the memory at
+    /// `addr`. Once memory has been pooled, only its owning site can ever
+    /// get it back — exactly Cling's guarantee.
+    pub fn may_be_reused_by(&self, addr: u64, site: SiteId) -> bool {
+        if self.live.contains_key(&addr) {
+            return false;
+        }
+        self.pools
+            .iter()
+            .any(|(&(s, _), blocks)| s == site && blocks.iter().any(|b| b.addr == addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> ClingHeap {
+        ClingHeap::new(0x1000_0000, 1 << 20)
+    }
+
+    #[test]
+    fn reuse_is_confined_to_the_site() {
+        let mut h = heap();
+        let a = h.malloc(100, 7).unwrap();
+        h.free(a.addr, 7).unwrap();
+        // 50 allocations from other sites never see a's memory.
+        for site in 100..150 {
+            let b = h.malloc(100, site).unwrap();
+            assert_ne!(b.addr, a.addr, "cross-site reuse at site {site}");
+        }
+        let again = h.malloc(100, 7).unwrap();
+        assert_eq!(again.addr, a.addr);
+    }
+
+    #[test]
+    fn size_classes_are_isolated_within_a_site() {
+        let mut h = heap();
+        let small = h.malloc(64, 1).unwrap();
+        h.free(small.addr, 1).unwrap();
+        let big = h.malloc(512, 1).unwrap();
+        assert_ne!(big.addr, small.addr, "different class must not reuse");
+    }
+
+    #[test]
+    fn wrong_site_free_is_rejected() {
+        let mut h = heap();
+        let a = h.malloc(64, 1).unwrap();
+        assert!(h.free(a.addr, 2).is_err());
+        assert!(h.free(a.addr, 1).is_ok());
+        assert!(h.free(a.addr, 1).is_err(), "double free");
+    }
+
+    #[test]
+    fn pools_cost_memory() {
+        let mut h = heap();
+        let blocks: Vec<_> = (0..10).map(|_| h.malloc(1024, 3).unwrap()).collect();
+        for b in blocks {
+            h.free(b.addr, 3).unwrap();
+        }
+        assert_eq!(h.pooled_bytes(), 10 * 1024);
+    }
+
+    #[test]
+    fn cross_site_query_is_sound() {
+        let mut h = heap();
+        let a = h.malloc(64, 1).unwrap();
+        assert!(!h.may_be_reused_by(a.addr, 1), "live memory is not reusable");
+        assert!(!h.may_be_reused_by(a.addr, 2));
+        h.free(a.addr, 1).unwrap();
+        assert!(h.may_be_reused_by(a.addr, 1), "owner site may reuse");
+        assert!(!h.may_be_reused_by(a.addr, 2), "pooled memory never crosses sites");
+    }
+}

@@ -1,0 +1,182 @@
+//! DangSan-style per-allocation pointer registries (§7.1).
+
+use std::collections::HashMap;
+
+use workloads::{MechanismBreakdown, Trace, WorkloadHeap};
+
+use crate::common::{BaseAlloc, BaselineCosts};
+
+/// A DangSan-style dangling-pointer nullifier.
+///
+/// The compiler instruments **every pointer store**: the pointer's location
+/// is appended to a per-target-allocation registry. `free` walks the
+/// target's registry and nullifies all recorded locations. Faithful
+/// consequences (paper §7.1):
+///
+/// * Time and registry memory scale with pointer-store volume, which makes
+///   "allocation-heavy workloads infeasible".
+/// * Registries are *append-only* between frees (DangSan deliberately never
+///   prunes stale entries to stay lock-free), so long-lived hot objects
+///   accumulate huge registries.
+/// * Pointers can be hidden from the instrumentation (integer casts), so —
+///   unlike CHERIvoke — the defence is not sound; the model tracks how
+///   many stores a real program would have hidden.
+pub struct DangSanHeap {
+    base: BaseAlloc,
+    costs: BaselineCosts,
+    /// Registry: target object → number of recorded pointer locations.
+    registry: HashMap<u64, u64>,
+    registry_bytes: u64,
+    peak_registry_bytes: u64,
+    mech_seconds: f64,
+    /// Implied background pointer-store stream (see
+    /// [`BaselineCosts::implied_ptr_stores_per_s`]).
+    implied_rate: f64,
+    duration_s: f64,
+    tracked_stores: u64,
+}
+
+impl DangSanHeap {
+    /// A DangSan model over the trace's heap with default costs.
+    pub fn new(trace: &Trace) -> DangSanHeap {
+        DangSanHeap::with_costs(trace, BaselineCosts::default())
+    }
+
+    /// A DangSan model with explicit costs.
+    pub fn with_costs(trace: &Trace, costs: BaselineCosts) -> DangSanHeap {
+        DangSanHeap {
+            base: BaseAlloc::new(trace.heap_bytes),
+            implied_rate: costs.implied_ptr_stores_per_s
+                * trace.profile.pointer_page_density,
+            costs,
+            registry: HashMap::new(),
+            registry_bytes: 0,
+            peak_registry_bytes: 0,
+            mech_seconds: 0.0,
+            duration_s: trace.duration_s,
+            tracked_stores: 0,
+        }
+    }
+
+    /// Pointer stores recorded so far (explicit + implied).
+    pub fn tracked_stores(&self) -> u64 {
+        self.tracked_stores
+    }
+
+    fn track(&mut self, target: u64, count: u64) {
+        *self.registry.entry(target).or_insert(0) += count;
+        self.tracked_stores += count;
+        self.mech_seconds += count as f64 * self.costs.t_track_ptr_s;
+        self.registry_bytes += count * self.costs.registry_bytes_per_entry;
+        self.peak_registry_bytes = self.peak_registry_bytes.max(self.registry_bytes);
+    }
+}
+
+impl WorkloadHeap for DangSanHeap {
+    fn malloc(&mut self, id: u64, size: u64) -> Result<(), String> {
+        self.base.malloc(id, size)?;
+        // The returned pointer is itself stored somewhere: one entry.
+        self.track(id, 1);
+        Ok(())
+    }
+
+    fn free(&mut self, id: u64) -> Result<(), String> {
+        self.base.free(id)?;
+        // Walk the registry, nullifying every recorded location.
+        let entries = self.registry.remove(&id).unwrap_or(0);
+        self.mech_seconds += entries as f64 * self.costs.t_nullify_s;
+        self.registry_bytes =
+            self.registry_bytes.saturating_sub(entries * self.costs.registry_bytes_per_entry);
+        Ok(())
+    }
+
+    fn write_ptr(&mut self, _from: u64, _slot: u64, to: u64) -> Result<(), String> {
+        self.track(to, 1);
+        Ok(())
+    }
+
+    fn finish(&mut self) {
+        // The background pointer-store stream the trace does not spell out:
+        // real programs store pointers far more often than they allocate,
+        // and DangSan pays on every one. Spread it over the live objects.
+        let implied = (self.implied_rate * self.duration_s) as u64;
+        if implied > 0 && !self.base.blocks.is_empty() {
+            let ids: Vec<u64> = self.base.blocks.keys().copied().take(64).collect();
+            let per = implied / ids.len() as u64;
+            for id in ids {
+                self.track(id, per);
+            }
+        }
+    }
+
+    fn mechanism(&self) -> MechanismBreakdown {
+        MechanismBreakdown { other: self.mech_seconds, ..Default::default() }
+    }
+
+    fn peak_footprint(&self) -> u64 {
+        self.base.peak_live() + self.peak_registry_bytes
+    }
+
+    fn peak_live(&self) -> u64 {
+        self.base.peak_live()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{profiles, run_trace, TraceGenerator};
+
+    fn trace(name: &str) -> Trace {
+        TraceGenerator::new(profiles::by_name(name).unwrap(), 1.0 / 2048.0, 13).generate()
+    }
+
+    #[test]
+    fn pointer_dense_workloads_blow_up() {
+        let dense = trace("omnetpp");
+        let mut d = DangSanHeap::new(&dense);
+        let dense_report = run_trace(&mut d, &dense).unwrap();
+
+        let sparse = trace("milc");
+        let mut s = DangSanHeap::new(&sparse);
+        let sparse_report = run_trace(&mut s, &sparse).unwrap();
+
+        assert!(
+            dense_report.normalized_time > 2.0,
+            "omnetpp should be DangSan's pathology: {dense_report:?}"
+        );
+        assert!(dense_report.normalized_time > 2.0 * sparse_report.normalized_time);
+    }
+
+    #[test]
+    fn registry_memory_is_charged() {
+        let t = trace("xalancbmk");
+        let mut d = DangSanHeap::new(&t);
+        let report = run_trace(&mut d, &t).unwrap();
+        assert!(report.normalized_memory > 1.1, "registries must cost memory: {report:?}");
+    }
+
+    #[test]
+    fn free_walks_and_drops_the_registry() {
+        let t = trace("bzip2");
+        let mut d = DangSanHeap::new(&t);
+        d.malloc(1, 1024).unwrap();
+        d.malloc(2, 1024).unwrap();
+        for _ in 0..100 {
+            d.write_ptr(1, 0, 2).unwrap();
+        }
+        let before = d.mechanism().other;
+        d.free(2).unwrap();
+        let nullify_cost = d.mechanism().other - before;
+        assert!(nullify_cost >= 100.0 * BaselineCosts::default().t_nullify_s);
+        assert!(!d.registry.contains_key(&2));
+    }
+
+    #[test]
+    fn tracked_stores_count_explicit_and_implied() {
+        let t = trace("omnetpp");
+        let mut d = DangSanHeap::new(&t);
+        run_trace(&mut d, &t).unwrap();
+        assert!(d.tracked_stores() as usize > t.ptr_writes() + t.mallocs());
+    }
+}

@@ -1,0 +1,143 @@
+//! Oscar-style page-permission protection (§7.2).
+
+use workloads::{MechanismBreakdown, Trace, WorkloadHeap};
+
+use crate::common::{BaseAlloc, BaselineCosts};
+
+/// An Oscar-style page-permissions heap.
+///
+/// Every allocation receives its own **virtual page alias** (so the
+/// physical memory can be reused while the stale virtual page is poisoned
+/// on free). Faithful consequences (paper §7.2):
+///
+/// * Costs are **per allocation event** (map an alias) and **per free**
+///   (poison/unmap), syscall-scale — so "frequent small allocations can
+///   cause performance … overheads to increase enormously".
+/// * Each live allocation consumes at least one virtual page plus a page
+///   table entry; physical memory is shared via aliasing, so the
+///   *physical* footprint overhead is the PTE/VA bookkeeping, not the
+///   rounding.
+/// * TLB pressure grows with live-allocation count; the model charges a
+///   per-event surcharge once the live-object count exceeds TLB reach.
+pub struct OscarHeap {
+    base: BaseAlloc,
+    costs: BaselineCosts,
+    mech_seconds: f64,
+    live_objects: u64,
+    peak_pte_bytes: u64,
+}
+
+/// Approximate per-allocation page-table/VA bookkeeping bytes.
+const PTE_BYTES: u64 = 64;
+/// Live allocations a TLB covers comfortably; above this, every event pays
+/// extra for TLB misses.
+const TLB_REACH_OBJECTS: u64 = 1536;
+
+impl OscarHeap {
+    /// An Oscar model over the trace's heap with default costs.
+    pub fn new(trace: &Trace) -> OscarHeap {
+        OscarHeap::with_costs(trace, BaselineCosts::default())
+    }
+
+    /// An Oscar model with explicit costs.
+    pub fn with_costs(trace: &Trace, costs: BaselineCosts) -> OscarHeap {
+        OscarHeap {
+            base: BaseAlloc::new(trace.heap_bytes),
+            costs,
+            mech_seconds: 0.0,
+            live_objects: 0,
+            peak_pte_bytes: 0,
+        }
+    }
+
+    fn tlb_surcharge(&self) -> f64 {
+        if self.live_objects > TLB_REACH_OBJECTS {
+            // Each allocator event walks freshly-mapped pages.
+            200e-9
+        } else {
+            0.0
+        }
+    }
+}
+
+impl WorkloadHeap for OscarHeap {
+    fn malloc(&mut self, id: u64, size: u64) -> Result<(), String> {
+        self.base.malloc(id, size)?;
+        self.live_objects += 1;
+        self.mech_seconds += self.costs.t_page_alias_s + self.tlb_surcharge();
+        self.peak_pte_bytes = self.peak_pte_bytes.max(self.live_objects * PTE_BYTES);
+        Ok(())
+    }
+
+    fn free(&mut self, id: u64) -> Result<(), String> {
+        self.base.free(id)?;
+        self.live_objects -= 1;
+        self.mech_seconds += self.costs.t_page_unmap_s + self.tlb_surcharge();
+        Ok(())
+    }
+
+    fn write_ptr(&mut self, _from: u64, _slot: u64, _to: u64) -> Result<(), String> {
+        // Oscar instruments nothing per store — its costs are allocator-side.
+        Ok(())
+    }
+
+    fn mechanism(&self) -> MechanismBreakdown {
+        MechanismBreakdown { other: self.mech_seconds, ..Default::default() }
+    }
+
+    fn peak_footprint(&self) -> u64 {
+        self.base.peak_live() + self.peak_pte_bytes
+    }
+
+    fn peak_live(&self) -> u64 {
+        self.base.peak_live()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{profiles, run_trace, TraceGenerator};
+
+    fn trace(name: &str) -> Trace {
+        TraceGenerator::new(profiles::by_name(name).unwrap(), 1.0 / 2048.0, 17).generate()
+    }
+
+    #[test]
+    fn small_object_churn_is_the_pathology() {
+        let churny = trace("omnetpp"); // ~1M small frees/s
+        let mut o = OscarHeap::new(&churny);
+        let churny_report = run_trace(&mut o, &churny).unwrap();
+
+        let chunky = trace("milc"); // few, huge frees
+        let mut o2 = OscarHeap::new(&chunky);
+        let chunky_report = run_trace(&mut o2, &chunky).unwrap();
+
+        assert!(
+            churny_report.normalized_time > 3.0,
+            "omnetpp at ~1M allocs/s × µs-scale syscalls: {churny_report:?}"
+        );
+        assert!(chunky_report.normalized_time < 1.3, "{chunky_report:?}");
+    }
+
+    #[test]
+    fn pointer_writes_are_free_for_oscar() {
+        let t = trace("bzip2");
+        let mut o = OscarHeap::new(&t);
+        o.malloc(1, 64).unwrap();
+        o.malloc(2, 64).unwrap();
+        let before = o.mechanism().other;
+        o.write_ptr(1, 0, 2).unwrap();
+        assert_eq!(o.mechanism().other, before);
+    }
+
+    #[test]
+    fn pte_memory_grows_with_live_objects() {
+        let t = trace("bzip2");
+        let mut o = OscarHeap::new(&t);
+        for i in 0..100 {
+            o.malloc(i, 64).unwrap();
+        }
+        assert_eq!(o.peak_footprint() - o.peak_live(), 100 * PTE_BYTES);
+    }
+}

@@ -1,0 +1,28 @@
+//! End-to-end Criterion benchmark: a full CHERIvoke heap (allocation,
+//! capability stores, quarantine, policy-triggered revocation sweeps)
+//! replaying a scaled allocation-intensive trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::{profiles, run_trace, CherivokeUnderTest, TraceGenerator};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+
+    for name in ["xalancbmk", "dealII", "milc"] {
+        let profile = profiles::by_name(name).expect("known benchmark");
+        let trace = TraceGenerator::new(profile, 1.0 / 2048.0, 42)
+            .with_max_events(30_000)
+            .generate();
+        group.bench_function(format!("replay_{name}"), |b| {
+            b.iter(|| {
+                let mut sut = CherivokeUnderTest::paper_default(&trace).expect("construct");
+                run_trace(&mut sut, &trace).expect("replay")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

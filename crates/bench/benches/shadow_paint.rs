@@ -1,0 +1,41 @@
+//! Criterion benchmark for shadow-map maintenance (paper §6.1.2): painting
+//! and clearing quarantined ranges of various sizes and alignments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use revoker::ShadowMap;
+
+const HEAP_BASE: u64 = 0x1000_0000;
+const HEAP_LEN: u64 = 64 << 20;
+
+fn bench_paint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow_paint");
+
+    // Contiguous ranges: the wide-store fast path.
+    for size in [64u64, 4096, 1 << 20] {
+        group.throughput(Throughput::Bytes(size));
+        group.bench_with_input(BenchmarkId::new("paint_clear", size), &size, |b, &size| {
+            let mut shadow = ShadowMap::new(HEAP_BASE, HEAP_LEN);
+            b.iter(|| {
+                shadow.paint(HEAP_BASE + 4096, size);
+                shadow.clear(HEAP_BASE + 4096, size);
+            });
+        });
+    }
+
+    // Fragmented quarantine: many small scattered chunks (the §6.1.2
+    // "sensitivity towards the alignment and size of allocations").
+    group.bench_function("paint_fragmented_1000x64B", |b| {
+        let mut shadow = ShadowMap::new(HEAP_BASE, HEAP_LEN);
+        b.iter(|| {
+            for i in 0..1000u64 {
+                shadow.paint(HEAP_BASE + i * 4096 + 1024, 64);
+            }
+            shadow.clear_all();
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_paint);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Parallel sweeping scalability (paper §3.5).
+//!
+//! "The sweep procedure itself is embarrassingly parallel. The shared
+//! revocation shadow map is read-only during the sweep, and pages to sweep
+//! can be distributed between independent threads… it is not unreasonable
+//! to expect that even a pure-software sweeping routine could realistically
+//! saturate the full DRAM bandwidth of a system."
+//!
+//! This harness measures real sweep bandwidth on the host as worker threads
+//! are added, against the host's streaming-read bandwidth.
+
+use std::time::Instant;
+
+use revoker::{Kernel, ShadowMap, Sweeper};
+use serde::Serialize;
+
+const IMAGE_BYTES: u64 = 128 << 20;
+
+#[derive(Serialize)]
+struct ParallelRow {
+    threads: usize,
+    sweep_mib_s: f64,
+    speedup_vs_single: f64,
+    fraction_of_read_bw: f64,
+}
+
+fn main() {
+    // A realistic mixed image: ~7% of granules hold capabilities.
+    let mem = bench::image_with_granule_density(IMAGE_BYTES, 0.07);
+    let mut shadow = ShadowMap::new(mem.base(), mem.len());
+    shadow.paint(mem.base(), mem.len() / 4);
+
+    // Host streaming-read reference.
+    let data = mem.data();
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for chunk in data.chunks_exact(8) {
+        acc = acc.wrapping_add(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+    }
+    std::hint::black_box(acc);
+    let read_bw = data.len() as f64 / (1024.0 * 1024.0) / t0.elapsed().as_secs_f64();
+
+    let rate = |threads: usize| -> f64 {
+        let kernel = if threads == 1 { Kernel::Wide } else { Kernel::Parallel { threads } };
+        let sweeper = Sweeper::new(kernel);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let mut img = mem.clone();
+            let t0 = Instant::now();
+            sweeper.sweep_segment(&mut img, &shadow);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        IMAGE_BYTES as f64 / (1024.0 * 1024.0) / best
+    };
+
+    let single = rate(1);
+    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4, 8, 16] {
+        if threads > available * 2 {
+            break;
+        }
+        let r = if threads == 1 { single } else { rate(threads) };
+        rows.push(ParallelRow {
+            threads,
+            sweep_mib_s: r,
+            speedup_vs_single: r / single,
+            fraction_of_read_bw: r / read_bw,
+        });
+    }
+
+    if bench::json_mode() {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serialise"));
+        return;
+    }
+
+    println!(
+        "Parallel sweep scaling (§3.5) — 128 MiB image, {available} host CPUs,\n\
+         streaming-read reference {read_bw:.0} MiB/s\n"
+    );
+    bench::print_table(
+        &["threads", "sweep MiB/s", "speedup", "× read bandwidth"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.threads.to_string(),
+                    format!("{:.0}", r.sweep_mib_s),
+                    format!("{:.2}x", r.speedup_vs_single),
+                    format!("{:.2}", r.fraction_of_read_bw),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nThe paper's claim: parallel software sweeping can saturate DRAM\n\
+         bandwidth. Saturation shows as speedup flattening while the rate\n\
+         approaches (or exceeds, thanks to tag-skipping) the read reference."
+    );
+}

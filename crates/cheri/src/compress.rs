@@ -1,0 +1,341 @@
+//! Compressed capability bounds (CHERI Concentrate-style).
+//!
+//! CHERI-128 does not store full 64-bit base and top; it stores two
+//! [`MANTISSA_WIDTH`]-bit windows (`B`, `T`) plus a shared exponent `E`, and
+//! reconstructs the full bounds *relative to the capability's address* (paper
+//! figure 2; Woodruff et al., "CHERI Concentrate"). Consequences modelled
+//! here, all of which the CHERIvoke allocator must respect:
+//!
+//! * Bounds of large objects must be aligned to `2^E` — precision degrades
+//!   with object size, so allocators pad requests to *representable* lengths
+//!   ([`CompressedBounds::representable_length`]).
+//! * An address may wander out of bounds but only within a bounded
+//!   *representable region* around the object; beyond that the capability
+//!   can no longer be encoded and hardware clears its tag.
+//! * The reconstructed **base always lies within the original allocation**,
+//!   which is the property CHERIvoke's shadow-map lookup relies on.
+//!
+//! The model uses the standard CC reconstruction with corrections derived
+//! from the representable limit `R = B - 2^(MW-2)`. One documented
+//! simplification: we store the full `MW`-bit `T` field rather than deriving
+//! its top bits from `B` (we have spare metadata bits in software), which
+//! changes no observable behaviour of the encoding: lengths up to
+//! `2^(E + MW - 2)` are representable at alignment `2^E`, exactly as in
+//! CHERI Concentrate.
+
+use crate::CapError;
+
+/// Width in bits of the `B` and `T` bounds mantissas.
+pub const MANTISSA_WIDTH: u32 = 14;
+
+/// Largest legal exponent. At `E = MAX_EXPONENT` the representable window
+/// spans the full 64-bit address space.
+pub const MAX_EXPONENT: u32 = 64 - (MANTISSA_WIDTH - 2);
+
+const MW: u32 = MANTISSA_WIDTH;
+const MASK: u64 = (1 << MW) - 1;
+/// Largest mantissa length: lengths (>> E) must not exceed this.
+const MAX_LEN_MANT: u64 = 1 << (MW - 2);
+
+/// Compressed bounds: exponent plus `B`/`T` mantissa windows.
+///
+/// Together with a 64-bit address this reconstructs full bounds; see
+/// [`CompressedBounds::decode`].
+///
+/// # Examples
+///
+/// ```
+/// use cheri::CompressedBounds;
+///
+/// let (cb, base, top) = CompressedBounds::encode_rounding(0x4000, 100);
+/// assert_eq!(base, 0x4000);
+/// assert_eq!(top, 0x4000 + 100); // small lengths are exact
+/// let (b2, t2) = cb.decode(0x4000);
+/// assert_eq!((b2, t2), (base, top as u128));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompressedBounds {
+    e: u8,
+    b: u16,
+    t: u16,
+}
+
+impl CompressedBounds {
+    /// Bounds covering the entire 64-bit address space (the power-on root).
+    pub const FULL: CompressedBounds = CompressedBounds {
+        e: MAX_EXPONENT as u8,
+        b: 0,
+        t: (MAX_LEN_MANT) as u16,
+    };
+
+    /// Empty bounds at address zero.
+    pub const EMPTY: CompressedBounds = CompressedBounds { e: 0, b: 0, t: 0 };
+
+    /// Reassembles compressed bounds from raw fields (used when decoding an
+    /// in-memory capability word). Fields are masked to their legal widths.
+    #[inline]
+    pub fn from_raw(e: u8, b: u16, t: u16) -> CompressedBounds {
+        CompressedBounds {
+            e: e.min(MAX_EXPONENT as u8),
+            b: (b as u64 & MASK) as u16,
+            t: (t as u64 & MASK) as u16,
+        }
+    }
+
+    /// Raw `(E, B, T)` fields, for serialising into a capability word.
+    #[inline]
+    pub const fn raw(self) -> (u8, u16, u16) {
+        (self.e, self.b, self.t)
+    }
+
+    /// Encodes `base..base+len` exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapError::Unrepresentable`] if the bounds require rounding
+    /// (base/top not aligned to the necessary `2^E`, or the length mantissa
+    /// would overflow).
+    pub fn encode_exact(base: u64, len: u64) -> Result<CompressedBounds, CapError> {
+        let (cb, b, t) = Self::encode_rounding(base, len);
+        if b == base && t == base as u128 + len as u128 {
+            Ok(cb)
+        } else {
+            Err(CapError::Unrepresentable { base, len })
+        }
+    }
+
+    /// Encodes the smallest representable bounds containing `base..base+len`,
+    /// returning the encoding and the actual `(base, top)` granted.
+    ///
+    /// This is what a bounds-setting allocator uses: the granted region may
+    /// be slightly larger than requested for big objects, so the allocator
+    /// must pad the allocation itself to avoid overlap (see
+    /// [`CompressedBounds::representable_length`]).
+    pub fn encode_rounding(base: u64, len: u64) -> (CompressedBounds, u64, u128) {
+        // Top is clamped to the end of the address space: a capability cannot
+        // authorise beyond 2^64, and this keeps the exponent within range.
+        let top = (base as u128 + len as u128).min(1u128 << 64);
+        let mut e: u32 = 0;
+        loop {
+            let align = 1u128 << e;
+            let abase = (base as u128) & !(align - 1);
+            let atop = (top + align - 1) & !(align - 1);
+            let alen = atop - abase;
+            if alen >> e <= MAX_LEN_MANT as u128 {
+                let b = ((abase >> e) as u64 & MASK) as u16;
+                let t = ((atop >> e) as u64 & MASK) as u16;
+                let cb = CompressedBounds { e: e as u8, b, t };
+                return (cb, abase as u64, atop);
+            }
+            e += 1;
+            debug_assert!(e <= MAX_EXPONENT);
+        }
+    }
+
+    /// Reconstructs `(base, top)` from these bounds at address `addr`.
+    ///
+    /// Works for *any* bit pattern (the revocation sweep decodes raw memory
+    /// words); for patterns that never came from [`CompressedBounds::encode_rounding`] the
+    /// result is merely some pair with `base` computed modulo 2^64.
+    #[inline]
+    pub fn decode(self, addr: u64) -> (u64, u128) {
+        let e = self.e as u32;
+        let b = self.b as u64;
+        let t = self.t as u64;
+        let a_mid = (addr >> e) & MASK;
+        let a_hi = (addr as u128) >> (e + MW);
+        // Representable limit: one quarter-window below B.
+        let r = b.wrapping_sub(MAX_LEN_MANT) & MASK;
+        let hi = |x: u64| u128::from(x < r);
+        let hib = hi(b);
+        let hit = hi(t);
+        let hia = hi(a_mid);
+        // Corrections are in {-1, 0, +1}; compute in wrapping u128 arithmetic
+        // and truncate the base to 64 bits (top may legitimately be 2^64).
+        let cb = a_hi.wrapping_add(hib).wrapping_sub(hia);
+        let ct = a_hi.wrapping_add(hit).wrapping_sub(hia);
+        let base = (cb << (e + MW)).wrapping_add((b as u128) << e) as u64;
+        let top = (ct << (e + MW)).wrapping_add((t as u128) << e) & ((1u128 << 65) - 1);
+        (base, top)
+    }
+
+    /// The *base only* — the fast path the revocation sweep uses to index the
+    /// shadow map (paper §3.2: "a lookup in the shadow map using the base of
+    /// each capability").
+    #[inline]
+    pub fn decode_base(self, addr: u64) -> u64 {
+        self.decode(addr).0
+    }
+
+    /// `true` if decoding at `addr` yields the same bounds as decoding at
+    /// `probe` — i.e. `addr` lies in the representable region.
+    #[inline]
+    pub fn addr_is_representable(self, canonical: u64, addr: u64) -> bool {
+        self.decode(canonical) == self.decode(addr)
+    }
+
+    /// The exponent of these bounds.
+    #[inline]
+    pub const fn exponent(self) -> u32 {
+        self.e as u32
+    }
+
+    /// Smallest representable length that is `>= len` (the CRRL operation in
+    /// the CHERI ISA): what an allocator should pad a request to so the
+    /// granted bounds match the allocation exactly.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// // Small lengths are always exact.
+    /// assert_eq!(cheri::CompressedBounds::representable_length(100), 100);
+    /// // Huge lengths round up to the encoding granularity.
+    /// let l = cheri::CompressedBounds::representable_length((1 << 20) + 1);
+    /// assert!(l >= (1 << 20) + 1);
+    /// assert_eq!(l % cheri::CompressedBounds::representable_alignment((1 << 20) + 1), 0);
+    /// ```
+    pub fn representable_length(len: u64) -> u64 {
+        let align = Self::representable_alignment(len);
+        len.checked_add(align - 1)
+            .map(|x| x & !(align - 1))
+            .unwrap_or(u64::MAX & !(align - 1))
+    }
+
+    /// Alignment (in bytes, a power of two) that both base and length must
+    /// satisfy for `len` to be exactly representable (the CRAM operation,
+    /// returned as the alignment rather than a mask).
+    pub fn representable_alignment(len: u64) -> u64 {
+        let mut e = 0u32;
+        while (len + ((1 << e) - 1)) >> e > MAX_LEN_MANT {
+            e += 1;
+        }
+        1 << e
+    }
+}
+
+impl Default for CompressedBounds {
+    fn default() -> Self {
+        CompressedBounds::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(base: u64, len: u64) {
+        let (cb, abase, atop) = CompressedBounds::encode_rounding(base, len);
+        assert!(abase <= base, "granted base {abase:#x} above requested {base:#x}");
+        assert!(atop >= base as u128 + len as u128);
+        let (db, dt) = cb.decode(abase);
+        assert_eq!(db, abase, "base mismatch for base={base:#x} len={len:#x}");
+        assert_eq!(dt, atop, "top mismatch for base={base:#x} len={len:#x}");
+        // Every in-bounds address decodes identically.
+        let mut probes = vec![abase];
+        if atop > abase as u128 {
+            probes.push(abase + ((atop - abase as u128) / 2) as u64);
+            probes.push((atop - 1) as u64);
+        }
+        for probe in probes {
+            let (pb, pt) = cb.decode(probe);
+            assert_eq!((pb, pt), (abase, atop), "probe {probe:#x} decoded differently");
+        }
+    }
+
+    #[test]
+    fn small_bounds_are_exact() {
+        for base in [0u64, 16, 4080, 1 << 30, (1 << 40) + 16] {
+            for len in [0u64, 1, 8, 16, 100, 4096] {
+                let (_, abase, atop) = CompressedBounds::encode_rounding(base, len);
+                assert_eq!(abase, base);
+                assert_eq!(atop, base as u128 + len as u128);
+                roundtrip(base, len);
+            }
+        }
+    }
+
+    #[test]
+    fn large_bounds_round_and_roundtrip() {
+        for base in [0u64, 1 << 20, (1 << 33) + 4096, 0xdead_0000] {
+            for len in [4097u64, 1 << 16, (1 << 20) + 3, (1 << 33) + 12345] {
+                roundtrip(base, len);
+            }
+        }
+    }
+
+    #[test]
+    fn full_address_space_is_representable() {
+        let (cb, abase, atop) = CompressedBounds::encode_rounding(0, u64::MAX);
+        assert_eq!(abase, 0);
+        assert!(atop >= u64::MAX as u128);
+        let (db, dt) = cb.decode(0);
+        assert_eq!(db, 0);
+        assert_eq!(dt, atop);
+    }
+
+    #[test]
+    fn root_constant_covers_everything() {
+        let (b, t) = CompressedBounds::FULL.decode(0);
+        assert_eq!(b, 0);
+        assert_eq!(t, 1u128 << 64);
+        // And at an arbitrary address too.
+        let (b, t) = CompressedBounds::FULL.decode(0xffff_ffff_ffff_0000);
+        assert_eq!(b, 0);
+        assert_eq!(t, 1u128 << 64);
+    }
+
+    #[test]
+    fn exact_encoding_rejects_unaligned_large_bounds() {
+        // A large length at an odd base cannot be exact.
+        assert!(CompressedBounds::encode_exact(3, 1 << 20).is_err());
+        // But small objects anywhere are exact.
+        assert!(CompressedBounds::encode_exact(3, 64).is_ok());
+    }
+
+    #[test]
+    fn representable_length_properties() {
+        for len in [0u64, 1, 4096, 4097, 1 << 20, (1 << 40) + 7] {
+            let rl = CompressedBounds::representable_length(len);
+            assert!(rl >= len);
+            let align = CompressedBounds::representable_alignment(len);
+            assert_eq!(rl % align, 0);
+            // A granule-aligned base at that alignment encodes exactly.
+            assert!(CompressedBounds::encode_exact(align * 4, rl).is_ok());
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_wandering_within_representable_region() {
+        // A 1 MiB object: E > 0, so there is slack around the bounds.
+        let (cb, base, top) = CompressedBounds::encode_rounding(1 << 30, 1 << 20);
+        let top = top as u64;
+        // Just past the top: still representable (decodes to same bounds).
+        assert!(cb.addr_is_representable(base, top));
+        assert!(cb.addr_is_representable(base, top + 64));
+        // A full window away: no longer representable.
+        let window = 1u64 << (cb.exponent() + MANTISSA_WIDTH);
+        assert!(!cb.addr_is_representable(base, base.wrapping_add(window * 2)));
+    }
+
+    #[test]
+    fn base_stays_within_original_allocation_when_wandering() {
+        // Paper footnote 2: wherever the address legally wanders, the decoded
+        // base must remain the original base.
+        let (cb, base, top) = CompressedBounds::encode_rounding(0x4000_0000, 123456);
+        let top = top as u64;
+        for addr in [base, base + 1, top - 1, top, top + 128] {
+            if cb.addr_is_representable(base, addr) {
+                assert_eq!(cb.decode_base(addr), base);
+            }
+        }
+    }
+
+    #[test]
+    fn from_raw_masks_fields() {
+        let cb = CompressedBounds::from_raw(0xff, 0xffff, 0xffff);
+        assert!(cb.exponent() <= MAX_EXPONENT);
+        let (_, b, t) = cb.raw();
+        assert!(u64::from(b) <= MASK);
+        assert!(u64::from(t) <= MASK);
+    }
+}

@@ -1,0 +1,115 @@
+//! Error type for capability operations.
+
+use core::fmt;
+
+/// The ways a capability operation can fail.
+///
+/// Each variant corresponds to a hardware exception class in a real CHERI
+/// implementation; the simulator surfaces them as recoverable errors so
+/// experiments can count and classify faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CapError {
+    /// The capability's tag is clear — it is plain data and authorises
+    /// nothing. Revoked capabilities dereference to this error forever.
+    TagCleared,
+    /// The capability is sealed and must be unsealed before use.
+    Sealed,
+    /// The access fell outside the capability's `[base, top)` bounds.
+    BoundsViolation {
+        /// First byte of the attempted access.
+        addr: u64,
+        /// Length of the attempted access in bytes.
+        len: u64,
+    },
+    /// The capability lacks a permission required by the operation.
+    PermissionDenied,
+    /// Requested bounds cannot be represented exactly in the compressed
+    /// encoding (and exact representation was demanded).
+    Unrepresentable {
+        /// Requested base.
+        base: u64,
+        /// Requested length.
+        len: u64,
+    },
+    /// A derivation attempted to *grow* bounds or add permissions, violating
+    /// capability monotonicity.
+    MonotonicityViolation,
+    /// The new address left the representable region around the bounds, so
+    /// the capability can no longer round-trip through its compressed form.
+    UnrepresentableAddress {
+        /// The offending address.
+        addr: u64,
+    },
+    /// An in-memory capability access was not 16-byte aligned.
+    Misaligned {
+        /// The misaligned address.
+        addr: u64,
+    },
+    /// Arithmetic on the address overflowed the 64-bit address space.
+    AddressOverflow,
+    /// The object types did not match during unseal/invoke.
+    OTypeMismatch,
+}
+
+impl fmt::Display for CapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapError::TagCleared => write!(f, "capability tag is cleared"),
+            CapError::Sealed => write!(f, "capability is sealed"),
+            CapError::BoundsViolation { addr, len } => {
+                write!(f, "access of {len} bytes at {addr:#x} violates bounds")
+            }
+            CapError::PermissionDenied => write!(f, "capability lacks required permission"),
+            CapError::Unrepresentable { base, len } => {
+                write!(f, "bounds base={base:#x} len={len:#x} are not exactly representable")
+            }
+            CapError::MonotonicityViolation => {
+                write!(f, "derivation would increase rights (monotonicity violation)")
+            }
+            CapError::UnrepresentableAddress { addr } => {
+                write!(f, "address {addr:#x} leaves the representable region")
+            }
+            CapError::Misaligned { addr } => {
+                write!(f, "capability memory access at {addr:#x} is not 16-byte aligned")
+            }
+            CapError::AddressOverflow => write!(f, "address arithmetic overflowed"),
+            CapError::OTypeMismatch => write!(f, "object type mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let samples = [
+            CapError::TagCleared,
+            CapError::Sealed,
+            CapError::BoundsViolation { addr: 0x40, len: 8 },
+            CapError::PermissionDenied,
+            CapError::Unrepresentable { base: 1, len: 2 },
+            CapError::MonotonicityViolation,
+            CapError::UnrepresentableAddress { addr: 3 },
+            CapError::Misaligned { addr: 5 },
+            CapError::AddressOverflow,
+            CapError::OTypeMismatch,
+        ];
+        for e in samples {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CapError>();
+    }
+}

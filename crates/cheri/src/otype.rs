@@ -1,0 +1,110 @@
+//! Object types for capability sealing.
+
+use core::fmt;
+
+/// A capability object type ("otype").
+///
+/// A *sealed* capability carries a non-reserved object type and is immutable
+/// and non-dereferenceable until unsealed with an authorising capability of
+/// the same type. CHERIvoke itself does not rely on sealing, but the model
+/// includes it because allocator-internal references can be sealed to keep
+/// them out of reach of the program, and the sweep must still be able to
+/// inspect their bounds.
+///
+/// # Examples
+///
+/// ```
+/// use cheri::OType;
+///
+/// assert!(OType::UNSEALED.is_unsealed());
+/// let t = OType::new(7).unwrap();
+/// assert_eq!(t.raw(), 7);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OType(u16);
+
+impl OType {
+    /// The reserved otype meaning "not sealed". Zero, so that the all-zero
+    /// memory word (what revocation leaves behind) decodes to an unsealed
+    /// null capability, as in real CHERI.
+    pub const UNSEALED: OType = OType(0);
+
+    /// Largest usable object type.
+    pub const MAX: u16 = 0x7ffe;
+
+    /// Creates an object type. Returns `None` if `raw` is the reserved
+    /// unsealed encoding (zero) or exceeds the 15-bit in-memory field.
+    #[inline]
+    pub const fn new(raw: u16) -> Option<OType> {
+        if raw == 0 || raw > OType::MAX {
+            None
+        } else {
+            Some(OType(raw))
+        }
+    }
+
+    /// Creates an object type from its raw encoding, accepting the reserved
+    /// unsealed value.
+    #[inline]
+    pub const fn from_raw(raw: u16) -> OType {
+        OType(raw)
+    }
+
+    /// Raw encoding of this object type.
+    #[inline]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// `true` if this is the reserved "not sealed" value.
+    #[inline]
+    pub const fn is_unsealed(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Default for OType {
+    fn default() -> Self {
+        OType::UNSEALED
+    }
+}
+
+impl fmt::Debug for OType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unsealed() {
+            write!(f, "OType(UNSEALED)")
+        } else {
+            write!(f, "OType({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for OType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_value_is_rejected_by_new() {
+        assert!(OType::new(0).is_none());
+        assert!(OType::new(OType::MAX).is_some());
+        assert!(OType::new(OType::MAX + 1).is_none());
+    }
+
+    #[test]
+    fn default_is_unsealed() {
+        assert!(OType::default().is_unsealed());
+        assert_eq!(OType::default(), OType::UNSEALED);
+    }
+
+    #[test]
+    fn debug_shows_unsealed() {
+        assert_eq!(format!("{:?}", OType::UNSEALED), "OType(UNSEALED)");
+        assert_eq!(format!("{:?}", OType::new(3).unwrap()), "OType(3)");
+    }
+}

@@ -1,0 +1,245 @@
+//! Capability permission bits.
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr, Not};
+
+/// A set of capability permissions (the 15-bit `perms` field of figure 2,
+/// modelled as a 16-bit mask).
+///
+/// Permissions are **monotonic**: derivations may only intersect them
+/// ([`Perms::intersect`]); there is no architectural way to add a permission
+/// to an existing capability.
+///
+/// # Examples
+///
+/// ```
+/// use cheri::Perms;
+///
+/// let rw = Perms::LOAD | Perms::STORE | Perms::LOAD_CAP | Perms::STORE_CAP;
+/// assert!(rw.contains(Perms::LOAD));
+/// let ro = rw.intersect(Perms::LOAD | Perms::LOAD_CAP);
+/// assert!(!ro.contains(Perms::STORE));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Perms(u16);
+
+impl Perms {
+    /// No permissions at all.
+    pub const NONE: Perms = Perms(0);
+    /// Capability is global (may be stored anywhere).
+    pub const GLOBAL: Perms = Perms(1 << 0);
+    /// Instruction fetch through this capability is permitted.
+    pub const EXECUTE: Perms = Perms(1 << 1);
+    /// Data loads are permitted.
+    pub const LOAD: Perms = Perms(1 << 2);
+    /// Data stores are permitted.
+    pub const STORE: Perms = Perms(1 << 3);
+    /// Loading *capabilities* (tagged words) is permitted.
+    pub const LOAD_CAP: Perms = Perms(1 << 4);
+    /// Storing *capabilities* (tagged words) is permitted. Pages whose
+    /// mappings deny this never acquire CapDirty state.
+    pub const STORE_CAP: Perms = Perms(1 << 5);
+    /// Storing non-global ("local") capabilities is permitted.
+    pub const STORE_LOCAL_CAP: Perms = Perms(1 << 6);
+    /// This capability may seal others.
+    pub const SEAL: Perms = Perms(1 << 7);
+    /// This capability may be used with CInvoke.
+    pub const INVOKE: Perms = Perms(1 << 8);
+    /// This capability may unseal others.
+    pub const UNSEAL: Perms = Perms(1 << 9);
+    /// Access to system registers.
+    pub const SYSTEM_REGS: Perms = Perms(1 << 10);
+    /// Software-defined permission 0.
+    pub const SW0: Perms = Perms(1 << 11);
+    /// Software-defined permission 1.
+    pub const SW1: Perms = Perms(1 << 12);
+    /// Software-defined permission 2.
+    pub const SW2: Perms = Perms(1 << 13);
+    /// Software-defined permission 3.
+    pub const SW3: Perms = Perms(1 << 14);
+
+    /// Every permission bit set — the rights of the power-on root capability.
+    pub const ALL: Perms = Perms(0x7fff);
+
+    /// The usual data permissions handed to heap allocations: load/store of
+    /// both data and capabilities, global.
+    pub const RW_DATA: Perms = Perms(
+        Perms::GLOBAL.0
+            | Perms::LOAD.0
+            | Perms::STORE.0
+            | Perms::LOAD_CAP.0
+            | Perms::STORE_CAP.0
+            | Perms::STORE_LOCAL_CAP.0,
+    );
+
+    /// Creates a permission set from its raw bit representation; bits above
+    /// bit 14 are masked off.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Perms {
+        Perms(bits & Perms::ALL.0)
+    }
+
+    /// Returns the raw bit representation.
+    #[inline]
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Returns `true` if every permission in `other` is present in `self`.
+    #[inline]
+    pub const fn contains(self, other: Perms) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Monotonic intersection: the only way to transform a permission set.
+    #[inline]
+    #[must_use]
+    pub const fn intersect(self, other: Perms) -> Perms {
+        Perms(self.0 & other.0)
+    }
+
+    /// Returns `true` if no permissions are set.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if `self` is a (non-strict) subset of `other`.
+    #[inline]
+    pub const fn is_subset_of(self, other: Perms) -> bool {
+        self.0 & other.0 == self.0
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+    #[inline]
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for Perms {
+    type Output = Perms;
+    #[inline]
+    fn bitand(self, rhs: Perms) -> Perms {
+        Perms(self.0 & rhs.0)
+    }
+}
+
+impl Not for Perms {
+    type Output = Perms;
+    #[inline]
+    fn not(self) -> Perms {
+        Perms(!self.0 & Perms::ALL.0)
+    }
+}
+
+impl fmt::Debug for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [(u16, &str); 15] = [
+            (1 << 0, "GLOBAL"),
+            (1 << 1, "EXECUTE"),
+            (1 << 2, "LOAD"),
+            (1 << 3, "STORE"),
+            (1 << 4, "LOAD_CAP"),
+            (1 << 5, "STORE_CAP"),
+            (1 << 6, "STORE_LOCAL_CAP"),
+            (1 << 7, "SEAL"),
+            (1 << 8, "INVOKE"),
+            (1 << 9, "UNSEAL"),
+            (1 << 10, "SYSTEM_REGS"),
+            (1 << 11, "SW0"),
+            (1 << 12, "SW1"),
+            (1 << 13, "SW2"),
+            (1 << 14, "SW3"),
+        ];
+        if self.0 == 0 {
+            return write!(f, "Perms(NONE)");
+        }
+        write!(f, "Perms(")?;
+        let mut first = true;
+        for (bit, name) in NAMES {
+            if self.0 & bit != 0 {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Binary for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_is_monotonic() {
+        let a = Perms::RW_DATA;
+        let b = Perms::LOAD | Perms::EXECUTE;
+        let i = a.intersect(b);
+        assert!(i.is_subset_of(a));
+        assert!(i.is_subset_of(b));
+        assert_eq!(i, Perms::LOAD);
+    }
+
+    #[test]
+    fn all_contains_everything() {
+        assert!(Perms::ALL.contains(Perms::RW_DATA));
+        assert!(Perms::ALL.contains(Perms::SEAL | Perms::UNSEAL));
+        assert!(!Perms::NONE.contains(Perms::LOAD));
+        assert!(Perms::NONE.is_empty());
+    }
+
+    #[test]
+    fn from_bits_masks_reserved() {
+        assert_eq!(Perms::from_bits(0xffff), Perms::ALL);
+        assert_eq!(Perms::from_bits(0x8000), Perms::NONE);
+    }
+
+    #[test]
+    fn not_stays_in_mask() {
+        assert_eq!(!Perms::ALL, Perms::NONE);
+        assert_eq!(!Perms::NONE, Perms::ALL);
+        assert!(!(!Perms::LOAD).contains(Perms::LOAD));
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert_eq!(format!("{:?}", Perms::NONE), "Perms(NONE)");
+        assert!(format!("{:?}", Perms::LOAD | Perms::STORE).contains("LOAD|STORE"));
+    }
+
+    #[test]
+    fn rw_data_lacks_execute() {
+        assert!(!Perms::RW_DATA.contains(Perms::EXECUTE));
+        assert!(Perms::RW_DATA.contains(Perms::STORE_CAP));
+    }
+}

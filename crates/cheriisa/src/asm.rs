@@ -1,0 +1,181 @@
+//! A tiny label-resolving assembler for [`Insn`] programs.
+
+use std::collections::HashMap;
+
+use crate::{Insn, XReg};
+
+/// Assembles straight-line instructions plus labelled branches into a
+/// program executable by [`crate::Cpu::execute`].
+///
+/// # Examples
+///
+/// ```
+/// use cheriisa::{Asm, Insn, XReg};
+///
+/// // x2 = 10; while (x2 != 0) { x2 -= 1; x3 += 2; }
+/// let mut asm = Asm::new();
+/// asm.push(Insn::Li { xd: XReg(2), imm: 10 });
+/// asm.label("loop");
+/// asm.beqz(XReg(2), "done");
+/// asm.push(Insn::Addi { xd: XReg(2), xa: XReg(2), imm: -1 });
+/// asm.push(Insn::Addi { xd: XReg(3), xa: XReg(3), imm: 2 });
+/// asm.jump("loop");
+/// asm.label("done");
+/// asm.push(Insn::Halt);
+/// let program = asm.assemble().unwrap();
+///
+/// let space = tagmem::AddressSpace::builder()
+///     .segment(tagmem::SegmentKind::Heap, 0x1000, 4096)
+///     .build();
+/// let mut cpu = cheriisa::Cpu::new(space);
+/// assert!(cpu.execute(&program, 10_000).unwrap());
+/// assert_eq!(cpu.xreg(XReg(3)), 20);
+/// ```
+#[derive(Debug, Default)]
+pub struct Asm {
+    insns: Vec<Insn>,
+    labels: HashMap<String, usize>,
+    /// (instruction index, label) pairs to patch at assembly time.
+    fixups: Vec<(usize, String)>,
+}
+
+/// An unresolved label at assembly time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnresolvedLabel(
+    /// The label that had no definition.
+    pub String,
+);
+
+impl core::fmt::Display for UnresolvedLabel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "unresolved label {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnresolvedLabel {}
+
+impl Asm {
+    /// An empty assembler.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Appends a non-branching instruction.
+    pub fn push(&mut self, insn: Insn) -> &mut Asm {
+        self.insns.push(insn);
+        self
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Asm {
+        self.labels.insert(name.to_string(), self.insns.len());
+        self
+    }
+
+    /// Appends `beqz xs, name`.
+    pub fn beqz(&mut self, xs: XReg, name: &str) -> &mut Asm {
+        self.fixups.push((self.insns.len(), name.to_string()));
+        self.insns.push(Insn::Beqz { xs, target: usize::MAX });
+        self
+    }
+
+    /// Appends `bnez xs, name`.
+    pub fn bnez(&mut self, xs: XReg, name: &str) -> &mut Asm {
+        self.fixups.push((self.insns.len(), name.to_string()));
+        self.insns.push(Insn::Bnez { xs, target: usize::MAX });
+        self
+    }
+
+    /// Appends `j name`.
+    pub fn jump(&mut self, name: &str) -> &mut Asm {
+        self.fixups.push((self.insns.len(), name.to_string()));
+        self.insns.push(Insn::J { target: usize::MAX });
+        self
+    }
+
+    /// Resolves labels and returns the program.
+    ///
+    /// # Errors
+    ///
+    /// [`UnresolvedLabel`] if a branch references an undefined label.
+    pub fn assemble(mut self) -> Result<Vec<Insn>, UnresolvedLabel> {
+        for (idx, name) in &self.fixups {
+            let &target = self
+                .labels
+                .get(name)
+                .ok_or_else(|| UnresolvedLabel(name.clone()))?;
+            match &mut self.insns[*idx] {
+                Insn::Beqz { target: t, .. }
+                | Insn::Bnez { target: t, .. }
+                | Insn::J { target: t } => *t = target,
+                other => unreachable!("fixup on non-branch {other:?}"),
+            }
+        }
+        Ok(self.insns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cpu;
+    use tagmem::{AddressSpace, SegmentKind};
+
+    fn cpu() -> Cpu {
+        Cpu::new(AddressSpace::builder().segment(SegmentKind::Heap, 0x1000, 4096).build())
+    }
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut asm = Asm::new();
+        asm.push(Insn::Li { xd: XReg(2), imm: 3 });
+        asm.label("head");
+        asm.beqz(XReg(2), "exit"); // forward reference
+        asm.push(Insn::Addi { xd: XReg(2), xa: XReg(2), imm: -1 });
+        asm.push(Insn::Addi { xd: XReg(4), xa: XReg(4), imm: 1 });
+        asm.jump("head"); // backward reference
+        asm.label("exit");
+        asm.push(Insn::Halt);
+        let program = asm.assemble().unwrap();
+        let mut c = cpu();
+        assert!(c.execute(&program, 1000).unwrap());
+        assert_eq!(c.xreg(XReg(4)), 3);
+    }
+
+    #[test]
+    fn unresolved_labels_error() {
+        let mut asm = Asm::new();
+        asm.jump("nowhere");
+        assert_eq!(asm.assemble(), Err(UnresolvedLabel("nowhere".to_string())));
+    }
+
+    #[test]
+    fn fuel_exhaustion_reports_incomplete() {
+        let mut asm = Asm::new();
+        asm.label("spin");
+        asm.jump("spin");
+        let program = asm.assemble().unwrap();
+        let mut c = cpu();
+        assert_eq!(c.execute(&program, 100), Ok(false));
+    }
+
+    #[test]
+    fn bnez_takes_and_falls_through() {
+        let mut asm = Asm::new();
+        asm.push(Insn::Li { xd: XReg(2), imm: 1 });
+        asm.bnez(XReg(2), "taken");
+        asm.push(Insn::Li { xd: XReg(3), imm: 111 }); // skipped
+        asm.label("taken");
+        asm.push(Insn::Li { xd: XReg(4), imm: 222 });
+        asm.bnez(XReg(0), "never"); // x0 == 0: falls through
+        asm.push(Insn::Li { xd: XReg(5), imm: 333 });
+        asm.label("never");
+        asm.push(Insn::Halt);
+        let program = asm.assemble().unwrap();
+        let mut c = cpu();
+        assert!(c.execute(&program, 100).unwrap());
+        assert_eq!(c.xreg(XReg(3)), 0);
+        assert_eq!(c.xreg(XReg(4)), 222);
+        assert_eq!(c.xreg(XReg(5)), 333);
+    }
+}

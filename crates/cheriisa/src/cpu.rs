@@ -1,0 +1,471 @@
+//! The CPU: register state + precise execution of [`Insn`]s.
+
+use cheri::{CapError, Capability, Perms};
+use tagmem::{AddressSpace, MemError};
+
+use crate::{Insn, Reg, XReg};
+
+/// A precise trap raised by an instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Trap {
+    /// A capability check failed (tag, seal, bounds, permissions,
+    /// monotonicity, representability).
+    Cap(CapError),
+    /// The memory system rejected the access (unmapped, misaligned,
+    /// cap-store-inhibited page).
+    Mem(MemError),
+    /// A register name was out of range.
+    BadRegister {
+        /// The offending register index.
+        index: u8,
+    },
+}
+
+impl core::fmt::Display for Trap {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Trap::Cap(e) => write!(f, "capability trap: {e}"),
+            Trap::Mem(e) => write!(f, "memory trap: {e}"),
+            Trap::BadRegister { index } => write!(f, "bad register index {index}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+impl From<CapError> for Trap {
+    fn from(e: CapError) -> Trap {
+        Trap::Cap(e)
+    }
+}
+
+impl From<MemError> for Trap {
+    fn from(e: MemError) -> Trap {
+        Trap::Mem(e)
+    }
+}
+
+/// A single-core CHERI CPU over a simulated address space.
+///
+/// See the crate-level example. The capability register file is the same
+/// [`tagmem::RegisterFile`] the revocation sweep treats as a root set, so
+/// programs executed here interoperate with `revoker` sweeps.
+#[derive(Debug)]
+pub struct Cpu {
+    space: AddressSpace,
+    xregs: [u64; 32],
+    /// Instructions retired (for the §6 "deterministic instruction count"
+    /// property of the sweep loop).
+    retired: u64,
+}
+
+impl Cpu {
+    /// A CPU with zeroed integer registers and null capabilities over
+    /// `space`.
+    pub fn new(space: AddressSpace) -> Cpu {
+        Cpu { space, xregs: [0; 32], retired: 0 }
+    }
+
+    /// The underlying address space.
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// Mutable address space (test setup; sweeps).
+    pub fn space_mut(&mut self) -> &mut AddressSpace {
+        &mut self.space
+    }
+
+    /// Consumes the CPU, returning its address space.
+    pub fn into_space(self) -> AddressSpace {
+        self.space
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    fn check_reg(r: u8) -> Result<usize, Trap> {
+        if r < 32 {
+            Ok(r as usize)
+        } else {
+            Err(Trap::BadRegister { index: r })
+        }
+    }
+
+    /// Reads capability register `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r.0 >= 32` (use [`Cpu::step`] for trapping semantics).
+    pub fn cap(&self, r: Reg) -> Capability {
+        self.space.registers().get(r.0 as usize)
+    }
+
+    /// Writes capability register `r` (test setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r.0 >= 32`.
+    pub fn set_cap(&mut self, r: Reg, cap: Capability) {
+        self.space.registers_mut().set(r.0 as usize, cap);
+    }
+
+    /// Reads integer register `x` (`x0` is always zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.0 >= 32`.
+    pub fn xreg(&self, x: XReg) -> u64 {
+        if x.0 == 0 {
+            0
+        } else {
+            self.xregs[x.0 as usize]
+        }
+    }
+
+    fn set_xreg(&mut self, x: XReg, value: u64) {
+        if x.0 != 0 {
+            self.xregs[x.0 as usize] = value;
+        }
+    }
+
+    fn cap_at(&self, r: Reg) -> Result<Capability, Trap> {
+        Ok(self.space.registers().get(Self::check_reg(r.0)?))
+    }
+
+    fn put_cap(&mut self, r: Reg, cap: Capability) -> Result<(), Trap> {
+        let idx = Self::check_reg(r.0)?;
+        self.space.registers_mut().set(idx, cap);
+        Ok(())
+    }
+
+    /// Executes one instruction with precise trap semantics: on `Err`, no
+    /// architectural state has changed.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap`] per the instruction's capability/memory checks.
+    pub fn step(&mut self, insn: &Insn) -> Result<(), Trap> {
+        match *insn {
+            Insn::CGetBase { xd, cs } => {
+                let v = self.cap_at(cs)?.base();
+                self.set_xreg(xd, v);
+            }
+            Insn::CGetLen { xd, cs } => {
+                let v = self.cap_at(cs)?.length();
+                self.set_xreg(xd, v);
+            }
+            Insn::CGetTag { xd, cs } => {
+                let v = u64::from(self.cap_at(cs)?.tag());
+                self.set_xreg(xd, v);
+            }
+            Insn::CGetPerm { xd, cs } => {
+                let v = u64::from(self.cap_at(cs)?.perms().bits());
+                self.set_xreg(xd, v);
+            }
+            Insn::CGetAddr { xd, cs } => {
+                let v = self.cap_at(cs)?.address();
+                self.set_xreg(xd, v);
+            }
+            Insn::CMove { cd, cs } => {
+                let c = self.cap_at(cs)?;
+                self.put_cap(cd, c)?;
+            }
+            Insn::CSetAddr { cd, cs, xs } => {
+                let c = self.cap_at(cs)?.with_address_clearing(self.xreg(xs));
+                self.put_cap(cd, c)?;
+            }
+            Insn::CIncOffset { cd, cs, imm } => {
+                let src = self.cap_at(cs)?;
+                let target = if imm >= 0 {
+                    src.address().wrapping_add(imm as u64)
+                } else {
+                    src.address().wrapping_sub(imm.unsigned_abs())
+                };
+                self.put_cap(cd, src.with_address_clearing(target))?;
+            }
+            Insn::CSetBounds { cd, cs, base, len } => {
+                let c = self.cap_at(cs)?.set_bounds_exact(base, len)?;
+                self.put_cap(cd, c)?;
+            }
+            Insn::CAndPerm { cd, cs, mask } => {
+                let c = self.cap_at(cs)?.with_perms(Perms::from_bits(mask))?;
+                self.put_cap(cd, c)?;
+            }
+            Insn::CClearTag { cd, cs } => {
+                let c = self.cap_at(cs)?.cleared();
+                self.put_cap(cd, c)?;
+            }
+            Insn::CBuildCap { cd, ca, cs } => {
+                let auth = self.cap_at(ca)?;
+                let pattern = self.cap_at(cs)?;
+                self.put_cap(cd, auth.build_cap(&pattern)?)?;
+            }
+            Insn::Clc { cd, cbase, offset } => {
+                let base = self.cap_at(cbase)?;
+                let addr = effective(&base, offset)?;
+                base.check_access(addr, 16, Perms::LOAD | Perms::LOAD_CAP)?;
+                let c = self.space.load_cap(addr)?;
+                self.put_cap(cd, c)?;
+            }
+            Insn::Csc { cs, cbase, offset } => {
+                let base = self.cap_at(cbase)?;
+                let addr = effective(&base, offset)?;
+                base.check_access(addr, 16, Perms::STORE | Perms::STORE_CAP)?;
+                let value = self.cap_at(cs)?;
+                self.space.store_cap(addr, &value)?;
+            }
+            Insn::Ld { xd, cbase, offset } => {
+                let base = self.cap_at(cbase)?;
+                let addr = effective(&base, offset)?;
+                base.check_access(addr, 8, Perms::LOAD)?;
+                let v = self.space.load_u64(addr)?;
+                self.set_xreg(xd, v);
+            }
+            Insn::Sd { xs, cbase, offset } => {
+                let base = self.cap_at(cbase)?;
+                let addr = effective(&base, offset)?;
+                base.check_access(addr, 8, Perms::STORE)?;
+                self.space.store_u64(addr, self.xreg(xs))?;
+            }
+            Insn::CLoadTags { xd, cbase, offset } => {
+                let base = self.cap_at(cbase)?;
+                let addr = effective(&base, offset)?;
+                // Authority over the line (not its data values) is required;
+                // the tags themselves come back without a data fetch.
+                let line = addr & !(tagmem::LINE_SIZE - 1);
+                base.check_access(line, tagmem::LINE_SIZE, Perms::LOAD)?;
+                let seg = self
+                    .space
+                    .segments()
+                    .iter()
+                    .find(|s| s.mem().contains(line, tagmem::LINE_SIZE))
+                    .ok_or(MemError::Unmapped { addr: line })?;
+                let mask = seg.mem().load_tags(line)?;
+                self.set_xreg(xd, u64::from(mask));
+            }
+            Insn::Li { xd, imm } => self.set_xreg(xd, imm),
+            Insn::Add { xd, xa, xb } => {
+                self.set_xreg(xd, self.xreg(xa).wrapping_add(self.xreg(xb)));
+            }
+            Insn::Srl { xd, xa, shift } => {
+                self.set_xreg(xd, self.xreg(xa) >> (shift & 63));
+            }
+            Insn::Andi { xd, xa, imm } => {
+                self.set_xreg(xd, self.xreg(xa) & imm);
+            }
+            Insn::Srlv { xd, xa, xb } => {
+                self.set_xreg(xd, self.xreg(xa) >> (self.xreg(xb) & 63));
+            }
+            Insn::Addi { xd, xa, imm } => {
+                let v = if imm >= 0 {
+                    self.xreg(xa).wrapping_add(imm as u64)
+                } else {
+                    self.xreg(xa).wrapping_sub(imm.unsigned_abs())
+                };
+                self.set_xreg(xd, v);
+            }
+            Insn::Sltu { xd, xa, xb } => {
+                self.set_xreg(xd, u64::from(self.xreg(xa) < self.xreg(xb)));
+            }
+            // Control flow is a no-op under step(): step() executes
+            // straight-line semantics; execute() interprets the targets.
+            Insn::Beqz { .. } | Insn::Bnez { .. } | Insn::J { .. } | Insn::Halt => {}
+        }
+        self.retired += 1;
+        Ok(())
+    }
+
+    /// Executes `program` with program-counter semantics (branches and
+    /// [`Insn::Halt`] honoured) until it halts, falls off the end, or
+    /// exhausts `fuel` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the faulting `(pc, Trap)` on a trap; `Err((pc,
+    /// Trap::BadRegister))`-style fuel exhaustion is reported as reaching
+    /// `fuel` with `Ok(false)` — see the return value: `Ok(true)` means
+    /// halted/completed, `Ok(false)` means fuel ran out.
+    pub fn execute(&mut self, program: &[Insn], fuel: u64) -> Result<bool, (usize, Trap)> {
+        let mut pc = 0usize;
+        let mut spent = 0u64;
+        while pc < program.len() {
+            if spent >= fuel {
+                return Ok(false);
+            }
+            spent += 1;
+            match program[pc] {
+                Insn::Halt => {
+                    self.retired += 1;
+                    return Ok(true);
+                }
+                Insn::J { target } => {
+                    self.retired += 1;
+                    pc = target;
+                }
+                Insn::Beqz { xs, target } => {
+                    self.retired += 1;
+                    pc = if self.xreg(xs) == 0 { target } else { pc + 1 };
+                }
+                Insn::Bnez { xs, target } => {
+                    self.retired += 1;
+                    pc = if self.xreg(xs) != 0 { target } else { pc + 1 };
+                }
+                ref insn => {
+                    self.step(insn).map_err(|t| (pc, t))?;
+                    pc += 1;
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Runs a straight-line program to completion.
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and returns) the first trap, with the faulting index.
+    pub fn run(&mut self, program: &[Insn]) -> Result<(), (usize, Trap)> {
+        for (i, insn) in program.iter().enumerate() {
+            self.step(insn).map_err(|t| (i, t))?;
+        }
+        Ok(())
+    }
+}
+
+fn effective(base: &Capability, offset: u64) -> Result<u64, Trap> {
+    base.address().checked_add(offset).ok_or(Trap::Cap(CapError::AddressOverflow))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagmem::SegmentKind;
+
+    fn cpu() -> Cpu {
+        let space = AddressSpace::builder()
+            .segment(SegmentKind::Heap, 0x1000, 4096)
+            .build();
+        let mut cpu = Cpu::new(space);
+        cpu.set_cap(Reg(1), Capability::root_rw(0x1000, 4096));
+        cpu
+    }
+
+    #[test]
+    fn getters_read_capability_fields() {
+        let mut c = cpu();
+        c.run(&[
+            Insn::CGetBase { xd: XReg(2), cs: Reg(1) },
+            Insn::CGetLen { xd: XReg(3), cs: Reg(1) },
+            Insn::CGetTag { xd: XReg(4), cs: Reg(1) },
+            Insn::CGetAddr { xd: XReg(5), cs: Reg(1) },
+            Insn::CGetPerm { xd: XReg(6), cs: Reg(1) },
+        ])
+        .unwrap();
+        assert_eq!(c.xreg(XReg(2)), 0x1000);
+        assert_eq!(c.xreg(XReg(3)), 4096);
+        assert_eq!(c.xreg(XReg(4)), 1);
+        assert_eq!(c.xreg(XReg(5)), 0x1000);
+        assert_eq!(c.xreg(XReg(6)), u64::from(Perms::RW_DATA.bits()));
+        assert_eq!(c.retired(), 5);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let mut c = cpu();
+        c.step(&Insn::Li { xd: XReg(0), imm: 99 }).unwrap();
+        assert_eq!(c.xreg(XReg(0)), 0);
+        c.step(&Insn::Add { xd: XReg(2), xa: XReg(0), xb: XReg(0) }).unwrap();
+        assert_eq!(c.xreg(XReg(2)), 0);
+    }
+
+    #[test]
+    fn capability_roundtrip_through_memory() {
+        let mut c = cpu();
+        c.run(&[
+            Insn::CSetBounds { cd: Reg(2), cs: Reg(1), base: 0x1100, len: 64 },
+            Insn::Csc { cs: Reg(2), cbase: Reg(1), offset: 0x40 },
+            Insn::Clc { cd: Reg(3), cbase: Reg(1), offset: 0x40 },
+            Insn::CGetTag { xd: XReg(2), cs: Reg(3) },
+            Insn::CGetBase { xd: XReg(3), cs: Reg(3) },
+        ])
+        .unwrap();
+        assert_eq!(c.xreg(XReg(2)), 1);
+        assert_eq!(c.xreg(XReg(3)), 0x1100);
+        // The page is now CapDirty.
+        assert!(c.space().page_table().is_cap_dirty(0x1040));
+    }
+
+    #[test]
+    fn data_store_clears_tag_architecturally() {
+        let mut c = cpu();
+        c.run(&[
+            Insn::Csc { cs: Reg(1), cbase: Reg(1), offset: 0x40 },
+            Insn::Li { xd: XReg(2), imm: 7 },
+            Insn::Sd { xs: XReg(2), cbase: Reg(1), offset: 0x40 },
+            Insn::Clc { cd: Reg(3), cbase: Reg(1), offset: 0x40 },
+            Insn::CGetTag { xd: XReg(3), cs: Reg(3) },
+        ])
+        .unwrap();
+        assert_eq!(c.xreg(XReg(3)), 0, "data store must have cleared the tag");
+    }
+
+    #[test]
+    fn cloadtags_reports_line_masks_without_authority_over_values() {
+        let mut c = cpu();
+        c.run(&[
+            Insn::Csc { cs: Reg(1), cbase: Reg(1), offset: 0x00 },
+            Insn::Csc { cs: Reg(1), cbase: Reg(1), offset: 0x70 },
+            Insn::CLoadTags { xd: XReg(2), cbase: Reg(1), offset: 0x00 },
+            Insn::CLoadTags { xd: XReg(3), cbase: Reg(1), offset: 0x80 },
+        ])
+        .unwrap();
+        assert_eq!(c.xreg(XReg(2)), 0b1000_0001);
+        assert_eq!(c.xreg(XReg(3)), 0, "clean line: sweep can skip it");
+    }
+
+    #[test]
+    fn traps_are_precise() {
+        let mut c = cpu();
+        // A trapping load must not modify xd.
+        c.step(&Insn::Li { xd: XReg(2), imm: 123 }).unwrap();
+        let r = c.step(&Insn::Ld { xd: XReg(2), cbase: Reg(1), offset: 1 << 20 });
+        assert!(matches!(r, Err(Trap::Cap(CapError::BoundsViolation { .. }))));
+        assert_eq!(c.xreg(XReg(2)), 123);
+        // run() reports the faulting index.
+        let err = c
+            .run(&[
+                Insn::Li { xd: XReg(3), imm: 1 },
+                Insn::Clc { cd: Reg(4), cbase: Reg(1), offset: 8 }, // misaligned
+            ])
+            .unwrap_err();
+        assert_eq!(err.0, 1);
+    }
+
+    #[test]
+    fn monotonicity_traps_at_isa_level() {
+        let mut c = cpu();
+        c.step(&Insn::CSetBounds { cd: Reg(2), cs: Reg(1), base: 0x1100, len: 64 }).unwrap();
+        let r = c.step(&Insn::CSetBounds { cd: Reg(3), cs: Reg(2), base: 0x1000, len: 4096 });
+        assert!(matches!(r, Err(Trap::Cap(CapError::MonotonicityViolation))));
+        // CBuildCap under sufficient authority works…
+        c.step(&Insn::CClearTag { cd: Reg(4), cs: Reg(2) }).unwrap();
+        c.step(&Insn::CBuildCap { cd: Reg(5), ca: Reg(1), cs: Reg(4) }).unwrap();
+        assert!(c.cap(Reg(5)).tag());
+        // …and under the narrow authority it fails.
+        let r = c.step(&Insn::CBuildCap { cd: Reg(6), ca: Reg(2), cs: Reg(1) });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bad_register_indices_trap() {
+        let mut c = cpu();
+        assert!(matches!(
+            c.step(&Insn::CMove { cd: Reg(40), cs: Reg(1) }),
+            Err(Trap::BadRegister { index: 40 })
+        ));
+    }
+}

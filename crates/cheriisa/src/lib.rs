@@ -1,0 +1,54 @@
+//! An instruction-level model of the CHERI ISA surface CHERIvoke uses,
+//! including the paper's proposed **CLoadTags** instruction (§3.4.1).
+//!
+//! The paper's sweep is "a small code kernel" (§6.6) expressed in CHERI
+//! instructions: capability loads, tag queries, shadow-map arithmetic, and
+//! conditional invalidating stores. This crate provides a tiny CPU over
+//! [`tagmem::AddressSpace`] executing exactly that instruction set, so the
+//! §3.3 inner loop can be written — and tested — *as a program* (see
+//! [`programs::sweep_heap`] and the `isa_sweep` example).
+//!
+//! Register model: 32 capability registers (`c0`–`c31`) and 32 integer
+//! registers (`x0`–`x31`, with `x0` hard-wired to zero, MIPS/RISC-V
+//! style). Faults are precise and surfaced as [`Trap`]s.
+//!
+//! # Example
+//!
+//! ```
+//! use cheri::Capability;
+//! use cheriisa::{Cpu, Insn, Reg, XReg};
+//! use tagmem::{AddressSpace, SegmentKind};
+//!
+//! # fn main() -> Result<(), cheriisa::Trap> {
+//! let space = AddressSpace::builder()
+//!     .segment(SegmentKind::Heap, 0x1000, 4096)
+//!     .build();
+//! let mut cpu = Cpu::new(space);
+//! cpu.set_cap(Reg(1), Capability::root_rw(0x1000, 4096));
+//!
+//! // Derive a bounded field pointer and store through it.
+//! cpu.step(&Insn::CSetBounds { cd: Reg(2), cs: Reg(1), base: 0x1040, len: 64 })?;
+//! cpu.step(&Insn::Li { xd: XReg(5), imm: 0xabcd })?;
+//! cpu.step(&Insn::Sd { xs: XReg(5), cbase: Reg(2), offset: 0 })?;
+//! cpu.step(&Insn::Ld { xd: XReg(6), cbase: Reg(2), offset: 0 })?;
+//! assert_eq!(cpu.xreg(XReg(6)), 0xabcd);
+//!
+//! // Out-of-bounds access traps precisely.
+//! let trap = cpu.step(&Insn::Ld { xd: XReg(6), cbase: Reg(2), offset: 64 });
+//! assert!(trap.is_err());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod cpu;
+mod insn;
+pub mod programs;
+pub mod timed;
+
+pub use asm::{Asm, UnresolvedLabel};
+pub use cpu::{Cpu, Trap};
+pub use insn::{Insn, Reg, XReg};

@@ -1,0 +1,195 @@
+//! Cycle-costed execution: ISA programs on the `simcache` machine model.
+//!
+//! [`execute_timed`] runs a program exactly like [`Cpu::execute`] while
+//! charging a [`simcache::Machine`] for every fetch-free architectural
+//! event: one compute cycle per instruction, hierarchy accesses for memory
+//! instructions, the tag-cache round trip for `CLoadTags`, and a
+//! mispredict penalty whenever a conditional branch changes direction
+//! (the §3.3 observation that the sweep's data-dependent branches are
+//! "often predicted in the wrong direction").
+
+use simcache::Machine;
+
+use crate::{Cpu, Insn, Trap};
+
+/// Outcome of a timed execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedRun {
+    /// `true` if the program halted; `false` if fuel ran out.
+    pub completed: bool,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Machine cycles consumed (also accumulated in the machine).
+    pub cycles: u64,
+    /// Conditional-branch mispredictions charged.
+    pub mispredicts: u64,
+}
+
+/// Executes `program` with pc semantics, charging `machine` for each event.
+///
+/// # Errors
+///
+/// Returns the faulting `(pc, Trap)` on a trap, with costs up to the fault
+/// already charged.
+pub fn execute_timed(
+    cpu: &mut Cpu,
+    machine: &mut Machine,
+    program: &[Insn],
+    fuel: u64,
+) -> Result<TimedRun, (usize, Trap)> {
+    let start_cycles = machine.cycles();
+    let start_retired = cpu.retired();
+    let mut mispredicts = 0u64;
+    // One-bit local predictor per static branch site.
+    let mut last_taken = vec![false; program.len()];
+
+    let mut pc = 0usize;
+    let mut spent = 0u64;
+    let mut completed = true;
+    while pc < program.len() {
+        if spent >= fuel {
+            completed = false;
+            break;
+        }
+        spent += 1;
+        machine.charge(1); // base issue cost
+        match program[pc] {
+            Insn::Halt => {
+                cpu.step(&Insn::Halt).map_err(|t| (pc, t))?;
+                break;
+            }
+            Insn::J { target } => {
+                cpu.step(&Insn::J { target }).map_err(|t| (pc, t))?;
+                pc = target;
+            }
+            Insn::Beqz { xs, target } => {
+                let taken = cpu.xreg(xs) == 0;
+                if taken != last_taken[pc] {
+                    machine.branch_mispredict();
+                    mispredicts += 1;
+                }
+                last_taken[pc] = taken;
+                cpu.step(&program[pc]).map_err(|t| (pc, t))?;
+                pc = if taken { target } else { pc + 1 };
+            }
+            Insn::Bnez { xs, target } => {
+                let taken = cpu.xreg(xs) != 0;
+                if taken != last_taken[pc] {
+                    machine.branch_mispredict();
+                    mispredicts += 1;
+                }
+                last_taken[pc] = taken;
+                cpu.step(&program[pc]).map_err(|t| (pc, t))?;
+                pc = if taken { target } else { pc + 1 };
+            }
+            ref insn => {
+                // Charge hierarchy costs for the memory port before the
+                // architectural effect (either order is fine: both happen
+                // or the trap aborts the run).
+                match *insn {
+                    Insn::Clc { cbase, offset, .. } | Insn::Ld { cbase, offset, .. } => {
+                        let addr = cpu.cap(cbase).address().wrapping_add(offset);
+                        machine.read(addr, 8);
+                    }
+                    Insn::Csc { cbase, offset, .. } | Insn::Sd { cbase, offset, .. } => {
+                        let addr = cpu.cap(cbase).address().wrapping_add(offset);
+                        machine.write(addr, 8);
+                    }
+                    Insn::CLoadTags { cbase, offset, .. } => {
+                        let addr = cpu.cap(cbase).address().wrapping_add(offset);
+                        machine.cloadtags(addr);
+                    }
+                    _ => {}
+                }
+                cpu.step(insn).map_err(|t| (pc, t))?;
+                pc += 1;
+            }
+        }
+    }
+    Ok(TimedRun {
+        completed,
+        instructions: cpu.retired() - start_retired,
+        cycles: machine.cycles() - start_cycles,
+        mispredicts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::{heap_cpu, sweep_program};
+    use crate::{Reg, XReg};
+    use cheri::Capability;
+    use revoker::ShadowMap;
+    use simcache::MachineConfig;
+
+    const HEAP: u64 = 0x1000_0000;
+    const LEN: u64 = 1 << 13;
+
+    fn timed_sweep_cycles(plants: &[(u64, Capability)], shadow: &ShadowMap) -> TimedRun {
+        let (mut cpu, _h, shadow_reg) = heap_cpu(HEAP, LEN, plants);
+        let shadow_base = cpu.cap(shadow_reg).base();
+        for (i, &w) in shadow.as_words().iter().enumerate() {
+            cpu.space_mut().store_u64(shadow_base + i as u64 * 8, w).unwrap();
+        }
+        let program = sweep_program(HEAP, LEN, shadow_base);
+        let mut machine = simcache::Machine::new(MachineConfig::cheri_fpga_like());
+        execute_timed(&mut cpu, &mut machine, &program, 100_000_000).unwrap()
+    }
+
+    #[test]
+    fn timed_sweep_completes_and_charges_cycles() {
+        let plants: Vec<_> = (0..8u64)
+            .map(|i| (HEAP + i * 256, Capability::root_rw(HEAP + 0x1000 + i * 64, 64)))
+            .collect();
+        let shadow = ShadowMap::new(HEAP, LEN);
+        let run = timed_sweep_cycles(&plants, &shadow);
+        assert!(run.completed);
+        assert!(run.cycles > run.instructions, "memory costs exceed 1 cycle/insn");
+        assert!(run.mispredicts > 0, "data-dependent branches mispredict");
+    }
+
+    #[test]
+    fn denser_heaps_cost_more_cycles() {
+        let shadow = ShadowMap::new(HEAP, LEN);
+        let sparse: Vec<_> = (0..4u64)
+            .map(|i| (HEAP + i * 1024, Capability::root_rw(HEAP + 0x1000 + i * 64, 64)))
+            .collect();
+        let dense: Vec<_> = (0..128u64)
+            .map(|i| (HEAP + i * 32, Capability::root_rw(HEAP + 0x1000 + i * 16, 16)))
+            .collect();
+        let a = timed_sweep_cycles(&sparse, &shadow);
+        let b = timed_sweep_cycles(&dense, &shadow);
+        assert!(
+            b.cycles > a.cycles,
+            "dense {} should out-cost sparse {}",
+            b.cycles,
+            a.cycles
+        );
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported_not_trapped() {
+        let shadow = ShadowMap::new(HEAP, LEN);
+        let (mut cpu, _h, shadow_reg) = heap_cpu(HEAP, LEN, &[]);
+        let shadow_base = cpu.cap(shadow_reg).base();
+        let program = sweep_program(HEAP, LEN, shadow_base);
+        let mut machine = simcache::Machine::new(MachineConfig::cheri_fpga_like());
+        let run = execute_timed(&mut cpu, &mut machine, &program, 10).unwrap();
+        assert!(!run.completed);
+        assert!(run.instructions <= 10);
+    }
+
+    #[test]
+    fn traps_report_the_faulting_pc() {
+        // A program that dereferences an untagged capability register.
+        let program = vec![
+            crate::Insn::Li { xd: XReg(2), imm: 1 },
+            crate::Insn::Ld { xd: XReg(3), cbase: Reg(9), offset: 0 }, // c9 is NULL
+        ];
+        let (mut cpu, _h, _s) = heap_cpu(HEAP, LEN, &[]);
+        let mut machine = simcache::Machine::new(MachineConfig::cheri_fpga_like());
+        let err = execute_timed(&mut cpu, &mut machine, &program, 100).unwrap_err();
+        assert_eq!(err.0, 1);
+    }
+}

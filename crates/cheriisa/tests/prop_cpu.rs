@@ -1,0 +1,138 @@
+//! Property tests for the CPU model: arbitrary instruction streams never
+//! panic, traps are precise, and capability monotonicity holds at the ISA
+//! level.
+
+use cheri::{Capability, Perms};
+use cheriisa::{Cpu, Insn, Reg, XReg};
+use proptest::prelude::*;
+use tagmem::{AddressSpace, SegmentKind};
+
+const HEAP: u64 = 0x1000_0000;
+const LEN: u64 = 1 << 14;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..34).prop_map(Reg) // includes out-of-range names on purpose
+}
+
+fn any_xreg() -> impl Strategy<Value = XReg> {
+    (0u8..32).prop_map(XReg)
+}
+
+fn any_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (any_xreg(), any_reg()).prop_map(|(xd, cs)| Insn::CGetBase { xd, cs }),
+        (any_xreg(), any_reg()).prop_map(|(xd, cs)| Insn::CGetLen { xd, cs }),
+        (any_xreg(), any_reg()).prop_map(|(xd, cs)| Insn::CGetTag { xd, cs }),
+        (any_xreg(), any_reg()).prop_map(|(xd, cs)| Insn::CGetAddr { xd, cs }),
+        (any_reg(), any_reg()).prop_map(|(cd, cs)| Insn::CMove { cd, cs }),
+        (any_reg(), any_reg(), any_xreg()).prop_map(|(cd, cs, xs)| Insn::CSetAddr { cd, cs, xs }),
+        (any_reg(), any_reg(), -(1i64 << 20)..(1i64 << 20))
+            .prop_map(|(cd, cs, imm)| Insn::CIncOffset { cd, cs, imm }),
+        (any_reg(), any_reg(), HEAP..HEAP + LEN, 0u64..512)
+            .prop_map(|(cd, cs, base, len)| Insn::CSetBounds { cd, cs, base, len }),
+        (any_reg(), any_reg(), any::<u16>()).prop_map(|(cd, cs, mask)| Insn::CAndPerm { cd, cs, mask }),
+        (any_reg(), any_reg()).prop_map(|(cd, cs)| Insn::CClearTag { cd, cs }),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(cd, ca, cs)| Insn::CBuildCap { cd, ca, cs }),
+        (any_reg(), any_reg(), 0u64..(2 * LEN)).prop_map(|(cd, cbase, offset)| Insn::Clc {
+            cd,
+            cbase,
+            offset: offset & !15
+        }),
+        (any_reg(), any_reg(), 0u64..(2 * LEN)).prop_map(|(cs, cbase, offset)| Insn::Csc {
+            cs,
+            cbase,
+            offset: offset & !15
+        }),
+        (any_xreg(), any_reg(), 0u64..(2 * LEN)).prop_map(|(xd, cbase, offset)| Insn::Ld {
+            xd,
+            cbase,
+            offset
+        }),
+        (any_xreg(), any_reg(), 0u64..(2 * LEN)).prop_map(|(xs, cbase, offset)| Insn::Sd {
+            xs,
+            cbase,
+            offset
+        }),
+        (any_xreg(), any_reg(), 0u64..(2 * LEN))
+            .prop_map(|(xd, cbase, offset)| Insn::CLoadTags { xd, cbase, offset }),
+        (any_xreg(), any::<u64>()).prop_map(|(xd, imm)| Insn::Li { xd, imm }),
+        (any_xreg(), any_xreg(), any_xreg()).prop_map(|(xd, xa, xb)| Insn::Add { xd, xa, xb }),
+        (any_xreg(), any_xreg(), any::<u8>()).prop_map(|(xd, xa, shift)| Insn::Srl {
+            xd,
+            xa,
+            shift: shift & 63
+        }),
+        (any_xreg(), any_xreg(), any::<u64>()).prop_map(|(xd, xa, imm)| Insn::Andi { xd, xa, imm }),
+        (any_xreg(), any_xreg(), any_xreg()).prop_map(|(xd, xa, xb)| Insn::Srlv { xd, xa, xb }),
+    ]
+}
+
+fn cpu() -> Cpu {
+    let space = AddressSpace::builder().segment(SegmentKind::Heap, HEAP, LEN).build();
+    let mut cpu = Cpu::new(space);
+    cpu.set_cap(Reg(1), Capability::root_rw(HEAP, LEN));
+    cpu.set_cap(Reg(2), Capability::root());
+    cpu
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// No instruction stream panics the CPU, and x0 stays zero.
+    #[test]
+    fn arbitrary_programs_never_panic(program in proptest::collection::vec(any_insn(), 1..200)) {
+        let mut c = cpu();
+        for insn in &program {
+            let _ = c.step(insn);
+            prop_assert_eq!(c.xreg(XReg(0)), 0);
+        }
+    }
+
+    /// ISA-level monotonicity: whatever the program does, no capability
+    /// register ever gains authority beyond one of the two roots it
+    /// started with — bounds stay within a root, and tags only come from
+    /// derivation chains (never from integer data).
+    #[test]
+    fn register_authority_is_bounded_by_roots(program in proptest::collection::vec(any_insn(), 1..150)) {
+        let mut c = cpu();
+        // Clear the omnipotent root after deriving a bounded one, so every
+        // tagged capability must trace to the heap root.
+        c.step(&Insn::CClearTag { cd: Reg(2), cs: Reg(2) }).expect("clear root");
+        for insn in &program {
+            let _ = c.step(insn);
+        }
+        for r in 0..32u8 {
+            let cap = c.cap(Reg(r));
+            if cap.tag() && !cap.is_sealed() {
+                prop_assert!(cap.base() >= HEAP, "r{r} base {:#x} below heap", cap.base());
+                prop_assert!(cap.top() <= (HEAP + LEN) as u128, "r{r} top beyond heap");
+                prop_assert!(
+                    cap.perms().is_subset_of(Perms::RW_DATA),
+                    "r{r} gained permissions"
+                );
+            }
+        }
+    }
+
+    /// Precise traps: a trapping instruction leaves every register intact.
+    #[test]
+    fn traps_do_not_modify_state(
+        setup in proptest::collection::vec(any_insn(), 0..40),
+        probe in any_insn(),
+    ) {
+        let mut c = cpu();
+        for insn in &setup {
+            let _ = c.step(insn);
+        }
+        let caps_before: Vec<Capability> = (0..32).map(|r| c.cap(Reg(r))).collect();
+        let xregs_before: Vec<u64> = (0..32).map(|x| c.xreg(XReg(x))).collect();
+        if c.step(&probe).is_err() {
+            for r in 0..32u8 {
+                prop_assert_eq!(c.cap(Reg(r)), caps_before[r as usize], "c{} changed", r);
+            }
+            for x in 0..32u8 {
+                prop_assert_eq!(c.xreg(XReg(x)), xregs_before[x as usize], "x{} changed", x);
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for heap operations.
+
+use core::fmt;
+
+use cheri::CapError;
+use cvkalloc::AllocError;
+use tagmem::MemError;
+
+/// The ways a [`crate::CherivokeHeap`] operation can fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HeapError {
+    /// A capability check failed (revoked tag, bounds, permissions, …).
+    Cap(CapError),
+    /// The allocator rejected the request (OOM, double free, …).
+    Alloc(AllocError),
+    /// The memory model rejected the access (unmapped, misaligned, …).
+    Mem(MemError),
+    /// `free` was called with a capability that does not reference the
+    /// start of a live allocation it owns.
+    NotAnAllocation {
+        /// The capability's base.
+        base: u64,
+    },
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::Cap(e) => write!(f, "capability error: {e}"),
+            HeapError::Alloc(e) => write!(f, "allocator error: {e}"),
+            HeapError::Mem(e) => write!(f, "memory error: {e}"),
+            HeapError::NotAnAllocation { base } => {
+                write!(f, "capability base {base:#x} is not a live allocation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HeapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HeapError::Cap(e) => Some(e),
+            HeapError::Alloc(e) => Some(e),
+            HeapError::Mem(e) => Some(e),
+            HeapError::NotAnAllocation { .. } => None,
+        }
+    }
+}
+
+impl From<CapError> for HeapError {
+    fn from(e: CapError) -> Self {
+        HeapError::Cap(e)
+    }
+}
+
+impl From<AllocError> for HeapError {
+    fn from(e: AllocError) -> Self {
+        HeapError::Alloc(e)
+    }
+}
+
+impl From<MemError> for HeapError {
+    fn from(e: MemError) -> Self {
+        HeapError::Mem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: HeapError = CapError::TagCleared.into();
+        assert!(matches!(e, HeapError::Cap(_)));
+        assert!(e.source().is_some());
+        let e: HeapError = AllocError::BadRequest { size: 0 }.into();
+        assert!(matches!(e, HeapError::Alloc(_)));
+        let e: HeapError = MemError::Unmapped { addr: 4 }.into();
+        assert!(e.to_string().contains("memory error"));
+        assert!(HeapError::NotAnAllocation { base: 2 }.source().is_none());
+    }
+}

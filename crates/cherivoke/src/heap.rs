@@ -1,0 +1,811 @@
+//! The [`CherivokeHeap`]: allocator + shadow map + sweeper (paper fig. 3).
+
+use cheri::{CapError, Capability, Perms};
+use cvkalloc::{CherivokeAllocator, DlAllocator};
+use revoker::{ShadowMap, SweepStats, Sweeper};
+use tagmem::{AddressSpace, CoreDump, SegmentKind};
+
+use crate::epoch::Epoch;
+use crate::{HeapError, HeapStats, RevocationPolicy};
+
+/// Memory layout and policy for a [`CherivokeHeap`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeapConfig {
+    /// Heap segment base address (granule-aligned).
+    pub heap_base: u64,
+    /// Heap segment size in bytes (granule-aligned).
+    pub heap_size: u64,
+    /// Stack segment size (placed just below `0x7fff_0000_0000`).
+    pub stack_size: u64,
+    /// Globals segment size (placed at `0x60_0000`).
+    pub globals_size: u64,
+    /// Revocation policy.
+    pub policy: RevocationPolicy,
+}
+
+impl Default for HeapConfig {
+    /// 16 MiB heap, 256 KiB stack and globals, the paper's default policy.
+    fn default() -> Self {
+        HeapConfig {
+            heap_base: 0x1000_0000,
+            heap_size: 16 << 20,
+            stack_size: 256 << 10,
+            globals_size: 256 << 10,
+            policy: RevocationPolicy::paper_default(),
+        }
+    }
+}
+
+impl HeapConfig {
+    /// A small heap for tests and examples.
+    pub fn small() -> HeapConfig {
+        HeapConfig { heap_size: 1 << 20, ..HeapConfig::default() }
+    }
+}
+
+/// A temporally-safe heap: every allocation is reached only through
+/// capabilities, every free is quarantined, and periodic sweeps revoke all
+/// dangling capabilities before memory is reused.
+///
+/// The allocator itself is TCB (§3.6): it holds an untagged-by-construction
+/// internal view (Rust-side chunk metadata plus a heap-spanning root
+/// capability that is never quarantined), while every capability handed to
+/// the program is bounded to exactly one allocation.
+///
+/// See the crate-level example for the end-to-end flow.
+#[derive(Debug)]
+pub struct CherivokeHeap {
+    space: AddressSpace,
+    alloc: CherivokeAllocator,
+    shadow: ShadowMap,
+    sweeper: Sweeper,
+    policy: RevocationPolicy,
+    heap_root: Capability,
+    stack_root: Capability,
+    globals_root: Capability,
+    stats: HeapStats,
+    epoch: Option<Epoch>,
+}
+
+impl CherivokeHeap {
+    /// Builds the address space (heap + stack + globals + shadow segment)
+    /// and the revocation machinery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::Cap`] if the configured heap range cannot be
+    /// covered by a root capability (never happens for sane configs).
+    pub fn new(mut config: HeapConfig) -> Result<CherivokeHeap, HeapError> {
+        // The heap-spanning root capability needs exactly-representable
+        // bounds, so the heap size is rounded up to the CHERI-representable
+        // length (the base addresses used here are generously aligned).
+        config.heap_size =
+            cheri::CompressedBounds::representable_length(cheri::granule_round_up(config.heap_size));
+        config.stack_size =
+            cheri::CompressedBounds::representable_length(cheri::granule_round_up(config.stack_size));
+        config.globals_size = cheri::CompressedBounds::representable_length(
+            cheri::granule_round_up(config.globals_size),
+        );
+        let stack_base = 0x7fff_0000_0000u64 - config.stack_size;
+        let globals_base = 0x60_0000u64;
+        // The shadow map's backing store is a real segment (it occupies
+        // memory, fig. 5b counts it), placed at the fixed transform base.
+        let shadow_base = 0x7000_0000_0000u64;
+        let shadow_size = cheri::granule_round_up(config.heap_size / 128);
+        let space = AddressSpace::builder()
+            .segment(SegmentKind::Heap, config.heap_base, config.heap_size)
+            .segment(SegmentKind::Stack, stack_base, config.stack_size)
+            .segment(SegmentKind::Globals, globals_base, config.globals_size)
+            .segment(SegmentKind::Shadow, shadow_base, shadow_size)
+            .build();
+        let root = Capability::root();
+        let heap_root = root
+            .set_bounds_exact(config.heap_base, config.heap_size)?
+            .with_perms(Perms::RW_DATA)?;
+        let stack_root = root
+            .set_bounds_exact(stack_base, config.stack_size)?
+            .with_perms(Perms::RW_DATA)?;
+        let globals_root = root
+            .set_bounds_exact(globals_base, config.globals_size)?
+            .with_perms(Perms::RW_DATA)?;
+        let alloc = CherivokeAllocator::with_config(
+            DlAllocator::new(config.heap_base, config.heap_size),
+            config.policy.quarantine,
+        );
+        Ok(CherivokeHeap {
+            space,
+            alloc,
+            shadow: ShadowMap::new(config.heap_base, config.heap_size),
+            sweeper: Sweeper::new(config.policy.kernel),
+            policy: config.policy,
+            heap_root,
+            stack_root,
+            globals_root,
+            stats: HeapStats::default(),
+            epoch: None,
+        })
+    }
+
+    // --- Allocation ---------------------------------------------------------
+
+    /// Allocates `size` bytes, returning a capability bounded to exactly
+    /// the granted allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::Alloc`] on allocator failure. If the policy allows, an
+    /// out-of-memory first triggers an emergency revocation sweep to
+    /// recycle quarantined memory, and only fails if that doesn't help.
+    pub fn malloc(&mut self, size: u64) -> Result<Capability, HeapError> {
+        let block = match self.alloc.malloc(size) {
+            Ok(b) => b,
+            Err(cvkalloc::AllocError::OutOfMemory { .. })
+                if self.policy.sweep_on_oom && self.alloc.quarantined_bytes() > 0 =>
+            {
+                self.stats.oom_sweeps += 1;
+                self.revoke_now();
+                self.alloc.malloc(size)?
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let cap = self
+            .heap_root
+            .set_bounds_exact(block.addr, block.size)
+            .expect("allocator grants representable blocks");
+        self.pump_epoch();
+        Ok(cap)
+    }
+
+    /// Frees the allocation referenced by `cap`, quarantining it until the
+    /// next revocation sweep. Sweeps immediately if the quarantine is full
+    /// (or on every free under a strict policy).
+    ///
+    /// `cap` is taken **by value**: a `Capability` held in a Rust variable
+    /// models a value in a CPU register that the simulator does not track
+    /// as a sweep root. Architectural copies — in simulated memory and in
+    /// the [`CherivokeHeap::register`] file — are what sweeps revoke; avoid
+    /// retaining Rust-side copies of freed capabilities (they would
+    /// correspond to registers the real sweep *would* have cleared).
+    ///
+    /// # Errors
+    ///
+    /// * [`HeapError::Cap`] if `cap` is untagged (freeing through a revoked
+    ///   pointer — itself a use-after-free, detected!) or sealed.
+    /// * [`HeapError::Alloc`] for double frees and non-allocation
+    ///   capabilities.
+    pub fn free(&mut self, cap: Capability) -> Result<(), HeapError> {
+        if !cap.tag() {
+            return Err(CapError::TagCleared.into());
+        }
+        if cap.is_sealed() {
+            return Err(CapError::Sealed.into());
+        }
+        // The base identifies the allocation (monotonic bounds guarantee it
+        // is inside the original allocation, §4.1 — and the allocator
+        // demands it be exactly the chunk start).
+        self.alloc.free(cap.base())?;
+        if self.policy.strict {
+            self.revoke_now();
+        } else if self.alloc.needs_sweep() {
+            match self.policy.incremental_slice_bytes {
+                None => {
+                    self.revoke_now();
+                }
+                Some(_) => {
+                    // §3.5 mode: open an epoch (if none is running) and let
+                    // slices interleave with execution. If the quarantine
+                    // doubles past its threshold while an epoch runs, the
+                    // mutator is outpacing the sweeper: fall back to
+                    // finishing synchronously.
+                    if self.epoch.is_none() {
+                        self.begin_revocation();
+                    } else {
+                        let q = self.alloc.quarantined_bytes() as f64;
+                        let live = self.live_bytes().max(1) as f64;
+                        if q >= 2.0 * self.policy.quarantine.fraction * live {
+                            self.finish_revocation();
+                        }
+                    }
+                }
+            }
+        }
+        self.pump_epoch();
+        Ok(())
+    }
+
+    /// Advances an active incremental epoch by one policy-sized slice.
+    fn pump_epoch(&mut self) {
+        if self.epoch.is_some() {
+            let slice = self.policy.incremental_slice_bytes.unwrap_or(u64::MAX);
+            self.revoke_step(slice);
+        }
+    }
+
+    /// Opens an incremental revocation epoch (paper §3.5): seals and paints
+    /// the current quarantine generation and builds the sweep worklist from
+    /// the CapDirty page set. Returns `false` if an epoch is already active
+    /// or there is nothing to revoke.
+    pub fn begin_revocation(&mut self) -> bool {
+        if self.epoch.is_some() {
+            return false;
+        }
+        let ranges = self.alloc.seal_quarantine();
+        if ranges.is_empty() {
+            return false;
+        }
+        for &(addr, len) in &ranges {
+            self.shadow.paint(addr, len);
+        }
+        // Worklist: CapDirty pages of every sweepable segment, coalesced.
+        // Capabilities stored to clean pages *after* this point are caught
+        // by the store barrier, so the snapshot is sound.
+        let mut worklist: Vec<(u64, u64)> = Vec::new();
+        for seg in self.space.segments().iter().filter(|s| s.kind().sweepable()) {
+            let mem = seg.mem();
+            for page in self.space.page_table().cap_dirty_pages() {
+                if page >= mem.base() && page < mem.end() {
+                    let start = page.max(mem.base());
+                    let len = (mem.end() - start).min(tagmem::PAGE_SIZE);
+                    match worklist.last_mut() {
+                        Some((ws, wl)) if *ws + *wl == start => *wl += len,
+                        _ => worklist.push((start, len)),
+                    }
+                }
+            }
+        }
+        self.epoch = Some(Epoch { ranges, worklist, stats: SweepStats::default() });
+        true
+    }
+
+    /// `true` while an incremental epoch is in progress.
+    pub fn revocation_active(&self) -> bool {
+        self.epoch.is_some()
+    }
+
+    /// Bytes the active incremental epoch still has to sweep (0 when no
+    /// epoch is active) — lets callers pace their own slices.
+    pub fn revocation_remaining_bytes(&self) -> u64 {
+        self.epoch.as_ref().map(|e| e.remaining_bytes()).unwrap_or(0)
+    }
+
+    /// Sweeps up to `max_bytes` of the active epoch's worklist. Returns the
+    /// epoch's total statistics when it completes, `None` if work remains
+    /// (or no epoch is active).
+    pub fn revoke_step(&mut self, max_bytes: u64) -> Option<SweepStats> {
+        let mut epoch = self.epoch.take()?;
+        let slice = epoch.take_slice(max_bytes);
+        for (start, len) in slice {
+            let seg = self
+                .space
+                .segments_mut()
+                .iter_mut()
+                .find(|s| s.mem().contains(start, len))
+                .expect("worklist regions lie in segments");
+            epoch.stats += self.sweeper.sweep_range(seg.mem_mut(), &self.shadow, start, len);
+        }
+        if !epoch.is_done() {
+            self.epoch = Some(epoch);
+            return None;
+        }
+        // Epoch complete: registers, drain, unpaint.
+        let (_, regs, _) = self.space.sweep_parts_mut();
+        epoch.stats += Sweeper::sweep_registers(regs, &self.shadow);
+        self.alloc.drain_sealed();
+        let mut painted = 0;
+        for &(addr, len) in &epoch.ranges {
+            self.shadow.clear(addr, len);
+            painted += len;
+        }
+        self.stats.absorb_sweep(&epoch.stats, painted);
+        self.stats.epochs += 1;
+        Some(epoch.stats)
+    }
+
+    /// Runs the active epoch to completion (a stop-the-world fallback).
+    pub fn finish_revocation(&mut self) -> Option<SweepStats> {
+        while self.epoch.is_some() {
+            if let Some(stats) = self.revoke_step(u64::MAX) {
+                return Some(stats);
+            }
+        }
+        None
+    }
+
+    /// The §3.5 barrier: while an epoch is active, no dangling capability
+    /// may pass through an architectural move.
+    fn barrier(&self, cap: Capability) -> Capability {
+        if self.epoch.is_some() && cap.tag() && self.shadow.is_painted(cap.base()) {
+            cap.cleared()
+        } else {
+            cap
+        }
+    }
+
+    /// `calloc`: allocates and zero-fills (the simulated memory retains
+    /// prior contents after recycling, and the paper leaves initialisation
+    /// leaks to orthogonal mechanisms, §2.3 — `calloc` is the portable way
+    /// to opt out of them).
+    ///
+    /// # Errors
+    ///
+    /// As [`CherivokeHeap::malloc`]; also rejects `count * size` overflow
+    /// as a bad request.
+    pub fn calloc(&mut self, count: u64, size: u64) -> Result<Capability, HeapError> {
+        let total = count
+            .checked_mul(size)
+            .ok_or(cvkalloc::AllocError::BadRequest { size: u64::MAX })?;
+        let cap = self.malloc(total)?;
+        let mut addr = cap.base();
+        let end = cap.base() + cap.length();
+        while addr < end {
+            let chunk = (end - addr).min(4096);
+            self.space
+                .write_bytes(addr, &vec![0u8; chunk as usize])
+                .expect("own allocation is mapped");
+            addr += chunk;
+        }
+        Ok(cap)
+    }
+
+    /// `realloc` with CHERIvoke semantics: **always moves**. An in-place
+    /// shrink would leave the program's old capability with authority over
+    /// the released tail, and an in-place grow would hand out overlapping
+    /// authority — so the data is copied (tags preserved, like a
+    /// capability-aware `memcpy`) to a fresh allocation and the old one is
+    /// quarantined like any other free.
+    ///
+    /// # Errors
+    ///
+    /// As [`CherivokeHeap::malloc`] and [`CherivokeHeap::free`].
+    pub fn realloc(&mut self, cap: Capability, new_size: u64) -> Result<Capability, HeapError> {
+        if !cap.tag() {
+            return Err(CapError::TagCleared.into());
+        }
+        let new_cap = self.malloc(new_size)?;
+        // Capability-aware copy: granule-wise, preserving tags.
+        let copy = cap.length().min(new_cap.length());
+        let mut off = 0;
+        while off + 16 <= copy {
+            let word = self.space.load_cap(cap.base() + off).expect("mapped");
+            self.space.store_cap(new_cap.base() + off, &word).expect("mapped");
+            off += 16;
+        }
+        self.free(cap)?;
+        Ok(new_cap)
+    }
+
+    /// Runs a full revocation cycle now (fig. 3): paint quarantined
+    /// granules, sweep all roots, drain the quarantine, clear the shadow
+    /// map. Returns the sweep statistics.
+    pub fn revoke_now(&mut self) -> SweepStats {
+        // An in-progress incremental epoch completes first (its painted
+        // ranges must not be re-painted or double-drained).
+        self.finish_revocation();
+        let ranges = self.alloc.quarantined_ranges();
+        let mut painted = 0u64;
+        for &(addr, len) in &ranges {
+            self.shadow.paint(addr, len);
+            painted += len;
+        }
+        let stats = if self.policy.use_capdirty {
+            self.sweeper.sweep_space_skipping(&mut self.space, &self.shadow)
+        } else {
+            self.sweeper.sweep_space(&mut self.space, &self.shadow)
+        };
+        self.alloc.drain_quarantine();
+        for &(addr, len) in &ranges {
+            self.shadow.clear(addr, len);
+        }
+        self.stats.absorb_sweep(&stats, painted);
+        stats
+    }
+
+    // --- Capability-mediated memory access -----------------------------------
+
+    fn checked_addr(
+        &self,
+        cap: &Capability,
+        offset: u64,
+        len: u64,
+        need: Perms,
+    ) -> Result<u64, HeapError> {
+        let addr = cap.address().checked_add(offset).ok_or(CapError::AddressOverflow)?;
+        cap.check_access(addr, len, need)?;
+        Ok(addr)
+    }
+
+    /// Loads a `u64` at `cap.address() + offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::Cap`] on tag/bounds/permission failure — including
+    /// every access through a revoked capability.
+    pub fn load_u64(&self, cap: &Capability, offset: u64) -> Result<u64, HeapError> {
+        let addr = self.checked_addr(cap, offset, 8, Perms::LOAD)?;
+        Ok(self.space.load_u64(addr)?)
+    }
+
+    /// Stores a `u64` at `cap.address() + offset` (clears any tag there).
+    ///
+    /// # Errors
+    ///
+    /// As [`CherivokeHeap::load_u64`], requiring [`Perms::STORE`].
+    pub fn store_u64(&mut self, cap: &Capability, offset: u64, value: u64) -> Result<(), HeapError> {
+        let addr = self.checked_addr(cap, offset, 8, Perms::STORE)?;
+        Ok(self.space.store_u64(addr, value)?)
+    }
+
+    /// Loads the capability stored at `cap.address() + offset`.
+    ///
+    /// # Errors
+    ///
+    /// As [`CherivokeHeap::load_u64`], requiring [`Perms::LOAD_CAP`] and
+    /// 16-byte alignment.
+    pub fn load_cap(&self, cap: &Capability, offset: u64) -> Result<Capability, HeapError> {
+        let addr = self.checked_addr(cap, offset, 16, Perms::LOAD | Perms::LOAD_CAP)?;
+        Ok(self.barrier(self.space.load_cap(addr)?))
+    }
+
+    /// Stores capability `value` at `cap.address() + offset`. This is how
+    /// pointers get into memory — and how the sweep later finds them.
+    ///
+    /// # Errors
+    ///
+    /// As [`CherivokeHeap::load_u64`], requiring [`Perms::STORE_CAP`].
+    pub fn store_cap(
+        &mut self,
+        cap: &Capability,
+        offset: u64,
+        value: &Capability,
+    ) -> Result<(), HeapError> {
+        let addr = self.checked_addr(cap, offset, 16, Perms::STORE | Perms::STORE_CAP)?;
+        let filtered = self.barrier(*value);
+        if filtered.tag() != value.tag() {
+            self.stats.barrier_revocations += 1;
+        }
+        Ok(self.space.store_cap(addr, &filtered)?)
+    }
+
+    // --- Registers ----------------------------------------------------------
+
+    /// Reads capability register `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn register(&self, idx: usize) -> Capability {
+        self.space.registers().get(idx)
+    }
+
+    /// Writes capability register `idx` (registers are sweep roots, §3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set_register(&mut self, idx: usize, cap: Capability) {
+        let filtered = self.barrier(cap);
+        if filtered.tag() != cap.tag() {
+            self.stats.barrier_revocations += 1;
+        }
+        self.space.registers_mut().set(idx, filtered);
+    }
+
+    // --- Introspection --------------------------------------------------------
+
+    /// A capability spanning the whole stack segment (for examples that
+    /// model stack-resident pointers).
+    pub fn stack_root(&self) -> Capability {
+        self.stack_root
+    }
+
+    /// A capability spanning the globals segment.
+    pub fn globals_root(&self) -> Capability {
+        self.globals_root
+    }
+
+    /// The revocation policy in force.
+    pub fn policy(&self) -> RevocationPolicy {
+        self.policy
+    }
+
+    /// Replaces the policy (e.g. to vary the quarantine fraction between
+    /// runs, fig. 9).
+    pub fn set_policy(&mut self, policy: RevocationPolicy) {
+        self.policy = policy;
+        self.alloc.set_config(policy.quarantine);
+        self.sweeper = Sweeper::new(policy.kernel);
+    }
+
+    /// Heap statistics (sweeps, revocations, allocator counters).
+    pub fn stats(&self) -> HeapStats {
+        let mut s = self.stats;
+        s.alloc = self.alloc.stats();
+        s
+    }
+
+    /// Bytes currently in quarantine.
+    pub fn quarantined_bytes(&self) -> u64 {
+        self.alloc.quarantined_bytes()
+    }
+
+    /// Bytes currently allocated to the program.
+    pub fn live_bytes(&self) -> u64 {
+        self.alloc.live_bytes()
+    }
+
+    /// The shadow map's own memory cost in bytes (1/128 of the heap).
+    pub fn shadow_bytes(&self) -> u64 {
+        self.shadow.shadow_bytes()
+    }
+
+    /// The underlying address space (read-only).
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// Mutable address space — for workload drivers that populate memory
+    /// images directly. Misuse can of course violate the temporal-safety
+    /// story (this is the simulator's "god mode").
+    pub fn space_mut(&mut self) -> &mut AddressSpace {
+        &mut self.space
+    }
+
+    /// The quarantining allocator (read-only).
+    pub fn allocator(&self) -> &CherivokeAllocator {
+        &self.alloc
+    }
+
+    /// Captures a core dump of the current memory image (the paper's §5.3
+    /// methodology for offline sweep timing).
+    pub fn dump(&self) -> CoreDump {
+        CoreDump::capture(&self.space)
+    }
+
+    /// Iterates over the program's live allocations as `(base, size)`
+    /// pairs, in address order — heap introspection for leak reports and
+    /// debuggers. Quarantined and free chunks are not included.
+    pub fn live_allocations(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.alloc
+            .inner()
+            .chunks()
+            .iter()
+            .filter(|&(_, _, state)| state == cvkalloc::ChunkState::Allocated)
+            .map(|(addr, size, _)| (addr, size))
+    }
+
+    /// A leak report: total live allocations and bytes (what a clean exit
+    /// would expect to be zero after the program frees everything).
+    pub fn leak_report(&self) -> (usize, u64) {
+        let mut count = 0;
+        let mut bytes = 0;
+        for (_, size) in self.live_allocations() {
+            count += 1;
+            bytes += size;
+        }
+        (count, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kernel;
+
+    fn heap() -> CherivokeHeap {
+        CherivokeHeap::new(HeapConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn malloc_returns_exactly_bounded_caps() {
+        let mut h = heap();
+        let c = h.malloc(100).unwrap();
+        assert!(c.tag());
+        assert_eq!(c.length(), 112); // granule-rounded
+        assert_eq!(c.base(), c.address());
+        assert!(c.perms().contains(Perms::RW_DATA));
+        // Out-of-bounds access is impossible.
+        assert!(h.load_u64(&c, 112).is_err());
+        assert!(h.load_u64(&c, 104).is_ok());
+    }
+
+    #[test]
+    fn store_load_roundtrip_through_caps() {
+        let mut h = heap();
+        let c = h.malloc(64).unwrap();
+        h.store_u64(&c, 8, 0xdead_beef).unwrap();
+        assert_eq!(h.load_u64(&c, 8).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn use_after_free_before_sweep_still_reads_quarantined_memory() {
+        // §3.7: CHERIvoke prevents use-after-REALLOCATION; between free and
+        // sweep the dangling pointer still works (and that's safe, because
+        // the memory cannot be reallocated).
+        let mut h = heap();
+        // Ballast keeps the quarantine below its trigger fraction.
+        let _ballast = h.malloc(512 << 10).unwrap();
+        let c = h.malloc(64).unwrap();
+        h.store_u64(&c, 0, 42).unwrap();
+        h.free(c).unwrap();
+        assert_eq!(h.stats().sweeps, 0, "no sweep should have fired yet");
+        assert_eq!(h.load_u64(&c, 0).unwrap(), 42);
+        // But the memory is NOT reusable: a new malloc lands elsewhere.
+        let d = h.malloc(64).unwrap();
+        assert_ne!(d.base(), c.base());
+    }
+
+    #[test]
+    fn sweep_revokes_all_copies_everywhere() {
+        let mut h = heap();
+        let _ballast = h.malloc(512 << 10).unwrap();
+        let obj = h.malloc(64).unwrap();
+        let holder = h.malloc(64).unwrap();
+        // Copies: in the heap, on the stack, in globals, in a register.
+        h.store_cap(&holder, 0, &obj).unwrap();
+        let stack = h.stack_root();
+        h.store_cap(&stack, 16, &obj).unwrap();
+        let globals = h.globals_root();
+        h.store_cap(&globals, 32, &obj).unwrap();
+        h.set_register(3, obj);
+        h.free(obj).unwrap();
+        let stats = h.revoke_now();
+        assert_eq!(stats.caps_revoked, 4);
+        assert!(!h.load_cap(&holder, 0).unwrap().tag());
+        assert!(!h.load_cap(&stack, 16).unwrap().tag());
+        assert!(!h.load_cap(&globals, 32).unwrap().tag());
+        assert!(!h.register(3).tag());
+    }
+
+    #[test]
+    fn use_after_reallocation_is_impossible() {
+        let mut h = heap();
+        let victim = h.malloc(64).unwrap();
+        let holder = h.malloc(16).unwrap();
+        h.store_cap(&holder, 0, &victim).unwrap();
+        h.free(victim).unwrap();
+        h.revoke_now();
+        // Memory is recycled…
+        let attacker = h.malloc(64).unwrap();
+        assert_eq!(attacker.base(), victim.base(), "address space was reused");
+        h.store_u64(&attacker, 0, 0x41414141).unwrap();
+        // …but the old pointer is dead: the attacker's data is unreachable
+        // through it.
+        let dangling = h.load_cap(&holder, 0).unwrap();
+        assert!(!dangling.tag());
+        assert_eq!(h.load_u64(&dangling, 0), Err(HeapError::Cap(CapError::TagCleared)));
+        // And freeing through it is also caught.
+        assert_eq!(h.free(dangling), Err(HeapError::Cap(CapError::TagCleared)));
+    }
+
+    #[test]
+    fn quarantine_policy_triggers_sweeps() {
+        let mut cfg = HeapConfig::small();
+        cfg.policy = RevocationPolicy::with_fraction(0.25);
+        let mut h = CherivokeHeap::new(cfg).unwrap();
+        // Keep 64 KiB live; free memory until a sweep fires.
+        let _live: Vec<_> = (0..16).map(|_| h.malloc(4096).unwrap()).collect();
+        let mut sweeps = 0;
+        for _ in 0..100 {
+            let t = h.malloc(4096).unwrap();
+            h.free(t).unwrap();
+            if h.stats().sweeps > 0 {
+                sweeps = h.stats().sweeps;
+                break;
+            }
+        }
+        assert!(sweeps > 0, "quarantine never triggered a sweep");
+        // After the sweep, quarantine is empty.
+        assert_eq!(h.quarantined_bytes(), 0);
+    }
+
+    #[test]
+    fn strict_mode_sweeps_every_free() {
+        let mut cfg = HeapConfig::small();
+        cfg.policy.strict = true;
+        let mut h = CherivokeHeap::new(cfg).unwrap();
+        let a = h.malloc(64).unwrap();
+        let b = h.malloc(64).unwrap();
+        h.free(a).unwrap();
+        h.free(b).unwrap();
+        assert_eq!(h.stats().sweeps, 2);
+    }
+
+    #[test]
+    fn oom_triggers_emergency_sweep() {
+        let mut cfg = HeapConfig::small();
+        cfg.policy.quarantine.fraction = f64::INFINITY; // never sweep voluntarily
+        let mut h = CherivokeHeap::new(cfg).unwrap();
+        // Fill the heap, free everything (all quarantined), then allocate.
+        let blocks: Vec<_> = (0..15).map(|_| h.malloc(64 << 10).unwrap()).collect();
+        for b in blocks {
+            h.free(b).unwrap();
+        }
+        assert!(h.quarantined_bytes() > 0);
+        let c = h.malloc(512 << 10).unwrap();
+        assert!(c.tag());
+        assert_eq!(h.stats().oom_sweeps, 1);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut h = heap();
+        let a = h.malloc(64).unwrap();
+        h.free(a).unwrap();
+        assert!(matches!(h.free(a), Err(HeapError::Alloc(_))));
+    }
+
+    #[test]
+    fn freeing_non_allocation_detected() {
+        let mut h = heap();
+        let a = h.malloc(64).unwrap();
+        let inner = a.set_bounds_exact(a.base() + 16, 16).unwrap();
+        assert!(matches!(h.free(inner), Err(HeapError::Alloc(_))));
+        h.free(a).unwrap();
+    }
+
+    #[test]
+    fn perms_are_enforced_on_access() {
+        let mut h = heap();
+        let c = h.malloc(64).unwrap();
+        let ro = c.with_perms(Perms::LOAD | Perms::LOAD_CAP | Perms::GLOBAL).unwrap();
+        assert!(h.load_u64(&ro, 0).is_ok());
+        assert_eq!(
+            h.store_u64(&ro, 0, 1),
+            Err(HeapError::Cap(CapError::PermissionDenied))
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut h = heap();
+        let _ballast = h.malloc(512 << 10).unwrap();
+        let a = h.malloc(64).unwrap();
+        let holder = h.malloc(16).unwrap();
+        // With no capabilities in memory, CapDirty skips everything; store
+        // one so the sweep has a dirty page to walk.
+        h.store_cap(&holder, 0, &a).unwrap();
+        h.free(a).unwrap();
+        h.revoke_now();
+        let s = h.stats();
+        assert_eq!(s.sweeps, 1);
+        assert_eq!(s.alloc.mallocs, 3);
+        assert_eq!(s.alloc.frees, 1);
+        assert!(s.bytes_painted >= 64);
+        assert!(s.bytes_swept > 0);
+        assert_eq!(s.caps_revoked, 1);
+    }
+
+    #[test]
+    fn capdirty_and_full_sweep_policies_agree() {
+        for use_capdirty in [false, true] {
+            let mut cfg = HeapConfig::small();
+            cfg.policy.use_capdirty = use_capdirty;
+            cfg.policy.kernel = Kernel::Simple;
+            let mut h = CherivokeHeap::new(cfg).unwrap();
+            let _ballast = h.malloc(512 << 10).unwrap();
+            let obj = h.malloc(64).unwrap();
+            let holder = h.malloc(16).unwrap();
+            h.store_cap(&holder, 0, &obj).unwrap();
+            h.free(obj).unwrap();
+            let stats = h.revoke_now();
+            assert_eq!(stats.caps_revoked, 1, "use_capdirty={use_capdirty}");
+        }
+    }
+
+    #[test]
+    fn shadow_is_clean_after_sweep() {
+        let mut h = heap();
+        let a = h.malloc(4096).unwrap();
+        h.free(a).unwrap();
+        h.revoke_now();
+        // Next allocation of the same region must not be revoked by stale
+        // shadow bits.
+        let b = h.malloc(4096).unwrap();
+        let holder = h.malloc(16).unwrap();
+        h.store_cap(&holder, 0, &b).unwrap();
+        // A sweep with an empty quarantine revokes nothing.
+        let stats = h.revoke_now();
+        assert_eq!(stats.caps_revoked, 0);
+        assert!(h.load_cap(&holder, 0).unwrap().tag());
+    }
+}

@@ -1,0 +1,158 @@
+//! The analytic overhead model of paper §6.1.3.
+//!
+//! > `RuntimeOverhead ≈ FreeRate · PointerDensity / (ScanRate ·
+//! > QuarantineFraction)`
+//!
+//! The numerator is application-specific (how fast it frees, how dense its
+//! pointers are); the denominator is the system (sweep bandwidth) and the
+//! tunable memory/performance trade-off.
+
+/// Inputs to the §6.1.3 cost equation.
+///
+/// # Examples
+///
+/// ```
+/// use cherivoke::OverheadModel;
+///
+/// // xalancbmk-like: heavy freeing, dense pointers.
+/// let m = OverheadModel {
+///     free_rate_mib_s: 371.0,
+///     pointer_density: 0.86,
+///     scan_rate_mib_s: 8.0 * 1024.0,
+///     quarantine_fraction: 0.25,
+/// };
+/// let overhead = m.runtime_overhead();
+/// assert!(overhead > 0.1 && overhead < 0.2); // ~16%
+///
+/// // Quadrupling the quarantine cuts the overhead 4x.
+/// let relaxed = OverheadModel { quarantine_fraction: 1.0, ..m };
+/// assert!((relaxed.runtime_overhead() - overhead / 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadModel {
+    /// Application free rate in MiB/s (table 2, column 2).
+    pub free_rate_mib_s: f64,
+    /// Fraction of sweepable memory that contains pointers, at the
+    /// granularity the sweep can skip (table 2, column 1 uses pages).
+    pub pointer_density: f64,
+    /// Sweep bandwidth in MiB/s (fig. 7: ~8 GiB/s for the AVX2 kernel on
+    /// the paper's machine).
+    pub scan_rate_mib_s: f64,
+    /// Quarantine size as a fraction of the heap (fig. 9's knob; default
+    /// 0.25).
+    pub quarantine_fraction: f64,
+}
+
+impl OverheadModel {
+    /// The predicted runtime overhead as a fraction (0.05 = 5%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scan_rate_mib_s` or `quarantine_fraction` is not positive.
+    pub fn runtime_overhead(&self) -> f64 {
+        assert!(self.scan_rate_mib_s > 0.0, "scan rate must be positive");
+        assert!(self.quarantine_fraction > 0.0, "quarantine fraction must be positive");
+        self.free_rate_mib_s * self.pointer_density
+            / (self.scan_rate_mib_s * self.quarantine_fraction)
+    }
+
+    /// Seconds between sweeps for a heap of `heap_mib` MiB: the quarantine
+    /// fills at the free rate (§3.2: "sweeping frequency depends purely on
+    /// the free rate of the application and the size of the quarantine
+    /// buffer").
+    pub fn sweep_period_s(&self, heap_mib: f64) -> f64 {
+        if self.free_rate_mib_s <= 0.0 {
+            return f64::INFINITY;
+        }
+        heap_mib * self.quarantine_fraction / self.free_rate_mib_s
+    }
+
+    /// Seconds one sweep takes for `sweepable_mib` MiB of memory.
+    pub fn sweep_cost_s(&self, sweepable_mib: f64) -> f64 {
+        sweepable_mib * self.pointer_density / self.scan_rate_mib_s
+    }
+
+    /// The total memory overhead fraction: quarantine plus the shadow map's
+    /// 1/128.
+    pub fn memory_overhead(&self) -> f64 {
+        self.quarantine_fraction + 1.0 / 128.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> OverheadModel {
+        OverheadModel {
+            free_rate_mib_s: 100.0,
+            pointer_density: 0.5,
+            scan_rate_mib_s: 8192.0,
+            quarantine_fraction: 0.25,
+        }
+    }
+
+    #[test]
+    fn equation_matches_hand_computation() {
+        // 100 * 0.5 / (8192 * 0.25) = 50 / 2048.
+        assert!((base().runtime_overhead() - 50.0 / 2048.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn overhead_scales_linearly_with_free_rate_and_density() {
+        let m = base();
+        let double_free = OverheadModel { free_rate_mib_s: 200.0, ..m };
+        assert!((double_free.runtime_overhead() - 2.0 * m.runtime_overhead()).abs() < 1e-12);
+        let double_density = OverheadModel { pointer_density: 1.0, ..m };
+        assert!((double_density.runtime_overhead() - 2.0 * m.runtime_overhead()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_inversely_scales_with_quarantine_and_scan_rate() {
+        let m = base();
+        let big_q = OverheadModel { quarantine_fraction: 0.5, ..m };
+        assert!((big_q.runtime_overhead() - m.runtime_overhead() / 2.0).abs() < 1e-12);
+        let fast = OverheadModel { scan_rate_mib_s: 16384.0, ..m };
+        assert!((fast.runtime_overhead() - m.runtime_overhead() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_period_and_cost() {
+        let m = base();
+        // 1024 MiB heap, 25% quarantine, 100 MiB/s free rate: 2.56 s.
+        assert!((m.sweep_period_s(1024.0) - 2.56).abs() < 1e-12);
+        // Sweeping 1024 MiB at 50% density, 8 GiB/s: 62.5 ms.
+        assert!((m.sweep_cost_s(1024.0) - 0.0625).abs() < 1e-12);
+        // No frees: never sweep.
+        let idle = OverheadModel { free_rate_mib_s: 0.0, ..m };
+        assert!(idle.sweep_period_s(1024.0).is_infinite());
+    }
+
+    #[test]
+    fn paper_headline_numbers_are_consistent() {
+        // §6: 4.7% average at 25% heap overhead. The average SPEC profile
+        // (free rate ~88 MiB/s on the geometric middle, density ~0.3,
+        // 8 GiB/s scan) lands in single-digit percent.
+        let m = OverheadModel {
+            free_rate_mib_s: 88.0,
+            pointer_density: 0.3,
+            scan_rate_mib_s: 8.0 * 1024.0,
+            quarantine_fraction: 0.25,
+        };
+        let o = m.runtime_overhead();
+        assert!(o < 0.05, "expected single-digit percent, got {o}");
+    }
+
+    #[test]
+    fn memory_overhead_includes_shadow() {
+        let m = base();
+        assert!((m.memory_overhead() - (0.25 + 1.0 / 128.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "scan rate")]
+    fn zero_scan_rate_panics() {
+        let m = OverheadModel { scan_rate_mib_s: 0.0, ..base() };
+        let _ = m.runtime_overhead();
+    }
+}

@@ -1,0 +1,93 @@
+//! Revocation policy: when and how to sweep.
+
+use cvkalloc::QuarantineConfig;
+use revoker::Kernel;
+
+/// Controls when sweeps trigger and how they execute.
+///
+/// # Examples
+///
+/// ```
+/// use cherivoke::{Kernel, RevocationPolicy};
+///
+/// let p = RevocationPolicy::paper_default();
+/// assert!((p.quarantine.fraction - 0.25).abs() < 1e-9);
+///
+/// // A debugging policy that revokes on every free (§3.7's "strict
+/// // use-after-free for debugging").
+/// let strict = RevocationPolicy { strict: true, ..RevocationPolicy::paper_default() };
+/// assert!(strict.strict);
+/// let _ = Kernel::Simple;
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RevocationPolicy {
+    /// Quarantine sizing (sweep trigger): the paper's default is 25% of the
+    /// live heap.
+    pub quarantine: QuarantineConfig,
+    /// Sweep on *every* free — strict use-after-free detection for
+    /// debugging (§3.7). Expensive; not for deployment.
+    pub strict: bool,
+    /// The sweep kernel to use (§6.2's optimisation tiers).
+    pub kernel: Kernel,
+    /// Use PTE CapDirty filtering to skip capability-free pages (§3.4.2).
+    pub use_capdirty: bool,
+    /// Attempt an emergency sweep (instead of failing) when an allocation
+    /// hits out-of-memory while quarantine holds reusable space.
+    pub sweep_on_oom: bool,
+    /// Incremental revocation (paper §3.5): when set, sweeps run as
+    /// bounded slices of this many bytes interleaved with execution
+    /// instead of stop-the-world pauses, with capability load/store
+    /// barriers keeping the interleaving sound. `None` = stop-the-world.
+    pub incremental_slice_bytes: Option<u64>,
+}
+
+impl RevocationPolicy {
+    /// The configuration evaluated in the paper: 25% quarantine, buffered
+    /// (non-strict) revocation, optimised kernel, CapDirty page skipping.
+    pub fn paper_default() -> RevocationPolicy {
+        RevocationPolicy {
+            quarantine: QuarantineConfig::paper_default(),
+            strict: false,
+            kernel: Kernel::Wide,
+            use_capdirty: true,
+            sweep_on_oom: true,
+            incremental_slice_bytes: None,
+        }
+    }
+
+    /// A policy with a different quarantine fraction (the fig. 9 knob).
+    pub fn with_fraction(fraction: f64) -> RevocationPolicy {
+        RevocationPolicy {
+            quarantine: QuarantineConfig::with_fraction(fraction),
+            ..RevocationPolicy::paper_default()
+        }
+    }
+}
+
+impl Default for RevocationPolicy {
+    fn default() -> Self {
+        RevocationPolicy::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = RevocationPolicy::default();
+        assert_eq!(p.quarantine.fraction, 0.25);
+        assert!(!p.strict);
+        assert!(p.use_capdirty);
+        assert!(p.sweep_on_oom);
+        assert!(p.incremental_slice_bytes.is_none(), "paper evaluates stop-the-world");
+    }
+
+    #[test]
+    fn with_fraction_overrides_only_quarantine() {
+        let p = RevocationPolicy::with_fraction(1.0);
+        assert_eq!(p.quarantine.fraction, 1.0);
+        assert_eq!(p.kernel, Kernel::Wide);
+    }
+}

@@ -1,0 +1,59 @@
+//! Heap-wide statistics.
+
+use cvkalloc::AllocStats;
+use revoker::SweepStats;
+
+/// Cumulative statistics of a [`crate::CherivokeHeap`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Revocation sweeps performed.
+    pub sweeps: u64,
+    /// Total capabilities revoked across all sweeps.
+    pub caps_revoked: u64,
+    /// Total capabilities inspected across all sweeps.
+    pub caps_inspected: u64,
+    /// Total bytes walked by sweeps.
+    pub bytes_swept: u64,
+    /// Pages skipped thanks to PTE CapDirty filtering.
+    pub pages_skipped: u64,
+    /// Bytes painted into the shadow map (cumulative).
+    pub bytes_painted: u64,
+    /// Emergency sweeps triggered by out-of-memory (policy
+    /// `sweep_on_oom`).
+    pub oom_sweeps: u64,
+    /// Incremental revocation epochs completed (§3.5 mode).
+    pub epochs: u64,
+    /// Dangling capabilities revoked in flight by the epoch load/store
+    /// barrier rather than by the sweep itself.
+    pub barrier_revocations: u64,
+    /// Allocator counters at the last observation.
+    pub alloc: AllocStats,
+}
+
+impl HeapStats {
+    /// Folds one sweep's counters in.
+    pub(crate) fn absorb_sweep(&mut self, s: &SweepStats, painted: u64) {
+        self.sweeps += 1;
+        self.caps_revoked += s.caps_revoked;
+        self.caps_inspected += s.caps_inspected;
+        self.bytes_swept += s.bytes_swept;
+        self.pages_skipped += s.pages_skipped;
+        self.bytes_painted += painted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut h = HeapStats::default();
+        let s = SweepStats { caps_revoked: 3, caps_inspected: 10, bytes_swept: 100, ..Default::default() };
+        h.absorb_sweep(&s, 64);
+        h.absorb_sweep(&s, 32);
+        assert_eq!(h.sweeps, 2);
+        assert_eq!(h.caps_revoked, 6);
+        assert_eq!(h.bytes_painted, 96);
+    }
+}

@@ -1,0 +1,157 @@
+//! Free-chunk bins: exact small bins + best-fit large tree (dlmalloc-style).
+
+use std::collections::BTreeSet;
+
+use crate::GRANULE;
+
+/// Number of exact small bins: sizes 16, 32, …, 512 bytes.
+const N_SMALL: usize = 32;
+
+/// Largest size served by a small bin.
+const SMALL_MAX: u64 = N_SMALL as u64 * GRANULE;
+
+/// Free lists over chunk start addresses, split into dlmalloc's two regimes:
+/// exact-size small bins (LIFO for cache reuse) and a best-fit ordered set
+/// for larger chunks.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Bins {
+    small: Vec<Vec<u64>>,
+    /// (size, addr) ordered: the first element `>= (size, 0)` is the
+    /// best (smallest adequate) fit, lowest address first.
+    large: BTreeSet<(u64, u64)>,
+}
+
+impl Bins {
+    pub fn new() -> Bins {
+        Bins { small: vec![Vec::new(); N_SMALL], large: BTreeSet::new() }
+    }
+
+    fn small_index(size: u64) -> Option<usize> {
+        if size >= GRANULE && size <= SMALL_MAX && size % GRANULE == 0 {
+            Some((size / GRANULE) as usize - 1)
+        } else {
+            None
+        }
+    }
+
+    /// Inserts a free chunk.
+    pub fn insert(&mut self, addr: u64, size: u64) {
+        match Self::small_index(size) {
+            Some(i) => self.small[i].push(addr),
+            None => {
+                self.large.insert((size, addr));
+            }
+        }
+    }
+
+    /// Removes a specific free chunk (it is being coalesced or reused).
+    pub fn remove(&mut self, addr: u64, size: u64) {
+        match Self::small_index(size) {
+            Some(i) => {
+                if let Some(pos) = self.small[i].iter().rposition(|&a| a == addr) {
+                    self.small[i].swap_remove(pos);
+                }
+            }
+            None => {
+                self.large.remove(&(size, addr));
+            }
+        }
+    }
+
+    /// Takes the best free chunk with size `>= size`, preferring an exact
+    /// small bin, then the best fit. Returns `(addr, size)`.
+    pub fn take_fit(&mut self, size: u64) -> Option<(u64, u64)> {
+        // Exact small bin (dlmalloc fast path).
+        if let Some(i) = Self::small_index(size) {
+            if let Some(addr) = self.small[i].pop() {
+                return Some((addr, size));
+            }
+            // Next larger small bins.
+            for j in (i + 1)..N_SMALL {
+                if let Some(addr) = self.small[j].pop() {
+                    return Some((addr, (j as u64 + 1) * GRANULE));
+                }
+            }
+        }
+        // Best fit among large chunks.
+        let found = self.large.range((size, 0)..).next().copied();
+        if let Some(key) = found {
+            self.large.remove(&key);
+            return Some((key.0, key.1)).map(|(s, a)| (a, s));
+        }
+        None
+    }
+
+    /// Total free bytes tracked.
+    pub fn free_bytes(&self) -> u64 {
+        let small: u64 = self
+            .small
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u64 + 1) * GRANULE * v.len() as u64)
+            .sum();
+        let large: u64 = self.large.iter().map(|&(s, _)| s).sum();
+        small + large
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sizes_use_exact_bins() {
+        let mut b = Bins::new();
+        b.insert(0x1000, 32);
+        b.insert(0x2000, 32);
+        // LIFO: most recently freed first (cache-warm reuse, §6.1.1).
+        assert_eq!(b.take_fit(32), Some((0x2000, 32)));
+        assert_eq!(b.take_fit(32), Some((0x1000, 32)));
+        assert_eq!(b.take_fit(32), None);
+    }
+
+    #[test]
+    fn small_request_falls_through_to_larger_bin() {
+        let mut b = Bins::new();
+        b.insert(0x1000, 64);
+        assert_eq!(b.take_fit(32), Some((0x1000, 64)));
+    }
+
+    #[test]
+    fn large_requests_best_fit() {
+        let mut b = Bins::new();
+        b.insert(0x1000, 4096);
+        b.insert(0x3000, 1024);
+        b.insert(0x5000, 2048);
+        assert_eq!(b.take_fit(1000), Some((0x3000, 1024)));
+        assert_eq!(b.take_fit(1500), Some((0x5000, 2048)));
+        assert_eq!(b.take_fit(1500), Some((0x1000, 4096)));
+    }
+
+    #[test]
+    fn remove_unlinks_chunks() {
+        let mut b = Bins::new();
+        b.insert(0x1000, 32);
+        b.insert(0x2000, 4096);
+        b.remove(0x1000, 32);
+        b.remove(0x2000, 4096);
+        assert_eq!(b.take_fit(16), None);
+        assert_eq!(b.free_bytes(), 0);
+    }
+
+    #[test]
+    fn free_bytes_accounts_both_regimes() {
+        let mut b = Bins::new();
+        b.insert(0x1000, 32);
+        b.insert(0x2000, 4096);
+        assert_eq!(b.free_bytes(), 32 + 4096);
+    }
+
+    #[test]
+    fn ties_break_by_lowest_address() {
+        let mut b = Bins::new();
+        b.insert(0x9000, 4096);
+        b.insert(0x1000, 4096);
+        assert_eq!(b.take_fit(4096), Some((0x1000, 4096)));
+    }
+}

@@ -1,0 +1,54 @@
+//! Allocator error type.
+
+use core::fmt;
+
+/// The ways an allocation request can fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum AllocError {
+    /// No free chunk (including the top chunk) can satisfy the request.
+    OutOfMemory {
+        /// The padded size that could not be satisfied.
+        requested: u64,
+    },
+    /// `free`/`quarantine` was called on an address that is not the start of
+    /// a live allocation (double free, wild free, or free of quarantined
+    /// memory).
+    InvalidFree {
+        /// The offending address.
+        addr: u64,
+    },
+    /// A zero-sized or overflowing request.
+    BadRequest {
+        /// The raw requested size.
+        size: u64,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory { requested } => {
+                write!(f, "out of memory allocating {requested} bytes")
+            }
+            AllocError::InvalidFree { addr } => {
+                write!(f, "free of {addr:#x} which is not a live allocation")
+            }
+            AllocError::BadRequest { size } => write!(f, "invalid allocation size {size}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(AllocError::OutOfMemory { requested: 64 }.to_string().contains("64"));
+        assert!(AllocError::InvalidFree { addr: 0x10 }.to_string().contains("0x10"));
+        assert!(AllocError::BadRequest { size: 0 }.to_string().contains("0"));
+    }
+}

@@ -1,0 +1,65 @@
+//! `dlmalloc_cherivoke`: a dlmalloc-style allocator with CHERIvoke's
+//! quarantine buffer (paper §3.1, §5.2).
+//!
+//! The paper implements its allocator as an extension of Doug Lea's
+//! dlmalloc. This crate provides the same two layers:
+//!
+//! * [`DlAllocator`] — the base allocator: 16-byte granules, exact small
+//!   bins plus a best-fit tree for large chunks, immediate coalescing of
+//!   freed neighbours, and a dlmalloc-style *top* (wilderness) chunk.
+//!   Allocation sizes are padded to CHERI-*representable* lengths (and
+//!   bases to representable alignment) so that the capability an allocator
+//!   returns has bounds matching the allocation **exactly** — the property
+//!   CHERIvoke needs to attribute every capability to one allocation
+//!   (paper §4.1).
+//! * [`CherivokeAllocator`] — the `dlmalloc_cherivoke` wrapper: `free`
+//!   moves chunks into a **quarantine buffer** (aggregating adjacent freed
+//!   chunks, §5.2) instead of the free lists; when quarantined bytes reach
+//!   a configurable fraction of the live heap, the owner runs a revocation
+//!   sweep and calls [`CherivokeAllocator::drain_quarantine`] to recycle
+//!   the memory.
+//!
+//! Metadata placement: chunk metadata lives out-of-band (in the allocator,
+//! not in freed memory), following the BIBOP-style recommendation of paper
+//! §2.1 — freed-memory metadata corruption is thereby out of scope, exactly
+//! as the paper assumes.
+//!
+//! # Example
+//!
+//! ```
+//! use cvkalloc::{CherivokeAllocator, DlAllocator};
+//!
+//! # fn main() -> Result<(), cvkalloc::AllocError> {
+//! let mut heap = CherivokeAllocator::new(DlAllocator::new(0x1000_0000, 1 << 20), 0.25);
+//! let a = heap.malloc(100)?;
+//! let b = heap.malloc(200)?;
+//! heap.free(a.addr)?;
+//! // Freed memory is quarantined, not reusable yet:
+//! assert_eq!(heap.quarantined_bytes(), a.size);
+//! // After the revocation sweep the owner drains it back to the free lists.
+//! let ranges = heap.drain_quarantine();
+//! assert_eq!(ranges.len(), 1);
+//! heap.free(b.addr)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bins;
+mod chunks;
+mod dlmalloc;
+mod error;
+mod quarantine;
+mod stats;
+
+pub use chunks::{ChunkMap, ChunkState};
+pub use dlmalloc::{Block, DlAllocator};
+pub use error::AllocError;
+pub use quarantine::{CherivokeAllocator, QuarantineConfig};
+pub use stats::AllocStats;
+
+/// Allocation granule (16 bytes, matching dlmalloc alignment and the CHERI
+/// tag granule).
+pub const GRANULE: u64 = cheri::GRANULE;

@@ -1,0 +1,375 @@
+//! The quarantine buffer: `dlmalloc_cherivoke` (paper §3.1, §5.2).
+
+use std::collections::BTreeSet;
+
+use crate::{AllocError, AllocStats, Block, ChunkState, DlAllocator};
+
+/// Sizing policy for the quarantine buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuarantineConfig {
+    /// Trigger a sweep when quarantined bytes reach this fraction of the
+    /// *live* heap ("the rest of the heap", §3.1). The paper's default is
+    /// 0.25 — a 25% heap-size overhead.
+    pub fraction: f64,
+    /// Never trigger below this many quarantined bytes (avoids degenerate
+    /// sweeping of tiny heaps; 0 disables the floor).
+    pub min_bytes: u64,
+    /// Aggregate adjacent freed chunks in the quarantine (§5.2). `false`
+    /// exists only for the ablation study — it multiplies drain-time
+    /// internal frees.
+    pub aggregate: bool,
+}
+
+impl QuarantineConfig {
+    /// The paper's default configuration: quarantine up to 25% of the heap.
+    pub fn paper_default() -> QuarantineConfig {
+        QuarantineConfig { fraction: 0.25, min_bytes: 0, aggregate: true }
+    }
+
+    /// A policy with the given heap-overhead fraction.
+    pub fn with_fraction(fraction: f64) -> QuarantineConfig {
+        QuarantineConfig { fraction, min_bytes: 0, aggregate: true }
+    }
+}
+
+/// `dlmalloc_cherivoke`: wraps [`DlAllocator`] so that `free` detains chunks
+/// in a quarantine buffer instead of recycling them.
+///
+/// Freed neighbours are aggregated in constant time (the chunk map gives
+/// both neighbours directly), so "the number of internal frees may be much
+/// smaller than the number of frees" (§5.2) — see
+/// [`AllocStats::internal_frees`].
+///
+/// The owner (the `cherivoke` crate's heap) is responsible for:
+///
+/// 1. polling [`CherivokeAllocator::needs_sweep`],
+/// 2. painting [`CherivokeAllocator::quarantined_ranges`] into the shadow
+///    map,
+/// 3. running the revocation sweep, and
+/// 4. calling [`CherivokeAllocator::drain_quarantine`].
+#[derive(Debug, Clone)]
+pub struct CherivokeAllocator {
+    inner: DlAllocator,
+    config: QuarantineConfig,
+    /// Open generation: chunks freed since the last seal, still aggregating.
+    open: BTreeSet<u64>,
+    /// Sealed generation: chunks whose shadow bits are painted for an
+    /// in-progress (incremental) revocation epoch. No further aggregation —
+    /// their extents must match what was painted.
+    sealed: BTreeSet<u64>,
+}
+
+impl CherivokeAllocator {
+    /// Wraps `inner` with a quarantine sized at `fraction` of the live heap.
+    pub fn new(inner: DlAllocator, fraction: f64) -> CherivokeAllocator {
+        CherivokeAllocator::with_config(inner, QuarantineConfig::with_fraction(fraction))
+    }
+
+    /// Wraps `inner` with an explicit [`QuarantineConfig`].
+    pub fn with_config(inner: DlAllocator, config: QuarantineConfig) -> CherivokeAllocator {
+        CherivokeAllocator { inner, config, open: BTreeSet::new(), sealed: BTreeSet::new() }
+    }
+
+    /// The quarantine policy.
+    pub fn config(&self) -> QuarantineConfig {
+        self.config
+    }
+
+    /// Replaces the quarantine policy (used by the fig. 9 sweep-frequency
+    /// trade-off experiment).
+    pub fn set_config(&mut self, config: QuarantineConfig) {
+        self.config = config;
+    }
+
+    /// Allocates `size` bytes (delegates to the base allocator — quarantined
+    /// chunks are *not* eligible).
+    ///
+    /// # Errors
+    ///
+    /// As [`DlAllocator::malloc`]. Note that memory detained in quarantine
+    /// can produce out-of-memory conditions a non-quarantining allocator
+    /// would not hit; callers may respond by sweeping early.
+    pub fn malloc(&mut self, size: u64) -> Result<Block, AllocError> {
+        self.inner.malloc(size)
+    }
+
+    /// Frees `addr` into the quarantine buffer.
+    ///
+    /// The chunk is validated and live accounting updated exactly as for a
+    /// real free, but the memory stays unavailable until
+    /// [`CherivokeAllocator::drain_quarantine`]. Adjacent quarantined chunks
+    /// are aggregated immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidFree`] as for [`DlAllocator::free`] — in
+    /// particular, freeing an already-quarantined chunk is a detected double
+    /// free.
+    pub fn free(&mut self, addr: u64) -> Result<u64, AllocError> {
+        let size = self.inner.begin_free(addr)?;
+        self.inner.set_chunk_state(addr, ChunkState::Quarantined);
+        self.inner.stats_mut().quarantined_bytes += size;
+        self.inner.stats_mut().note_footprint();
+
+        // Aggregate with quarantined neighbours (constant-time, §5.2) — but
+        // only within the *open* generation: sealed chunks' extents are
+        // frozen because their shadow bits are already painted.
+        if !self.config.aggregate {
+            self.open.insert(addr);
+            return Ok(size);
+        }
+        let mut start = addr;
+        if let Some((paddr, _, ChunkState::Quarantined)) =
+            self.inner.chunks().prev_neighbour(addr)
+        {
+            if self.open.contains(&paddr) {
+                self.inner.chunks_mut().merge_with_next(paddr);
+                start = paddr;
+            } else {
+                self.open.insert(addr);
+            }
+        } else {
+            self.open.insert(addr);
+        }
+        if let Some((naddr, _, ChunkState::Quarantined)) =
+            self.inner.chunks().next_neighbour(start)
+        {
+            if self.open.remove(&naddr) {
+                self.inner.chunks_mut().merge_with_next(start);
+            }
+        }
+        Ok(size)
+    }
+
+    /// Bytes currently detained.
+    pub fn quarantined_bytes(&self) -> u64 {
+        self.inner.stats().quarantined_bytes
+    }
+
+    /// Number of (aggregated) chunks in quarantine (both generations).
+    pub fn quarantined_chunks(&self) -> usize {
+        self.open.len() + self.sealed.len()
+    }
+
+    /// `true` when the quarantine policy says it is time to sweep:
+    /// `quarantined >= fraction × live` (and above the configured floor).
+    pub fn needs_sweep(&self) -> bool {
+        let q = self.quarantined_bytes();
+        q >= self.config.min_bytes
+            && q as f64 >= self.config.fraction * self.inner.live_bytes().max(1) as f64
+    }
+
+    fn ranges_of(&self, set: &BTreeSet<u64>) -> Vec<(u64, u64)> {
+        set.iter()
+            .map(|&a| {
+                let (size, state) = self.inner.chunks().get(a).expect("quarantined chunk");
+                debug_assert_eq!(state, ChunkState::Quarantined);
+                (a, size)
+            })
+            .collect()
+    }
+
+    /// The aggregated `(addr, size)` ranges currently in quarantine — the
+    /// ranges to paint into the revocation shadow map before a sweep
+    /// (both generations).
+    pub fn quarantined_ranges(&self) -> Vec<(u64, u64)> {
+        let mut v = self.ranges_of(&self.sealed);
+        v.extend(self.ranges_of(&self.open));
+        v.sort_unstable();
+        v
+    }
+
+    /// Seals the open generation for an incremental revocation epoch: its
+    /// chunks stop aggregating (their extents are about to be painted) and
+    /// will be released by [`CherivokeAllocator::drain_sealed`]. Returns the
+    /// newly sealed `(addr, size)` ranges. Frees arriving while the epoch
+    /// runs accumulate in a fresh open generation for the *next* epoch.
+    pub fn seal_quarantine(&mut self) -> Vec<(u64, u64)> {
+        let ranges = self.ranges_of(&self.open);
+        self.sealed.extend(std::mem::take(&mut self.open));
+        ranges
+    }
+
+    /// Bytes in the sealed generation.
+    pub fn sealed_bytes(&self) -> u64 {
+        self.ranges_of(&self.sealed).iter().map(|&(_, s)| s).sum()
+    }
+
+    /// Releases the sealed generation into the free lists (call after the
+    /// epoch's sweep completes). Returns the drained ranges, whose shadow
+    /// bits the caller clears.
+    pub fn drain_sealed(&mut self) -> Vec<(u64, u64)> {
+        let ranges = self.ranges_of(&self.sealed);
+        for &(addr, _) in &ranges {
+            self.inner.release(addr);
+        }
+        self.sealed.clear();
+        let drained: u64 = ranges.iter().map(|&(_, s)| s).sum();
+        let stats = self.inner.stats_mut();
+        stats.quarantined_bytes -= drained;
+        stats.drains += 1;
+        ranges
+    }
+
+    /// Empties the *entire* quarantine into the free lists (the
+    /// stop-the-world path: call after a full revocation sweep). Returns
+    /// the drained `(addr, size)` ranges, whose shadow bits the caller
+    /// clears.
+    pub fn drain_quarantine(&mut self) -> Vec<(u64, u64)> {
+        self.seal_quarantine();
+        self.drain_sealed()
+    }
+
+    /// Statistics snapshot (includes quarantine counters).
+    pub fn stats(&self) -> AllocStats {
+        self.inner.stats()
+    }
+
+    /// Bytes currently allocated to the program.
+    pub fn live_bytes(&self) -> u64 {
+        self.inner.live_bytes()
+    }
+
+    /// The base allocator (read-only).
+    pub fn inner(&self) -> &DlAllocator {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: u64 = 0x1000_0000;
+
+    fn heap() -> CherivokeAllocator {
+        CherivokeAllocator::new(DlAllocator::new(BASE, 1 << 20), 0.25)
+    }
+
+    #[test]
+    fn freed_memory_is_not_reused_before_drain() {
+        let mut h = heap();
+        let a = h.malloc(64).unwrap();
+        let guard = h.malloc(64).unwrap();
+        h.free(a.addr).unwrap();
+        // A new allocation of the same size must NOT land on a's address.
+        let b = h.malloc(64).unwrap();
+        assert_ne!(b.addr, a.addr);
+        // After draining, it can.
+        h.free(b.addr).unwrap();
+        h.free(guard.addr).unwrap();
+        h.drain_quarantine();
+        let c = h.malloc(64).unwrap();
+        assert_eq!(c.addr, a.addr);
+    }
+
+    #[test]
+    fn double_free_of_quarantined_chunk_is_detected() {
+        let mut h = heap();
+        let a = h.malloc(64).unwrap();
+        h.free(a.addr).unwrap();
+        assert_eq!(h.free(a.addr), Err(AllocError::InvalidFree { addr: a.addr }));
+    }
+
+    #[test]
+    fn adjacent_frees_aggregate() {
+        let mut h = heap();
+        let a = h.malloc(64).unwrap();
+        let b = h.malloc(64).unwrap();
+        let c = h.malloc(64).unwrap();
+        let _guard = h.malloc(64).unwrap();
+        h.free(a.addr).unwrap();
+        h.free(c.addr).unwrap();
+        assert_eq!(h.quarantined_chunks(), 2);
+        h.free(b.addr).unwrap(); // bridges a and c
+        assert_eq!(h.quarantined_chunks(), 1);
+        assert_eq!(h.quarantined_ranges(), vec![(a.addr, 192)]);
+        assert_eq!(h.quarantined_bytes(), 192);
+    }
+
+    #[test]
+    fn aggregation_reduces_internal_frees() {
+        let mut h = heap();
+        let blocks: Vec<_> = (0..100).map(|_| h.malloc(64).unwrap()).collect();
+        let _guard = h.malloc(64).unwrap();
+        for b in &blocks {
+            h.free(b.addr).unwrap();
+        }
+        assert_eq!(h.quarantined_chunks(), 1, "contiguous frees aggregate to one chunk");
+        h.drain_quarantine();
+        let s = h.stats();
+        assert_eq!(s.frees, 100);
+        assert_eq!(s.internal_frees, 1, "one internal free after aggregation (§6.1.1)");
+    }
+
+    #[test]
+    fn needs_sweep_follows_fraction() {
+        let mut h = heap();
+        // live = 4 KiB.
+        let keep: Vec<_> = (0..64).map(|_| h.malloc(64).unwrap()).collect();
+        // Quarantine just under 25%: 960 bytes < 1024.
+        let extra: Vec<_> = (0..15).map(|_| h.malloc(64).unwrap()).collect();
+        for b in &extra {
+            h.free(b.addr).unwrap();
+        }
+        assert!(!h.needs_sweep());
+        // One more free tips it over.
+        let last = h.malloc(64).unwrap();
+        h.free(last.addr).unwrap();
+        assert!(h.needs_sweep());
+        drop(keep);
+    }
+
+    #[test]
+    fn min_bytes_floor_suppresses_tiny_sweeps() {
+        let mut h = CherivokeAllocator::with_config(
+            DlAllocator::new(BASE, 1 << 20),
+            QuarantineConfig { fraction: 0.25, min_bytes: 1 << 16, aggregate: true },
+        );
+        let a = h.malloc(64).unwrap();
+        h.free(a.addr).unwrap();
+        // 100% of live heap quarantined but below the floor.
+        assert!(!h.needs_sweep());
+    }
+
+    #[test]
+    fn drain_returns_ranges_and_resets() {
+        let mut h = heap();
+        let a = h.malloc(256).unwrap();
+        let _guard = h.malloc(16).unwrap();
+        let b = h.malloc(512).unwrap();
+        h.free(a.addr).unwrap();
+        h.free(b.addr).unwrap();
+        let mut ranges = h.drain_quarantine();
+        ranges.sort_unstable();
+        assert_eq!(ranges, vec![(a.addr, a.size), (b.addr, b.size)]);
+        assert_eq!(h.quarantined_bytes(), 0);
+        assert_eq!(h.quarantined_chunks(), 0);
+        assert_eq!(h.stats().drains, 1);
+        h.inner().chunks().assert_tiling();
+    }
+
+    #[test]
+    fn footprint_includes_quarantine() {
+        let mut h = heap();
+        let a = h.malloc(1024).unwrap();
+        let b = h.malloc(1024).unwrap();
+        h.free(a.addr).unwrap();
+        let s = h.stats();
+        assert_eq!(s.live_bytes, b.size);
+        assert_eq!(s.quarantined_bytes, a.size);
+        assert_eq!(s.peak_footprint_bytes, a.size + b.size);
+    }
+
+    #[test]
+    fn oom_can_be_caused_by_quarantine() {
+        let mut h = CherivokeAllocator::new(DlAllocator::new(BASE, 4096), 0.25);
+        let a = h.malloc(2048).unwrap();
+        h.free(a.addr).unwrap();
+        // 2 KiB live in quarantine: a 3 KiB request fails…
+        assert!(h.malloc(3072).is_err());
+        // …until the quarantine is drained.
+        h.drain_quarantine();
+        assert!(h.malloc(3072).is_ok());
+    }
+}

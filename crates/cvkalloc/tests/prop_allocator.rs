@@ -1,0 +1,150 @@
+//! Property tests for allocator invariants under arbitrary operation
+//! sequences: tiling, non-overlap, conservation, quarantine isolation.
+
+use cvkalloc::{CherivokeAllocator, ChunkState, DlAllocator};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const BASE: u64 = 0x1000_0000;
+const SIZE: u64 = 1 << 20;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Malloc(u64),
+    /// Free the n-th oldest live allocation (mod live count).
+    Free(usize),
+    Drain,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            5 => (1u64..8192).prop_map(Op::Malloc),
+            4 => (0usize..64).prop_map(Op::Free),
+            1 => Just(Op::Drain),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The base allocator never hands out overlapping blocks, keeps its
+    /// chunk map tiling the heap, and conserves bytes.
+    #[test]
+    fn dlmalloc_invariants(ops in ops()) {
+        let mut heap = DlAllocator::new(BASE, SIZE);
+        let mut live: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Malloc(size) => {
+                    if let Ok(b) = heap.malloc(size) {
+                        // Non-overlap with every live block.
+                        for (&a, &s) in &live {
+                            prop_assert!(
+                                b.addr + b.size <= a || a + s <= b.addr,
+                                "{:#x}+{} overlaps {:#x}+{}", b.addr, b.size, a, s
+                            );
+                        }
+                        prop_assert!(b.addr >= BASE && b.addr + b.size <= BASE + SIZE);
+                        prop_assert!(b.size >= size);
+                        prop_assert_eq!(b.addr % 16, 0);
+                        live.insert(b.addr, b.size);
+                    }
+                }
+                Op::Free(n) => {
+                    if !live.is_empty() {
+                        let &addr = live.keys().nth(n % live.len()).expect("key");
+                        live.remove(&addr);
+                        prop_assert!(heap.free(addr).is_ok());
+                    }
+                }
+                Op::Drain => {}
+            }
+            heap.chunks().assert_tiling();
+        }
+        let live_sum: u64 = live.values().sum();
+        prop_assert_eq!(heap.live_bytes(), live_sum);
+        prop_assert_eq!(heap.free_bytes(), SIZE - live_sum);
+    }
+
+    /// The quarantining allocator: freed memory is never re-issued before a
+    /// drain, and quarantined bytes are conserved exactly.
+    #[test]
+    fn quarantine_isolation(ops in ops()) {
+        let mut heap = CherivokeAllocator::new(DlAllocator::new(BASE, SIZE), f64::INFINITY);
+        let mut live: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut quarantined: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Malloc(size) => {
+                    if let Ok(b) = heap.malloc(size) {
+                        // The new block must not intersect any quarantined
+                        // byte — the core CHERIvoke guarantee.
+                        for (&a, &s) in &quarantined {
+                            prop_assert!(
+                                b.addr + b.size <= a || a + s <= b.addr,
+                                "malloc {:#x}+{} reused quarantined {:#x}+{}",
+                                b.addr, b.size, a, s
+                            );
+                        }
+                        live.insert(b.addr, b.size);
+                    }
+                }
+                Op::Free(n) => {
+                    if !live.is_empty() {
+                        let &addr = live.keys().nth(n % live.len()).expect("key");
+                        let size = live.remove(&addr).expect("size");
+                        prop_assert!(heap.free(addr).is_ok());
+                        quarantined.insert(addr, size);
+                    }
+                }
+                Op::Drain => {
+                    heap.drain_quarantine();
+                    quarantined.clear();
+                }
+            }
+            let qsum: u64 = quarantined.values().sum();
+            prop_assert_eq!(heap.quarantined_bytes(), qsum);
+            heap.inner().chunks().assert_tiling();
+        }
+        // Quarantined ranges must cover exactly the quarantined bytes.
+        let ranges_sum: u64 = heap.quarantined_ranges().iter().map(|&(_, s)| s).sum();
+        prop_assert_eq!(ranges_sum, heap.quarantined_bytes());
+    }
+
+    /// Sealing is a partition: sealed + open ranges together equal the
+    /// pre-seal quarantine, and draining the sealed generation leaves the
+    /// open one intact.
+    #[test]
+    fn seal_partitions_quarantine(
+        sizes in proptest::collection::vec(16u64..2048, 2..40),
+        at in 1usize..39,
+    ) {
+        let mut heap = CherivokeAllocator::new(DlAllocator::new(BASE, SIZE), f64::INFINITY);
+        let blocks: Vec<_> = sizes.iter().map(|&s| heap.malloc(s).expect("space")).collect();
+        let split = at.min(blocks.len() - 1);
+        for b in &blocks[..split] {
+            heap.free(b.addr).expect("free");
+        }
+        let before = heap.quarantined_bytes();
+        let sealed = heap.seal_quarantine();
+        let sealed_sum: u64 = sealed.iter().map(|&(_, s)| s).sum();
+        prop_assert_eq!(sealed_sum, before);
+        prop_assert_eq!(heap.sealed_bytes(), before);
+
+        // Free the rest: goes to the open generation.
+        for b in &blocks[split..] {
+            heap.free(b.addr).expect("free");
+        }
+        let open_bytes = heap.quarantined_bytes() - heap.sealed_bytes();
+        heap.drain_sealed();
+        prop_assert_eq!(heap.quarantined_bytes(), open_bytes);
+        prop_assert_eq!(heap.sealed_bytes(), 0);
+        heap.inner().chunks().assert_tiling();
+        // No chunk is left in a stale Quarantined state beyond the open set.
+        let q_chunks = heap.inner().chunks().bytes_in_state(ChunkState::Quarantined);
+        prop_assert_eq!(q_chunks, open_bytes);
+    }
+}

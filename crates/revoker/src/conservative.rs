@@ -1,0 +1,335 @@
+//! The paper's x86 evaluation methodology (§5.1, §5.3): conservative
+//! pointer identification over preprocessed memory images.
+//!
+//! The paper could not run CHERI binaries on x86, so it *simulated*
+//! capability visibility: every 64-bit word whose value is a valid virtual
+//! address is conservatively considered a pointer (as in conservative
+//! garbage collectors); the core dump is preprocessed to **zero all
+//! non-pointer words**, after which the sweep's tag test becomes a simple
+//! compare-with-zero — cheap enough to vectorise. This module reproduces
+//! that pipeline:
+//!
+//! * [`ConservativeImage`] — a memory image preprocessed exactly as §5.3
+//!   describes (non-pointer words zeroed).
+//! * [`sweep_scalar`] / [`sweep_unrolled`] — the §3.3 inner loop over the
+//!   preprocessed image (the paper's first two fig. 7 tiers).
+//! * [`sweep_avx2`] — a genuine AVX2 implementation (`std::arch`), used
+//!   when the host supports it; this is the fig. 7 "AVX2" tier. Falls back
+//!   to the unrolled loop elsewhere.
+//!
+//! Unlike the tag-exact kernels in [`crate::Sweeper`], conservative
+//! identification has **false positives**: integers that happen to look
+//! like heap addresses are treated as pointers (and, if they "point" into
+//! quarantined memory, zeroed). The paper accepts the same imprecision for
+//! its x86 measurements; CHERI itself does not (§4.1).
+
+use tagmem::TaggedMemory;
+
+use crate::ShadowMap;
+
+/// A §5.3-preprocessed image: 64-bit words, with every word whose value is
+/// not a valid in-range virtual address zeroed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConservativeImage {
+    base: u64,
+    words: Vec<u64>,
+}
+
+/// Result counters of a conservative sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConservativeStats {
+    /// Words inspected (all of them — the test is part of the loop).
+    pub words_scanned: u64,
+    /// Words that looked like pointers (non-zero after preprocessing).
+    pub pointers_seen: u64,
+    /// Words zeroed because they pointed into painted memory.
+    pub revoked: u64,
+}
+
+impl ConservativeImage {
+    /// Preprocesses a tagged-memory image: any 64-bit word whose value
+    /// falls within `[range_base, range_end)` is kept (it "is" a pointer
+    /// under conservative estimation); every other word is zeroed.
+    pub fn from_memory(mem: &TaggedMemory, range_base: u64, range_end: u64) -> ConservativeImage {
+        let data = mem.data();
+        let words = data
+            .chunks_exact(8)
+            .map(|c| {
+                let w = u64::from_le_bytes(c.try_into().expect("8 bytes"));
+                if w >= range_base && w < range_end {
+                    w
+                } else {
+                    0
+                }
+            })
+            .collect();
+        ConservativeImage { base: mem.base(), words }
+    }
+
+    /// Builds an image directly from words (testing / synthetic densities).
+    pub fn from_words(base: u64, words: Vec<u64>) -> ConservativeImage {
+        ConservativeImage { base, words }
+    }
+
+    /// The image's word array.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Image length in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.words.len() as u64 * 8
+    }
+
+    /// Non-zero (pointer-looking) words.
+    pub fn pointer_count(&self) -> u64 {
+        self.words.iter().filter(|&&w| w != 0).count() as u64
+    }
+}
+
+/// The paper's §3.3 inner loop, verbatim shape: test, shift, shadow byte,
+/// bit test, conditional zero.
+pub fn sweep_scalar(image: &mut ConservativeImage, shadow: &ShadowMap) -> ConservativeStats {
+    let mut stats = ConservativeStats::default();
+    for w in &mut image.words {
+        stats.words_scanned += 1;
+        let capword = *w;
+        if capword != 0 {
+            stats.pointers_seen += 1;
+            if shadow.is_painted(capword) {
+                *w = 0;
+                stats.revoked += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Manually unrolled/pipelined variant (the paper's second fig. 7 tier):
+/// four words per iteration, tests hoisted.
+pub fn sweep_unrolled(image: &mut ConservativeImage, shadow: &ShadowMap) -> ConservativeStats {
+    let mut stats = ConservativeStats::default();
+    let words = &mut image.words;
+    let n = words.len() & !3;
+    let mut i = 0;
+    while i < n {
+        let (a, b, c, d) = (words[i], words[i + 1], words[i + 2], words[i + 3]);
+        stats.words_scanned += 4;
+        // Fast path: a whole iteration of zeros (common at low density).
+        if a | b | c | d != 0 {
+            for (k, w) in [a, b, c, d].into_iter().enumerate() {
+                if w != 0 {
+                    stats.pointers_seen += 1;
+                    if shadow.is_painted(w) {
+                        words[i + k] = 0;
+                        stats.revoked += 1;
+                    }
+                }
+            }
+        }
+        i += 4;
+    }
+    while i < words.len() {
+        let w = words[i];
+        stats.words_scanned += 1;
+        if w != 0 {
+            stats.pointers_seen += 1;
+            if shadow.is_painted(w) {
+                words[i] = 0;
+                stats.revoked += 1;
+            }
+        }
+        i += 1;
+    }
+    stats
+}
+
+/// The AVX2 tier: 256-bit loads test four words against zero at a time;
+/// only vectors containing pointer-looking words fall back to scalar
+/// shadow lookups (the paper's loop similarly mixes vector tests with the
+/// indirect shadow access). Uses the unrolled loop when AVX2 is absent.
+#[allow(unsafe_code)]
+pub fn sweep_avx2(image: &mut ConservativeImage, shadow: &ShadowMap) -> ConservativeStats {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            // SAFETY: feature presence checked at runtime immediately above.
+            return unsafe { simd::sweep(image, shadow) };
+        }
+    }
+    sweep_unrolled(image, shadow)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod simd {
+    //! The only `unsafe` in the workspace: AVX2 intrinsics for the fig. 7
+    //! vector tier. Soundness rests on (a) the caller's runtime
+    //! `is_x86_feature_detected!("avx2")` check and (b) `loadu` tolerating
+    //! unaligned addresses, so any `&[u64]` chunk of ≥ 4 words is valid.
+
+    use core::arch::x86_64::{
+        __m256i, _mm256_loadu_si256, _mm256_movemask_epi8, _mm256_setzero_si256,
+        _mm256_cmpeq_epi64,
+    };
+
+    use super::{ConservativeImage, ConservativeStats};
+    use crate::ShadowMap;
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sweep(
+        image: &mut ConservativeImage,
+        shadow: &ShadowMap,
+    ) -> ConservativeStats {
+        let mut stats = ConservativeStats::default();
+        let words = &mut image.words;
+        let n = words.len() & !3;
+        let zero = _mm256_setzero_si256();
+        let mut i = 0;
+        while i < n {
+            // SAFETY: i + 4 <= words.len(), and loadu has no alignment
+            // requirement.
+            let v = unsafe { _mm256_loadu_si256(words.as_ptr().add(i) as *const __m256i) };
+            let eq = _mm256_cmpeq_epi64(v, zero);
+            let mask = _mm256_movemask_epi8(eq) as u32;
+            stats.words_scanned += 4;
+            // All four lanes zero: skip (mask is all ones).
+            if mask != u32::MAX {
+                for k in 0..4 {
+                    let w = words[i + k];
+                    if w != 0 {
+                        stats.pointers_seen += 1;
+                        if shadow.is_painted(w) {
+                            words[i + k] = 0;
+                            stats.revoked += 1;
+                        }
+                    }
+                }
+            }
+            i += 4;
+        }
+        while i < words.len() {
+            let w = words[i];
+            stats.words_scanned += 1;
+            if w != 0 {
+                stats.pointers_seen += 1;
+                if shadow.is_painted(w) {
+                    words[i] = 0;
+                    stats.revoked += 1;
+                }
+            }
+            i += 1;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri::Capability;
+
+    const HEAP: u64 = 0x1000_0000;
+    const LEN: u64 = 1 << 16;
+
+    fn image_with(ptrs: &[(usize, u64)]) -> ConservativeImage {
+        let mut words = vec![0u64; (LEN / 8) as usize];
+        for &(slot, value) in ptrs {
+            words[slot] = value;
+        }
+        ConservativeImage::from_words(HEAP, words)
+    }
+
+    fn all_sweeps(
+        img: &ConservativeImage,
+        shadow: &ShadowMap,
+    ) -> Vec<(&'static str, ConservativeImage, ConservativeStats)> {
+        let mut out = Vec::new();
+        for (name, f) in [
+            ("scalar", sweep_scalar as fn(&mut ConservativeImage, &ShadowMap) -> ConservativeStats),
+            ("unrolled", sweep_unrolled),
+            ("avx2", sweep_avx2),
+        ] {
+            let mut copy = img.clone();
+            let stats = f(&mut copy, shadow);
+            out.push((name, copy, stats));
+        }
+        out
+    }
+
+    #[test]
+    fn preprocessing_zeroes_non_addresses() {
+        let mut mem = tagmem::TaggedMemory::new(HEAP, 4096);
+        mem.write_u64(HEAP, HEAP + 0x40).unwrap(); // a "pointer"
+        mem.write_u64(HEAP + 8, 1234).unwrap(); // an integer
+        mem.write_u64(HEAP + 16, HEAP + 4096).unwrap(); // out of range
+        let img = ConservativeImage::from_memory(&mem, HEAP, HEAP + 4096);
+        assert_eq!(img.words()[0], HEAP + 0x40);
+        assert_eq!(img.words()[1], 0);
+        assert_eq!(img.words()[2], 0);
+        assert_eq!(img.pointer_count(), 1);
+    }
+
+    #[test]
+    fn conservative_false_positives_are_kept() {
+        // An integer that *looks* like a heap address survives
+        // preprocessing — the §5.1 conservatism.
+        let mut mem = tagmem::TaggedMemory::new(HEAP, 4096);
+        mem.write_u64(HEAP, HEAP + 0x80).unwrap(); // data, but address-like
+        let img = ConservativeImage::from_memory(&mem, HEAP, HEAP + 4096);
+        assert_eq!(img.pointer_count(), 1);
+    }
+
+    #[test]
+    fn all_kernels_agree() {
+        let img = image_with(&[
+            (0, HEAP + 0x40),  // dangling (painted below)
+            (7, HEAP + 0x400), // live
+            (63, HEAP + 0x50), // dangling
+            (64, HEAP + 0x800),
+            (4093, HEAP + 0x40),
+        ]);
+        let mut shadow = ShadowMap::new(HEAP, LEN);
+        shadow.paint(HEAP + 0x40, 32);
+        let results = all_sweeps(&img, &shadow);
+        for (name, swept, stats) in &results {
+            assert_eq!(stats.pointers_seen, 5, "{name}");
+            assert_eq!(stats.revoked, 3, "{name}");
+            assert_eq!(swept.words()[0], 0, "{name}");
+            assert_eq!(swept.words()[7], HEAP + 0x400, "{name}");
+            assert_eq!(swept.words()[63], 0, "{name}");
+        }
+        for (name, swept, _) in &results[1..] {
+            assert_eq!(swept, &results[0].1, "{name} diverged from scalar");
+        }
+    }
+
+    #[test]
+    fn tag_exact_and_conservative_agree_when_no_false_positives() {
+        // Plant genuine capabilities; the conservative sweep over the
+        // preprocessed image revokes the same set the tag-exact sweep does.
+        let mut mem = tagmem::TaggedMemory::new(HEAP, LEN);
+        for i in 0..20u64 {
+            let obj = HEAP + 0x4000 + i * 64;
+            mem.write_cap(HEAP + i * 16, &Capability::root_rw(obj, 64)).unwrap();
+        }
+        let mut shadow = ShadowMap::new(HEAP, LEN);
+        for i in (0..20u64).step_by(2) {
+            shadow.paint(HEAP + 0x4000 + i * 64, 64);
+        }
+        let mut img = ConservativeImage::from_memory(&mem, HEAP, HEAP + LEN);
+        let cons = sweep_avx2(&mut img, &shadow);
+        let exact = crate::Sweeper::new(crate::Kernel::Wide).sweep_segment(&mut mem, &shadow);
+        assert_eq!(cons.revoked, exact.caps_revoked);
+    }
+
+    #[test]
+    fn empty_image_sweeps_clean() {
+        let img = image_with(&[]);
+        let shadow = ShadowMap::new(HEAP, LEN);
+        for (name, _, stats) in all_sweeps(&img, &shadow) {
+            assert_eq!(stats.pointers_seen, 0, "{name}");
+            assert_eq!(stats.words_scanned, LEN / 8, "{name}");
+        }
+    }
+}

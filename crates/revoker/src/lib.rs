@@ -1,0 +1,63 @@
+//! Revocation machinery: the shadow map and the sweeping procedure
+//! (paper §3.2–§3.5).
+//!
+//! CHERIvoke revokes dangling capabilities by:
+//!
+//! 1. **Painting** the quarantined allocation granules into a
+//!    [`ShadowMap`] — one bit per 16-byte granule, 1/128 of the heap —
+//!    using wide aligned stores where possible (§5.2).
+//! 2. **Sweeping** every segment that can hold capabilities (heap, stack,
+//!    globals, register file): each tagged word's *base* indexes the shadow
+//!    map; a painted base means the capability dangles and its tag is
+//!    cleared (§3.3's inner loop).
+//! 3. Optionally skipping work with the paper's two hardware assists:
+//!    **PTE CapDirty** bits skip whole capability-free pages and
+//!    **CLoadTags** skips capability-free cache lines (§3.4) — see
+//!    [`SweepPlan`] and [`timed`].
+//!
+//! Sweep kernels come in the same flavours the paper benchmarks in
+//! Figure 7 ([`Kernel::Simple`], [`Kernel::Unrolled`], [`Kernel::Wide`])
+//! plus a crossbeam-parallel variant ([`Kernel::Parallel`]) exploiting the
+//! embarrassing parallelism of §3.5.
+//!
+//! # Example
+//!
+//! ```
+//! use cheri::Capability;
+//! use revoker::{Kernel, ShadowMap, Sweeper};
+//! use tagmem::{AddressSpace, SegmentKind};
+//!
+//! # fn main() -> Result<(), tagmem::MemError> {
+//! let heap_base = 0x1000_0000u64;
+//! let mut space = AddressSpace::builder()
+//!     .segment(SegmentKind::Heap, heap_base, 1 << 20)
+//!     .build();
+//!
+//! // The program holds a capability to a (soon-dangling) object.
+//! let obj = Capability::root_rw(heap_base + 0x40, 64);
+//! space.store_cap(heap_base + 0x1000, &obj)?;
+//!
+//! // The allocator quarantines the object and paints its granules.
+//! let mut shadow = ShadowMap::new(heap_base, 1 << 20);
+//! shadow.paint(heap_base + 0x40, 64);
+//!
+//! // One sweep later the stored capability is revoked.
+//! let stats = Sweeper::new(Kernel::Wide).sweep_space(&mut space, &shadow);
+//! assert_eq!(stats.caps_revoked, 1);
+//! assert!(!space.load_cap(heap_base + 0x1000)?.tag());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conservative;
+mod plan;
+mod shadow;
+mod sweep;
+pub mod timed;
+
+pub use plan::{SkipMode, SweepPlan};
+pub use shadow::ShadowMap;
+pub use sweep::{Kernel, SweepStats, Sweeper};

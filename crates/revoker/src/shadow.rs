@@ -1,0 +1,300 @@
+//! The revocation shadow map (paper §3.2).
+
+use tagmem::GRANULE_SIZE;
+
+/// One bit per 16-byte allocation granule: set means "references to this
+/// granule are to be revoked in the next sweep".
+///
+/// The map covers the heap only, at a fixed transform from the heap base
+/// (§5.2 maps the shadow at a fixed offset from each allocation so lookup
+/// is a shift and an add). It occupies 1/128 of the heap — "less than 1% of
+/// the heap" (§3.2).
+///
+/// Painting is optimised like the paper's: interior runs of whole 64-bit
+/// words are stored directly; only the ragged ends manipulate single bits.
+///
+/// # Examples
+///
+/// ```
+/// use revoker::ShadowMap;
+///
+/// let mut shadow = ShadowMap::new(0x1000_0000, 1 << 20);
+/// shadow.paint(0x1000_0040, 64);
+/// assert!(shadow.is_painted(0x1000_0040));
+/// assert!(shadow.is_painted(0x1000_0070));
+/// assert!(!shadow.is_painted(0x1000_0080));
+/// assert_eq!(shadow.painted_bytes(), 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShadowMap {
+    heap_base: u64,
+    granules: u64,
+    bits: Vec<u64>,
+    painted_granules: u64,
+}
+
+impl ShadowMap {
+    /// Creates an all-clear shadow map covering `[heap_base, heap_base +
+    /// heap_len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless base and length are 16-byte aligned.
+    pub fn new(heap_base: u64, heap_len: u64) -> ShadowMap {
+        assert_eq!(heap_base % GRANULE_SIZE, 0, "heap base must be granule-aligned");
+        assert_eq!(heap_len % GRANULE_SIZE, 0, "heap length must be granule-aligned");
+        let granules = heap_len / GRANULE_SIZE;
+        ShadowMap {
+            heap_base,
+            granules,
+            bits: vec![0; (granules as usize).div_ceil(64)],
+            painted_granules: 0,
+        }
+    }
+
+    /// The heap base this map shadows.
+    #[inline]
+    pub fn heap_base(&self) -> u64 {
+        self.heap_base
+    }
+
+    /// Bytes of heap covered.
+    #[inline]
+    pub fn covered_bytes(&self) -> u64 {
+        self.granules * GRANULE_SIZE
+    }
+
+    /// Size of the shadow map itself in bytes (1/128 of the heap).
+    pub fn shadow_bytes(&self) -> u64 {
+        self.bits.len() as u64 * 8
+    }
+
+    #[inline]
+    fn granule_of(&self, addr: u64) -> Option<u64> {
+        if addr < self.heap_base {
+            return None;
+        }
+        let g = (addr - self.heap_base) / GRANULE_SIZE;
+        (g < self.granules).then_some(g)
+    }
+
+    /// Paints `[addr, addr + len)` for revocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is not granule-aligned or leaves the heap — the
+    /// allocator only ever paints whole quarantined chunks, so anything
+    /// else is a bookkeeping bug.
+    pub fn paint(&mut self, addr: u64, len: u64) {
+        self.run(addr, len, true);
+    }
+
+    /// Clears `[addr, addr + len)` after the sweep (quarantine drain).
+    ///
+    /// # Panics
+    ///
+    /// As [`ShadowMap::paint`].
+    pub fn clear(&mut self, addr: u64, len: u64) {
+        self.run(addr, len, false);
+    }
+
+    /// Paints one bit at a time, without the wide-store fast path — the
+    /// un-optimised painting loop, kept for the ablation study of the
+    /// §5.2 optimisation ("byte, half-word, word, and double-word store
+    /// instructions when possible, rather than setting individual bits").
+    ///
+    /// # Panics
+    ///
+    /// As [`ShadowMap::paint`].
+    pub fn paint_bitwise(&mut self, addr: u64, len: u64) {
+        assert_eq!(addr % GRANULE_SIZE, 0, "unaligned shadow paint");
+        assert_eq!(len % GRANULE_SIZE, 0, "unaligned shadow paint length");
+        if len == 0 {
+            return;
+        }
+        let first = self.granule_of(addr).expect("paint outside shadowed heap");
+        let last = self
+            .granule_of(addr + len - GRANULE_SIZE)
+            .expect("paint runs past shadowed heap");
+        for g in first..=last {
+            self.put(g, true);
+        }
+    }
+
+    fn run(&mut self, addr: u64, len: u64, set: bool) {
+        assert_eq!(addr % GRANULE_SIZE, 0, "unaligned shadow paint");
+        assert_eq!(len % GRANULE_SIZE, 0, "unaligned shadow paint length");
+        if len == 0 {
+            return;
+        }
+        let first = self.granule_of(addr).expect("paint outside shadowed heap");
+        let last = self
+            .granule_of(addr + len - GRANULE_SIZE)
+            .expect("paint runs past shadowed heap");
+
+        let mut g = first;
+        // Ragged head: bits up to the next word boundary.
+        while g <= last && g % 64 != 0 {
+            self.put(g, set);
+            g += 1;
+        }
+        // Whole-word body: the paper's wide-store optimisation (§5.2).
+        while g + 63 <= last {
+            let w = (g / 64) as usize;
+            let old = self.bits[w];
+            let new = if set { u64::MAX } else { 0 };
+            if old != new {
+                let delta = if set { old.count_zeros() } else { old.count_ones() } as u64;
+                self.painted_granules =
+                    if set { self.painted_granules + delta } else { self.painted_granules - delta };
+                self.bits[w] = new;
+            }
+            g += 64;
+        }
+        // Ragged tail.
+        while g <= last {
+            self.put(g, set);
+            g += 1;
+        }
+    }
+
+    #[inline]
+    fn put(&mut self, g: u64, set: bool) {
+        let w = (g / 64) as usize;
+        let mask = 1u64 << (g % 64);
+        let was = self.bits[w] & mask != 0;
+        if set && !was {
+            self.bits[w] |= mask;
+            self.painted_granules += 1;
+        } else if !set && was {
+            self.bits[w] &= !mask;
+            self.painted_granules -= 1;
+        }
+    }
+
+    /// The sweep's hot lookup: is the granule containing `addr` painted?
+    /// Addresses outside the shadowed heap return `false` (capabilities to
+    /// the stack or globals are never revoked by a heap sweep).
+    #[inline]
+    pub fn is_painted(&self, addr: u64) -> bool {
+        match self.granule_of(addr) {
+            Some(g) => self.bits[(g / 64) as usize] >> (g % 64) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Total painted bytes.
+    pub fn painted_bytes(&self) -> u64 {
+        self.painted_granules * GRANULE_SIZE
+    }
+
+    /// Clears the entire map (constant-time bulk store).
+    pub fn clear_all(&mut self) {
+        self.bits.fill(0);
+        self.painted_granules = 0;
+    }
+
+    /// Raw bitmap view (for the timed sweep's shadow-access modelling).
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// The simulated address of the shadow byte covering `addr`, given the
+    /// fixed transform `shadow_base + (addr - heap_base) / 128` (§5.2) —
+    /// used by the cache model to charge shadow-lookup accesses.
+    #[inline]
+    pub fn shadow_addr(&self, shadow_base: u64, addr: u64) -> u64 {
+        shadow_base + (addr.saturating_sub(self.heap_base)) / (GRANULE_SIZE * 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: u64 = 0x1000_0000;
+    const LEN: u64 = 1 << 20;
+
+    #[test]
+    fn paint_and_clear_roundtrip() {
+        let mut s = ShadowMap::new(BASE, LEN);
+        s.paint(BASE + 0x100, 0x200);
+        assert_eq!(s.painted_bytes(), 0x200);
+        assert!(s.is_painted(BASE + 0x100));
+        assert!(s.is_painted(BASE + 0x2f0));
+        assert!(!s.is_painted(BASE + 0x300));
+        s.clear(BASE + 0x100, 0x200);
+        assert_eq!(s.painted_bytes(), 0);
+    }
+
+    #[test]
+    fn interior_addresses_hit_their_granule() {
+        let mut s = ShadowMap::new(BASE, LEN);
+        s.paint(BASE + 0x40, 16);
+        // Any byte inside the granule matches.
+        assert!(s.is_painted(BASE + 0x4f));
+        assert!(!s.is_painted(BASE + 0x50));
+        assert!(!s.is_painted(BASE + 0x3f));
+    }
+
+    #[test]
+    fn large_runs_use_word_stores_and_count_correctly() {
+        let mut s = ShadowMap::new(BASE, LEN);
+        // 100 KiB starting at a ragged offset.
+        s.paint(BASE + 0x30, 100 * 1024 + 16);
+        assert_eq!(s.painted_bytes(), 100 * 1024 + 16);
+        // Repainting is idempotent.
+        s.paint(BASE + 0x30, 100 * 1024 + 16);
+        assert_eq!(s.painted_bytes(), 100 * 1024 + 16);
+        s.clear_all();
+        assert_eq!(s.painted_bytes(), 0);
+    }
+
+    #[test]
+    fn outside_addresses_never_painted() {
+        let mut s = ShadowMap::new(BASE, LEN);
+        s.paint(BASE, LEN);
+        assert!(!s.is_painted(BASE - 16));
+        assert!(!s.is_painted(BASE + LEN));
+        assert!(!s.is_painted(0));
+        assert!(!s.is_painted(u64::MAX & !0xf));
+    }
+
+    #[test]
+    fn shadow_is_1_128th_of_heap() {
+        let s = ShadowMap::new(BASE, LEN);
+        assert_eq!(s.shadow_bytes(), LEN / 128);
+        assert_eq!(s.covered_bytes(), LEN);
+    }
+
+    #[test]
+    fn shadow_addr_transform() {
+        let s = ShadowMap::new(BASE, LEN);
+        let sb = 0x7000_0000;
+        assert_eq!(s.shadow_addr(sb, BASE), sb);
+        assert_eq!(s.shadow_addr(sb, BASE + 128), sb + 1);
+        assert_eq!(s.shadow_addr(sb, BASE + 4096), sb + 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside shadowed heap")]
+    fn painting_outside_heap_panics() {
+        let mut s = ShadowMap::new(BASE, LEN);
+        s.paint(BASE - 0x100, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "runs past")]
+    fn painting_past_end_panics() {
+        let mut s = ShadowMap::new(BASE, LEN);
+        s.paint(BASE + LEN - 16, 32);
+    }
+
+    #[test]
+    fn zero_length_paint_is_noop() {
+        let mut s = ShadowMap::new(BASE, LEN);
+        s.paint(BASE, 0);
+        assert_eq!(s.painted_bytes(), 0);
+    }
+}

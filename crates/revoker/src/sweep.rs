@@ -1,0 +1,683 @@
+//! The sweeping procedure and its kernel implementations (paper §3.3, §6.2).
+
+use cheri::CapWord;
+use tagmem::{AddressSpace, RegisterFile, TaggedMemory, GRANULE_SIZE};
+
+use crate::ShadowMap;
+
+/// Which inner-loop implementation to use — the paper's Figure 7 compares
+/// exactly this set of optimisation levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// The naïve per-granule loop of §3.3: check the tag, decode, branch.
+    Simple,
+    /// Loop over 64-granule tag words, skipping all-zero words; per-bit
+    /// scan of nonzero words (the paper's "unrolling + manual pipelining"
+    /// tier).
+    Unrolled,
+    /// Bit-parallel scan: only *set* tag bits are visited (via
+    /// count-trailing-zeros), with a branch-minimised revocation write —
+    /// the role AVX2 plays in the paper.
+    #[default]
+    Wide,
+    /// [`Kernel::Wide`] parallelised across threads with crossbeam (§3.5:
+    /// sweeping is embarrassingly parallel; the shadow map is read-only).
+    Parallel {
+        /// Number of worker threads.
+        threads: usize,
+    },
+}
+
+/// Counters from one revocation sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Segments visited.
+    pub segments_swept: u64,
+    /// Bytes of memory the kernel walked over.
+    pub bytes_swept: u64,
+    /// Tagged words inspected (capabilities found).
+    pub caps_inspected: u64,
+    /// Capabilities revoked (tag cleared, word zeroed).
+    pub caps_revoked: u64,
+    /// Register-file capabilities revoked.
+    pub regs_revoked: u64,
+    /// Pages skipped by PTE CapDirty filtering (when enabled).
+    pub pages_skipped: u64,
+    /// Cache lines skipped by CLoadTags filtering (when enabled).
+    pub lines_skipped: u64,
+}
+
+impl core::ops::AddAssign for SweepStats {
+    fn add_assign(&mut self, rhs: SweepStats) {
+        self.segments_swept += rhs.segments_swept;
+        self.bytes_swept += rhs.bytes_swept;
+        self.caps_inspected += rhs.caps_inspected;
+        self.caps_revoked += rhs.caps_revoked;
+        self.regs_revoked += rhs.regs_revoked;
+        self.pages_skipped += rhs.pages_skipped;
+        self.lines_skipped += rhs.lines_skipped;
+    }
+}
+
+/// Executes revocation sweeps with a chosen [`Kernel`].
+///
+/// See the crate-level example for typical use.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sweeper {
+    kernel: Kernel,
+}
+
+impl Sweeper {
+    /// A sweeper using `kernel`.
+    pub fn new(kernel: Kernel) -> Sweeper {
+        Sweeper { kernel }
+    }
+
+    /// The configured kernel.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Sweeps every sweepable segment and the register file: the full §3.3
+    /// root set.
+    pub fn sweep_space(&self, space: &mut AddressSpace, shadow: &ShadowMap) -> SweepStats {
+        let mut stats = SweepStats::default();
+        let (segments, regs, _) = space.sweep_parts_mut();
+        for seg in segments.iter_mut().filter(|s| s.kind().sweepable()) {
+            stats += self.sweep_segment(seg.mem_mut(), shadow);
+        }
+        stats += Self::sweep_registers(regs, shadow);
+        stats
+    }
+
+    /// Sweeps with PTE CapDirty filtering (§3.4.2): clean pages are skipped
+    /// entirely, and pages found capability-free are re-cleaned (clearing
+    /// CapDirty false positives).
+    pub fn sweep_space_skipping(&self, space: &mut AddressSpace, shadow: &ShadowMap) -> SweepStats {
+        let mut stats = SweepStats::default();
+        let (segments, regs, page_table) = space.sweep_parts_mut();
+        for seg in segments.iter_mut().filter(|s| s.kind().sweepable()) {
+            let mem = seg.mem_mut();
+            let mut page = mem.base();
+            while page < mem.end() {
+                let len = (mem.end() - page).min(tagmem::PAGE_SIZE);
+                if page_table.is_cap_dirty(page) {
+                    let s = self.sweep_range(mem, shadow, page, len);
+                    if s.caps_inspected == 0 {
+                        // False positive: page held no capabilities.
+                        page_table.clear_cap_dirty(page);
+                    }
+                    stats += s;
+                } else {
+                    stats.pages_skipped += 1;
+                }
+                page += len;
+            }
+            stats.segments_swept += 1;
+        }
+        stats += Self::sweep_registers(regs, shadow);
+        stats
+    }
+
+    /// Sweeps with both hardware assists (§3.4): PTE CapDirty skips clean
+    /// pages, and within dirty pages `CLoadTags` skips capability-free
+    /// cache lines — "both coarse-grained and fine-grained optimisations
+    /// are necessary for optimal work reduction" (§6.3).
+    pub fn sweep_space_skipping_lines(
+        &self,
+        space: &mut AddressSpace,
+        shadow: &ShadowMap,
+    ) -> SweepStats {
+        let mut stats = SweepStats::default();
+        let (segments, regs, page_table) = space.sweep_parts_mut();
+        for seg in segments.iter_mut().filter(|s| s.kind().sweepable()) {
+            let mem = seg.mem_mut();
+            let mut page = mem.base();
+            while page < mem.end() {
+                let page_len = (mem.end() - page).min(tagmem::PAGE_SIZE);
+                if page_table.is_cap_dirty(page) {
+                    let mut page_caps = 0;
+                    let mut line = page;
+                    while line < page + page_len {
+                        let line_len = (page + page_len - line).min(tagmem::LINE_SIZE);
+                        // CLoadTags: query only the tags of this line.
+                        let mask = mem.load_tags(line).unwrap_or(u8::MAX);
+                        if mask == 0 {
+                            stats.lines_skipped += 1;
+                        } else {
+                            let s = self.sweep_range(mem, shadow, line, line_len);
+                            page_caps += s.caps_inspected;
+                            stats += s;
+                        }
+                        line += line_len;
+                    }
+                    if page_caps == 0 {
+                        page_table.clear_cap_dirty(page);
+                    }
+                } else {
+                    stats.pages_skipped += 1;
+                }
+                page += page_len;
+            }
+            stats.segments_swept += 1;
+        }
+        stats += Self::sweep_registers(regs, shadow);
+        stats
+    }
+
+    /// Sweeps one whole segment.
+    pub fn sweep_segment(&self, mem: &mut TaggedMemory, shadow: &ShadowMap) -> SweepStats {
+        let base = mem.base();
+        let len = mem.len();
+        let mut stats = self.sweep_range(mem, shadow, base, len);
+        stats.segments_swept = 1;
+        stats
+    }
+
+    /// Sweeps `[start, start + len)` of a segment (must be granule-aligned
+    /// and inside the segment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is unaligned or outside the segment.
+    pub fn sweep_range(
+        &self,
+        mem: &mut TaggedMemory,
+        shadow: &ShadowMap,
+        start: u64,
+        len: u64,
+    ) -> SweepStats {
+        assert!(mem.contains(start, len), "sweep range outside segment");
+        assert_eq!(start % GRANULE_SIZE, 0, "unaligned sweep start");
+        assert_eq!(len % GRANULE_SIZE, 0, "unaligned sweep length");
+        let base = mem.base();
+        let g0 = ((start - base) / GRANULE_SIZE) as usize;
+        let g1 = g0 + (len / GRANULE_SIZE) as usize;
+        let (data, tags) = mem.as_parts_mut();
+        let mut stats = match self.kernel {
+            Kernel::Simple => kernel_simple(data, tags, g0, g1, shadow),
+            Kernel::Unrolled => kernel_unrolled(data, tags, g0, g1, shadow),
+            Kernel::Wide => kernel_wide(data, tags, g0, g1, shadow),
+            Kernel::Parallel { threads } => {
+                kernel_parallel(data, tags, g0, g1, shadow, threads.max(1))
+            }
+        };
+        stats.bytes_swept = len;
+        stats
+    }
+
+    /// Sweeps the capability register file.
+    pub fn sweep_registers(regs: &mut RegisterFile, shadow: &ShadowMap) -> SweepStats {
+        let mut stats = SweepStats::default();
+        for cap in regs.iter_mut() {
+            if cap.tag() {
+                stats.caps_inspected += 1;
+                if shadow.is_painted(cap.base()) {
+                    *cap = cap.cleared();
+                    stats.caps_revoked += 1;
+                    stats.regs_revoked += 1;
+                }
+            }
+        }
+        stats
+    }
+}
+
+/// Revokes granule `g`: clears the tag bit and zeroes the 16 data bytes
+/// (the paper's `*x = 0`).
+#[inline]
+fn revoke(data: &mut [u8], tags: &mut [u64], g: usize) {
+    tags[g / 64] &= !(1 << (g % 64));
+    data[g * 16..g * 16 + 16].fill(0);
+}
+
+#[inline]
+fn word_base(data: &[u8], g: usize) -> u64 {
+    let bytes: [u8; 16] = data[g * 16..g * 16 + 16].try_into().expect("granule slice");
+    CapWord::from(bytes).base()
+}
+
+/// §3.3's naïve loop: visit every granule, test its tag, branch.
+fn kernel_simple(
+    data: &mut [u8],
+    tags: &mut [u64],
+    g0: usize,
+    g1: usize,
+    shadow: &ShadowMap,
+) -> SweepStats {
+    let mut stats = SweepStats::default();
+    for g in g0..g1 {
+        let tagged = tags[g / 64] >> (g % 64) & 1 == 1;
+        if tagged {
+            stats.caps_inspected += 1;
+            let base = word_base(data, g);
+            if shadow.is_painted(base) {
+                revoke(data, tags, g);
+                stats.caps_revoked += 1;
+            }
+        }
+        // The naïve kernel still "reads" every granule; callers charge
+        // bandwidth for the full range via bytes_swept.
+        core::hint::black_box(&data[g * 16]);
+    }
+    stats
+}
+
+/// Word-skipping loop: all-zero tag words (64 granules = 1 KiB) fall
+/// through in one test.
+fn kernel_unrolled(
+    data: &mut [u8],
+    tags: &mut [u64],
+    g0: usize,
+    g1: usize,
+    shadow: &ShadowMap,
+) -> SweepStats {
+    let mut stats = SweepStats::default();
+    let mut g = g0;
+    while g < g1 {
+        let w = g / 64;
+        if g % 64 == 0 && g + 64 <= g1 && tags[w] == 0 {
+            g += 64;
+            continue;
+        }
+        let tagged = tags[w] >> (g % 64) & 1 == 1;
+        if tagged {
+            stats.caps_inspected += 1;
+            let base = word_base(data, g);
+            if shadow.is_painted(base) {
+                revoke(data, tags, g);
+                stats.caps_revoked += 1;
+            }
+        }
+        g += 1;
+    }
+    stats
+}
+
+/// Bit-parallel loop: visit only set bits via count-trailing-zeros, build
+/// the revocation mask, and write the tag word back once.
+fn kernel_wide(
+    data: &mut [u8],
+    tags: &mut [u64],
+    g0: usize,
+    g1: usize,
+    shadow: &ShadowMap,
+) -> SweepStats {
+    let mut stats = SweepStats::default();
+    let w0 = g0 / 64;
+    let w1 = g1.div_ceil(64);
+    for w in w0..w1 {
+        // Mask the word to the requested granule range (ragged edges).
+        let lo = w * 64;
+        let mut live = tags[w];
+        if lo < g0 {
+            live &= u64::MAX << (g0 - lo);
+        }
+        if lo + 64 > g1 {
+            live &= u64::MAX >> (lo + 64 - g1);
+        }
+        if live == 0 {
+            continue;
+        }
+        let mut kill = 0u64;
+        let mut bits = live;
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let g = lo + b;
+            stats.caps_inspected += 1;
+            let base = word_base(data, g);
+            // Branch-minimised: accumulate the kill mask.
+            kill |= u64::from(shadow.is_painted(base)) << b;
+        }
+        if kill != 0 {
+            tags[w] &= !kill;
+            let mut bits = kill;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let g = lo + b;
+                data[g * 16..g * 16 + 16].fill(0);
+                stats.caps_revoked += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// [`kernel_wide`] across threads: tag words and their 1 KiB data blocks are
+/// partitioned disjointly; the shadow map is shared read-only (§3.5).
+fn kernel_parallel(
+    data: &mut [u8],
+    tags: &mut [u64],
+    g0: usize,
+    g1: usize,
+    shadow: &ShadowMap,
+    threads: usize,
+) -> SweepStats {
+    // Partition on tag-word boundaries so each worker owns whole words.
+    let w0 = g0 / 64;
+    let w1 = g1.div_ceil(64);
+    let words = w1 - w0;
+    if words == 0 {
+        return SweepStats::default();
+    }
+    let per = words.div_ceil(threads);
+
+    // Ragged segment edges are handled by clamping each worker's granule
+    // range to [g0, g1].
+    let mut remaining_data = &mut data[w0 * 64 * 16..];
+    let mut remaining_tags = &mut tags[w0..w1];
+    let mut jobs = Vec::new();
+    let mut w = w0;
+    while w < w1 {
+        let take = per.min(w1 - w);
+        let (td, rd) = remaining_data
+            .split_at_mut((take * 64 * 16).min(remaining_data.len()));
+        let (tt, rt) = remaining_tags.split_at_mut(take);
+        remaining_data = rd;
+        remaining_tags = rt;
+        jobs.push((w, take, td, tt));
+        w += take;
+    }
+
+    let mut total = SweepStats::default();
+    let partials: Vec<SweepStats> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|(wstart, take, td, tt)| {
+                scope.spawn(move |_| {
+                    // Worker-local granule window, clamped to the request.
+                    let local_g0 = (wstart * 64).max(g0) - wstart * 64;
+                    let local_g1 = ((wstart + take) * 64).min(g1) - wstart * 64;
+                    kernel_wide(td, tt, local_g0, local_g1, shadow)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+    })
+    .expect("crossbeam scope");
+    for p in partials {
+        total += p;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri::Capability;
+
+    const HEAP: u64 = 0x1000_0000;
+    const LEN: u64 = 1 << 18;
+
+    /// Builds a segment with `n` capabilities, half pointing at painted
+    /// granules. Returns (memory, shadow, expected revocations).
+    fn scenario(n: u64) -> (TaggedMemory, ShadowMap, u64) {
+        let mut mem = TaggedMemory::new(HEAP, LEN);
+        let mut shadow = ShadowMap::new(HEAP, LEN);
+        let mut expect = 0;
+        for i in 0..n {
+            let obj_base = HEAP + 0x8000 + i * 64;
+            let cap = Capability::root_rw(obj_base, 64);
+            mem.write_cap(HEAP + i * 16, &cap).unwrap();
+            if i % 2 == 0 {
+                shadow.paint(obj_base, 64);
+                expect += 1;
+            }
+        }
+        (mem, shadow, expect)
+    }
+
+    fn all_kernels() -> Vec<Kernel> {
+        vec![
+            Kernel::Simple,
+            Kernel::Unrolled,
+            Kernel::Wide,
+            Kernel::Parallel { threads: 4 },
+        ]
+    }
+
+    #[test]
+    fn all_kernels_agree_on_revocations() {
+        for kernel in all_kernels() {
+            let (mut mem, shadow, expect) = scenario(100);
+            let stats = Sweeper::new(kernel).sweep_segment(&mut mem, &shadow);
+            assert_eq!(stats.caps_inspected, 100, "{kernel:?}");
+            assert_eq!(stats.caps_revoked, expect, "{kernel:?}");
+            assert_eq!(stats.bytes_swept, LEN);
+            // Surviving capabilities: odd indices.
+            for i in 0..100u64 {
+                let c = mem.read_cap(HEAP + i * 16).unwrap();
+                assert_eq!(c.tag(), i % 2 == 1, "{kernel:?} granule {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn revoked_words_are_zeroed() {
+        let (mut mem, shadow, _) = scenario(10);
+        Sweeper::new(Kernel::Wide).sweep_segment(&mut mem, &shadow);
+        let (word, tag) = mem.read_cap_word(HEAP).unwrap();
+        assert!(!tag);
+        assert_eq!(word.bits(), 0, "paper's loop stores zero over dangling pointers");
+    }
+
+    #[test]
+    fn untagged_data_is_never_touched() {
+        let mut mem = TaggedMemory::new(HEAP, LEN);
+        // Plant data that *looks* like a capability to painted memory.
+        let fake = Capability::root_rw(HEAP + 0x40, 64);
+        mem.write_cap(HEAP, &fake.cleared()).unwrap(); // untagged!
+        let mut shadow = ShadowMap::new(HEAP, LEN);
+        shadow.paint(HEAP + 0x40, 64);
+        for kernel in all_kernels() {
+            let stats = Sweeper::new(kernel).sweep_segment(&mut mem, &shadow);
+            assert_eq!(stats.caps_inspected, 0);
+            assert_eq!(stats.caps_revoked, 0);
+        }
+        // The data survives (it is not a pointer, just data).
+        let (word, _) = mem.read_cap_word(HEAP).unwrap();
+        assert_ne!(word.bits(), 0);
+    }
+
+    #[test]
+    fn interior_pointers_are_revoked_via_base() {
+        // A capability whose *address* has wandered past the object still
+        // dangles: revocation keys on the base (§3.2 footnote 2).
+        let mut mem = TaggedMemory::new(HEAP, LEN);
+        let obj = Capability::root_rw(HEAP + 0x100, 64);
+        let wandered = obj.incremented(64).unwrap(); // one past the end
+        mem.write_cap(HEAP, &wandered).unwrap();
+        let mut shadow = ShadowMap::new(HEAP, LEN);
+        shadow.paint(HEAP + 0x100, 64);
+        let stats = Sweeper::new(Kernel::Wide).sweep_segment(&mut mem, &shadow);
+        assert_eq!(stats.caps_revoked, 1);
+    }
+
+    #[test]
+    fn capabilities_to_unpainted_memory_survive() {
+        let mut mem = TaggedMemory::new(HEAP, LEN);
+        let obj = Capability::root_rw(HEAP + 0x100, 64);
+        mem.write_cap(HEAP, &obj).unwrap();
+        let shadow = ShadowMap::new(HEAP, LEN);
+        let stats = Sweeper::new(Kernel::Wide).sweep_segment(&mut mem, &shadow);
+        assert_eq!(stats.caps_inspected, 1);
+        assert_eq!(stats.caps_revoked, 0);
+        assert!(mem.read_cap(HEAP).unwrap().tag());
+    }
+
+    #[test]
+    fn register_file_is_swept() {
+        let mut regs = RegisterFile::new();
+        regs.set(0, Capability::root_rw(HEAP + 0x40, 64));
+        regs.set(1, Capability::root_rw(HEAP + 0x1000, 64));
+        let mut shadow = ShadowMap::new(HEAP, LEN);
+        shadow.paint(HEAP + 0x40, 64);
+        let stats = Sweeper::sweep_registers(&mut regs, &shadow);
+        assert_eq!(stats.regs_revoked, 1);
+        assert!(!regs.get(0).tag());
+        assert!(regs.get(1).tag());
+    }
+
+    #[test]
+    fn sweep_space_covers_all_root_segments() {
+        use tagmem::SegmentKind;
+        let mut space = AddressSpace::builder()
+            .segment(SegmentKind::Heap, HEAP, 1 << 16)
+            .segment(SegmentKind::Stack, 0x7fff_0000, 1 << 16)
+            .segment(SegmentKind::Globals, 0x60_0000, 1 << 16)
+            .build();
+        let obj = Capability::root_rw(HEAP + 0x40, 64);
+        // Dangling references scattered across all segments + a register.
+        space.store_cap(HEAP + 0x1000, &obj).unwrap();
+        space.store_cap(0x7fff_0100, &obj).unwrap();
+        space.store_cap(0x60_0040, &obj).unwrap();
+        space.registers_mut().set(5, obj);
+        let mut shadow = ShadowMap::new(HEAP, 1 << 16);
+        shadow.paint(HEAP + 0x40, 64);
+        let stats = Sweeper::new(Kernel::Wide).sweep_space(&mut space, &shadow);
+        assert_eq!(stats.caps_revoked, 4);
+        assert_eq!(stats.segments_swept, 3);
+        assert_eq!(space.tag_count(), 0);
+    }
+
+    #[test]
+    fn capdirty_skipping_finds_everything_and_recleans() {
+        use tagmem::SegmentKind;
+        let mut space = AddressSpace::builder()
+            .segment(SegmentKind::Heap, HEAP, 1 << 16) // 16 pages
+            .build();
+        let obj = Capability::root_rw(HEAP + 0x40, 64);
+        space.store_cap(HEAP + 0x2000, &obj).unwrap();
+        // Overwrite with data: page stays CapDirty (false positive).
+        space.store_cap(HEAP + 0x5000, &obj).unwrap();
+        space.store_u64(HEAP + 0x5000, 0).unwrap();
+        let mut shadow = ShadowMap::new(HEAP, 1 << 16);
+        shadow.paint(HEAP + 0x40, 64);
+        let stats = Sweeper::new(Kernel::Wide).sweep_space_skipping(&mut space, &shadow);
+        assert_eq!(stats.caps_revoked, 1);
+        assert_eq!(stats.pages_skipped, 14, "14 never-dirty pages skipped");
+        // The false-positive page was re-cleaned.
+        assert!(!space.page_table().is_cap_dirty(HEAP + 0x5000));
+        // And the genuinely swept page stays dirty (it held a cap, now
+        // revoked — next sweep may re-clean it).
+        assert!(space.page_table().is_cap_dirty(HEAP + 0x2000));
+    }
+
+    #[test]
+    fn skipping_sweep_equals_full_sweep() {
+        use tagmem::SegmentKind;
+        for seed in 0..5u64 {
+            let build = || {
+                let mut space = AddressSpace::builder()
+                    .segment(SegmentKind::Heap, HEAP, 1 << 16)
+                    .build();
+                let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+                for _ in 0..40 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let slot = HEAP + (x >> 20) % ((1 << 16) - 16) / 16 * 16;
+                    let obj = HEAP + ((x >> 40) % 4096) * 16;
+                    let cap = Capability::root_rw(obj, 16);
+                    space.store_cap(slot, &cap).unwrap();
+                }
+                space
+            };
+            let mut shadow = ShadowMap::new(HEAP, 1 << 16);
+            for g in 0..4096u64 {
+                if g % 3 == 0 {
+                    shadow.paint(HEAP + g * 16, 16);
+                }
+            }
+            let mut full = build();
+            let mut skip = build();
+            let a = Sweeper::new(Kernel::Wide).sweep_space(&mut full, &shadow);
+            let b = Sweeper::new(Kernel::Wide).sweep_space_skipping(&mut skip, &shadow);
+            assert_eq!(a.caps_revoked, b.caps_revoked, "seed {seed}");
+            assert_eq!(full.tag_count(), skip.tag_count(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_kernel_handles_odd_partitions() {
+        for threads in [1, 2, 3, 7, 16] {
+            let (mut mem, shadow, expect) = scenario(333);
+            let stats =
+                Sweeper::new(Kernel::Parallel { threads }).sweep_segment(&mut mem, &shadow);
+            assert_eq!(stats.caps_revoked, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_range_respects_bounds() {
+        let (mut mem, shadow, _) = scenario(100);
+        // Sweep only the first 32 granules (two tag words): 16 caps live
+        // there (i = 0..32 at 16-byte spacing → granules 0..32).
+        let stats =
+            Sweeper::new(Kernel::Wide).sweep_range(&mut mem, &shadow, HEAP, 32 * 16);
+        assert_eq!(stats.caps_inspected, 32);
+        // Capabilities outside the range are untouched even if dangling:
+        // granule 40 holds a cap to a painted object (i=40 is even).
+        assert!(mem.read_cap(HEAP + 40 * 16).unwrap().tag());
+        assert_eq!(stats.bytes_swept, 32 * 16);
+    }
+}
+
+#[cfg(test)]
+mod line_skip_tests {
+    use super::*;
+    use cheri::Capability;
+    use tagmem::SegmentKind;
+
+    const HEAP: u64 = 0x1000_0000;
+
+    fn seeded_space() -> (AddressSpace, ShadowMap) {
+        let mut space = AddressSpace::builder()
+            .segment(SegmentKind::Heap, HEAP, 1 << 16)
+            .build();
+        let doomed = Capability::root_rw(HEAP + 0x40, 64);
+        let live = Capability::root_rw(HEAP + 0x200, 64);
+        space.store_cap(HEAP + 0x1000, &doomed).unwrap();
+        space.store_cap(HEAP + 0x1080, &live).unwrap(); // next line, same page
+        space.store_cap(HEAP + 0x7000, &doomed).unwrap(); // other page
+        let mut shadow = ShadowMap::new(HEAP, 1 << 16);
+        shadow.paint(HEAP + 0x40, 64);
+        (space, shadow)
+    }
+
+    #[test]
+    fn line_skipping_agrees_with_full_sweep() {
+        let (mut a, shadow) = seeded_space();
+        let (mut b, _) = seeded_space();
+        let full = Sweeper::new(Kernel::Wide).sweep_space(&mut a, &shadow);
+        let skip = Sweeper::new(Kernel::Wide).sweep_space_skipping_lines(&mut b, &shadow);
+        assert_eq!(full.caps_revoked, skip.caps_revoked);
+        assert_eq!(a.tag_count(), b.tag_count());
+        assert_eq!(skip.caps_revoked, 2);
+    }
+
+    #[test]
+    fn line_skipping_skips_both_granularities() {
+        let (mut space, shadow) = seeded_space();
+        let stats = Sweeper::new(Kernel::Wide).sweep_space_skipping_lines(&mut space, &shadow);
+        // 16 pages total, 2 dirty, 14 skipped at page level.
+        assert_eq!(stats.pages_skipped, 14);
+        // Dirty pages hold 2×32 = 64 lines; only 3 hold tags.
+        assert_eq!(stats.lines_skipped, 61);
+        // Bytes actually walked: three lines.
+        assert_eq!(stats.bytes_swept, 3 * tagmem::LINE_SIZE);
+    }
+
+    #[test]
+    fn line_skipping_recleans_false_positive_pages() {
+        let mut space = AddressSpace::builder()
+            .segment(SegmentKind::Heap, HEAP, 1 << 16)
+            .build();
+        let cap = Capability::root_rw(HEAP + 0x40, 64);
+        space.store_cap(HEAP + 0x2000, &cap).unwrap();
+        space.store_u64(HEAP + 0x2000, 0).unwrap(); // tag gone, page still dirty
+        let shadow = ShadowMap::new(HEAP, 1 << 16);
+        Sweeper::new(Kernel::Wide).sweep_space_skipping_lines(&mut space, &shadow);
+        assert!(!space.page_table().is_cap_dirty(HEAP + 0x2000));
+    }
+}

@@ -1,0 +1,287 @@
+//! Cycle-accounted sweeps on a modelled machine (paper Fig. 8b).
+//!
+//! [`timed_sweep`] replays the access stream a revocation sweep issues —
+//! data-line reads, `CLoadTags` queries, shadow-map lookups, revocation
+//! stores, and the inner loop's data-dependent branches — against a
+//! [`simcache::Machine`], yielding the cycle cost of the sweep under each
+//! hardware-assist mode. This reproduces the paper's FPGA measurements:
+//! page-level skipping tracks the ideal line closely, while `CLoadTags` pays
+//! a per-line tag-cache round trip and an unpredictable branch, so it can
+//! *lose* to page skipping at high line density (§6.3).
+
+use simcache::Machine;
+use tagmem::{CoreDump, GRANULE_SIZE, LINE_SIZE, PAGE_SIZE};
+
+use crate::ShadowMap;
+
+/// The hardware configuration a timed sweep models (the four lines of
+/// Fig. 8b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimedMode {
+    /// Read and inspect every line.
+    Full,
+    /// Skip CapDirty-clean pages; read every line of dirty pages (§3.4.2).
+    PteCapDirty,
+    /// Page skip + `CLoadTags` per line of dirty pages, reading only lines
+    /// with tags (§3.4.1).
+    CLoadTags,
+    /// Oracle: read exactly the lines containing capabilities, with zero
+    /// query overhead (the dotted x = y line of Fig. 8b).
+    Ideal,
+}
+
+/// Cost accounting from one timed sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedSweepReport {
+    /// Core cycles consumed.
+    pub cycles: u64,
+    /// Seconds at the machine's clock.
+    pub seconds: f64,
+    /// Data bytes actually read.
+    pub bytes_read: u64,
+    /// `CLoadTags` queries issued.
+    pub cloadtags_issued: u64,
+    /// Tagged words inspected.
+    pub caps_inspected: u64,
+    /// Capabilities that would be revoked.
+    pub caps_revoked: u64,
+}
+
+/// Cycles of pure compute per inspected granule (tag test + shift + mask,
+/// §3.3's inner loop on a scalar core).
+const INSPECT_CYCLES: u64 = 2;
+
+/// Simulated placement of the shadow map in the machine's address space
+/// (only locality matters, not the absolute value).
+const SHADOW_BASE: u64 = 0x7000_0000_0000;
+
+/// Replays a revocation sweep of `dump` on `machine` under `mode`,
+/// returning its cost. The dump is not mutated (so one image can be timed
+/// repeatedly, like the paper's 20-sweep averages, §5.3).
+pub fn timed_sweep(
+    dump: &CoreDump,
+    shadow: &ShadowMap,
+    machine: &mut Machine,
+    mode: TimedMode,
+) -> TimedSweepReport {
+    let mut report = TimedSweepReport {
+        cycles: 0,
+        seconds: 0.0,
+        bytes_read: 0,
+        cloadtags_issued: 0,
+        caps_inspected: 0,
+        caps_revoked: 0,
+    };
+    let start_cycles = machine.cycles();
+
+    for img in dump.segments() {
+        let mem = &img.mem;
+        let mut page = mem.base() & !(PAGE_SIZE - 1);
+        while page < mem.end() {
+            let page_start = page.max(mem.base());
+            let page_end = (page + PAGE_SIZE).min(mem.end());
+            page += PAGE_SIZE;
+
+            let page_key = page_start & !(PAGE_SIZE - 1);
+            let page_dirty = dump.cap_dirty_pages().binary_search(&page_key).is_ok();
+
+            match mode {
+                TimedMode::Full => {}
+                TimedMode::PteCapDirty | TimedMode::CLoadTags | TimedMode::Ideal => {
+                    if !page_dirty {
+                        // Page skipped for free (the OS handed us only the
+                        // dirty-page array, §5.3).
+                        continue;
+                    }
+                }
+            }
+
+            let mut line = page_start;
+            let mut prev_skipped = false;
+            while line < page_end {
+                let len = (page_end - line).min(LINE_SIZE);
+                let mask = mem.load_tags(line).unwrap_or(0);
+
+                let read_line = match mode {
+                    TimedMode::Full | TimedMode::PteCapDirty => true,
+                    TimedMode::CLoadTags => {
+                        machine.cloadtags(line);
+                        report.cloadtags_issued += 1;
+                        // The skip decision is a data-dependent branch; a
+                        // simple local predictor mispredicts on decision
+                        // changes (§3.3, §6.3).
+                        let skip = mask == 0;
+                        if skip != prev_skipped {
+                            machine.branch_mispredict();
+                        }
+                        prev_skipped = skip;
+                        !skip
+                    }
+                    TimedMode::Ideal => mask != 0,
+                };
+                if read_line {
+                    machine.read(line, len);
+                    report.bytes_read += len;
+                    machine.charge((len / GRANULE_SIZE) * INSPECT_CYCLES);
+                    sweep_line_caps(mem, shadow, machine, line, len, &mut report);
+                }
+                line += len;
+            }
+        }
+    }
+
+    report.cycles = machine.cycles() - start_cycles;
+    report.seconds = machine.config().cycles_to_seconds(report.cycles);
+    report
+}
+
+/// Charges the per-capability work of one line: shadow lookup per tagged
+/// word, revocation store per dangling word.
+fn sweep_line_caps(
+    mem: &tagmem::TaggedMemory,
+    shadow: &ShadowMap,
+    machine: &mut Machine,
+    line: u64,
+    len: u64,
+    report: &mut TimedSweepReport,
+) {
+    let mut addr = line;
+    while addr < line + len {
+        if mem.tag_at(addr) {
+            report.caps_inspected += 1;
+            if let Ok(cap) = mem.read_cap(addr) {
+                let base = cap.base();
+                // Shadow-map lookup (usually LLC/L2-resident, §3.2).
+                machine.read(shadow.shadow_addr(SHADOW_BASE, base), 1);
+                if shadow.is_painted(base) {
+                    // Revocation store (the data-dependent store, §3.3).
+                    machine.write(addr, GRANULE_SIZE);
+                    machine.branch_mispredict();
+                    report.caps_revoked += 1;
+                }
+            }
+        }
+        addr += GRANULE_SIZE;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri::Capability;
+    use simcache::MachineConfig;
+    use tagmem::{AddressSpace, SegmentKind};
+
+    const HEAP: u64 = 0x1000_0000;
+    const LEN: u64 = 1 << 20; // 256 pages
+
+    /// An image with `density` of its pages holding one capability line.
+    fn image(page_density: f64) -> (CoreDump, ShadowMap) {
+        let mut space = AddressSpace::builder().segment(SegmentKind::Heap, HEAP, LEN).build();
+        let cap = Capability::root_rw(HEAP + 0x40, 64);
+        let pages = LEN / PAGE_SIZE;
+        let dirty = (pages as f64 * page_density) as u64;
+        for p in 0..dirty {
+            space.store_cap(HEAP + p * PAGE_SIZE, &cap).unwrap();
+        }
+        let mut shadow = ShadowMap::new(HEAP, LEN);
+        shadow.paint(HEAP + 0x40, 64);
+        (CoreDump::capture(&space), shadow)
+    }
+
+    fn run(mode: TimedMode, density: f64) -> TimedSweepReport {
+        let (dump, shadow) = image(density);
+        let mut m = Machine::new(MachineConfig::cheri_fpga_like());
+        timed_sweep(&dump, &shadow, &mut m, mode)
+    }
+
+    #[test]
+    fn full_sweep_reads_everything() {
+        let r = run(TimedMode::Full, 0.25);
+        assert_eq!(r.bytes_read, LEN);
+        assert!(r.cycles > 0);
+        assert_eq!(r.caps_revoked, r.caps_inspected);
+    }
+
+    #[test]
+    fn pte_skipping_scales_with_page_density() {
+        let quarter = run(TimedMode::PteCapDirty, 0.25);
+        let full = run(TimedMode::PteCapDirty, 1.0);
+        assert_eq!(quarter.bytes_read, LEN / 4);
+        assert_eq!(full.bytes_read, LEN);
+        assert!(quarter.cycles < full.cycles / 2);
+    }
+
+    #[test]
+    fn cloadtags_reads_least_but_pays_queries() {
+        let r = run(TimedMode::CLoadTags, 0.25);
+        // Only one line per dirty page actually holds tags.
+        assert_eq!(r.bytes_read, (LEN / PAGE_SIZE / 4) * LINE_SIZE);
+        assert_eq!(r.cloadtags_issued, (LEN / PAGE_SIZE / 4) * (PAGE_SIZE / LINE_SIZE));
+        // Still cheaper than reading the dirty pages wholesale here (lines
+        // are very sparse inside pages).
+        let pte = run(TimedMode::PteCapDirty, 0.25);
+        assert!(r.cycles < pte.cycles);
+    }
+
+    #[test]
+    fn cloadtags_can_lose_when_lines_are_dense() {
+        // Build an image where *every* line of every page holds a pointer:
+        // CLoadTags pays the query on top of reading everything (§6.3).
+        let mut space = AddressSpace::builder().segment(SegmentKind::Heap, HEAP, 1 << 18).build();
+        let cap = Capability::root_rw(HEAP + 0x40, 64);
+        let mut a = HEAP;
+        while a < HEAP + (1 << 18) {
+            space.store_cap(a, &cap).unwrap();
+            a += LINE_SIZE;
+        }
+        let shadow = ShadowMap::new(HEAP, 1 << 18);
+        let dump = CoreDump::capture(&space);
+        let mut m1 = Machine::new(MachineConfig::cheri_fpga_like());
+        let pte = timed_sweep(&dump, &shadow, &mut m1, TimedMode::PteCapDirty);
+        let mut m2 = Machine::new(MachineConfig::cheri_fpga_like());
+        let clt = timed_sweep(&dump, &shadow, &mut m2, TimedMode::CLoadTags);
+        assert!(clt.cycles > pte.cycles, "CLoadTags {} <= PTE {}", clt.cycles, pte.cycles);
+    }
+
+    #[test]
+    fn ideal_is_lower_bound() {
+        for density in [0.1, 0.5, 1.0] {
+            let ideal = run(TimedMode::Ideal, density);
+            for mode in [TimedMode::Full, TimedMode::PteCapDirty, TimedMode::CLoadTags] {
+                let r = run(mode, density);
+                assert!(
+                    ideal.cycles <= r.cycles,
+                    "ideal {} > {mode:?} {} at density {density}",
+                    ideal.cycles,
+                    r.cycles
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn revocation_counts_match_untimed_sweep() {
+        let (dump, shadow) = image(0.5);
+        let mut m = Machine::new(MachineConfig::cheri_fpga_like());
+        let timed = timed_sweep(&dump, &shadow, &mut m, TimedMode::Full);
+        // Untimed reference sweep on a copy.
+        let mut dump2 = dump.clone();
+        let mut total = crate::SweepStats::default();
+        for img in dump2.segments_mut() {
+            total += crate::Sweeper::new(crate::Kernel::Wide)
+                .sweep_segment(&mut img.mem, &shadow);
+        }
+        assert_eq!(timed.caps_revoked, total.caps_revoked);
+        assert_eq!(timed.caps_inspected, total.caps_inspected);
+    }
+
+    #[test]
+    fn dump_is_not_mutated_by_timing() {
+        let (dump, shadow) = image(0.5);
+        let before = dump.stats();
+        let mut m = Machine::new(MachineConfig::cheri_fpga_like());
+        timed_sweep(&dump, &shadow, &mut m, TimedMode::Full);
+        assert_eq!(dump.stats(), before);
+    }
+}

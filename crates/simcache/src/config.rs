@@ -1,0 +1,152 @@
+//! Machine configurations, including the paper's two evaluation systems.
+
+use crate::CacheConfig;
+
+/// DRAM timing/bandwidth parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Cycles of latency for the first beat of a line fill.
+    pub latency_cycles: u64,
+    /// Sustained bandwidth in bytes per core cycle (line transfer cost is
+    /// `line_bytes / bytes_per_cycle` on top of the latency).
+    pub bytes_per_cycle: f64,
+    /// Memory-level parallelism: outstanding misses an out-of-order core
+    /// overlaps, amortising the fill latency across concurrent requests.
+    /// 1 for a simple in-order core.
+    pub mlp: u64,
+}
+
+impl DramConfig {
+    /// Effective cycles charged for one line fill of `line_bytes`, with the
+    /// latency amortised over the core's memory-level parallelism.
+    pub fn line_fill_cycles(&self, line_bytes: u64) -> u64 {
+        self.latency_cycles / self.mlp.max(1)
+            + (line_bytes as f64 / self.bytes_per_cycle).ceil() as u64
+    }
+}
+
+/// Full machine description for the [`crate::Machine`] model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Human-readable name (appears in experiment output).
+    pub name: &'static str,
+    /// Core clock frequency in Hz (converts cycles to seconds).
+    pub freq_hz: f64,
+    /// L1 data cache geometry.
+    pub l1: CacheConfig,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u64,
+    /// L2 cache geometry.
+    pub l2: CacheConfig,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u64,
+    /// Optional shared last-level cache.
+    pub llc: Option<CacheConfig>,
+    /// LLC hit latency in cycles.
+    pub llc_latency: u64,
+    /// Tag-cache geometry (covers the hierarchical tag table).
+    pub tag_cache: CacheConfig,
+    /// Round-trip cost of a `CLoadTags` query that is answered by the tag
+    /// cache (paper §6.3 reports ~10 cycles on the FPGA).
+    pub cloadtags_latency: u64,
+    /// Penalty for a mispredicted branch (the sweep's data-dependent
+    /// branches, paper §3.3).
+    pub branch_miss_penalty: u64,
+    /// DRAM parameters.
+    pub dram: DramConfig,
+}
+
+impl MachineConfig {
+    /// The paper's x86-64 evaluation machine (table 1): Core i7-7820HK,
+    /// 2.9 GHz, 8 MiB LLC, DDR4-2400 (≈19.2 GB/s per-channel read
+    /// bandwidth; §6.2 measures 19,405 MiB/s full read bandwidth).
+    pub fn x86_like() -> MachineConfig {
+        MachineConfig {
+            name: "x86-64 (i7-7820HK-like)",
+            freq_hz: 2.9e9,
+            l1: CacheConfig { size_bytes: 32 << 10, ways: 8, line_bytes: 64 },
+            l1_latency: 4,
+            l2: CacheConfig { size_bytes: 256 << 10, ways: 4, line_bytes: 64 },
+            l2_latency: 12,
+            llc: Some(CacheConfig { size_bytes: 8 << 20, ways: 16, line_bytes: 64 }),
+            llc_latency: 42,
+            // x86 has no architectural tags; present for uniformity but the
+            // x86 experiments never issue CLoadTags.
+            tag_cache: CacheConfig { size_bytes: 32 << 10, ways: 4, line_bytes: 64 },
+            cloadtags_latency: 10,
+            branch_miss_penalty: 16,
+            dram: DramConfig {
+                latency_cycles: 200,
+                // 19405 MiB/s at 2.9 GHz ≈ 7.0 bytes/cycle.
+                bytes_per_cycle: 19_405.0 * 1024.0 * 1024.0 / 2.9e9,
+                // Deep out-of-order core: ~12 outstanding line fills.
+                mlp: 12,
+            },
+        }
+    }
+
+    /// The paper's CHERI FPGA prototype (table 1): Stratix IV at 100 MHz,
+    /// single in-order core, 256 KiB LLC (modelled as the L2), 1 GiB DDR2,
+    /// 128-byte lines, with the tag cache of Joannou et al.
+    pub fn cheri_fpga_like() -> MachineConfig {
+        MachineConfig {
+            name: "CHERI FPGA (Stratix IV-like)",
+            freq_hz: 100e6,
+            l1: CacheConfig { size_bytes: 16 << 10, ways: 2, line_bytes: 128 },
+            l1_latency: 1,
+            l2: CacheConfig { size_bytes: 256 << 10, ways: 4, line_bytes: 128 },
+            l2_latency: 8,
+            llc: None,
+            llc_latency: 0,
+            tag_cache: CacheConfig { size_bytes: 32 << 10, ways: 4, line_bytes: 128 },
+            // ~10-cycle round trip to reach the tag cache (paper §6.3).
+            cloadtags_latency: 10,
+            branch_miss_penalty: 6,
+            dram: DramConfig {
+                latency_cycles: 30,
+                // DDR2 on the FPGA: ~800 MiB/s at 100 MHz ≈ 8.4 bytes/cycle.
+                bytes_per_cycle: 8.4,
+                // Single-issue in-order scalar pipeline: no overlap.
+                mlp: 1,
+            },
+        }
+    }
+
+    /// Converts a cycle count to seconds on this machine.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.freq_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_consistent_geometry() {
+        for cfg in [MachineConfig::x86_like(), MachineConfig::cheri_fpga_like()] {
+            assert!(cfg.l1.sets() > 0);
+            assert!(cfg.l2.sets() > 0);
+            if let Some(llc) = cfg.llc {
+                assert!(llc.sets() > 0);
+            }
+            assert!(cfg.tag_cache.sets() > 0);
+            assert!(cfg.dram.bytes_per_cycle > 0.0);
+        }
+    }
+
+    #[test]
+    fn x86_is_much_faster_than_fpga() {
+        let x86 = MachineConfig::x86_like();
+        let fpga = MachineConfig::cheri_fpga_like();
+        assert!(x86.freq_hz / fpga.freq_hz > 20.0);
+        // Same cycle count takes longer on the FPGA.
+        assert!(fpga.cycles_to_seconds(1000) > x86.cycles_to_seconds(1000));
+    }
+
+    #[test]
+    fn cycles_to_seconds_scales_linearly() {
+        let cfg = MachineConfig::cheri_fpga_like();
+        assert!((cfg.cycles_to_seconds(100e6 as u64) - 1.0).abs() < 1e-9);
+    }
+}

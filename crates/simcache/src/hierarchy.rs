@@ -1,0 +1,252 @@
+//! The cache hierarchy: L1 → L2 → optional LLC → DRAM.
+
+use crate::{Cache, MachineConfig, TagCache};
+
+/// Whether an access reads or writes (writes mark lines dirty and produce
+/// write-back traffic on eviction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// Byte counters at the boundaries the paper's Figure 10 cares about.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Bytes that crossed beyond the private L2 — "off-core" traffic
+    /// (requests to the shared L3 and beyond, §6.5).
+    pub offcore_bytes: u64,
+    /// Bytes transferred to/from DRAM (line fills + write-backs).
+    pub dram_bytes: u64,
+    /// DRAM accesses (line granularity).
+    pub dram_accesses: u64,
+}
+
+/// A complete data-side memory hierarchy with cycle accounting.
+///
+/// # Examples
+///
+/// ```
+/// use simcache::{AccessKind, MachineConfig, MemoryHierarchy};
+///
+/// let mut h = MemoryHierarchy::new(&MachineConfig::x86_like());
+/// let cold = h.access(0x1000, AccessKind::Read);
+/// let warm = h.access(0x1000, AccessKind::Read);
+/// assert!(warm < cold);
+/// ```
+#[derive(Debug)]
+pub struct MemoryHierarchy {
+    l1: Cache,
+    l2: Cache,
+    llc: Option<Cache>,
+    tag_cache: TagCache,
+    config: MachineConfig,
+    traffic: TrafficStats,
+}
+
+impl MemoryHierarchy {
+    /// Builds an empty hierarchy for `config`.
+    pub fn new(config: &MachineConfig) -> MemoryHierarchy {
+        MemoryHierarchy {
+            l1: Cache::new(config.l1),
+            l2: Cache::new(config.l2),
+            llc: config.llc.map(Cache::new),
+            tag_cache: TagCache::new(config),
+            config: config.clone(),
+            traffic: TrafficStats::default(),
+        }
+    }
+
+    /// Performs one access, returning the cycles it cost.
+    ///
+    /// Cache hits are charged their level's full latency (a dependent load
+    /// really waits that long). When an access goes all the way to DRAM the
+    /// *entire* beyond-L1 latency chain is amortised over the core's
+    /// memory-level parallelism — this is what lets an out-of-order core
+    /// stream memory at DRAM bandwidth rather than at `1 / full-latency`.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> u64 {
+        let write = matches!(kind, AccessKind::Write);
+        let line = self.config.l1.line_bytes;
+
+        let l1 = self.l1.access(addr, write);
+        if l1.hit {
+            return self.config.l1_latency;
+        }
+
+        let l2 = self.l2.access(addr, write);
+        if l2.hit {
+            return self.config.l1_latency + self.config.l2_latency;
+        }
+
+        // Beyond L2: off-core.
+        self.traffic.offcore_bytes += line;
+        let mut miss_path = self.config.l2_latency;
+        if let Some(llc) = &mut self.llc {
+            let l3 = llc.access(addr, write);
+            if l3.hit {
+                return self.config.l1_latency + self.config.l2_latency + self.config.llc_latency;
+            }
+            miss_path += self.config.llc_latency;
+            if l3.writeback {
+                self.traffic.dram_bytes += line;
+            }
+        }
+
+        // DRAM line fill: latency amortised over memory-level parallelism,
+        // transfer time paid in full (bandwidth is not parallelisable).
+        miss_path += self.config.dram.latency_cycles;
+        let transfer = (line as f64 / self.config.dram.bytes_per_cycle).ceil() as u64;
+        self.traffic.dram_bytes += line;
+        self.traffic.dram_accesses += 1;
+        self.config.l1_latency + miss_path / self.config.dram.mlp.max(1) + transfer
+    }
+
+    /// A `CLoadTags` query for the line containing `addr` (paper §3.4.1):
+    /// answered by whichever data cache holds the line, else by the tag
+    /// cache — *without* fetching the line's data from DRAM.
+    ///
+    /// Returns the cycles the query cost. The caller supplies/consults the
+    /// actual tag bits from the tagged memory model; this only charges time.
+    pub fn cloadtags(&mut self, addr: u64) -> u64 {
+        // Snoop data caches (probe only — the response carries just tags and
+        // is not cached, approximating the paper's streaming semantics).
+        if self.l1.probe(addr) || self.l2.probe(addr) {
+            return self.config.l1_latency + 1;
+        }
+        if let Some(llc) = &self.llc {
+            if llc.probe(addr) {
+                return self.config.llc_latency;
+            }
+        }
+        // Miss everywhere: round trip to the tag controller / tag cache.
+        let mut cycles = self.config.cloadtags_latency;
+        if !self.tag_cache.access(addr) {
+            // Tag-cache miss: fetch one line of the tag table from DRAM.
+            let line = self.config.tag_cache.line_bytes;
+            cycles += self.config.dram.line_fill_cycles(line);
+            self.traffic.dram_bytes += line;
+            self.traffic.dram_accesses += 1;
+        }
+        cycles
+    }
+
+    /// Charges a mispredicted branch.
+    pub fn branch_mispredict(&self) -> u64 {
+        self.config.branch_miss_penalty
+    }
+
+    /// Accumulated boundary traffic.
+    pub fn traffic(&self) -> TrafficStats {
+        self.traffic
+    }
+
+    /// Per-level cache statistics `(l1, l2, llc, tag_cache)`.
+    pub fn cache_stats(
+        &self,
+    ) -> (crate::CacheStats, crate::CacheStats, Option<crate::CacheStats>, crate::CacheStats) {
+        (
+            self.l1.stats(),
+            self.l2.stats(),
+            self.llc.as_ref().map(|c| c.stats()),
+            self.tag_cache.stats(),
+        )
+    }
+
+    /// Flushes all caches and zeroes counters (between experiment runs).
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+        if let Some(llc) = &mut self.llc {
+            llc.flush();
+        }
+        self.tag_cache.flush();
+        self.traffic = TrafficStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineConfig;
+
+    #[test]
+    fn cold_miss_costs_dram_latency() {
+        let cfg = MachineConfig::x86_like();
+        let mut h = MemoryHierarchy::new(&cfg);
+        let cycles = h.access(0x1000, AccessKind::Read);
+        assert!(cycles >= cfg.dram.line_fill_cycles(64));
+        assert_eq!(h.traffic().dram_accesses, 1);
+        assert_eq!(h.traffic().offcore_bytes, 64);
+    }
+
+    #[test]
+    fn warm_hit_is_l1_latency() {
+        let cfg = MachineConfig::x86_like();
+        let mut h = MemoryHierarchy::new(&cfg);
+        h.access(0x1000, AccessKind::Read);
+        assert_eq!(h.access(0x1000, AccessKind::Read), cfg.l1_latency);
+        // No extra off-core traffic for the hit.
+        assert_eq!(h.traffic().offcore_bytes, 64);
+    }
+
+    #[test]
+    fn fpga_has_no_llc_level() {
+        let cfg = MachineConfig::cheri_fpga_like();
+        let mut h = MemoryHierarchy::new(&cfg);
+        let cycles = h.access(0x2000, AccessKind::Read);
+        // L1 + L2 + DRAM only.
+        assert!(cycles >= cfg.l1_latency + cfg.l2_latency + cfg.dram.latency_cycles);
+    }
+
+    #[test]
+    fn cloadtags_cheap_when_line_resident() {
+        let cfg = MachineConfig::cheri_fpga_like();
+        let mut h = MemoryHierarchy::new(&cfg);
+        h.access(0x3000, AccessKind::Read);
+        let resident = h.cloadtags(0x3000);
+        let absent = h.cloadtags(0x30_0000);
+        assert!(resident < absent);
+    }
+
+    #[test]
+    fn cloadtags_never_fetches_data_lines() {
+        let cfg = MachineConfig::cheri_fpga_like();
+        let mut h = MemoryHierarchy::new(&cfg);
+        let before = h.traffic().dram_bytes;
+        // First query misses the tag cache: fetches only a tag-table line.
+        h.cloadtags(0x10_0000);
+        let after_first = h.traffic().dram_bytes;
+        assert_eq!(after_first - before, cfg.tag_cache.line_bytes);
+        // Second query to a nearby line hits the tag cache: free of DRAM.
+        h.cloadtags(0x10_0080);
+        assert_eq!(h.traffic().dram_bytes, after_first);
+    }
+
+    #[test]
+    fn flush_resets_everything() {
+        let mut h = MemoryHierarchy::new(&MachineConfig::x86_like());
+        h.access(0x1000, AccessKind::Write);
+        h.flush();
+        assert_eq!(h.traffic(), TrafficStats::default());
+        let (l1, ..) = h.cache_stats();
+        assert_eq!(l1.accesses(), 0);
+    }
+
+    #[test]
+    fn writeback_traffic_counted() {
+        // Tiny direct-mapped-ish config to force evictions quickly.
+        let mut cfg = MachineConfig::x86_like();
+        cfg.l1 = crate::CacheConfig { size_bytes: 128, ways: 1, line_bytes: 64 };
+        cfg.l2 = crate::CacheConfig { size_bytes: 256, ways: 1, line_bytes: 64 };
+        cfg.llc = Some(crate::CacheConfig { size_bytes: 512, ways: 1, line_bytes: 64 });
+        let mut h = MemoryHierarchy::new(&cfg);
+        // Write lines mapping to the same LLC set until one dirty line is
+        // evicted to DRAM.
+        for i in 0..64u64 {
+            h.access(i * 512, AccessKind::Write);
+        }
+        assert!(h.traffic().dram_bytes > 64 * 64);
+    }
+}

@@ -1,0 +1,46 @@
+//! Cycle-approximate model of a memory hierarchy with CHERI tag storage.
+//!
+//! The paper evaluates its hardware assists (PTE CapDirty and `CLoadTags`)
+//! on a CHERI FPGA prototype whose performance is dominated by the memory
+//! hierarchy: caches, DRAM bandwidth, and the **tag cache** that backs
+//! hierarchical tag storage (paper §2.2, §3.4, table 1). This crate models
+//! exactly enough of that system to reproduce Figure 8(b) and the traffic
+//! accounting of Figure 10:
+//!
+//! * [`Cache`] — a set-associative, LRU, write-back cache.
+//! * [`MemoryHierarchy`] — L1 → L2 → (optional) LLC → DRAM, with per-level
+//!   latencies, DRAM bandwidth, and **off-core traffic** counters (bytes
+//!   crossing beyond the private L2, the quantity Figure 10 reports).
+//! * [`TagCache`] — the dedicated cache in front of the hierarchical tag
+//!   table; `CLoadTags` queries land here when they miss the data caches.
+//! * [`Machine`] — ties the above together behind read/write/`cloadtags`
+//!   operations and a cycle budget; [`MachineConfig`] provides the paper's
+//!   two systems as presets ([`MachineConfig::x86_like`],
+//!   [`MachineConfig::cheri_fpga_like`]).
+//!
+//! # Example
+//!
+//! ```
+//! use simcache::{Machine, MachineConfig};
+//!
+//! let mut m = Machine::new(MachineConfig::cheri_fpga_like());
+//! m.read(0x1000, 8);          // cold miss: walks to DRAM
+//! let cold = m.cycles();
+//! m.read(0x1008, 8);          // same line: L1 hit
+//! assert!(m.cycles() - cold < cold);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod hierarchy;
+mod machine;
+mod tagcache;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use config::{DramConfig, MachineConfig};
+pub use hierarchy::{AccessKind, MemoryHierarchy, TrafficStats};
+pub use machine::Machine;
+pub use tagcache::TagCache;

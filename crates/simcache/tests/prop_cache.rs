@@ -1,0 +1,99 @@
+//! Property tests for the cache model: inclusion-free correctness
+//! properties that hold for any access stream.
+
+use proptest::prelude::*;
+use simcache::{AccessKind, Cache, CacheConfig, Machine, MachineConfig, MemoryHierarchy};
+
+fn addresses() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    proptest::collection::vec((0u64..(1 << 16), any::<bool>()), 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Hits + misses always equals accesses; re-accessing the most recent
+    /// line always hits; capacity is never exceeded.
+    #[test]
+    fn cache_accounting_is_consistent(stream in addresses()) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 4096, ways: 4, line_bytes: 64 });
+        for &(addr, write) in &stream {
+            c.access(addr, write);
+            // Immediate re-access of the same line is always a hit (LRU
+            // never evicts the most recently used line of its set).
+            let again = c.access(addr, false);
+            prop_assert!(again.hit, "MRU line evicted at {addr:#x}");
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses(), stream.len() as u64 * 2);
+        prop_assert!(s.hits >= stream.len() as u64, "every second access hits");
+        prop_assert!(s.miss_ratio() <= 0.5);
+    }
+
+    /// A cache twice the size never misses more than the smaller one on
+    /// the same stream (LRU is a stack algorithm — no Belady anomaly).
+    #[test]
+    fn bigger_lru_cache_never_misses_more(stream in addresses()) {
+        let mut small = Cache::new(CacheConfig { size_bytes: 1024, ways: 16, line_bytes: 64 });
+        let mut big = Cache::new(CacheConfig { size_bytes: 2048, ways: 32, line_bytes: 64 });
+        for &(addr, write) in &stream {
+            small.access(addr, write);
+            big.access(addr, write);
+        }
+        prop_assert!(
+            big.stats().misses <= small.stats().misses,
+            "Belady anomaly: {} > {}",
+            big.stats().misses,
+            small.stats().misses
+        );
+    }
+
+    /// Hierarchy cycle costs are bounded: every access costs at least the
+    /// L1 latency and at most the full miss path, and cycles accumulate
+    /// monotonically.
+    #[test]
+    fn hierarchy_costs_are_bounded(stream in addresses()) {
+        let cfg = MachineConfig::x86_like();
+        let worst = cfg.l1_latency
+            + (cfg.l2_latency + cfg.llc_latency + cfg.dram.latency_cycles)
+            + (64.0 / cfg.dram.bytes_per_cycle).ceil() as u64;
+        let mut h = MemoryHierarchy::new(&cfg);
+        for &(addr, write) in &stream {
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let cycles = h.access(addr, kind);
+            prop_assert!(cycles >= cfg.l1_latency);
+            prop_assert!(cycles <= worst, "{cycles} > {worst}");
+        }
+    }
+
+    /// DRAM traffic only grows, and off-core traffic is at least the DRAM
+    /// fill traffic minus write-backs (every DRAM fill passed the L2
+    /// boundary).
+    #[test]
+    fn traffic_monotonicity(stream in addresses()) {
+        let mut m = Machine::new(MachineConfig::x86_like());
+        let mut last_dram = 0;
+        for &(addr, write) in &stream {
+            if write {
+                m.write(addr, 8);
+            } else {
+                m.read(addr, 8);
+            }
+            let t = m.traffic();
+            prop_assert!(t.dram_bytes >= last_dram);
+            last_dram = t.dram_bytes;
+        }
+        let t = m.traffic();
+        prop_assert!(t.offcore_bytes >= t.dram_accesses * 64 - t.dram_bytes.min(t.offcore_bytes));
+    }
+
+    /// The machine's seconds are exactly cycles / frequency.
+    #[test]
+    fn seconds_track_cycles(stream in addresses()) {
+        let cfg = MachineConfig::cheri_fpga_like();
+        let mut m = Machine::new(cfg.clone());
+        for &(addr, _) in &stream {
+            m.read(addr, 8);
+        }
+        prop_assert!((m.seconds() - m.cycles() as f64 / cfg.freq_hz).abs() < 1e-12);
+    }
+}

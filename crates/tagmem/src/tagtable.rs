@@ -1,0 +1,178 @@
+//! Hierarchical tag table (Joannou et al., "Efficient Tagged Memory").
+//!
+//! CHERI prototypes store tags in a hierarchical table in DRAM behind a tag
+//! cache: a **root level** holds one bit per *group* of granules saying
+//! "any tag set below?", and a **leaf level** holds the actual bits. The
+//! hierarchy is what makes `CLoadTags` cheap for untagged memory: a zero
+//! root bit answers the query without touching leaf storage or data.
+//!
+//! [`TagTable`] summarises a [`crate::TaggedMemory`]'s tag bitmap at group
+//! granularity and keeps itself consistent as tags change, counting how
+//! many leaf/root accesses a query performs so the cache model can charge
+//! for them.
+
+/// Granules summarised by one root bit: 64 granules = one `u64` leaf word =
+/// 1 KiB of data coverage per root bit.
+pub const GRANULES_PER_GROUP: u64 = 64;
+
+/// A two-level summary of a tag bitmap.
+///
+/// # Examples
+///
+/// ```
+/// use tagmem::{TaggedMemory, TagTable};
+/// use cheri::Capability;
+///
+/// # fn main() -> Result<(), tagmem::MemError> {
+/// let mut mem = TaggedMemory::new(0x0, 1 << 16);
+/// mem.write_cap(0x400, &Capability::root_rw(0, 64))?;
+/// let table = TagTable::build(&mem);
+/// assert!(!table.group_empty(0x400));  // group holding the cap
+/// assert!(table.group_empty(0x8000));  // untouched group
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagTable {
+    base: u64,
+    /// Bit per group: 1 = at least one tag set in that group.
+    root: Vec<u64>,
+    groups: u64,
+}
+
+impl TagTable {
+    /// Builds the summary for a memory segment's current tags.
+    pub fn build(mem: &crate::TaggedMemory) -> TagTable {
+        let bitmap = mem.tag_bitmap();
+        let groups = bitmap.len() as u64;
+        let mut root = vec![0u64; bitmap.len().div_ceil(64)];
+        for (i, &leaf) in bitmap.iter().enumerate() {
+            if leaf != 0 {
+                root[i / 64] |= 1 << (i % 64);
+            }
+        }
+        TagTable { base: mem.base(), root, groups }
+    }
+
+    /// `true` if the group containing `addr` has **no** tags — its 1 KiB of
+    /// data can be skipped entirely.
+    #[inline]
+    pub fn group_empty(&self, addr: u64) -> bool {
+        let group = (addr - self.base) / (GRANULES_PER_GROUP * crate::GRANULE_SIZE);
+        if group >= self.groups {
+            return true;
+        }
+        self.root[(group / 64) as usize] >> (group % 64) & 1 == 0
+    }
+
+    /// Number of groups with at least one tag.
+    pub fn nonempty_groups(&self) -> u64 {
+        self.root.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Total number of groups covered.
+    #[inline]
+    pub fn total_groups(&self) -> u64 {
+        self.groups
+    }
+
+    /// Fraction of groups that contain at least one tag (granule-group
+    /// pointer density — between the line and page densities of Fig. 8).
+    pub fn density(&self) -> f64 {
+        if self.groups == 0 {
+            return 0.0;
+        }
+        self.nonempty_groups() as f64 / self.groups as f64
+    }
+
+    /// Start addresses (1 KiB-aligned relative to the segment) of all
+    /// non-empty groups, in order.
+    pub fn nonempty_group_addrs(&self) -> impl Iterator<Item = u64> + '_ {
+        let base = self.base;
+        let groups = self.groups;
+        self.root.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as u64;
+                    bits &= bits - 1;
+                    let group = wi as u64 * 64 + b;
+                    if group < groups {
+                        return Some(base + group * GRANULES_PER_GROUP * crate::GRANULE_SIZE);
+                    }
+                }
+                None
+            })
+        })
+    }
+
+    /// Records that the group containing `addr` may now hold a tag
+    /// (incremental maintenance after a capability store).
+    pub fn note_tag_set(&mut self, addr: u64) {
+        let group = (addr - self.base) / (GRANULES_PER_GROUP * crate::GRANULE_SIZE);
+        if group < self.groups {
+            self.root[(group / 64) as usize] |= 1 << (group % 64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaggedMemory;
+    use cheri::Capability;
+
+    fn seeded_mem() -> TaggedMemory {
+        let mut mem = TaggedMemory::new(0x1_0000, 1 << 16); // 64 groups
+        let cap = Capability::root_rw(0x1_0000, 64);
+        mem.write_cap(0x1_0000, &cap).unwrap(); // group 0
+        mem.write_cap(0x1_0010, &cap).unwrap(); // group 0 again
+        mem.write_cap(0x1_8000, &cap).unwrap(); // group 32
+        mem
+    }
+
+    #[test]
+    fn build_summarises_groups() {
+        let t = TagTable::build(&seeded_mem());
+        assert_eq!(t.total_groups(), 64);
+        assert_eq!(t.nonempty_groups(), 2);
+        assert!(!t.group_empty(0x1_0000));
+        assert!(!t.group_empty(0x1_83ff));
+        assert!(t.group_empty(0x1_0400));
+        assert!((t.density() - 2.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonempty_addrs_are_group_aligned() {
+        let t = TagTable::build(&seeded_mem());
+        let addrs: Vec<u64> = t.nonempty_group_addrs().collect();
+        assert_eq!(addrs, vec![0x1_0000, 0x1_8000]);
+    }
+
+    #[test]
+    fn incremental_note_tag_set() {
+        let mem = TaggedMemory::new(0x1_0000, 1 << 16);
+        let mut t = TagTable::build(&mem);
+        assert_eq!(t.nonempty_groups(), 0);
+        t.note_tag_set(0x1_0c00);
+        assert!(!t.group_empty(0x1_0c00));
+        assert_eq!(t.nonempty_groups(), 1);
+    }
+
+    #[test]
+    fn empty_segment_has_zero_density() {
+        let mem = TaggedMemory::new(0, 0);
+        let t = TagTable::build(&mem);
+        assert_eq!(t.density(), 0.0);
+        assert!(t.group_empty(0));
+    }
+
+    #[test]
+    fn rebuild_after_tag_clear_shrinks() {
+        let mut mem = seeded_mem();
+        mem.clear_tag_at(0x1_8000);
+        let t = TagTable::build(&mem);
+        assert_eq!(t.nonempty_groups(), 1);
+        assert!(t.group_empty(0x1_8000));
+    }
+}

@@ -1,0 +1,180 @@
+//! The experiment driver: replays traces against systems under test.
+
+use std::collections::HashMap;
+
+use crate::{Trace, TraceOp};
+
+/// Virtual seconds of mechanism time, broken down as in Figure 6.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MechanismBreakdown {
+    /// Quarantine-buffer management: free-path changes, drain-time internal
+    /// frees, cache effects of delayed reuse — minus the batching benefit
+    /// (this term can be negative, as in fig. 6's sub-1.0 bars).
+    pub quarantine: f64,
+    /// Shadow-map maintenance (painting and clearing).
+    pub shadow: f64,
+    /// Memory sweeping.
+    pub sweep: f64,
+    /// Any comparator-specific mechanism cost (pointer registries, page
+    /// remapping, GC marking, …).
+    pub other: f64,
+}
+
+impl MechanismBreakdown {
+    /// Sum of all components.
+    pub fn total(&self) -> f64 {
+        self.quarantine + self.shadow + self.sweep + self.other
+    }
+}
+
+/// A system under test, driven by [`run_trace`].
+///
+/// Implementations execute the allocation workload *for real* (a live
+/// allocator over simulated memory) and account their mechanism costs in
+/// virtual seconds, using measured quantities (bytes swept, chunks painted,
+/// registry entries walked, …) times calibrated unit costs — the same
+/// methodology the paper uses to combine live runs with offline sweep
+/// timings (§5.3).
+pub trait WorkloadHeap {
+    /// Allocates object `id` with `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific (e.g. out of simulated memory).
+    fn malloc(&mut self, id: u64, size: u64) -> Result<(), String>;
+
+    /// Frees object `id`.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific (e.g. unknown id).
+    fn free(&mut self, id: u64) -> Result<(), String>;
+
+    /// Stores a pointer to `to` into object `from` at `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific.
+    fn write_ptr(&mut self, from: u64, slot: u64, to: u64) -> Result<(), String>;
+
+    /// Called once after the last event (final collections, drains, …).
+    fn finish(&mut self) {}
+
+    /// Mechanism time consumed so far, in virtual seconds.
+    fn mechanism(&self) -> MechanismBreakdown;
+
+    /// Peak memory footprint in bytes (live + detained + metadata).
+    fn peak_footprint(&self) -> u64;
+
+    /// Peak *live* bytes — the baseline a plain allocator would use
+    /// (normalised memory = footprint / live).
+    fn peak_live(&self) -> u64;
+}
+
+/// Result of replaying one trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunReport {
+    /// Virtual application seconds the trace represents.
+    pub app_seconds: f64,
+    /// The fig. 6 breakdown.
+    pub breakdown: MechanismBreakdown,
+    /// Execution time normalised to the unprotected baseline (fig. 5a):
+    /// `1 + mechanism / app_seconds`.
+    pub normalized_time: f64,
+    /// Memory normalised to peak live bytes (fig. 5b).
+    pub normalized_memory: f64,
+    /// Events successfully replayed.
+    pub events: u64,
+}
+
+/// Replays `trace` against `heap`, producing the normalised overheads.
+///
+/// # Errors
+///
+/// Propagates the first implementation error, tagged with the event index.
+pub fn run_trace<H: WorkloadHeap>(heap: &mut H, trace: &Trace) -> Result<RunReport, String> {
+    let mut sizes: HashMap<u64, u64> = HashMap::new();
+    let mut events = 0u64;
+    for (i, e) in trace.events.iter().enumerate() {
+        let r = match e.op {
+            TraceOp::Malloc { id, size } => {
+                sizes.insert(id, size);
+                heap.malloc(id, size)
+            }
+            TraceOp::Free { id } => heap.free(id),
+            TraceOp::WritePtr { from, slot, to } => heap.write_ptr(from, slot, to),
+        };
+        r.map_err(|err| format!("event {i} ({:?}): {err}", e.op))?;
+        events += 1;
+    }
+    heap.finish();
+
+    let app_seconds = trace.duration_s.max(1e-9);
+    let breakdown = heap.mechanism();
+    let peak_live = heap.peak_live().max(1);
+    Ok(RunReport {
+        app_seconds,
+        breakdown,
+        normalized_time: (1.0 + breakdown.total() / app_seconds).max(0.0),
+        normalized_memory: heap.peak_footprint() as f64 / peak_live as f64,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{profiles, TraceGenerator};
+
+    /// A do-nothing heap for driver plumbing tests.
+    #[derive(Default)]
+    struct NullHeap {
+        live: HashMap<u64, u64>,
+        peak: u64,
+        cur: u64,
+    }
+
+    impl WorkloadHeap for NullHeap {
+        fn malloc(&mut self, id: u64, size: u64) -> Result<(), String> {
+            self.live.insert(id, size);
+            self.cur += size;
+            self.peak = self.peak.max(self.cur);
+            Ok(())
+        }
+        fn free(&mut self, id: u64) -> Result<(), String> {
+            let size = self.live.remove(&id).ok_or("free of unknown id")?;
+            self.cur -= size;
+            Ok(())
+        }
+        fn write_ptr(&mut self, from: u64, _slot: u64, _to: u64) -> Result<(), String> {
+            self.live.contains_key(&from).then_some(()).ok_or("write into dead object".into())
+        }
+        fn mechanism(&self) -> MechanismBreakdown {
+            MechanismBreakdown::default()
+        }
+        fn peak_footprint(&self) -> u64 {
+            self.peak
+        }
+        fn peak_live(&self) -> u64 {
+            self.peak
+        }
+    }
+
+    #[test]
+    fn null_heap_replays_all_traces() {
+        for p in profiles::all() {
+            let trace = TraceGenerator::new(p, 1.0 / 1024.0, 9).generate();
+            let mut h = NullHeap::default();
+            let report = run_trace(&mut h, &trace).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            assert_eq!(report.events as usize, trace.events.len());
+            assert!((report.normalized_time - 1.0).abs() < 1e-12, "{}", p.name);
+            assert!((report.normalized_memory - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn breakdown_total_sums() {
+        let b = MechanismBreakdown { quarantine: 0.1, shadow: 0.2, sweep: 0.3, other: 0.4 };
+        assert!((b.total() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Regenerating Table 2 from live runs.
+
+use serde::Serialize;
+
+use crate::{profiles, CherivokeUnderTest, Trace, TraceGenerator};
+use tagmem::SegmentKind;
+
+/// One row of the regenerated Table 2.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Paper's "Pages with pointers" (fraction).
+    pub paper_page_density: f64,
+    /// Measured fraction of heap pages holding pointers after the run.
+    pub measured_page_density: f64,
+    /// Paper's free rate (MiB/s).
+    pub paper_free_rate: f64,
+    /// Measured free rate over the trace (MiB/s).
+    pub measured_free_rate: f64,
+    /// Paper's frees (thousands/s).
+    pub paper_frees_k: f64,
+    /// Measured frees (thousands/s).
+    pub measured_frees_k: f64,
+}
+
+/// Runs every Table 2 benchmark at `scale` and measures the realised
+/// statistics, pairing them with the paper's values.
+///
+/// # Panics
+///
+/// Panics if a trace fails to replay (a harness bug, not a data condition).
+pub fn measure_table2(scale: f64, seed: u64) -> Vec<Table2Row> {
+    profiles::all()
+        .iter()
+        .map(|p| {
+            let trace = TraceGenerator::new(*p, scale, seed).generate();
+            let mut sut = CherivokeUnderTest::paper_default(&trace)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            crate::run_trace(&mut sut, &trace).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            Table2Row {
+                name: p.name.to_string(),
+                paper_page_density: p.pointer_page_density,
+                measured_page_density: measured_density(&trace, &sut),
+                paper_free_rate: p.free_rate_mib_s,
+                measured_free_rate: trace.freed_bytes() as f64
+                    / trace.duration_s
+                    / (1024.0 * 1024.0),
+                paper_frees_k: p.frees_per_sec / 1000.0,
+                measured_frees_k: trace.frees() as f64 / trace.duration_s / 1000.0,
+            }
+        })
+        .collect()
+}
+
+/// Ground-truth page pointer density over the *occupied* portion of the
+/// heap (pages above the high-water mark never held data and are excluded,
+/// as the paper measures real application images).
+fn measured_density(trace: &Trace, sut: &CherivokeUnderTest) -> f64 {
+    let heap = sut
+        .heap()
+        .space()
+        .segment(SegmentKind::Heap)
+        .expect("heap segment")
+        .mem();
+    let used = sut.heap().stats().alloc.peak_footprint_bytes.min(heap.len());
+    let used_pages = (used.max(1)).div_ceil(tagmem::PAGE_SIZE);
+    let mut with_ptrs = 0u64;
+    for page_idx in 0..used_pages {
+        let page = heap.base() + page_idx * tagmem::PAGE_SIZE;
+        let end = (page + tagmem::PAGE_SIZE).min(heap.end());
+        let any = (page..end)
+            .step_by(tagmem::GRANULE_SIZE as usize)
+            .any(|a| heap.tag_at(a));
+        if any {
+            with_ptrs += 1;
+        }
+    }
+    let _ = trace;
+    with_ptrs as f64 / used_pages as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rows_cover_all_benchmarks() {
+        let rows = measure_table2(1.0 / 2048.0, 3);
+        assert_eq!(rows.len(), 17);
+        for r in &rows {
+            assert!(r.measured_free_rate >= 0.0, "{}", r.name);
+            assert!((0.0..=1.0).contains(&r.measured_page_density), "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn measured_rates_track_paper_for_steady_churners() {
+        let rows = measure_table2(1.0 / 2048.0, 3);
+        for r in rows {
+            if r.paper_free_rate >= 20.0 && r.paper_frees_k >= 10.0 {
+                let ratio = r.measured_free_rate / r.paper_free_rate;
+                assert!(
+                    (0.5..=2.0).contains(&ratio),
+                    "{}: measured {:.1} vs paper {:.1}",
+                    r.name,
+                    r.measured_free_rate,
+                    r.paper_free_rate
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pointerless_benchmarks_measure_near_zero_density() {
+        let rows = measure_table2(1.0 / 2048.0, 3);
+        let bzip2 = rows.iter().find(|r| r.name == "bzip2").unwrap();
+        assert!(bzip2.measured_page_density < 0.05);
+        let dense = rows.iter().find(|r| r.name == "omnetpp").unwrap();
+        assert!(dense.measured_page_density > 0.5);
+    }
+}

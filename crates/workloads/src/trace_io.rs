@@ -1,0 +1,258 @@
+//! Trace record/replay: a compact binary format for allocation traces.
+//!
+//! Traces are deterministic given (profile, scale, seed), but serialising
+//! them lets experiments pin the *exact* event stream across machines and
+//! versions (the paper's methodology replays fixed memory images, §5.3 —
+//! this is the trace-level equivalent). The format is a little-endian
+//! tag-length-value stream with a versioned header.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{profiles, Trace, TraceEvent, TraceOp};
+
+/// Format magic: "CVKT" + version 1.
+const MAGIC: u32 = 0x4356_4b01;
+
+const OP_MALLOC: u8 = 1;
+const OP_FREE: u8 = 2;
+const OP_WRITE_PTR: u8 = 3;
+
+/// The ways decoding can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceIoError {
+    /// The buffer does not start with the expected magic/version.
+    BadMagic {
+        /// The value found.
+        found: u32,
+    },
+    /// The named profile is not in this build's Table 2.
+    UnknownProfile {
+        /// The profile name from the header.
+        name: String,
+    },
+    /// The buffer ended mid-record or an opcode was invalid.
+    Truncated,
+}
+
+impl core::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceIoError::BadMagic { found } => {
+                write!(f, "bad trace magic {found:#010x}")
+            }
+            TraceIoError::UnknownProfile { name } => {
+                write!(f, "unknown benchmark profile {name:?}")
+            }
+            TraceIoError::Truncated => write!(f, "trace buffer truncated or corrupt"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+/// Serialises a trace to its binary form.
+pub fn encode_trace(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + trace.events.len() * 20);
+    buf.put_u32_le(MAGIC);
+    let name = trace.profile.name.as_bytes();
+    buf.put_u8(name.len() as u8);
+    buf.put_slice(name);
+    buf.put_f64_le(trace.scale);
+    buf.put_u64_le(trace.heap_bytes);
+    buf.put_f64_le(trace.duration_s);
+    buf.put_u64_le(trace.events.len() as u64);
+    for e in &trace.events {
+        buf.put_u64_le(e.at_us);
+        match e.op {
+            TraceOp::Malloc { id, size } => {
+                buf.put_u8(OP_MALLOC);
+                buf.put_u64_le(id);
+                buf.put_u64_le(size);
+            }
+            TraceOp::Free { id } => {
+                buf.put_u8(OP_FREE);
+                buf.put_u64_le(id);
+            }
+            TraceOp::WritePtr { from, slot, to } => {
+                buf.put_u8(OP_WRITE_PTR);
+                buf.put_u64_le(from);
+                buf.put_u64_le(slot);
+                buf.put_u64_le(to);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialises a trace from its binary form.
+///
+/// # Errors
+///
+/// [`TraceIoError`] on malformed input; decoding never panics on
+/// attacker-controlled bytes.
+pub fn decode_trace(mut buf: Bytes) -> Result<Trace, TraceIoError> {
+    let need = |buf: &Bytes, n: usize| -> Result<(), TraceIoError> {
+        if buf.remaining() < n {
+            Err(TraceIoError::Truncated)
+        } else {
+            Ok(())
+        }
+    };
+    need(&buf, 4)?;
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(TraceIoError::BadMagic { found: magic });
+    }
+    need(&buf, 1)?;
+    let name_len = buf.get_u8() as usize;
+    need(&buf, name_len)?;
+    let name_bytes = buf.copy_to_bytes(name_len);
+    let name = String::from_utf8(name_bytes.to_vec())
+        .map_err(|_| TraceIoError::Truncated)?;
+    let profile = profiles::by_name(&name)
+        .ok_or(TraceIoError::UnknownProfile { name })?;
+    need(&buf, 8 * 4)?;
+    let scale = buf.get_f64_le();
+    let heap_bytes = buf.get_u64_le();
+    let duration_s = buf.get_f64_le();
+    let count = buf.get_u64_le() as usize;
+    if count > 100_000_000 {
+        return Err(TraceIoError::Truncated);
+    }
+    let mut events = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        need(&buf, 9)?;
+        let at_us = buf.get_u64_le();
+        let op = match buf.get_u8() {
+            OP_MALLOC => {
+                need(&buf, 16)?;
+                TraceOp::Malloc { id: buf.get_u64_le(), size: buf.get_u64_le() }
+            }
+            OP_FREE => {
+                need(&buf, 8)?;
+                TraceOp::Free { id: buf.get_u64_le() }
+            }
+            OP_WRITE_PTR => {
+                need(&buf, 24)?;
+                TraceOp::WritePtr {
+                    from: buf.get_u64_le(),
+                    slot: buf.get_u64_le(),
+                    to: buf.get_u64_le(),
+                }
+            }
+            _ => return Err(TraceIoError::Truncated),
+        };
+        events.push(TraceEvent { at_us, op });
+    }
+    Ok(Trace { profile, scale, heap_bytes, duration_s, events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceGenerator;
+
+    fn sample() -> Trace {
+        let p = profiles::by_name("dealII").unwrap();
+        TraceGenerator::new(p, 1.0 / 2048.0, 3).generate()
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let t = sample();
+        let bytes = encode_trace(&t);
+        let back = decode_trace(bytes).unwrap();
+        assert_eq!(back.events, t.events);
+        assert_eq!(back.heap_bytes, t.heap_bytes);
+        assert_eq!(back.profile.name, t.profile.name);
+        assert!((back.duration_s - t.duration_s).abs() < 1e-12);
+        assert!((back.scale - t.scale).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode_trace(&sample()).to_vec();
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            decode_trace(Bytes::from(bytes)),
+            Err(TraceIoError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_length() {
+        let bytes = encode_trace(&sample());
+        // Probe a spread of truncation points (every length would be slow).
+        for cut in [0, 3, 4, 5, 20, 40, bytes.len() / 2, bytes.len() - 1] {
+            let r = decode_trace(bytes.slice(..cut));
+            assert!(r.is_err(), "cut at {cut} should fail");
+        }
+        assert!(decode_trace(bytes).is_ok());
+    }
+
+    #[test]
+    fn unknown_profile_is_rejected() {
+        let t = sample();
+        let mut bytes = encode_trace(&t).to_vec();
+        // Corrupt the profile name (offset 5, after magic + len byte).
+        bytes[5] = b'z';
+        assert!(matches!(
+            decode_trace(Bytes::from(bytes)),
+            Err(TraceIoError::UnknownProfile { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_opcode_is_rejected() {
+        let t = sample();
+        let bytes = encode_trace(&t).to_vec();
+        // First event's opcode lives right after the fixed header.
+        let header = 4 + 1 + t.profile.name.len() + 8 + 8 + 8 + 8;
+        let mut corrupted = bytes.clone();
+        corrupted[header + 8] = 0xee;
+        assert!(decode_trace(Bytes::from(corrupted)).is_err());
+    }
+
+    #[test]
+    fn replay_of_decoded_trace_matches_original() {
+        use crate::{run_trace, CherivokeUnderTest};
+        let t = sample();
+        let decoded = decode_trace(encode_trace(&t)).unwrap();
+        let mut a = CherivokeUnderTest::paper_default(&t).unwrap();
+        let mut b = CherivokeUnderTest::paper_default(&decoded).unwrap();
+        let ra = run_trace(&mut a, &t).unwrap();
+        let rb = run_trace(&mut b, &decoded).unwrap();
+        assert_eq!(ra.events, rb.events);
+        assert!((ra.normalized_time - rb.normalized_time).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Decoding arbitrary bytes never panics — it returns an error or a
+        /// structurally valid trace.
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            let _ = decode_trace(Bytes::from(bytes));
+        }
+
+        /// Valid encodings corrupted at one byte either fail cleanly or
+        /// still decode to *some* structurally valid trace (single-bit
+        /// integrity is not a goal; panic-freedom is).
+        #[test]
+        fn corrupted_encodings_never_panic(pos in 0usize..2048, flip in 1u8..=255) {
+            let p = crate::profiles::by_name("hmmer").unwrap();
+            let t = crate::TraceGenerator::new(p, 1.0 / 4096.0, 1).generate();
+            let mut bytes = encode_trace(&t).to_vec();
+            if pos < bytes.len() {
+                bytes[pos] ^= flip;
+            }
+            let _ = decode_trace(Bytes::from(bytes));
+        }
+    }
+}

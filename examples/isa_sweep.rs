@@ -1,0 +1,61 @@
+//! The §3.3 revocation inner loop executed **instruction by instruction**
+//! on the CHERI CPU model, CLoadTags included.
+//!
+//! ```sh
+//! cargo run --example isa_sweep
+//! ```
+
+use cheri::Capability;
+use cheriisa::programs::{heap_cpu, sweep_heap};
+use revoker::ShadowMap;
+use tagmem::SegmentKind;
+
+const HEAP: u64 = 0x1000_0000;
+const LEN: u64 = 1 << 16;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A heap with 64 capabilities; a third of their targets are quarantined.
+    let mut plants = Vec::new();
+    for i in 0..64u64 {
+        let obj = Capability::root_rw(HEAP + 0x8000 + i * 64, 64);
+        plants.push((HEAP + i * 112, obj));
+    }
+    let mut shadow = ShadowMap::new(HEAP, LEN);
+    let mut quarantined = 0;
+    for i in (0..64u64).step_by(3) {
+        shadow.paint(HEAP + 0x8000 + i * 64, 64);
+        quarantined += 1;
+    }
+
+    let (mut cpu, heap_reg, shadow_reg) = heap_cpu(HEAP, LEN, &plants);
+    println!(
+        "heap: {} KiB, {} capabilities, {} target objects quarantined",
+        LEN >> 10,
+        plants.len(),
+        quarantined
+    );
+
+    let stats = sweep_heap(&mut cpu, heap_reg, shadow_reg, shadow.as_words())?;
+    println!(
+        "ISA sweep: {} instructions retired, {} lines skipped via CLoadTags,\n\
+         \u{20}          {} capabilities inspected, {} revoked",
+        stats.instructions, stats.lines_skipped, stats.caps_inspected, stats.caps_revoked
+    );
+    assert_eq!(stats.caps_revoked, quarantined);
+
+    // Verify the revocations took effect architecturally.
+    let heap_mem = cpu.space().segment(SegmentKind::Heap).expect("heap").mem();
+    assert_eq!(heap_mem.tag_count(), plants.len() as u64 - quarantined);
+    println!(
+        "surviving tags in heap memory: {} (== {} planted - {} revoked)",
+        heap_mem.tag_count(),
+        plants.len(),
+        quarantined
+    );
+    println!(
+        "\nEvery load, tag query, shadow lookup and invalidating store above was\n\
+         a modelled CHERI instruction — the deterministic inner loop of §3.3,\n\
+         with §3.4.1's CLoadTags skipping capability-free lines."
+    );
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! A long-running "session server" on a CHERIvoke heap.
+//!
+//! ```sh
+//! cargo run --release --example server_churn
+//! ```
+//!
+//! The motivating deployment of the paper's intro: a network-facing service
+//! written in an unsafe language, churning session objects as clients come
+//! and go, with a *bug* that keeps a stale session pointer in a routing
+//! table. Under CHERIvoke the stale pointer is revoked by the background
+//! revocation cycle before its memory is ever reused, so the bug is a
+//! clean fault instead of a security hole.
+
+use cheri::Capability;
+use cherivoke::{CherivokeHeap, HeapConfig};
+
+const SESSIONS: usize = 512;
+const ROUNDS: usize = 40;
+
+struct Session {
+    cap: Capability,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut heap = CherivokeHeap::new(HeapConfig::default())?;
+
+    // The routing table: a heap array of capabilities to live sessions.
+    let table = heap.malloc((SESSIONS * 16) as u64)?;
+
+    let mut sessions: Vec<Option<Session>> = (0..SESSIONS).map(|_| None).collect();
+    let mut next_id = 0u64;
+    let mut stale_slot: Option<usize> = None;
+    let mut uaf_attempts = 0u64;
+    let mut uaf_caught = 0u64;
+
+    for round in 0..ROUNDS {
+        // Clients connect: fill empty slots with new sessions.
+        for (slot, entry) in sessions.iter_mut().enumerate() {
+            if entry.is_none() {
+                let size = 64 + (next_id % 7) * 48;
+                let cap = heap.malloc(size)?;
+                heap.store_u64(&cap, 0, next_id)?; // session id
+                heap.store_cap(&table, (slot * 16) as u64, &cap)?;
+                *entry = Some(Session { cap });
+                next_id += 1;
+            }
+        }
+
+        // Clients disconnect: tear down a pseudo-random half of sessions.
+        for slot in 0..SESSIONS {
+            if (slot * 2654435761 + round * 40503) % 100 < 50 {
+                if let Some(sess) = sessions[slot].take() {
+                    // THE BUG: one teardown per round forgets to clear the
+                    // routing-table entry.
+                    let forgot_to_unlink = stale_slot.is_none();
+                    if !forgot_to_unlink {
+                        heap.store_u64(&table, (slot * 16) as u64, 0)?;
+                    } else {
+                        stale_slot = Some(slot);
+                    }
+                    heap.free(sess.cap)?;
+                }
+            }
+        }
+
+        // The router later follows a stale entry (use-after-free!).
+        if let Some(slot) = stale_slot.take() {
+            uaf_attempts += 1;
+            let stale = heap.load_cap(&table, (slot * 16) as u64)?;
+            match heap.load_u64(&stale, 0) {
+                Ok(_) => {
+                    // Pre-sweep: the memory is still quarantined, so this
+                    // read cannot observe another session's data.
+                }
+                Err(_) => uaf_caught += 1,
+            }
+            heap.store_u64(&table, (slot * 16) as u64, 0)?;
+        }
+    }
+
+    let stats = heap.stats();
+    println!("server ran {ROUNDS} rounds, {} sessions allocated", stats.alloc.mallocs);
+    println!(
+        "revocation: {} sweeps, {} dangling capabilities revoked, {} KiB swept",
+        stats.sweeps,
+        stats.caps_revoked,
+        stats.bytes_swept >> 10
+    );
+    println!(
+        "stale-pointer dereferences: {uaf_attempts} attempted, {uaf_caught} faulted cleanly,\n\
+         the rest read only quarantined (never-reallocated) memory"
+    );
+    println!(
+        "memory: peak live {} KiB, peak footprint {} KiB (quarantine ≤ 25%), shadow {} KiB",
+        stats.alloc.peak_live_bytes >> 10,
+        stats.alloc.peak_footprint_bytes >> 10,
+        heap.shadow_bytes() >> 10
+    );
+    assert!(stats.sweeps > 0, "the policy should have swept during churn");
+    Ok(())
+}

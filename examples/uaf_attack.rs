@@ -1,0 +1,110 @@
+//! The paper's Figure 1 attack, run twice: once against a conventional
+//! allocator (the attack succeeds) and once under CHERIvoke (the dangling
+//! pointer is revoked and the attack faults).
+//!
+//! ```sh
+//! cargo run --example uaf_attack
+//! ```
+//!
+//! Scenario (a classic C++ use-after-reallocation):
+//!
+//! 1. The program `delete`s an object whose first word is a vtable pointer.
+//! 2. A *dangling* pointer to the object survives in another heap object.
+//! 3. The attacker, controlling external input, gets the freed slot
+//!    reallocated and fills it with an attacker-chosen "vtable".
+//! 4. A buggy second `delete` dereferences the dangling pointer's vtable
+//!    slot — and jumps wherever the attacker pointed it.
+
+use cherivoke::{CherivokeHeap, HeapConfig};
+use cvkalloc::DlAllocator;
+use tagmem::{AddressSpace, SegmentKind};
+
+const LEGIT_VTABLE: u64 = 0x00be_ef00;
+const ATTACKER_FUNC: u64 = 0x0bad_f00d;
+
+/// The attack against a conventional allocator: raw addresses, immediate
+/// reuse of freed memory, no revocation. Returns the function pointer the
+/// victim ends up calling.
+fn attack_conventional() -> u64 {
+    let heap_base = 0x1000_0000;
+    let mut space =
+        AddressSpace::builder().segment(SegmentKind::Heap, heap_base, 1 << 20).build();
+    let mut alloc = DlAllocator::new(heap_base, 1 << 20);
+
+    // Victim object; first word is the vtable pointer.
+    let victim = alloc.malloc(64).expect("space");
+    space.store_u64(victim.addr, LEGIT_VTABLE).expect("mapped");
+
+    // A dangling copy of the pointer survives as a raw address.
+    let dangling_ptr: u64 = victim.addr;
+
+    // delete #1 — and the conventional allocator recycles immediately.
+    alloc.free(victim.addr).expect("valid free");
+
+    // Attacker sprays; dlmalloc's LIFO bins hand the address right back.
+    let spray = alloc.malloc(64).expect("space");
+    assert_eq!(spray.addr, dangling_ptr, "immediate reuse");
+    space.store_u64(spray.addr, ATTACKER_FUNC).expect("mapped");
+
+    // delete #2 — the buggy code dereferences the dangling pointer.
+    space.load_u64(dangling_ptr).expect("mapped")
+}
+
+/// The identical flow under CHERIvoke. Returns what the victim reads
+/// through the dangling capability, or the fault that stopped it.
+fn attack_cherivoke() -> Result<u64, String> {
+    let mut heap = CherivokeHeap::new(HeapConfig::small()).map_err(|e| e.to_string())?;
+
+    let victim = heap.malloc(64).map_err(|e| e.to_string())?;
+    heap.store_u64(&victim, 0, LEGIT_VTABLE).map_err(|e| e.to_string())?;
+
+    // The dangling copy lives in another heap object.
+    let stash = heap.malloc(16).map_err(|e| e.to_string())?;
+    heap.store_cap(&stash, 0, &victim).map_err(|e| e.to_string())?;
+
+    // delete #1: quarantined, not reusable yet.
+    heap.free(victim).map_err(|e| e.to_string())?;
+
+    // The attacker sprays until the address comes back. Reuse requires the
+    // quarantine to drain — which CHERIvoke only does after a revocation
+    // sweep (here the spray eventually triggers it via the policy).
+    let mut recaptured = None;
+    for _ in 0..20_000 {
+        let spray = heap.malloc(64).map_err(|e| e.to_string())?;
+        if spray.base() == victim.base() {
+            recaptured = Some(spray);
+            break;
+        }
+        heap.free(spray).map_err(|e| e.to_string())?;
+    }
+    let spray = recaptured.ok_or("attacker never recaptured the address")?;
+    heap.store_u64(&spray, 0, ATTACKER_FUNC).map_err(|e| e.to_string())?;
+
+    // delete #2: dereference the stashed (dangling) pointer.
+    let dangling = heap.load_cap(&stash, 0).map_err(|e| e.to_string())?;
+    heap.load_u64(&dangling, 0).map_err(|e| format!("CHERI fault: {e}"))
+}
+
+fn main() {
+    println!("== Figure 1 use-after-reallocation attack ==\n");
+
+    let stolen = attack_conventional();
+    println!("conventional allocator: victim calls {stolen:#x}");
+    assert_eq!(stolen, ATTACKER_FUNC);
+    println!("  -> control-flow hijacked: the dangling pointer read attacker data\n");
+
+    match attack_cherivoke() {
+        Ok(v) => {
+            println!("CHERIvoke: victim calls {v:#x}");
+            panic!("attack should have been stopped!");
+        }
+        Err(e) => {
+            println!("CHERIvoke: attack stopped — {e}");
+            println!(
+                "  -> the revocation sweep that preceded reuse cleared the dangling\n\
+                 \u{20}    capability's tag, so the victim faults instead of jumping to\n\
+                 \u{20}    {ATTACKER_FUNC:#x}"
+            );
+        }
+    }
+}
