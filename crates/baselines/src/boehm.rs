@@ -82,8 +82,12 @@ impl BoehmGcHeap {
 
         // Mark: BFS over edges from roots (plus pinned objects).
         let mut marked: HashSet<u64> = HashSet::new();
-        let mut queue: VecDeque<u64> =
-            self.roots.iter().chain(self.pinned.iter()).copied().collect();
+        let mut queue: VecDeque<u64> = self
+            .roots
+            .iter()
+            .chain(self.pinned.iter())
+            .copied()
+            .collect();
         while let Some(id) = queue.pop_front() {
             if !marked.insert(id) {
                 continue;
@@ -109,7 +113,7 @@ impl BoehmGcHeap {
             .collect();
         for id in garbage {
             self.pin_tick += 1;
-            if self.pin_tick % 50 == 0 {
+            if self.pin_tick.is_multiple_of(50) {
                 self.pinned.insert(id);
                 continue;
             }
@@ -168,7 +172,10 @@ impl WorkloadHeap for BoehmGcHeap {
     }
 
     fn mechanism(&self) -> MechanismBreakdown {
-        MechanismBreakdown { other: self.gc_seconds, ..Default::default() }
+        MechanismBreakdown {
+            other: self.gc_seconds,
+            ..Default::default()
+        }
     }
 
     fn peak_footprint(&self) -> u64 {
@@ -196,7 +203,10 @@ mod tests {
         let t = trace("dealII");
         let mut gc = BoehmGcHeap::new(&t);
         let report = run_trace(&mut gc, &t).unwrap();
-        assert!(gc.collections() > 0, "allocation churn must trigger collections");
+        assert!(
+            gc.collections() > 0,
+            "allocation churn must trigger collections"
+        );
         assert!(report.normalized_time > 1.0);
         // Garbage accumulation shows up as memory overhead.
         assert!(report.normalized_memory > 1.0);
@@ -224,7 +234,10 @@ mod tests {
         // Dropping 2's root does not kill it: 1 still points to it.
         gc.free(2).unwrap();
         gc.collect();
-        assert!(gc.base.blocks.contains_key(&2), "reachable object collected");
+        assert!(
+            gc.base.blocks.contains_key(&2),
+            "reachable object collected"
+        );
         // Dropping 1 kills both (minus pinning).
         gc.free(1).unwrap();
         gc.collect();

@@ -172,10 +172,16 @@ mod tests {
     fn cross_site_query_is_sound() {
         let mut h = heap();
         let a = h.malloc(64, 1).unwrap();
-        assert!(!h.may_be_reused_by(a.addr, 1), "live memory is not reusable");
+        assert!(
+            !h.may_be_reused_by(a.addr, 1),
+            "live memory is not reusable"
+        );
         assert!(!h.may_be_reused_by(a.addr, 2));
         h.free(a.addr, 1).unwrap();
         assert!(h.may_be_reused_by(a.addr, 1), "owner site may reuse");
-        assert!(!h.may_be_reused_by(a.addr, 2), "pooled memory never crosses sites");
+        assert!(
+            !h.may_be_reused_by(a.addr, 2),
+            "pooled memory never crosses sites"
+        );
     }
 }

@@ -78,14 +78,19 @@ impl BaseAlloc {
     }
 
     pub fn malloc(&mut self, id: u64, size: u64) -> Result<Block, String> {
-        let block = self.alloc.malloc(size).map_err(|e| format!("malloc {id}: {e}"))?;
+        let block = self
+            .alloc
+            .malloc(size)
+            .map_err(|e| format!("malloc {id}: {e}"))?;
         self.blocks.insert(id, block);
         Ok(block)
     }
 
     pub fn free(&mut self, id: u64) -> Result<u64, String> {
-        let block =
-            self.blocks.remove(&id).ok_or_else(|| format!("free of unknown id {id}"))?;
+        let block = self
+            .blocks
+            .remove(&id)
+            .ok_or_else(|| format!("free of unknown id {id}"))?;
         match self.alloc.free(block.addr) {
             Ok(size) => Ok(size),
             Err(AllocError::InvalidFree { .. }) => Err(format!("double free of id {id}")),
@@ -117,6 +122,9 @@ mod tests {
         let c = BaselineCosts::default();
         assert!(c.t_gc_mark_obj_s > 0.0);
         assert!(c.gc_scan_rate_bytes_s > 0.0);
-        assert!(c.t_page_alias_s > c.t_track_ptr_s, "Oscar ops are syscall-scale");
+        assert!(
+            c.t_page_alias_s > c.t_track_ptr_s,
+            "Oscar ops are syscall-scale"
+        );
     }
 }

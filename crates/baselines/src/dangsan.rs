@@ -46,8 +46,7 @@ impl DangSanHeap {
     pub fn with_costs(trace: &Trace, costs: BaselineCosts) -> DangSanHeap {
         DangSanHeap {
             base: BaseAlloc::new(trace.heap_bytes),
-            implied_rate: costs.implied_ptr_stores_per_s
-                * trace.profile.pointer_page_density,
+            implied_rate: costs.implied_ptr_stores_per_s * trace.profile.pointer_page_density,
             costs,
             registry: HashMap::new(),
             registry_bytes: 0,
@@ -85,8 +84,9 @@ impl WorkloadHeap for DangSanHeap {
         // Walk the registry, nullifying every recorded location.
         let entries = self.registry.remove(&id).unwrap_or(0);
         self.mech_seconds += entries as f64 * self.costs.t_nullify_s;
-        self.registry_bytes =
-            self.registry_bytes.saturating_sub(entries * self.costs.registry_bytes_per_entry);
+        self.registry_bytes = self
+            .registry_bytes
+            .saturating_sub(entries * self.costs.registry_bytes_per_entry);
         Ok(())
     }
 
@@ -110,7 +110,10 @@ impl WorkloadHeap for DangSanHeap {
     }
 
     fn mechanism(&self) -> MechanismBreakdown {
-        MechanismBreakdown { other: self.mech_seconds, ..Default::default() }
+        MechanismBreakdown {
+            other: self.mech_seconds,
+            ..Default::default()
+        }
     }
 
     fn peak_footprint(&self) -> u64 {
@@ -153,7 +156,10 @@ mod tests {
         let t = trace("xalancbmk");
         let mut d = DangSanHeap::new(&t);
         let report = run_trace(&mut d, &t).unwrap();
-        assert!(report.normalized_memory > 1.1, "registries must cost memory: {report:?}");
+        assert!(
+            report.normalized_memory > 1.1,
+            "registries must cost memory: {report:?}"
+        );
     }
 
     #[test]

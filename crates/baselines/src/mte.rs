@@ -67,7 +67,11 @@ pub struct MteHeap {
 impl MteHeap {
     /// A tagged heap over `[base, base + size)`.
     pub fn new(base: u64, size: u64) -> MteHeap {
-        MteHeap { alloc: DlAllocator::new(base, size), colours: HashMap::new(), next_colour: 0 }
+        MteHeap {
+            alloc: DlAllocator::new(base, size),
+            colours: HashMap::new(),
+            next_colour: 0,
+        }
     }
 
     /// Allocates `size` bytes, colouring the memory and the pointer.
@@ -83,7 +87,11 @@ impl MteHeap {
         let colour = 1 + self.next_colour % MTE_COLOURS;
         self.next_colour = self.next_colour.wrapping_add(1);
         self.colours.insert(block.addr, colour);
-        Ok(MtePtr { addr: block.addr, size: block.size, colour })
+        Ok(MtePtr {
+            addr: block.addr,
+            size: block.size,
+            colour,
+        })
     }
 
     /// Frees an allocation (the region loses its colour until reallocated).
@@ -108,7 +116,10 @@ impl MteHeap {
         match self.colours.get(&ptr.addr) {
             None => Err(MteFault::Unmapped),
             Some(&mem) if mem == ptr.colour => Ok(()),
-            Some(&mem) => Err(MteFault::TagMismatch { ptr: ptr.colour, mem }),
+            Some(&mem) => Err(MteFault::TagMismatch {
+                ptr: ptr.colour,
+                mem,
+            }),
         }
     }
 

@@ -82,7 +82,10 @@ impl WorkloadHeap for OscarHeap {
     }
 
     fn mechanism(&self) -> MechanismBreakdown {
-        MechanismBreakdown { other: self.mech_seconds, ..Default::default() }
+        MechanismBreakdown {
+            other: self.mech_seconds,
+            ..Default::default()
+        }
     }
 
     fn peak_footprint(&self) -> u64 {

@@ -44,9 +44,7 @@ impl PSweeperHeap {
     pub fn with_costs(trace: &Trace, costs: BaselineCosts) -> PSweeperHeap {
         PSweeperHeap {
             base: BaseAlloc::new(trace.heap_bytes),
-            implied_rate: costs.implied_ptr_stores_per_s
-                * trace.profile.pointer_page_density
-                * 0.5, // lighter instrumentation coverage than DangSan
+            implied_rate: costs.implied_ptr_stores_per_s * trace.profile.pointer_page_density * 0.5, // lighter instrumentation coverage than DangSan
             costs,
             mech_seconds: 0.0,
             pending_free_bytes: 0,
@@ -114,7 +112,10 @@ impl WorkloadHeap for PSweeperHeap {
     }
 
     fn mechanism(&self) -> MechanismBreakdown {
-        MechanismBreakdown { other: self.mech_seconds, ..Default::default() }
+        MechanismBreakdown {
+            other: self.mech_seconds,
+            ..Default::default()
+        }
     }
 
     fn peak_footprint(&self) -> u64 {

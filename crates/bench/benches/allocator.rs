@@ -54,8 +54,9 @@ fn bench_alloc(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut heap = CherivokeAllocator::new(DlAllocator::new(BASE, SIZE), f64::INFINITY);
-                let blocks: Vec<u64> =
-                    (0..1000).map(|_| heap.malloc(64).expect("space").addr).collect();
+                let blocks: Vec<u64> = (0..1000)
+                    .map(|_| heap.malloc(64).expect("space").addr)
+                    .collect();
                 (heap, blocks)
             },
             |(mut heap, blocks)| {

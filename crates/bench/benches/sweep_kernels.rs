@@ -60,7 +60,10 @@ mod conservative_benches {
             let mut shadow = ShadowMap::new(mem.base(), mem.len());
             shadow.paint(mem.base(), mem.len() / 4);
             for (name, f) in [
-                ("scalar", sweep_scalar as fn(&mut ConservativeImage, &ShadowMap) -> _),
+                (
+                    "scalar",
+                    sweep_scalar as fn(&mut ConservativeImage, &ShadowMap) -> _,
+                ),
                 ("unrolled", sweep_unrolled),
                 ("avx2", sweep_avx2),
             ] {

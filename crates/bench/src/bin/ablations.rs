@@ -102,7 +102,11 @@ fn painting() -> PaintingAblation {
     };
     let wide = rate(false);
     let bitwise = rate(true);
-    PaintingAblation { wide_mib_s: wide, bitwise_mib_s: bitwise, speedup: wide / bitwise }
+    PaintingAblation {
+        wide_mib_s: wide,
+        bitwise_mib_s: bitwise,
+        speedup: wide / bitwise,
+    }
 }
 
 fn capdirty() -> CapDirtyAblation {
@@ -151,8 +155,7 @@ fn kernels() -> Vec<KernelAblation> {
             Stage::Full,
         )
         .expect("heap");
-        let overhead =
-            (run_trace(&mut sut, &trace).expect("run").normalized_time - 1.0) * 100.0;
+        let overhead = (run_trace(&mut sut, &trace).expect("run").normalized_time - 1.0) * 100.0;
         KernelAblation {
             kernel: name.to_string(),
             scan_rate_mib_s: rate,
@@ -173,8 +176,7 @@ fn pauses() -> Vec<PauseAblation> {
     let mut sut = CherivokeUnderTest::paper_default(&trace).expect("heap");
     run_trace(&mut sut, &trace).expect("run");
     let sweeps = sut.heap().stats().sweeps.max(1);
-    let bytes_per_sweep =
-        (sut.heap().stats().bytes_swept / sweeps) as f64 / trace.scale;
+    let bytes_per_sweep = (sut.heap().stats().bytes_swept / sweeps) as f64 / trace.scale;
     out.push(PauseAblation {
         mode: "stop-the-world (full-scale)".to_string(),
         max_pause_bytes: bytes_per_sweep as u64,
@@ -202,7 +204,10 @@ fn main() {
     };
 
     if bench::json_mode() {
-        println!("{}", serde_json::to_string_pretty(&result).expect("serialise"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("serialise")
+        );
         return;
     }
 

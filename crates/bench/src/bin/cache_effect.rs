@@ -27,10 +27,7 @@ struct CacheEffectRow {
 
 /// Replays the trace's allocation stream, touching each new object, and
 /// returns (L2 miss ratio, cycles, allocations).
-fn run(
-    trace: &workloads::Trace,
-    quarantine_fraction: Option<f64>,
-) -> (f64, u64, u64) {
+fn run(trace: &workloads::Trace, quarantine_fraction: Option<f64>) -> (f64, u64, u64) {
     let mut machine = Machine::new(MachineConfig::x86_like());
     let mut allocs = 0u64;
 
@@ -113,7 +110,10 @@ fn main() {
     }
 
     if bench::json_mode() {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialise"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialise")
+        );
         return;
     }
 
@@ -122,7 +122,12 @@ fn main() {
          Paper §6.1.1: quarantine grew L2 misses ~50% with instructions ~flat.\n"
     );
     bench::print_table(
-        &["configuration", "L2 miss ratio", "cycles/alloc", "miss growth"],
+        &[
+            "configuration",
+            "L2 miss ratio",
+            "cycles/alloc",
+            "miss growth",
+        ],
         &rows
             .iter()
             .map(|r| {

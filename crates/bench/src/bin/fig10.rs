@@ -34,9 +34,8 @@ fn main() {
         let report = run_trace(&mut sut, &trace).unwrap_or_else(|e| panic!("{}: {e}", p.name));
         // Sweep traffic at full scale: bytes swept per virtual second is
         // scale-invariant (frequency × per-sweep bytes cancel the scale).
-        let sweep_mib_s = sut.heap().stats().bytes_swept as f64
-            / (1024.0 * 1024.0)
-            / report.app_seconds;
+        let sweep_mib_s =
+            sut.heap().stats().bytes_swept as f64 / (1024.0 * 1024.0) / report.app_seconds;
         let app_mib_s = APP_TRAFFIC_FLOOR_MIB_S + APP_TRAFFIC_PER_FREE_RATE * p.free_rate_mib_s;
         rows.push(Fig10Row {
             benchmark: p.name.to_string(),
@@ -48,13 +47,22 @@ fn main() {
     }
 
     if bench::json_mode() {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialise"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialise")
+        );
         return;
     }
 
     println!("Figure 10: off-core traffic overhead\n");
     bench::print_table(
-        &["benchmark", "sweep MiB/s", "app MiB/s (model)", "traffic ovh %", "time ovh %"],
+        &[
+            "benchmark",
+            "sweep MiB/s",
+            "app MiB/s (model)",
+            "traffic ovh %",
+            "time ovh %",
+        ],
         &rows
             .iter()
             .map(|r| {

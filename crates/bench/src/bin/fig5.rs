@@ -81,13 +81,23 @@ fn main() {
     rows.push(geo);
 
     if bench::json_mode() {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialise"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialise")
+        );
         return;
     }
 
     println!("Figure 5(a): normalised execution time (25% quarantine)\n");
     bench::print_table(
-        &["benchmark", "CHERIvoke", "Oscar", "pSweeper", "DangSan", "Boehm-GC"],
+        &[
+            "benchmark",
+            "CHERIvoke",
+            "Oscar",
+            "pSweeper",
+            "DangSan",
+            "Boehm-GC",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -105,7 +115,14 @@ fn main() {
 
     println!("\nFigure 5(b): normalised memory utilisation\n");
     bench::print_table(
-        &["benchmark", "CHERIvoke", "Oscar", "pSweeper", "DangSan", "Boehm-GC"],
+        &[
+            "benchmark",
+            "CHERIvoke",
+            "Oscar",
+            "pSweeper",
+            "DangSan",
+            "Boehm-GC",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -3,9 +3,7 @@
 //! at the default 25% heap overhead (all 17 benchmarks including ffmpeg).
 
 use serde::Serialize;
-use workloads::{
-    profiles, run_trace, CherivokeUnderTest, CostModel, Stage, TraceGenerator,
-};
+use workloads::{profiles, run_trace, CherivokeUnderTest, CostModel, Stage, TraceGenerator};
 
 #[derive(Serialize)]
 struct Fig6Row {
@@ -23,8 +21,9 @@ fn main() {
     for p in profiles::all() {
         let trace = TraceGenerator::new(p, scale, seed).generate();
         let mut stage_time = [0.0f64; 3];
-        for (i, stage) in
-            [Stage::QuarantineOnly, Stage::WithShadow, Stage::Full].into_iter().enumerate()
+        for (i, stage) in [Stage::QuarantineOnly, Stage::WithShadow, Stage::Full]
+            .into_iter()
+            .enumerate()
         {
             let mut sut = CherivokeUnderTest::new(
                 &trace,
@@ -53,13 +52,21 @@ fn main() {
     });
 
     if bench::json_mode() {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialise"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialise")
+        );
         return;
     }
 
     println!("Figure 6: decomposition of run-time overheads (25% heap overhead)\n");
     bench::print_table(
-        &["benchmark", "quarantine only", "+ shadow space", "+ sweeping"],
+        &[
+            "benchmark",
+            "quarantine only",
+            "+ shadow space",
+            "+ sweeping",
+        ],
         &rows
             .iter()
             .map(|r| {

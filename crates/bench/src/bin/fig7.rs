@@ -80,8 +80,19 @@ fn read_bandwidth(mem: &tagmem::TaggedMemory) -> f64 {
 fn main() {
     // The benchmarks fig. 7 shows: those with significant deallocation.
     let names = [
-        "ffmpeg", "astar", "dealII", "gobmk", "h264ref", "hmmer", "mcf", "milc", "omnetpp",
-        "povray", "soplex", "sphinx3", "xalancbmk",
+        "ffmpeg",
+        "astar",
+        "dealII",
+        "gobmk",
+        "h264ref",
+        "hmmer",
+        "mcf",
+        "milc",
+        "omnetpp",
+        "povray",
+        "soplex",
+        "sphinx3",
+        "xalancbmk",
     ];
     let mut rows = Vec::new();
     let mut reference = 0.0f64;
@@ -122,7 +133,10 @@ fn main() {
     });
 
     if bench::json_mode() {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialise"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialise")
+        );
         return;
     }
 

@@ -32,7 +32,11 @@ fn main() {
         // the simulator's oversized heap segment (the paper sweeps real
         // process images whose segments are sized to the application).
         let used = sut.heap().stats().alloc.peak_footprint_bytes
-            + sut.heap().space().segments().iter()
+            + sut
+                .heap()
+                .space()
+                .segments()
+                .iter()
                 .filter(|s| s.kind().sweepable() && s.kind() != tagmem::SegmentKind::Heap)
                 .map(|s| s.mem().len())
                 .sum::<u64>();
@@ -45,7 +49,10 @@ fn main() {
     }
 
     if bench::json_mode() {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialise"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialise")
+        );
         return;
     }
 

@@ -26,7 +26,10 @@ struct Fig8bRow {
 
 fn normalised(mem: TaggedMemory, mode: TimedMode) -> f64 {
     let shadow = ShadowMap::new(mem.base(), mem.len());
-    let dump = CoreDump::from_images(vec![SegmentImage { kind: SegmentKind::Heap, mem }]);
+    let dump = CoreDump::from_images(vec![SegmentImage {
+        kind: SegmentKind::Heap,
+        mem,
+    }]);
     let mut full_m = Machine::new(MachineConfig::cheri_fpga_like());
     let full = timed_sweep(&dump, &shadow, &mut full_m, TimedMode::Full);
     let mut m = Machine::new(MachineConfig::cheri_fpga_like());
@@ -38,13 +41,27 @@ fn main() {
     let mut rows = Vec::new();
     for step in 0..=20 {
         let d = step as f64 / 20.0;
-        let pte = normalised(bench::image_with_page_density(IMAGE_BYTES, d), TimedMode::PteCapDirty);
-        let clt = normalised(bench::image_with_line_density(IMAGE_BYTES, d), TimedMode::CLoadTags);
-        rows.push(Fig8bRow { density: d, pte_dirty: pte, cloadtags: clt, idealised: d });
+        let pte = normalised(
+            bench::image_with_page_density(IMAGE_BYTES, d),
+            TimedMode::PteCapDirty,
+        );
+        let clt = normalised(
+            bench::image_with_line_density(IMAGE_BYTES, d),
+            TimedMode::CLoadTags,
+        );
+        rows.push(Fig8bRow {
+            density: d,
+            pte_dirty: pte,
+            cloadtags: clt,
+            idealised: d,
+        });
     }
 
     if bench::json_mode() {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialise"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialise")
+        );
         return;
     }
 

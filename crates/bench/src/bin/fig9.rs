@@ -22,7 +22,9 @@ fn time_at(name: &str, fraction: f64, scale: f64, seed: u64) -> f64 {
         Stage::Full,
     )
     .expect("construct heap");
-    run_trace(&mut sut, &trace).unwrap_or_else(|e| panic!("{name}: {e}")).normalized_time
+    run_trace(&mut sut, &trace)
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+        .normalized_time
 }
 
 fn main() {
@@ -39,7 +41,10 @@ fn main() {
         .collect();
 
     if bench::json_mode() {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialise"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialise")
+        );
         return;
     }
 

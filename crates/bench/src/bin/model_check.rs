@@ -45,7 +45,10 @@ fn main() {
     }
 
     if bench::json_mode() {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialise"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialise")
+        );
         return;
     }
 

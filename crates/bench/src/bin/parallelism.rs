@@ -41,7 +41,11 @@ fn main() {
     let read_bw = data.len() as f64 / (1024.0 * 1024.0) / t0.elapsed().as_secs_f64();
 
     let rate = |threads: usize| -> f64 {
-        let kernel = if threads == 1 { Kernel::Wide } else { Kernel::Parallel { threads } };
+        let kernel = if threads == 1 {
+            Kernel::Wide
+        } else {
+            Kernel::Parallel { threads }
+        };
         let sweeper = Sweeper::new(kernel);
         let mut best = f64::INFINITY;
         for _ in 0..3 {
@@ -54,7 +58,9 @@ fn main() {
     };
 
     let single = rate(1);
-    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut rows = Vec::new();
     for threads in [1usize, 2, 4, 8, 16] {
         if threads > available * 2 {
@@ -70,7 +76,10 @@ fn main() {
     }
 
     if bench::json_mode() {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialise"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialise")
+        );
         return;
     }
 

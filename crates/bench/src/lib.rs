@@ -50,8 +50,11 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         }
     }
     let line = |cells: Vec<String>| {
-        let s: Vec<String> =
-            cells.iter().enumerate().map(|(i, c)| format!("{:>w$}", c, w = widths[i])).collect();
+        let s: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
         println!("  {}", s.join("  "));
     };
     line(headers.iter().map(|s| s.to_string()).collect());

@@ -201,7 +201,10 @@ impl Capability {
     #[inline]
     #[must_use]
     pub fn cleared(&self) -> Capability {
-        Capability { tag: false, ..*self }
+        Capability {
+            tag: false,
+            ..*self
+        }
     }
 
     /// Derives a capability with exactly `base..base+len` bounds (CSetBounds
@@ -219,7 +222,11 @@ impl Capability {
         self.guard_derive()?;
         let bounds = CompressedBounds::encode_exact(base, len)?;
         self.check_shrinks(base, base as u128 + len as u128)?;
-        Ok(Capability { address: base, bounds, ..*self })
+        Ok(Capability {
+            address: base,
+            bounds,
+            ..*self
+        })
     }
 
     /// Derives a capability whose bounds are the smallest representable
@@ -235,7 +242,11 @@ impl Capability {
         self.guard_derive()?;
         let (bounds, abase, atop) = CompressedBounds::encode_rounding(base, len);
         self.check_shrinks(abase, atop)?;
-        Ok(Capability { address: base, bounds, ..*self })
+        Ok(Capability {
+            address: base,
+            bounds,
+            ..*self
+        })
     }
 
     /// Derives a capability with permissions intersected with `keep`
@@ -246,7 +257,10 @@ impl Capability {
     /// Fails on untagged or sealed sources.
     pub fn with_perms(&self, keep: Perms) -> Result<Capability, CapError> {
         self.guard_derive()?;
-        Ok(Capability { perms: self.perms.intersect(keep), ..*self })
+        Ok(Capability {
+            perms: self.perms.intersect(keep),
+            ..*self
+        })
     }
 
     /// Returns a copy with the address set to `addr` (CSetAddr).
@@ -269,7 +283,10 @@ impl Capability {
         if self.tag && !self.bounds.addr_is_representable(self.address, addr) {
             return Err(CapError::UnrepresentableAddress { addr });
         }
-        Ok(Capability { address: addr, ..*self })
+        Ok(Capability {
+            address: addr,
+            ..*self
+        })
     }
 
     /// Pointer arithmetic: address + `delta` (CIncOffset).
@@ -280,7 +297,9 @@ impl Capability {
     /// [`Capability::with_address`].
     pub fn incremented(&self, delta: i64) -> Result<Capability, CapError> {
         let addr = if delta >= 0 {
-            self.address.checked_add(delta as u64).ok_or(CapError::AddressOverflow)?
+            self.address
+                .checked_add(delta as u64)
+                .ok_or(CapError::AddressOverflow)?
         } else {
             self.address
                 .checked_sub(delta.unsigned_abs())
@@ -296,7 +315,11 @@ impl Capability {
     pub fn with_address_clearing(&self, addr: u64) -> Capability {
         match self.with_address(addr) {
             Ok(c) => c,
-            Err(_) => Capability { address: addr, tag: false, ..*self },
+            Err(_) => Capability {
+                address: addr,
+                tag: false,
+                ..*self
+            },
         }
     }
 
@@ -330,7 +353,10 @@ impl Capability {
         if auth.address() as u16 != self.otype.raw() {
             return Err(CapError::OTypeMismatch);
         }
-        Ok(Capability { otype: OType::UNSEALED, ..*self })
+        Ok(Capability {
+            otype: OType::UNSEALED,
+            ..*self
+        })
     }
 
     /// Rebuilds a tagged capability from an untagged bit pattern, using
@@ -360,7 +386,11 @@ impl Capability {
         if !pattern.perms.is_subset_of(self.perms) {
             return Err(CapError::MonotonicityViolation);
         }
-        Ok(Capability { tag: true, otype: OType::UNSEALED, ..*pattern })
+        Ok(Capability {
+            tag: true,
+            otype: OType::UNSEALED,
+            ..*pattern
+        })
     }
 
     // --- Internal ----------------------------------------------------------
@@ -393,7 +423,13 @@ impl Capability {
         perms: Perms,
         otype: OType,
     ) -> Capability {
-        Capability { tag, address, bounds, perms, otype }
+        Capability {
+            tag,
+            address,
+            bounds,
+            perms,
+            otype,
+        }
     }
 }
 
@@ -459,7 +495,10 @@ mod tests {
         assert_eq!(o.base(), 0x10_0040);
         assert_eq!(o.length(), 64);
         // Growing back is impossible.
-        assert_eq!(o.set_bounds_exact(0x10_0000, 0x1000), Err(CapError::MonotonicityViolation));
+        assert_eq!(
+            o.set_bounds_exact(0x10_0000, 0x1000),
+            Err(CapError::MonotonicityViolation)
+        );
         assert_eq!(
             o.set_bounds(0x10_0040, 65),
             Err(CapError::MonotonicityViolation),
@@ -472,7 +511,10 @@ mod tests {
         let h = heap_cap();
         let ro = h.with_perms(Perms::LOAD | Perms::LOAD_CAP).unwrap();
         assert!(ro.check_access(0x10_0000, 8, Perms::LOAD).is_ok());
-        assert_eq!(ro.check_access(0x10_0000, 8, Perms::STORE), Err(CapError::PermissionDenied));
+        assert_eq!(
+            ro.check_access(0x10_0000, 8, Perms::STORE),
+            Err(CapError::PermissionDenied)
+        );
         // Re-adding STORE just intersects away.
         let still_ro = ro.with_perms(Perms::RW_DATA).unwrap();
         assert!(!still_ro.perms().contains(Perms::STORE));
@@ -513,7 +555,10 @@ mod tests {
         // Small object (E=0): representable window is tight; going far away
         // must fail or clear.
         let far = 0x40_0000_0000u64;
-        assert!(matches!(o.with_address(far), Err(CapError::UnrepresentableAddress { .. })));
+        assert!(matches!(
+            o.with_address(far),
+            Err(CapError::UnrepresentableAddress { .. })
+        ));
         let c = o.with_address_clearing(far);
         assert!(!c.tag());
         assert_eq!(c.address(), far);
@@ -529,7 +574,10 @@ mod tests {
         // Address math on untagged words is fine (they're just data)...
         let d2 = d.with_address(0).unwrap();
         // ...but never yields authority.
-        assert_eq!(d2.check_access(0, 0, Perms::NONE), Err(CapError::TagCleared));
+        assert_eq!(
+            d2.check_access(0, 0, Perms::NONE),
+            Err(CapError::TagCleared)
+        );
     }
 
     #[test]
@@ -542,7 +590,10 @@ mod tests {
         let o = heap_cap().set_bounds_exact(0x10_0040, 64).unwrap();
         let s = o.sealed_with(&sealer).unwrap();
         assert!(s.is_sealed());
-        assert_eq!(s.check_access(0x10_0040, 8, Perms::LOAD), Err(CapError::Sealed));
+        assert_eq!(
+            s.check_access(0x10_0040, 8, Perms::LOAD),
+            Err(CapError::Sealed)
+        );
         assert_eq!(s.set_bounds(0x10_0040, 16), Err(CapError::Sealed));
         let u = s.unsealed_with(&sealer).unwrap();
         assert_eq!(u, o);
@@ -594,15 +645,21 @@ mod tests {
     #[test]
     fn build_cap_cannot_amplify() {
         let auth = heap_cap(); // bounds [0x10_0000, 0x20_0000), RW_DATA
-        // Pattern with bounds outside the authority: rejected.
+                               // Pattern with bounds outside the authority: rejected.
         let outside = Capability::root_rw(0x40_0000, 64).cleared();
-        assert_eq!(auth.build_cap(&outside), Err(CapError::MonotonicityViolation));
+        assert_eq!(
+            auth.build_cap(&outside),
+            Err(CapError::MonotonicityViolation)
+        );
         // Pattern with extra permissions: rejected.
         let too_permissive = Capability::root()
             .set_bounds_exact(0x10_0040, 64)
             .unwrap()
             .cleared();
-        assert_eq!(auth.build_cap(&too_permissive), Err(CapError::MonotonicityViolation));
+        assert_eq!(
+            auth.build_cap(&too_permissive),
+            Err(CapError::MonotonicityViolation)
+        );
         // A dead authority builds nothing.
         assert_eq!(
             auth.cleared().build_cap(&auth.cleared()),
@@ -616,7 +673,10 @@ mod tests {
         // A garbage word can decode with top < base; it must not build.
         let garbage = CapWord::from_bits((0x3000u128 << 92) | 0x10_0000).decode(false);
         if garbage.top() < garbage.base() as u128 {
-            assert_eq!(auth.build_cap(&garbage), Err(CapError::MonotonicityViolation));
+            assert_eq!(
+                auth.build_cap(&garbage),
+                Err(CapError::MonotonicityViolation)
+            );
         }
     }
 

@@ -130,8 +130,9 @@ impl CapWord {
     /// long (callers slice from aligned memory, so length doubles as the
     /// alignment witness here).
     pub fn try_from_le_bytes(bytes: &[u8]) -> Result<CapWord, CapError> {
-        let arr: [u8; 16] =
-            bytes.try_into().map_err(|_| CapError::Misaligned { addr: bytes.len() as u64 })?;
+        let arr: [u8; 16] = bytes.try_into().map_err(|_| CapError::Misaligned {
+            addr: bytes.len() as u64,
+        })?;
         Ok(CapWord(u128::from_le_bytes(arr)))
     }
 }
@@ -172,7 +173,10 @@ mod tests {
             root.set_bounds_exact(0x4000, 64).unwrap(),
             root.set_bounds(0xdead_0000, 1 << 21).unwrap(),
             root.with_perms(Perms::LOAD | Perms::LOAD_CAP).unwrap(),
-            root.set_bounds_exact(0x4000, 64).unwrap().incremented(32).unwrap(),
+            root.set_bounds_exact(0x4000, 64)
+                .unwrap()
+                .incremented(32)
+                .unwrap(),
         ]
     }
 
@@ -200,7 +204,10 @@ mod tests {
 
     #[test]
     fn null_encodes_to_zero() {
-        assert_eq!(CapWord::encode(&Capability::NULL).bits() & ((1 << 64) - 1), 0);
+        assert_eq!(
+            CapWord::encode(&Capability::NULL).bits() & ((1 << 64) - 1),
+            0
+        );
         // Decoding the zero word gives a dead, empty capability.
         let z = CapWord::ZERO.decode(false);
         assert!(!z.tag());
@@ -209,7 +216,9 @@ mod tests {
 
     #[test]
     fn byte_roundtrip() {
-        let cap = Capability::root().set_bounds_exact(0x1234_5670, 128).unwrap();
+        let cap = Capability::root()
+            .set_bounds_exact(0x1234_5670, 128)
+            .unwrap();
         let w = CapWord::encode(&cap);
         let bytes = w.to_le_bytes();
         assert_eq!(CapWord::try_from_le_bytes(&bytes).unwrap(), w);

@@ -198,7 +198,7 @@ impl CompressedBounds {
         let align = Self::representable_alignment(len);
         len.checked_add(align - 1)
             .map(|x| x & !(align - 1))
-            .unwrap_or(u64::MAX & !(align - 1))
+            .unwrap_or(!(align - 1))
     }
 
     /// Alignment (in bytes, a power of two) that both base and length must
@@ -225,7 +225,10 @@ mod tests {
 
     fn roundtrip(base: u64, len: u64) {
         let (cb, abase, atop) = CompressedBounds::encode_rounding(base, len);
-        assert!(abase <= base, "granted base {abase:#x} above requested {base:#x}");
+        assert!(
+            abase <= base,
+            "granted base {abase:#x} above requested {base:#x}"
+        );
         assert!(atop >= base as u128 + len as u128);
         let (db, dt) = cb.decode(abase);
         assert_eq!(db, abase, "base mismatch for base={base:#x} len={len:#x}");
@@ -238,7 +241,11 @@ mod tests {
         }
         for probe in probes {
             let (pb, pt) = cb.decode(probe);
-            assert_eq!((pb, pt), (abase, atop), "probe {probe:#x} decoded differently");
+            assert_eq!(
+                (pb, pt),
+                (abase, atop),
+                "probe {probe:#x} decoded differently"
+            );
         }
     }
 

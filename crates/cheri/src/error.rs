@@ -62,16 +62,25 @@ impl fmt::Display for CapError {
             }
             CapError::PermissionDenied => write!(f, "capability lacks required permission"),
             CapError::Unrepresentable { base, len } => {
-                write!(f, "bounds base={base:#x} len={len:#x} are not exactly representable")
+                write!(
+                    f,
+                    "bounds base={base:#x} len={len:#x} are not exactly representable"
+                )
             }
             CapError::MonotonicityViolation => {
-                write!(f, "derivation would increase rights (monotonicity violation)")
+                write!(
+                    f,
+                    "derivation would increase rights (monotonicity violation)"
+                )
             }
             CapError::UnrepresentableAddress { addr } => {
                 write!(f, "address {addr:#x} leaves the representable region")
             }
             CapError::Misaligned { addr } => {
-                write!(f, "capability memory access at {addr:#x} is not 16-byte aligned")
+                write!(
+                    f,
+                    "capability memory access at {addr:#x} is not 16-byte aligned"
+                )
             }
             CapError::AddressOverflow => write!(f, "address arithmetic overflowed"),
             CapError::OTypeMismatch => write!(f, "object type mismatch"),

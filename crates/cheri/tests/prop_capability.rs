@@ -6,11 +6,10 @@ use proptest::prelude::*;
 
 /// Arbitrary (base, len) pairs spanning tiny to huge objects.
 fn bounds_strategy() -> impl Strategy<Value = (u64, u64)> {
-    (0u64..=(1 << 48), prop_oneof![
-        0u64..=4096,
-        4096u64..=(1 << 20),
-        (1u64 << 20)..=(1 << 34),
-    ])
+    (
+        0u64..=(1 << 48),
+        prop_oneof![0u64..=4096, 4096u64..=(1 << 20), (1u64 << 20)..=(1 << 34),],
+    )
 }
 
 proptest! {

@@ -75,14 +75,20 @@ impl Asm {
     /// Appends `beqz xs, name`.
     pub fn beqz(&mut self, xs: XReg, name: &str) -> &mut Asm {
         self.fixups.push((self.insns.len(), name.to_string()));
-        self.insns.push(Insn::Beqz { xs, target: usize::MAX });
+        self.insns.push(Insn::Beqz {
+            xs,
+            target: usize::MAX,
+        });
         self
     }
 
     /// Appends `bnez xs, name`.
     pub fn bnez(&mut self, xs: XReg, name: &str) -> &mut Asm {
         self.fixups.push((self.insns.len(), name.to_string()));
-        self.insns.push(Insn::Bnez { xs, target: usize::MAX });
+        self.insns.push(Insn::Bnez {
+            xs,
+            target: usize::MAX,
+        });
         self
     }
 
@@ -122,17 +128,32 @@ mod tests {
     use tagmem::{AddressSpace, SegmentKind};
 
     fn cpu() -> Cpu {
-        Cpu::new(AddressSpace::builder().segment(SegmentKind::Heap, 0x1000, 4096).build())
+        Cpu::new(
+            AddressSpace::builder()
+                .segment(SegmentKind::Heap, 0x1000, 4096)
+                .build(),
+        )
     }
 
     #[test]
     fn forward_and_backward_branches_resolve() {
         let mut asm = Asm::new();
-        asm.push(Insn::Li { xd: XReg(2), imm: 3 });
+        asm.push(Insn::Li {
+            xd: XReg(2),
+            imm: 3,
+        });
         asm.label("head");
         asm.beqz(XReg(2), "exit"); // forward reference
-        asm.push(Insn::Addi { xd: XReg(2), xa: XReg(2), imm: -1 });
-        asm.push(Insn::Addi { xd: XReg(4), xa: XReg(4), imm: 1 });
+        asm.push(Insn::Addi {
+            xd: XReg(2),
+            xa: XReg(2),
+            imm: -1,
+        });
+        asm.push(Insn::Addi {
+            xd: XReg(4),
+            xa: XReg(4),
+            imm: 1,
+        });
         asm.jump("head"); // backward reference
         asm.label("exit");
         asm.push(Insn::Halt);
@@ -162,13 +183,25 @@ mod tests {
     #[test]
     fn bnez_takes_and_falls_through() {
         let mut asm = Asm::new();
-        asm.push(Insn::Li { xd: XReg(2), imm: 1 });
+        asm.push(Insn::Li {
+            xd: XReg(2),
+            imm: 1,
+        });
         asm.bnez(XReg(2), "taken");
-        asm.push(Insn::Li { xd: XReg(3), imm: 111 }); // skipped
+        asm.push(Insn::Li {
+            xd: XReg(3),
+            imm: 111,
+        }); // skipped
         asm.label("taken");
-        asm.push(Insn::Li { xd: XReg(4), imm: 222 });
+        asm.push(Insn::Li {
+            xd: XReg(4),
+            imm: 222,
+        });
         asm.bnez(XReg(0), "never"); // x0 == 0: falls through
-        asm.push(Insn::Li { xd: XReg(5), imm: 333 });
+        asm.push(Insn::Li {
+            xd: XReg(5),
+            imm: 333,
+        });
         asm.label("never");
         asm.push(Insn::Halt);
         let program = asm.assemble().unwrap();

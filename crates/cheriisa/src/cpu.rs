@@ -64,7 +64,11 @@ impl Cpu {
     /// A CPU with zeroed integer registers and null capabilities over
     /// `space`.
     pub fn new(space: AddressSpace) -> Cpu {
-        Cpu { space, xregs: [0; 32], retired: 0 }
+        Cpu {
+            space,
+            xregs: [0; 32],
+            retired: 0,
+        }
     }
 
     /// The underlying address space.
@@ -337,7 +341,9 @@ impl Cpu {
 }
 
 fn effective(base: &Capability, offset: u64) -> Result<u64, Trap> {
-    base.address().checked_add(offset).ok_or(Trap::Cap(CapError::AddressOverflow))
+    base.address()
+        .checked_add(offset)
+        .ok_or(Trap::Cap(CapError::AddressOverflow))
 }
 
 #[cfg(test)]
@@ -358,11 +364,26 @@ mod tests {
     fn getters_read_capability_fields() {
         let mut c = cpu();
         c.run(&[
-            Insn::CGetBase { xd: XReg(2), cs: Reg(1) },
-            Insn::CGetLen { xd: XReg(3), cs: Reg(1) },
-            Insn::CGetTag { xd: XReg(4), cs: Reg(1) },
-            Insn::CGetAddr { xd: XReg(5), cs: Reg(1) },
-            Insn::CGetPerm { xd: XReg(6), cs: Reg(1) },
+            Insn::CGetBase {
+                xd: XReg(2),
+                cs: Reg(1),
+            },
+            Insn::CGetLen {
+                xd: XReg(3),
+                cs: Reg(1),
+            },
+            Insn::CGetTag {
+                xd: XReg(4),
+                cs: Reg(1),
+            },
+            Insn::CGetAddr {
+                xd: XReg(5),
+                cs: Reg(1),
+            },
+            Insn::CGetPerm {
+                xd: XReg(6),
+                cs: Reg(1),
+            },
         ])
         .unwrap();
         assert_eq!(c.xreg(XReg(2)), 0x1000);
@@ -376,9 +397,18 @@ mod tests {
     #[test]
     fn x0_is_hardwired_zero() {
         let mut c = cpu();
-        c.step(&Insn::Li { xd: XReg(0), imm: 99 }).unwrap();
+        c.step(&Insn::Li {
+            xd: XReg(0),
+            imm: 99,
+        })
+        .unwrap();
         assert_eq!(c.xreg(XReg(0)), 0);
-        c.step(&Insn::Add { xd: XReg(2), xa: XReg(0), xb: XReg(0) }).unwrap();
+        c.step(&Insn::Add {
+            xd: XReg(2),
+            xa: XReg(0),
+            xb: XReg(0),
+        })
+        .unwrap();
         assert_eq!(c.xreg(XReg(2)), 0);
     }
 
@@ -386,11 +416,30 @@ mod tests {
     fn capability_roundtrip_through_memory() {
         let mut c = cpu();
         c.run(&[
-            Insn::CSetBounds { cd: Reg(2), cs: Reg(1), base: 0x1100, len: 64 },
-            Insn::Csc { cs: Reg(2), cbase: Reg(1), offset: 0x40 },
-            Insn::Clc { cd: Reg(3), cbase: Reg(1), offset: 0x40 },
-            Insn::CGetTag { xd: XReg(2), cs: Reg(3) },
-            Insn::CGetBase { xd: XReg(3), cs: Reg(3) },
+            Insn::CSetBounds {
+                cd: Reg(2),
+                cs: Reg(1),
+                base: 0x1100,
+                len: 64,
+            },
+            Insn::Csc {
+                cs: Reg(2),
+                cbase: Reg(1),
+                offset: 0x40,
+            },
+            Insn::Clc {
+                cd: Reg(3),
+                cbase: Reg(1),
+                offset: 0x40,
+            },
+            Insn::CGetTag {
+                xd: XReg(2),
+                cs: Reg(3),
+            },
+            Insn::CGetBase {
+                xd: XReg(3),
+                cs: Reg(3),
+            },
         ])
         .unwrap();
         assert_eq!(c.xreg(XReg(2)), 1);
@@ -403,11 +452,29 @@ mod tests {
     fn data_store_clears_tag_architecturally() {
         let mut c = cpu();
         c.run(&[
-            Insn::Csc { cs: Reg(1), cbase: Reg(1), offset: 0x40 },
-            Insn::Li { xd: XReg(2), imm: 7 },
-            Insn::Sd { xs: XReg(2), cbase: Reg(1), offset: 0x40 },
-            Insn::Clc { cd: Reg(3), cbase: Reg(1), offset: 0x40 },
-            Insn::CGetTag { xd: XReg(3), cs: Reg(3) },
+            Insn::Csc {
+                cs: Reg(1),
+                cbase: Reg(1),
+                offset: 0x40,
+            },
+            Insn::Li {
+                xd: XReg(2),
+                imm: 7,
+            },
+            Insn::Sd {
+                xs: XReg(2),
+                cbase: Reg(1),
+                offset: 0x40,
+            },
+            Insn::Clc {
+                cd: Reg(3),
+                cbase: Reg(1),
+                offset: 0x40,
+            },
+            Insn::CGetTag {
+                xd: XReg(3),
+                cs: Reg(3),
+            },
         ])
         .unwrap();
         assert_eq!(c.xreg(XReg(3)), 0, "data store must have cleared the tag");
@@ -417,10 +484,26 @@ mod tests {
     fn cloadtags_reports_line_masks_without_authority_over_values() {
         let mut c = cpu();
         c.run(&[
-            Insn::Csc { cs: Reg(1), cbase: Reg(1), offset: 0x00 },
-            Insn::Csc { cs: Reg(1), cbase: Reg(1), offset: 0x70 },
-            Insn::CLoadTags { xd: XReg(2), cbase: Reg(1), offset: 0x00 },
-            Insn::CLoadTags { xd: XReg(3), cbase: Reg(1), offset: 0x80 },
+            Insn::Csc {
+                cs: Reg(1),
+                cbase: Reg(1),
+                offset: 0x00,
+            },
+            Insn::Csc {
+                cs: Reg(1),
+                cbase: Reg(1),
+                offset: 0x70,
+            },
+            Insn::CLoadTags {
+                xd: XReg(2),
+                cbase: Reg(1),
+                offset: 0x00,
+            },
+            Insn::CLoadTags {
+                xd: XReg(3),
+                cbase: Reg(1),
+                offset: 0x80,
+            },
         ])
         .unwrap();
         assert_eq!(c.xreg(XReg(2)), 0b1000_0001);
@@ -431,15 +514,33 @@ mod tests {
     fn traps_are_precise() {
         let mut c = cpu();
         // A trapping load must not modify xd.
-        c.step(&Insn::Li { xd: XReg(2), imm: 123 }).unwrap();
-        let r = c.step(&Insn::Ld { xd: XReg(2), cbase: Reg(1), offset: 1 << 20 });
-        assert!(matches!(r, Err(Trap::Cap(CapError::BoundsViolation { .. }))));
+        c.step(&Insn::Li {
+            xd: XReg(2),
+            imm: 123,
+        })
+        .unwrap();
+        let r = c.step(&Insn::Ld {
+            xd: XReg(2),
+            cbase: Reg(1),
+            offset: 1 << 20,
+        });
+        assert!(matches!(
+            r,
+            Err(Trap::Cap(CapError::BoundsViolation { .. }))
+        ));
         assert_eq!(c.xreg(XReg(2)), 123);
         // run() reports the faulting index.
         let err = c
             .run(&[
-                Insn::Li { xd: XReg(3), imm: 1 },
-                Insn::Clc { cd: Reg(4), cbase: Reg(1), offset: 8 }, // misaligned
+                Insn::Li {
+                    xd: XReg(3),
+                    imm: 1,
+                },
+                Insn::Clc {
+                    cd: Reg(4),
+                    cbase: Reg(1),
+                    offset: 8,
+                }, // misaligned
             ])
             .unwrap_err();
         assert_eq!(err.0, 1);
@@ -448,15 +549,39 @@ mod tests {
     #[test]
     fn monotonicity_traps_at_isa_level() {
         let mut c = cpu();
-        c.step(&Insn::CSetBounds { cd: Reg(2), cs: Reg(1), base: 0x1100, len: 64 }).unwrap();
-        let r = c.step(&Insn::CSetBounds { cd: Reg(3), cs: Reg(2), base: 0x1000, len: 4096 });
+        c.step(&Insn::CSetBounds {
+            cd: Reg(2),
+            cs: Reg(1),
+            base: 0x1100,
+            len: 64,
+        })
+        .unwrap();
+        let r = c.step(&Insn::CSetBounds {
+            cd: Reg(3),
+            cs: Reg(2),
+            base: 0x1000,
+            len: 4096,
+        });
         assert!(matches!(r, Err(Trap::Cap(CapError::MonotonicityViolation))));
         // CBuildCap under sufficient authority works…
-        c.step(&Insn::CClearTag { cd: Reg(4), cs: Reg(2) }).unwrap();
-        c.step(&Insn::CBuildCap { cd: Reg(5), ca: Reg(1), cs: Reg(4) }).unwrap();
+        c.step(&Insn::CClearTag {
+            cd: Reg(4),
+            cs: Reg(2),
+        })
+        .unwrap();
+        c.step(&Insn::CBuildCap {
+            cd: Reg(5),
+            ca: Reg(1),
+            cs: Reg(4),
+        })
+        .unwrap();
         assert!(c.cap(Reg(5)).tag());
         // …and under the narrow authority it fails.
-        let r = c.step(&Insn::CBuildCap { cd: Reg(6), ca: Reg(2), cs: Reg(1) });
+        let r = c.step(&Insn::CBuildCap {
+            cd: Reg(6),
+            ca: Reg(2),
+            cs: Reg(1),
+        });
         assert!(r.is_err());
     }
 
@@ -464,7 +589,10 @@ mod tests {
     fn bad_register_indices_trap() {
         let mut c = cpu();
         assert!(matches!(
-            c.step(&Insn::CMove { cd: Reg(40), cs: Reg(1) }),
+            c.step(&Insn::CMove {
+                cd: Reg(40),
+                cs: Reg(1)
+            }),
             Err(Trap::BadRegister { index: 40 })
         ));
     }

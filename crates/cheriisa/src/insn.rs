@@ -266,7 +266,10 @@ mod tests {
     fn registers_are_plain_names() {
         assert_eq!(Reg(3), Reg(3));
         assert_ne!(XReg(0), XReg(1));
-        let i = Insn::Li { xd: XReg(1), imm: 42 };
+        let i = Insn::Li {
+            xd: XReg(1),
+            imm: 42,
+        };
         assert_eq!(format!("{i:?}").contains("Li"), true);
     }
 }

@@ -92,7 +92,11 @@ pub fn sweep_heap(
     let mut line = 0u64;
     while line < heap_len {
         // CLoadTags: one instruction decides whether the line is touched.
-        cpu.step(&Insn::CLoadTags { xd: MASK, cbase: heap, offset: line })?;
+        cpu.step(&Insn::CLoadTags {
+            xd: MASK,
+            cbase: heap,
+            offset: line,
+        })?;
         let mask = cpu.xreg(MASK);
         if mask == 0 {
             stats.lines_skipped += 1;
@@ -106,30 +110,84 @@ pub fn sweep_heap(
             let offset = line + g * GRANULE_SIZE;
             stats.caps_inspected += 1;
             // capword = *x  (CLC) — then test the tag (CGetTag).
-            cpu.step(&Insn::Clc { cd: CUR, cbase: heap, offset })?;
+            cpu.step(&Insn::Clc {
+                cd: CUR,
+                cbase: heap,
+                offset,
+            })?;
             cpu.step(&Insn::CGetTag { xd: TAG, cs: CUR })?;
             debug_assert_eq!(cpu.xreg(TAG), 1, "CLoadTags said this granule is tagged");
             // Shadow index from the BASE (paper footnote 2).
             cpu.step(&Insn::CGetBase { xd: BASE, cs: CUR })?;
-            cpu.step(&Insn::Li { xd: TMP, imm: heap_base.wrapping_neg() })?;
-            cpu.step(&Insn::Add { xd: GRAN, xa: BASE, xb: TMP })?;
-            cpu.step(&Insn::Srl { xd: GRAN, xa: GRAN, shift: 4 })?; // 16-byte granule
-            // Shadow word byte offset = (granule / 64) * 8 = (granule >> 3) & !7.
-            cpu.step(&Insn::Srl { xd: WOFF, xa: GRAN, shift: 3 })?;
-            cpu.step(&Insn::Andi { xd: WOFF, xa: WOFF, imm: !7 })?;
+            cpu.step(&Insn::Li {
+                xd: TMP,
+                imm: heap_base.wrapping_neg(),
+            })?;
+            cpu.step(&Insn::Add {
+                xd: GRAN,
+                xa: BASE,
+                xb: TMP,
+            })?;
+            cpu.step(&Insn::Srl {
+                xd: GRAN,
+                xa: GRAN,
+                shift: 4,
+            })?; // 16-byte granule
+                 // Shadow word byte offset = (granule / 64) * 8 = (granule >> 3) & !7.
+            cpu.step(&Insn::Srl {
+                xd: WOFF,
+                xa: GRAN,
+                shift: 3,
+            })?;
+            cpu.step(&Insn::Andi {
+                xd: WOFF,
+                xa: WOFF,
+                imm: !7,
+            })?;
             // Load the shadow word through an indexed pointer.
-            cpu.step(&Insn::Li { xd: ADDR, imm: shadow_base })?;
-            cpu.step(&Insn::Add { xd: ADDR, xa: ADDR, xb: WOFF })?;
-            cpu.step(&Insn::CSetAddr { cd: PTR, cs: shadow, xs: ADDR })?;
-            cpu.step(&Insn::Ld { xd: WORD, cbase: PTR, offset: 0 })?;
+            cpu.step(&Insn::Li {
+                xd: ADDR,
+                imm: shadow_base,
+            })?;
+            cpu.step(&Insn::Add {
+                xd: ADDR,
+                xa: ADDR,
+                xb: WOFF,
+            })?;
+            cpu.step(&Insn::CSetAddr {
+                cd: PTR,
+                cs: shadow,
+                xs: ADDR,
+            })?;
+            cpu.step(&Insn::Ld {
+                xd: WORD,
+                cbase: PTR,
+                offset: 0,
+            })?;
             // bit = (word >> (granule & 63)) & 1.
-            cpu.step(&Insn::Andi { xd: BIT, xa: GRAN, imm: 63 })?;
-            cpu.step(&Insn::Srlv { xd: WORD, xa: WORD, xb: BIT })?;
-            cpu.step(&Insn::Andi { xd: WORD, xa: WORD, imm: 1 })?;
+            cpu.step(&Insn::Andi {
+                xd: BIT,
+                xa: GRAN,
+                imm: 63,
+            })?;
+            cpu.step(&Insn::Srlv {
+                xd: WORD,
+                xa: WORD,
+                xb: BIT,
+            })?;
+            cpu.step(&Insn::Andi {
+                xd: WORD,
+                xa: WORD,
+                imm: 1,
+            })?;
             if cpu.xreg(WORD) == 1 {
                 // Pointing at freed memory: invalidate (*x = cleared).
                 cpu.step(&Insn::CClearTag { cd: DEAD, cs: CUR })?;
-                cpu.step(&Insn::Csc { cs: DEAD, cbase: heap, offset })?;
+                cpu.step(&Insn::Csc {
+                    cs: DEAD,
+                    cbase: heap,
+                    offset,
+                })?;
                 stats.caps_revoked += 1;
             }
         }
@@ -166,7 +224,9 @@ pub fn heap_cpu(heap_base: u64, heap_len: u64, plants: &[(u64, Capability)]) -> 
             .expect("tagged root"),
     );
     for (addr, cap) in plants {
-        cpu.space_mut().store_cap(*addr, cap).expect("plant inside heap");
+        cpu.space_mut()
+            .store_cap(*addr, cap)
+            .expect("plant inside heap");
     }
     (cpu, heap_reg, shadow_reg)
 }
@@ -207,14 +267,20 @@ mod tests {
         for (addr, cap) in &plants {
             native_space.store_cap(*addr, cap).unwrap();
         }
-        let native =
-            Sweeper::new(Kernel::Wide).sweep_space(&mut native_space, &shadow);
+        let native = Sweeper::new(Kernel::Wide).sweep_space(&mut native_space, &shadow);
 
         assert_eq!(stats.caps_revoked, native.caps_revoked);
         assert!(stats.caps_inspected >= native.caps_inspected);
         // And the post-sweep heap images agree granule-for-granule.
-        let isa_heap = cpu.space().segment(tagmem::SegmentKind::Heap).unwrap().mem();
-        let nat_heap = native_space.segment(tagmem::SegmentKind::Heap).unwrap().mem();
+        let isa_heap = cpu
+            .space()
+            .segment(tagmem::SegmentKind::Heap)
+            .unwrap()
+            .mem();
+        let nat_heap = native_space
+            .segment(tagmem::SegmentKind::Heap)
+            .unwrap()
+            .mem();
         assert_eq!(isa_heap.tag_count(), nat_heap.tag_count());
         for addr in nat_heap.tagged_addrs() {
             assert!(isa_heap.tag_at(addr), "tag mismatch at {addr:#x}");
@@ -277,67 +343,199 @@ pub fn sweep_program(heap_base: u64, heap_len: u64, shadow_base: u64) -> Vec<Ins
     let bit = XReg(29);
 
     let mut asm = Asm::new();
-    asm.push(Insn::Li { xd: heap_len_r, imm: heap_len });
-    asm.push(Insn::Li { xd: eight, imm: LINE_SIZE / GRANULE_SIZE });
-    asm.push(Insn::Li { xd: line_off, imm: 0 });
+    asm.push(Insn::Li {
+        xd: heap_len_r,
+        imm: heap_len,
+    });
+    asm.push(Insn::Li {
+        xd: eight,
+        imm: LINE_SIZE / GRANULE_SIZE,
+    });
+    asm.push(Insn::Li {
+        xd: line_off,
+        imm: 0,
+    });
 
     asm.label("line");
     // while (line_off < heap_len)
-    asm.push(Insn::Sltu { xd: tmp, xa: line_off, xb: heap_len_r });
+    asm.push(Insn::Sltu {
+        xd: tmp,
+        xa: line_off,
+        xb: heap_len_r,
+    });
     asm.beqz(tmp, "done");
     // mask = CLoadTags(heap_base + line_off)
-    asm.push(Insn::Li { xd: tmp, imm: heap_base });
-    asm.push(Insn::Add { xd: tmp, xa: tmp, xb: line_off });
-    asm.push(Insn::CSetAddr { cd: PTR, cs: HEAP, xs: tmp });
-    asm.push(Insn::CLoadTags { xd: mask, cbase: PTR, offset: 0 });
+    asm.push(Insn::Li {
+        xd: tmp,
+        imm: heap_base,
+    });
+    asm.push(Insn::Add {
+        xd: tmp,
+        xa: tmp,
+        xb: line_off,
+    });
+    asm.push(Insn::CSetAddr {
+        cd: PTR,
+        cs: HEAP,
+        xs: tmp,
+    });
+    asm.push(Insn::CLoadTags {
+        xd: mask,
+        cbase: PTR,
+        offset: 0,
+    });
     asm.beqz(mask, "next_line");
     // for (g = 0, gran_off = line_off; g < 8; g++, gran_off += 16)
     asm.push(Insn::Li { xd: g, imm: 0 });
-    asm.push(Insn::Add { xd: gran_off, xa: line_off, xb: XReg(0) });
+    asm.push(Insn::Add {
+        xd: gran_off,
+        xa: line_off,
+        xb: XReg(0),
+    });
 
     asm.label("gran");
-    asm.push(Insn::Sltu { xd: tmp, xa: g, xb: eight });
+    asm.push(Insn::Sltu {
+        xd: tmp,
+        xa: g,
+        xb: eight,
+    });
     asm.beqz(tmp, "next_line");
     // if (!(mask >> g & 1)) continue;
-    asm.push(Insn::Srlv { xd: tmp, xa: mask, xb: g });
-    asm.push(Insn::Andi { xd: tmp, xa: tmp, imm: 1 });
+    asm.push(Insn::Srlv {
+        xd: tmp,
+        xa: mask,
+        xb: g,
+    });
+    asm.push(Insn::Andi {
+        xd: tmp,
+        xa: tmp,
+        imm: 1,
+    });
     asm.beqz(tmp, "next_gran");
     // capword = *(heap_base + gran_off)   (CLC)
-    asm.push(Insn::Li { xd: tmp, imm: heap_base });
-    asm.push(Insn::Add { xd: tmp, xa: tmp, xb: gran_off });
-    asm.push(Insn::CSetAddr { cd: PTR, cs: HEAP, xs: tmp });
-    asm.push(Insn::Clc { cd: CUR, cbase: PTR, offset: 0 });
+    asm.push(Insn::Li {
+        xd: tmp,
+        imm: heap_base,
+    });
+    asm.push(Insn::Add {
+        xd: tmp,
+        xa: tmp,
+        xb: gran_off,
+    });
+    asm.push(Insn::CSetAddr {
+        cd: PTR,
+        cs: HEAP,
+        xs: tmp,
+    });
+    asm.push(Insn::Clc {
+        cd: CUR,
+        cbase: PTR,
+        offset: 0,
+    });
     // granule = (base(capword) - heap_base) >> 4
     asm.push(Insn::CGetBase { xd: tmp, cs: CUR });
-    asm.push(Insn::Li { xd: tmp2, imm: heap_base.wrapping_neg() });
-    asm.push(Insn::Add { xd: tmp, xa: tmp, xb: tmp2 });
-    asm.push(Insn::Srl { xd: tmp, xa: tmp, shift: 4 });
+    asm.push(Insn::Li {
+        xd: tmp2,
+        imm: heap_base.wrapping_neg(),
+    });
+    asm.push(Insn::Add {
+        xd: tmp,
+        xa: tmp,
+        xb: tmp2,
+    });
+    asm.push(Insn::Srl {
+        xd: tmp,
+        xa: tmp,
+        shift: 4,
+    });
     // bit = granule & 63; word byte offset = (granule >> 3) & !7
-    asm.push(Insn::Andi { xd: bit, xa: tmp, imm: 63 });
-    asm.push(Insn::Srl { xd: tmp, xa: tmp, shift: 3 });
-    asm.push(Insn::Andi { xd: tmp, xa: tmp, imm: !7 });
+    asm.push(Insn::Andi {
+        xd: bit,
+        xa: tmp,
+        imm: 63,
+    });
+    asm.push(Insn::Srl {
+        xd: tmp,
+        xa: tmp,
+        shift: 3,
+    });
+    asm.push(Insn::Andi {
+        xd: tmp,
+        xa: tmp,
+        imm: !7,
+    });
     // word = shadow[offset]
-    asm.push(Insn::Li { xd: tmp2, imm: shadow_base });
-    asm.push(Insn::Add { xd: tmp, xa: tmp, xb: tmp2 });
-    asm.push(Insn::CSetAddr { cd: PTR, cs: SHADOW, xs: tmp });
-    asm.push(Insn::Ld { xd: tmp, cbase: PTR, offset: 0 });
+    asm.push(Insn::Li {
+        xd: tmp2,
+        imm: shadow_base,
+    });
+    asm.push(Insn::Add {
+        xd: tmp,
+        xa: tmp,
+        xb: tmp2,
+    });
+    asm.push(Insn::CSetAddr {
+        cd: PTR,
+        cs: SHADOW,
+        xs: tmp,
+    });
+    asm.push(Insn::Ld {
+        xd: tmp,
+        cbase: PTR,
+        offset: 0,
+    });
     // if (word >> bit & 1) { *x = cleared; }
-    asm.push(Insn::Srlv { xd: tmp, xa: tmp, xb: bit });
-    asm.push(Insn::Andi { xd: tmp, xa: tmp, imm: 1 });
+    asm.push(Insn::Srlv {
+        xd: tmp,
+        xa: tmp,
+        xb: bit,
+    });
+    asm.push(Insn::Andi {
+        xd: tmp,
+        xa: tmp,
+        imm: 1,
+    });
     asm.beqz(tmp, "next_gran");
     asm.push(Insn::CClearTag { cd: DEAD, cs: CUR });
-    asm.push(Insn::Li { xd: tmp, imm: heap_base });
-    asm.push(Insn::Add { xd: tmp, xa: tmp, xb: gran_off });
-    asm.push(Insn::CSetAddr { cd: PTR, cs: HEAP, xs: tmp });
-    asm.push(Insn::Csc { cs: DEAD, cbase: PTR, offset: 0 });
+    asm.push(Insn::Li {
+        xd: tmp,
+        imm: heap_base,
+    });
+    asm.push(Insn::Add {
+        xd: tmp,
+        xa: tmp,
+        xb: gran_off,
+    });
+    asm.push(Insn::CSetAddr {
+        cd: PTR,
+        cs: HEAP,
+        xs: tmp,
+    });
+    asm.push(Insn::Csc {
+        cs: DEAD,
+        cbase: PTR,
+        offset: 0,
+    });
 
     asm.label("next_gran");
-    asm.push(Insn::Addi { xd: g, xa: g, imm: 1 });
-    asm.push(Insn::Addi { xd: gran_off, xa: gran_off, imm: GRANULE_SIZE as i64 });
+    asm.push(Insn::Addi {
+        xd: g,
+        xa: g,
+        imm: 1,
+    });
+    asm.push(Insn::Addi {
+        xd: gran_off,
+        xa: gran_off,
+        imm: GRANULE_SIZE as i64,
+    });
     asm.jump("gran");
 
     asm.label("next_line");
-    asm.push(Insn::Addi { xd: line_off, xa: line_off, imm: LINE_SIZE as i64 });
+    asm.push(Insn::Addi {
+        xd: line_off,
+        xa: line_off,
+        imm: LINE_SIZE as i64,
+    });
     asm.jump("line");
 
     asm.label("done");
@@ -383,7 +581,11 @@ mod program_tests {
         let stats = Sweeper::new(Kernel::Wide).sweep_space(&mut native, &shadow);
         assert_eq!(stats.caps_revoked, 8);
 
-        let isa_heap = cpu.space().segment(tagmem::SegmentKind::Heap).unwrap().mem();
+        let isa_heap = cpu
+            .space()
+            .segment(tagmem::SegmentKind::Heap)
+            .unwrap()
+            .mem();
         let nat_heap = native.segment(tagmem::SegmentKind::Heap).unwrap().mem();
         assert_eq!(isa_heap.tag_count(), nat_heap.tag_count());
         for addr in nat_heap.tagged_addrs() {
@@ -396,8 +598,16 @@ mod program_tests {
         // The whole sweep over an 8 KiB heap fits in a fixed-size program:
         // proof that the control flow is real, not host-side.
         let program = sweep_program(HEAP, LEN, 0x7000_0000);
-        assert!(program.len() < 64, "program should be a compact loop, got {}", program.len());
+        assert!(
+            program.len() < 64,
+            "program should be a compact loop, got {}",
+            program.len()
+        );
         let big = sweep_program(HEAP, 1 << 30, 0x7000_0000);
-        assert_eq!(program.len(), big.len(), "size must not depend on heap size");
+        assert_eq!(
+            program.len(),
+            big.len(),
+            "size must not depend on heap size"
+        );
     }
 }

@@ -130,7 +130,9 @@ mod tests {
         let (mut cpu, _h, shadow_reg) = heap_cpu(HEAP, LEN, plants);
         let shadow_base = cpu.cap(shadow_reg).base();
         for (i, &w) in shadow.as_words().iter().enumerate() {
-            cpu.space_mut().store_u64(shadow_base + i as u64 * 8, w).unwrap();
+            cpu.space_mut()
+                .store_u64(shadow_base + i as u64 * 8, w)
+                .unwrap();
         }
         let program = sweep_program(HEAP, LEN, shadow_base);
         let mut machine = simcache::Machine::new(MachineConfig::cheri_fpga_like());
@@ -140,12 +142,20 @@ mod tests {
     #[test]
     fn timed_sweep_completes_and_charges_cycles() {
         let plants: Vec<_> = (0..8u64)
-            .map(|i| (HEAP + i * 256, Capability::root_rw(HEAP + 0x1000 + i * 64, 64)))
+            .map(|i| {
+                (
+                    HEAP + i * 256,
+                    Capability::root_rw(HEAP + 0x1000 + i * 64, 64),
+                )
+            })
             .collect();
         let shadow = ShadowMap::new(HEAP, LEN);
         let run = timed_sweep_cycles(&plants, &shadow);
         assert!(run.completed);
-        assert!(run.cycles > run.instructions, "memory costs exceed 1 cycle/insn");
+        assert!(
+            run.cycles > run.instructions,
+            "memory costs exceed 1 cycle/insn"
+        );
         assert!(run.mispredicts > 0, "data-dependent branches mispredict");
     }
 
@@ -153,10 +163,20 @@ mod tests {
     fn denser_heaps_cost_more_cycles() {
         let shadow = ShadowMap::new(HEAP, LEN);
         let sparse: Vec<_> = (0..4u64)
-            .map(|i| (HEAP + i * 1024, Capability::root_rw(HEAP + 0x1000 + i * 64, 64)))
+            .map(|i| {
+                (
+                    HEAP + i * 1024,
+                    Capability::root_rw(HEAP + 0x1000 + i * 64, 64),
+                )
+            })
             .collect();
         let dense: Vec<_> = (0..128u64)
-            .map(|i| (HEAP + i * 32, Capability::root_rw(HEAP + 0x1000 + i * 16, 16)))
+            .map(|i| {
+                (
+                    HEAP + i * 32,
+                    Capability::root_rw(HEAP + 0x1000 + i * 16, 16),
+                )
+            })
             .collect();
         let a = timed_sweep_cycles(&sparse, &shadow);
         let b = timed_sweep_cycles(&dense, &shadow);
@@ -170,7 +190,7 @@ mod tests {
 
     #[test]
     fn fuel_exhaustion_is_reported_not_trapped() {
-        let shadow = ShadowMap::new(HEAP, LEN);
+        let _shadow = ShadowMap::new(HEAP, LEN);
         let (mut cpu, _h, shadow_reg) = heap_cpu(HEAP, LEN, &[]);
         let shadow_base = cpu.cap(shadow_reg).base();
         let program = sweep_program(HEAP, LEN, shadow_base);
@@ -184,8 +204,15 @@ mod tests {
     fn traps_report_the_faulting_pc() {
         // A program that dereferences an untagged capability register.
         let program = vec![
-            crate::Insn::Li { xd: XReg(2), imm: 1 },
-            crate::Insn::Ld { xd: XReg(3), cbase: Reg(9), offset: 0 }, // c9 is NULL
+            crate::Insn::Li {
+                xd: XReg(2),
+                imm: 1,
+            },
+            crate::Insn::Ld {
+                xd: XReg(3),
+                cbase: Reg(9),
+                offset: 0,
+            }, // c9 is NULL
         ];
         let (mut cpu, _h, _s) = heap_cpu(HEAP, LEN, &[]);
         let mut machine = simcache::Machine::new(MachineConfig::cheri_fpga_like());

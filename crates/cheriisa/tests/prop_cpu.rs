@@ -30,7 +30,11 @@ fn any_insn() -> impl Strategy<Value = Insn> {
             .prop_map(|(cd, cs, imm)| Insn::CIncOffset { cd, cs, imm }),
         (any_reg(), any_reg(), HEAP..HEAP + LEN, 0u64..512)
             .prop_map(|(cd, cs, base, len)| Insn::CSetBounds { cd, cs, base, len }),
-        (any_reg(), any_reg(), any::<u16>()).prop_map(|(cd, cs, mask)| Insn::CAndPerm { cd, cs, mask }),
+        (any_reg(), any_reg(), any::<u16>()).prop_map(|(cd, cs, mask)| Insn::CAndPerm {
+            cd,
+            cs,
+            mask
+        }),
         (any_reg(), any_reg()).prop_map(|(cd, cs)| Insn::CClearTag { cd, cs }),
         (any_reg(), any_reg(), any_reg()).prop_map(|(cd, ca, cs)| Insn::CBuildCap { cd, ca, cs }),
         (any_reg(), any_reg(), 0u64..(2 * LEN)).prop_map(|(cd, cbase, offset)| Insn::Clc {
@@ -53,8 +57,11 @@ fn any_insn() -> impl Strategy<Value = Insn> {
             cbase,
             offset
         }),
-        (any_xreg(), any_reg(), 0u64..(2 * LEN))
-            .prop_map(|(xd, cbase, offset)| Insn::CLoadTags { xd, cbase, offset }),
+        (any_xreg(), any_reg(), 0u64..(2 * LEN)).prop_map(|(xd, cbase, offset)| Insn::CLoadTags {
+            xd,
+            cbase,
+            offset
+        }),
         (any_xreg(), any::<u64>()).prop_map(|(xd, imm)| Insn::Li { xd, imm }),
         (any_xreg(), any_xreg(), any_xreg()).prop_map(|(xd, xa, xb)| Insn::Add { xd, xa, xb }),
         (any_xreg(), any_xreg(), any::<u8>()).prop_map(|(xd, xa, shift)| Insn::Srl {
@@ -68,7 +75,9 @@ fn any_insn() -> impl Strategy<Value = Insn> {
 }
 
 fn cpu() -> Cpu {
-    let space = AddressSpace::builder().segment(SegmentKind::Heap, HEAP, LEN).build();
+    let space = AddressSpace::builder()
+        .segment(SegmentKind::Heap, HEAP, LEN)
+        .build();
     let mut cpu = Cpu::new(space);
     cpu.set_cap(Reg(1), Capability::root_rw(HEAP, LEN));
     cpu.set_cap(Reg(2), Capability::root());

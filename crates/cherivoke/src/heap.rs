@@ -39,7 +39,10 @@ impl Default for HeapConfig {
 impl HeapConfig {
     /// A small heap for tests and examples.
     pub fn small() -> HeapConfig {
-        HeapConfig { heap_size: 1 << 20, ..HeapConfig::default() }
+        HeapConfig {
+            heap_size: 1 << 20,
+            ..HeapConfig::default()
+        }
     }
 }
 
@@ -65,6 +68,7 @@ pub struct CherivokeHeap {
     globals_root: Capability,
     stats: HeapStats,
     epoch: Option<Epoch>,
+    epoch_hold: bool,
 }
 
 impl CherivokeHeap {
@@ -79,10 +83,12 @@ impl CherivokeHeap {
         // The heap-spanning root capability needs exactly-representable
         // bounds, so the heap size is rounded up to the CHERI-representable
         // length (the base addresses used here are generously aligned).
-        config.heap_size =
-            cheri::CompressedBounds::representable_length(cheri::granule_round_up(config.heap_size));
-        config.stack_size =
-            cheri::CompressedBounds::representable_length(cheri::granule_round_up(config.stack_size));
+        config.heap_size = cheri::CompressedBounds::representable_length(cheri::granule_round_up(
+            config.heap_size,
+        ));
+        config.stack_size = cheri::CompressedBounds::representable_length(cheri::granule_round_up(
+            config.stack_size,
+        ));
         config.globals_size = cheri::CompressedBounds::representable_length(
             cheri::granule_round_up(config.globals_size),
         );
@@ -123,6 +129,7 @@ impl CherivokeHeap {
             globals_root,
             stats: HeapStats::default(),
             epoch: None,
+            epoch_hold: false,
         })
     }
 
@@ -240,7 +247,12 @@ impl CherivokeHeap {
         // Capabilities stored to clean pages *after* this point are caught
         // by the store barrier, so the snapshot is sound.
         let mut worklist: Vec<(u64, u64)> = Vec::new();
-        for seg in self.space.segments().iter().filter(|s| s.kind().sweepable()) {
+        for seg in self
+            .space
+            .segments()
+            .iter()
+            .filter(|s| s.kind().sweepable())
+        {
             let mem = seg.mem();
             for page in self.space.page_table().cap_dirty_pages() {
                 if page >= mem.base() && page < mem.end() {
@@ -253,7 +265,11 @@ impl CherivokeHeap {
                 }
             }
         }
-        self.epoch = Some(Epoch { ranges, worklist, stats: SweepStats::default() });
+        self.epoch = Some(Epoch {
+            ranges,
+            worklist,
+            stats: SweepStats::default(),
+        });
         true
     }
 
@@ -265,12 +281,16 @@ impl CherivokeHeap {
     /// Bytes the active incremental epoch still has to sweep (0 when no
     /// epoch is active) — lets callers pace their own slices.
     pub fn revocation_remaining_bytes(&self) -> u64 {
-        self.epoch.as_ref().map(|e| e.remaining_bytes()).unwrap_or(0)
+        self.epoch
+            .as_ref()
+            .map(|e| e.remaining_bytes())
+            .unwrap_or(0)
     }
 
     /// Sweeps up to `max_bytes` of the active epoch's worklist. Returns the
     /// epoch's total statistics when it completes, `None` if work remains
-    /// (or no epoch is active).
+    /// (or no epoch is active, or the epoch is held open — see
+    /// [`CherivokeHeap::set_epoch_hold`]).
     pub fn revoke_step(&mut self, max_bytes: u64) -> Option<SweepStats> {
         let mut epoch = self.epoch.take()?;
         let slice = epoch.take_slice(max_bytes);
@@ -281,9 +301,11 @@ impl CherivokeHeap {
                 .iter_mut()
                 .find(|s| s.mem().contains(start, len))
                 .expect("worklist regions lie in segments");
-            epoch.stats += self.sweeper.sweep_range(seg.mem_mut(), &self.shadow, start, len);
+            epoch.stats += self
+                .sweeper
+                .sweep_range(seg.mem_mut(), &self.shadow, start, len);
         }
-        if !epoch.is_done() {
+        if !epoch.is_done() || self.epoch_hold {
             self.epoch = Some(epoch);
             return None;
         }
@@ -302,13 +324,52 @@ impl CherivokeHeap {
     }
 
     /// Runs the active epoch to completion (a stop-the-world fallback).
+    /// Overrides any epoch hold ([`CherivokeHeap::set_epoch_hold`]).
     pub fn finish_revocation(&mut self) -> Option<SweepStats> {
+        self.epoch_hold = false;
         while self.epoch.is_some() {
             if let Some(stats) = self.revoke_step(u64::MAX) {
                 return Some(stats);
             }
         }
         None
+    }
+
+    /// Holds the active epoch open: while set, [`CherivokeHeap::revoke_step`]
+    /// keeps sweeping but never *completes* the epoch (no quarantine drain,
+    /// no shadow clear), even when the worklist empties.
+    ///
+    /// A multi-heap orchestrator (see [`crate::ConcurrentHeap`]) needs this:
+    /// before this heap's quarantined memory may be reused, *other* heaps'
+    /// root sets must be swept against this heap's shadow map, and mutator
+    /// threads that pump the epoch as a side effect of `malloc`/`free` must
+    /// not race the drain past those foreign sweeps.
+    pub fn set_epoch_hold(&mut self, hold: bool) {
+        self.epoch_hold = hold;
+    }
+
+    /// The active epoch's painted `(addr, len)` ranges (empty when no epoch
+    /// is active) — the ranges an orchestrator publishes to its global
+    /// revocation barrier.
+    pub fn epoch_ranges(&self) -> Vec<(u64, u64)> {
+        self.epoch
+            .as_ref()
+            .map(|e| e.ranges.clone())
+            .unwrap_or_default()
+    }
+
+    /// Sweeps this heap's entire root set (heap, stack, globals, registers)
+    /// against a **foreign** shadow map, revoking capabilities that point
+    /// into another heap's painted quarantine. Addresses outside the foreign
+    /// map's coverage are never painted, so this clears no local tags by
+    /// mistake. Statistics are returned, not folded into this heap's own
+    /// sweep counters (the orchestrator accounts for foreign sweeps).
+    pub fn sweep_foreign(&mut self, shadow: &ShadowMap) -> SweepStats {
+        if self.policy.use_capdirty {
+            self.sweeper.sweep_space_skipping(&mut self.space, shadow)
+        } else {
+            self.sweeper.sweep_space(&mut self.space, shadow)
+        }
     }
 
     /// The §3.5 barrier: while an epoch is active, no dangling capability
@@ -367,7 +428,9 @@ impl CherivokeHeap {
         let mut off = 0;
         while off + 16 <= copy {
             let word = self.space.load_cap(cap.base() + off).expect("mapped");
-            self.space.store_cap(new_cap.base() + off, &word).expect("mapped");
+            self.space
+                .store_cap(new_cap.base() + off, &word)
+                .expect("mapped");
             off += 16;
         }
         self.free(cap)?;
@@ -388,7 +451,8 @@ impl CherivokeHeap {
             painted += len;
         }
         let stats = if self.policy.use_capdirty {
-            self.sweeper.sweep_space_skipping(&mut self.space, &self.shadow)
+            self.sweeper
+                .sweep_space_skipping(&mut self.space, &self.shadow)
         } else {
             self.sweeper.sweep_space(&mut self.space, &self.shadow)
         };
@@ -409,7 +473,10 @@ impl CherivokeHeap {
         len: u64,
         need: Perms,
     ) -> Result<u64, HeapError> {
-        let addr = cap.address().checked_add(offset).ok_or(CapError::AddressOverflow)?;
+        let addr = cap
+            .address()
+            .checked_add(offset)
+            .ok_or(CapError::AddressOverflow)?;
         cap.check_access(addr, len, need)?;
         Ok(addr)
     }
@@ -430,7 +497,12 @@ impl CherivokeHeap {
     /// # Errors
     ///
     /// As [`CherivokeHeap::load_u64`], requiring [`Perms::STORE`].
-    pub fn store_u64(&mut self, cap: &Capability, offset: u64, value: u64) -> Result<(), HeapError> {
+    pub fn store_u64(
+        &mut self,
+        cap: &Capability,
+        offset: u64,
+        value: u64,
+    ) -> Result<(), HeapError> {
         let addr = self.checked_addr(cap, offset, 8, Perms::STORE)?;
         Ok(self.space.store_u64(addr, value)?)
     }
@@ -536,6 +608,12 @@ impl CherivokeHeap {
     /// The shadow map's own memory cost in bytes (1/128 of the heap).
     pub fn shadow_bytes(&self) -> u64 {
         self.shadow.shadow_bytes()
+    }
+
+    /// The revocation shadow map (read-only) — foreign heaps sweep their
+    /// root sets against this map via [`CherivokeHeap::sweep_foreign`].
+    pub fn shadow(&self) -> &ShadowMap {
+        &self.shadow
     }
 
     /// The underlying address space (read-only).
@@ -672,7 +750,10 @@ mod tests {
         // through it.
         let dangling = h.load_cap(&holder, 0).unwrap();
         assert!(!dangling.tag());
-        assert_eq!(h.load_u64(&dangling, 0), Err(HeapError::Cap(CapError::TagCleared)));
+        assert_eq!(
+            h.load_u64(&dangling, 0),
+            Err(HeapError::Cap(CapError::TagCleared))
+        );
         // And freeing through it is also caught.
         assert_eq!(h.free(dangling), Err(HeapError::Cap(CapError::TagCleared)));
     }
@@ -747,7 +828,9 @@ mod tests {
     fn perms_are_enforced_on_access() {
         let mut h = heap();
         let c = h.malloc(64).unwrap();
-        let ro = c.with_perms(Perms::LOAD | Perms::LOAD_CAP | Perms::GLOBAL).unwrap();
+        let ro = c
+            .with_perms(Perms::LOAD | Perms::LOAD_CAP | Perms::GLOBAL)
+            .unwrap();
         assert!(h.load_u64(&ro, 0).is_ok());
         assert_eq!(
             h.store_u64(&ro, 0, 1),

@@ -58,13 +58,15 @@ mod error;
 mod heap;
 mod model;
 mod policy;
+mod service;
 mod stats;
 
 pub use error::HeapError;
 pub use heap::{CherivokeHeap, HeapConfig};
 pub use model::OverheadModel;
-pub use policy::RevocationPolicy;
-pub use stats::HeapStats;
+pub use policy::{RevocationPolicy, SweepPacer};
+pub use service::{ConcurrentHeap, HeapClient, ServiceConfig};
+pub use stats::{HeapStats, PauseHistogram, PauseSnapshot, ServiceStats, ShardStats};
 
 pub use cvkalloc::QuarantineConfig;
 pub use revoker::Kernel;

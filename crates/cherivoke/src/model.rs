@@ -51,7 +51,10 @@ impl OverheadModel {
     /// Panics if `scan_rate_mib_s` or `quarantine_fraction` is not positive.
     pub fn runtime_overhead(&self) -> f64 {
         assert!(self.scan_rate_mib_s > 0.0, "scan rate must be positive");
-        assert!(self.quarantine_fraction > 0.0, "quarantine fraction must be positive");
+        assert!(
+            self.quarantine_fraction > 0.0,
+            "quarantine fraction must be positive"
+        );
         self.free_rate_mib_s * self.pointer_density
             / (self.scan_rate_mib_s * self.quarantine_fraction)
     }
@@ -101,18 +104,30 @@ mod tests {
     #[test]
     fn overhead_scales_linearly_with_free_rate_and_density() {
         let m = base();
-        let double_free = OverheadModel { free_rate_mib_s: 200.0, ..m };
+        let double_free = OverheadModel {
+            free_rate_mib_s: 200.0,
+            ..m
+        };
         assert!((double_free.runtime_overhead() - 2.0 * m.runtime_overhead()).abs() < 1e-12);
-        let double_density = OverheadModel { pointer_density: 1.0, ..m };
+        let double_density = OverheadModel {
+            pointer_density: 1.0,
+            ..m
+        };
         assert!((double_density.runtime_overhead() - 2.0 * m.runtime_overhead()).abs() < 1e-12);
     }
 
     #[test]
     fn overhead_inversely_scales_with_quarantine_and_scan_rate() {
         let m = base();
-        let big_q = OverheadModel { quarantine_fraction: 0.5, ..m };
+        let big_q = OverheadModel {
+            quarantine_fraction: 0.5,
+            ..m
+        };
         assert!((big_q.runtime_overhead() - m.runtime_overhead() / 2.0).abs() < 1e-12);
-        let fast = OverheadModel { scan_rate_mib_s: 16384.0, ..m };
+        let fast = OverheadModel {
+            scan_rate_mib_s: 16384.0,
+            ..m
+        };
         assert!((fast.runtime_overhead() - m.runtime_overhead() / 2.0).abs() < 1e-12);
     }
 
@@ -124,7 +139,10 @@ mod tests {
         // Sweeping 1024 MiB at 50% density, 8 GiB/s: 62.5 ms.
         assert!((m.sweep_cost_s(1024.0) - 0.0625).abs() < 1e-12);
         // No frees: never sweep.
-        let idle = OverheadModel { free_rate_mib_s: 0.0, ..m };
+        let idle = OverheadModel {
+            free_rate_mib_s: 0.0,
+            ..m
+        };
         assert!(idle.sweep_period_s(1024.0).is_infinite());
     }
 
@@ -152,7 +170,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "scan rate")]
     fn zero_scan_rate_panics() {
-        let m = OverheadModel { scan_rate_mib_s: 0.0, ..base() };
+        let m = OverheadModel {
+            scan_rate_mib_s: 0.0,
+            ..base()
+        };
         let _ = m.runtime_overhead();
     }
 }

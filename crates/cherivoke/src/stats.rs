@@ -1,4 +1,8 @@
-//! Heap-wide statistics.
+//! Heap-wide statistics — and the concurrent service's per-shard counters,
+//! sweep-bandwidth accounting and pause-time histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use cvkalloc::AllocStats;
 use revoker::SweepStats;
@@ -42,6 +46,172 @@ impl HeapStats {
     }
 }
 
+/// Number of log2 buckets in a [`PauseHistogram`] (covers 1 ns … ~34 s).
+pub const PAUSE_BUCKETS: usize = 36;
+
+/// A lock-free log2 histogram of revoker pause times (the time the
+/// background revoker holds one shard's lock per step — the mutator-visible
+/// "pause" of §3.5's concurrent revocation).
+///
+/// Bucket `i` counts pauses with `2^i ≤ nanoseconds < 2^(i+1)` (bucket 0
+/// also absorbs 0 ns). Recording is a single relaxed atomic increment.
+#[derive(Debug)]
+pub struct PauseHistogram {
+    buckets: [AtomicU64; PAUSE_BUCKETS],
+}
+
+impl Default for PauseHistogram {
+    fn default() -> Self {
+        PauseHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl PauseHistogram {
+    /// An empty histogram.
+    pub fn new() -> PauseHistogram {
+        PauseHistogram::default()
+    }
+
+    /// Records one pause.
+    pub fn record(&self, pause: Duration) {
+        let ns = pause.as_nanos().max(1) as u64;
+        let bucket = (63 - ns.leading_zeros() as usize).min(PAUSE_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> PauseSnapshot {
+        let mut counts = [0u64; PAUSE_BUCKETS];
+        for (c, b) in counts.iter_mut().zip(&self.buckets) {
+            *c = b.load(Ordering::Relaxed);
+        }
+        PauseSnapshot { counts }
+    }
+}
+
+/// An immutable copy of a [`PauseHistogram`]'s counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PauseSnapshot {
+    /// `counts[i]` pauses fell in `[2^i, 2^(i+1))` nanoseconds.
+    pub counts: [u64; PAUSE_BUCKETS],
+}
+
+impl Default for PauseSnapshot {
+    fn default() -> Self {
+        PauseSnapshot {
+            counts: [0; PAUSE_BUCKETS],
+        }
+    }
+}
+
+impl PauseSnapshot {
+    /// Total pauses recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// An upper bound (bucket ceiling) on the `p`-th percentile pause, in
+    /// nanoseconds. `p` in `[0, 100]`. Returns 0 for an empty histogram.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << PAUSE_BUCKETS
+    }
+
+    /// Ceiling of the largest recorded pause, in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.percentile_ns(100.0)
+    }
+}
+
+/// Counters for one shard of a [`crate::ConcurrentHeap`], plus derived
+/// rates over the service's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Allocations served by this shard.
+    pub mallocs: u64,
+    /// Frees routed to this shard.
+    pub frees: u64,
+    /// Total bytes freed into this shard's quarantine.
+    pub freed_bytes: u64,
+    /// Allocations per second since the service started.
+    pub mallocs_per_sec: f64,
+    /// Frees per second since the service started.
+    pub frees_per_sec: f64,
+    /// Bytes currently live in this shard.
+    pub live_bytes: u64,
+    /// Bytes currently quarantined in this shard.
+    pub quarantined_bytes: u64,
+    /// The shard heap's own cumulative statistics.
+    pub heap: HeapStats,
+}
+
+/// Aggregated statistics of a running [`crate::ConcurrentHeap`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Per-shard counters, indexed by shard.
+    pub shards: Vec<ShardStats>,
+    /// Background revocation epochs completed by the service revoker.
+    pub epochs: u64,
+    /// Foreign sweeps performed (other shards swept against a painting
+    /// shard's shadow map).
+    pub foreign_sweeps: u64,
+    /// Capabilities revoked by foreign sweeps.
+    pub foreign_caps_revoked: u64,
+    /// Dangling capabilities filtered in flight by the service-level
+    /// cross-shard barrier (on top of each shard's own epoch barrier).
+    pub barrier_revocations: u64,
+    /// Synchronous whole-service revocations forced by out-of-memory.
+    pub oom_revocations: u64,
+    /// Bytes swept by the background revoker (own slices + foreign sweeps).
+    pub bytes_swept: u64,
+    /// Wall-clock seconds the revoker spent sweeping (lock held).
+    pub sweep_secs: f64,
+    /// Revoker pause-time distribution.
+    pub pauses: PauseSnapshot,
+    /// Seconds since the service started.
+    pub elapsed_secs: f64,
+}
+
+impl ServiceStats {
+    /// Aggregate allocations per second across all shards.
+    pub fn mallocs_per_sec(&self) -> f64 {
+        self.shards.iter().map(|s| s.mallocs_per_sec).sum()
+    }
+
+    /// The revoker's realised sweep bandwidth, bytes per second of sweep
+    /// time (not wall time) — comparable to fig. 7's sweep-rate axis.
+    pub fn sweep_bandwidth(&self) -> f64 {
+        if self.sweep_secs == 0.0 {
+            0.0
+        } else {
+            self.bytes_swept as f64 / self.sweep_secs
+        }
+    }
+
+    /// Bytes quarantined across all shards.
+    pub fn quarantined_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.quarantined_bytes).sum()
+    }
+
+    /// Bytes live across all shards.
+    pub fn live_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.live_bytes).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -49,11 +219,77 @@ mod tests {
     #[test]
     fn absorb_accumulates() {
         let mut h = HeapStats::default();
-        let s = SweepStats { caps_revoked: 3, caps_inspected: 10, bytes_swept: 100, ..Default::default() };
+        let s = SweepStats {
+            caps_revoked: 3,
+            caps_inspected: 10,
+            bytes_swept: 100,
+            ..Default::default()
+        };
         h.absorb_sweep(&s, 64);
         h.absorb_sweep(&s, 32);
         assert_eq!(h.sweeps, 2);
         assert_eq!(h.caps_revoked, 6);
         assert_eq!(h.bytes_painted, 96);
+    }
+
+    #[test]
+    fn pause_histogram_buckets_by_log2() {
+        let h = PauseHistogram::new();
+        h.record(Duration::from_nanos(1)); // bucket 0
+        h.record(Duration::from_nanos(3)); // bucket 1
+        h.record(Duration::from_nanos(1024)); // bucket 10
+        let s = h.snapshot();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.counts[1], 1);
+        assert_eq!(s.counts[10], 1);
+    }
+
+    #[test]
+    fn pause_percentiles_are_bucket_ceilings() {
+        let h = PauseHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(100)); // bucket 6: [64, 128)
+        }
+        h.record(Duration::from_micros(100)); // bucket 16
+        let s = h.snapshot();
+        assert_eq!(s.percentile_ns(50.0), 128);
+        assert_eq!(s.percentile_ns(99.0), 128);
+        assert_eq!(s.percentile_ns(100.0), 1 << 17);
+        assert_eq!(s.max_ns(), 1 << 17);
+    }
+
+    #[test]
+    fn empty_pause_histogram_is_zero() {
+        let s = PauseHistogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.percentile_ns(99.0), 0);
+    }
+
+    #[test]
+    fn service_stats_aggregate_across_shards() {
+        let stats = ServiceStats {
+            shards: vec![
+                ShardStats {
+                    mallocs_per_sec: 10.0,
+                    quarantined_bytes: 100,
+                    live_bytes: 400,
+                    ..Default::default()
+                },
+                ShardStats {
+                    mallocs_per_sec: 30.0,
+                    quarantined_bytes: 50,
+                    live_bytes: 600,
+                    ..Default::default()
+                },
+            ],
+            bytes_swept: 1000,
+            sweep_secs: 0.5,
+            ..Default::default()
+        };
+        assert_eq!(stats.mallocs_per_sec(), 40.0);
+        assert_eq!(stats.quarantined_bytes(), 150);
+        assert_eq!(stats.live_bytes(), 1000);
+        assert_eq!(stats.sweep_bandwidth(), 2000.0);
     }
 }

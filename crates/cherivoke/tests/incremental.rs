@@ -23,7 +23,10 @@ fn epoch_lifecycle_completes_in_slices() {
     h.store_cap(&holder, 0, &obj).unwrap();
     h.free(obj).unwrap();
 
-    assert!(h.begin_revocation(), "epoch should open with sealed quarantine");
+    assert!(
+        h.begin_revocation(),
+        "epoch should open with sealed quarantine"
+    );
     assert!(h.revocation_active());
     assert!(!h.begin_revocation(), "no nested epochs");
 
@@ -37,7 +40,10 @@ fn epoch_lifecycle_completes_in_slices() {
         assert!(steps < 10_000, "epoch must terminate");
     };
     assert!(!h.revocation_active());
-    assert!(steps > 1, "work should have spanned multiple slices, got {steps}");
+    assert!(
+        steps > 1,
+        "work should have spanned multiple slices, got {steps}"
+    );
     assert_eq!(stats.caps_revoked, 1);
     assert!(!h.load_cap(&holder, 0).unwrap().tag());
     assert_eq!(h.stats().epochs, 1);
@@ -61,11 +67,17 @@ fn store_barrier_stops_dangling_escape() {
     // Mid-epoch (no slices processed yet), the program copies src -> dst.
     let dangling = h.load_cap(&src, 0).unwrap();
     // The LOAD barrier already strips the tag on the way out…
-    assert!(!dangling.tag(), "load barrier must filter painted capabilities");
+    assert!(
+        !dangling.tag(),
+        "load barrier must filter painted capabilities"
+    );
     // …and even a raced tagged copy cannot be stored live:
     let raced = src; // a tagged capability whose base is NOT painted
     h.store_cap(&dst, 0, &raced).unwrap();
-    assert!(h.load_cap(&dst, 0).unwrap().tag(), "live caps pass the barrier");
+    assert!(
+        h.load_cap(&dst, 0).unwrap().tag(),
+        "live caps pass the barrier"
+    );
 
     h.finish_revocation();
     assert!(!h.revocation_active());
@@ -104,7 +116,10 @@ fn frees_during_epoch_wait_for_the_next_one() {
     h.finish_revocation();
     // `second`'s copy must still be tagged: its generation wasn't painted.
     assert!(h.load_cap(&holder, 0).unwrap().tag());
-    assert!(h.quarantined_bytes() > 0, "second generation still detained");
+    assert!(
+        h.quarantined_bytes() > 0,
+        "second generation still detained"
+    );
 
     // The next epoch takes care of it.
     assert!(h.begin_revocation());
@@ -138,7 +153,10 @@ fn automatic_incremental_mode_is_safe_under_churn() {
         }
     }
     // Epochs ran incrementally.
-    assert!(h.stats().epochs > 0, "automatic mode should have opened epochs");
+    assert!(
+        h.stats().epochs > 0,
+        "automatic mode should have opened epochs"
+    );
 
     // Finish any tail epoch, then force a final full revocation.
     h.finish_revocation();
@@ -150,7 +168,10 @@ fn automatic_incremental_mode_is_safe_under_churn() {
     for s in 0..slot {
         let cap = h.load_cap(&museum, s * 16).unwrap();
         assert!(!cap.tag(), "slot {s} survived");
-        assert_eq!(h.load_u64(&cap, 0), Err(HeapError::Cap(CapError::TagCleared)));
+        assert_eq!(
+            h.load_u64(&cap, 0),
+            Err(HeapError::Cap(CapError::TagCleared))
+        );
     }
 }
 
@@ -187,7 +208,11 @@ fn realloc_always_moves_and_revokes_the_old_block() {
     h.store_cap(&holder, 0, &a).unwrap(); // a dangling-copy-to-be
 
     let b = h.realloc(a, 256).unwrap();
-    assert_ne!(b.base(), a.base(), "CHERIvoke realloc never resizes in place");
+    assert_ne!(
+        b.base(),
+        a.base(),
+        "CHERIvoke realloc never resizes in place"
+    );
     // Data and interior capability copied with tags intact.
     assert_eq!(h.load_u64(&b, 0).unwrap(), 0x1111);
     assert!(h.load_cap(&b, 16).unwrap().tag());

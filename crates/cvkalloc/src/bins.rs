@@ -23,11 +23,14 @@ pub(crate) struct Bins {
 
 impl Bins {
     pub fn new() -> Bins {
-        Bins { small: vec![Vec::new(); N_SMALL], large: BTreeSet::new() }
+        Bins {
+            small: vec![Vec::new(); N_SMALL],
+            large: BTreeSet::new(),
+        }
     }
 
     fn small_index(size: u64) -> Option<usize> {
-        if size >= GRANULE && size <= SMALL_MAX && size % GRANULE == 0 {
+        if (GRANULE..=SMALL_MAX).contains(&size) && size.is_multiple_of(GRANULE) {
             Some((size / GRANULE) as usize - 1)
         } else {
             None

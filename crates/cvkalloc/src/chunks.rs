@@ -42,7 +42,13 @@ impl ChunkMap {
     /// Creates a map whose whole range is one [`ChunkState::Top`] chunk.
     pub fn new(base: u64, size: u64) -> ChunkMap {
         let mut chunks = BTreeMap::new();
-        chunks.insert(base, Chunk { size, state: ChunkState::Top });
+        chunks.insert(
+            base,
+            Chunk {
+                size,
+                state: ChunkState::Top,
+            },
+        );
         ChunkMap { base, size, chunks }
     }
 
@@ -98,9 +104,21 @@ impl ChunkMap {
     pub(crate) fn split(&mut self, addr: u64, left_size: u64) -> u64 {
         let chunk = *self.chunks.get(&addr).expect("chunk exists");
         assert!(left_size > 0 && left_size < chunk.size, "bad split");
-        self.chunks.insert(addr, Chunk { size: left_size, state: chunk.state });
+        self.chunks.insert(
+            addr,
+            Chunk {
+                size: left_size,
+                state: chunk.state,
+            },
+        );
         let right = addr + left_size;
-        self.chunks.insert(right, Chunk { size: chunk.size - left_size, state: chunk.state });
+        self.chunks.insert(
+            right,
+            Chunk {
+                size: chunk.size - left_size,
+                state: chunk.state,
+            },
+        );
         right
     }
 
@@ -138,7 +156,11 @@ impl ChunkMap {
 
     /// Total bytes in chunks of the given state.
     pub fn bytes_in_state(&self, state: ChunkState) -> u64 {
-        self.chunks.values().filter(|c| c.state == state).map(|c| c.size).sum()
+        self.chunks
+            .values()
+            .filter(|c| c.state == state)
+            .map(|c| c.size)
+            .sum()
     }
 
     /// Verifies the tiling invariant; used by tests and debug assertions.
@@ -153,7 +175,11 @@ impl ChunkMap {
             assert!(c.size > 0, "zero-sized chunk at {addr:#x}");
             cursor = addr + c.size;
         }
-        assert_eq!(cursor, self.base + self.size, "chunks do not reach heap end");
+        assert_eq!(
+            cursor,
+            self.base + self.size,
+            "chunks do not reach heap end"
+        );
     }
 }
 

@@ -126,7 +126,11 @@ impl DlAllocator {
         let align = CompressedBounds::representable_alignment(padded).max(GRANULE);
 
         // 1. Free bins (ask for extra when alignment padding may be needed).
-        let want = if align > GRANULE { padded + align } else { padded };
+        let want = if align > GRANULE {
+            padded + align
+        } else {
+            padded
+        };
         if let Some((addr, csize)) = self.bins.take_fit(want) {
             let block = self.place(addr, csize, padded, align);
             self.note_malloc(block);
@@ -152,7 +156,7 @@ impl DlAllocator {
         self.stats.mallocs += 1;
         self.stats.live_bytes += block.size;
         self.stats.note_footprint();
-        debug_assert!(block.addr % GRANULE == 0);
+        debug_assert!(block.addr.is_multiple_of(GRANULE));
     }
 
     /// Places `padded` bytes inside the free chunk `[addr, addr+csize)`,
@@ -161,7 +165,10 @@ impl DlAllocator {
         debug_assert_eq!(self.chunks.get(addr).map(|(s, _)| s), Some(csize));
         let aligned = addr.next_multiple_of(align);
         let pad = aligned - addr;
-        debug_assert!(pad + padded <= csize, "chunk too small for aligned placement");
+        debug_assert!(
+            pad + padded <= csize,
+            "chunk too small for aligned placement"
+        );
         if pad > 0 {
             let right = self.chunks.split(addr, pad);
             self.chunks.set_state(addr, ChunkState::Free);
@@ -335,10 +342,16 @@ mod tests {
         let mut h = heap();
         let a = h.malloc(64).unwrap();
         h.free(a.addr).unwrap();
-        assert_eq!(h.free(a.addr), Err(AllocError::InvalidFree { addr: a.addr }));
+        assert_eq!(
+            h.free(a.addr),
+            Err(AllocError::InvalidFree { addr: a.addr })
+        );
         // Interior pointer too.
         let b = h.malloc(64).unwrap();
-        assert_eq!(h.free(b.addr + 16), Err(AllocError::InvalidFree { addr: b.addr + 16 }));
+        assert_eq!(
+            h.free(b.addr + 16),
+            Err(AllocError::InvalidFree { addr: b.addr + 16 })
+        );
     }
 
     #[test]
@@ -464,11 +477,14 @@ impl DlAllocator {
         let padded = Self::granted_size(new_size);
         let align = CompressedBounds::representable_alignment(padded).max(GRANULE);
         if padded == old_size {
-            return Ok(Block { addr, size: old_size });
+            return Ok(Block {
+                addr,
+                size: old_size,
+            });
         }
         // Shrink in place (only when the current base satisfies the new
         // size's representable alignment).
-        if padded < old_size && addr % align == 0 {
+        if padded < old_size && addr.is_multiple_of(align) {
             let tail = self.chunks.split(addr, padded);
             self.release(tail);
             self.stats.internal_frees -= 1; // not a user-visible free
@@ -476,7 +492,7 @@ impl DlAllocator {
             return Ok(Block { addr, size: padded });
         }
         // Grow in place: absorb a free/top successor when alignment holds.
-        if padded > old_size && addr % align == 0 {
+        if padded > old_size && addr.is_multiple_of(align) {
             if let Some((naddr, nsize, nstate)) = self.chunks.next_neighbour(addr) {
                 let extra = padded - old_size;
                 let absorbable = match nstate {
@@ -584,7 +600,10 @@ mod realloc_tests {
         let _wall = h.malloc(256).unwrap();
         let b = h.realloc(a.addr, 1024).unwrap();
         assert_ne!(b.addr, a.addr);
-        assert!(h.chunks().get(a.addr).is_none() || h.chunks().get(a.addr).unwrap().1 != ChunkState::Allocated);
+        assert!(
+            h.chunks().get(a.addr).is_none()
+                || h.chunks().get(a.addr).unwrap().1 != ChunkState::Allocated
+        );
         // Live accounting: one block of 1024.
         assert_eq!(h.live_bytes(), 1024 + 256);
         h.chunks().assert_tiling();
@@ -595,8 +614,14 @@ mod realloc_tests {
         let mut h = heap();
         let a = h.malloc(64).unwrap();
         h.free(a.addr).unwrap();
-        assert!(matches!(h.realloc(a.addr, 128), Err(AllocError::InvalidFree { .. })));
-        assert!(matches!(h.realloc(0x123, 128), Err(AllocError::InvalidFree { .. })));
+        assert!(matches!(
+            h.realloc(a.addr, 128),
+            Err(AllocError::InvalidFree { .. })
+        ));
+        assert!(matches!(
+            h.realloc(0x123, 128),
+            Err(AllocError::InvalidFree { .. })
+        ));
     }
 
     #[test]
@@ -651,7 +676,10 @@ impl DlAllocator {
             self.stats.internal_frees -= 1;
             self.stats.live_bytes -= cur_size - padded;
         }
-        Ok(Block { addr: aligned, size: padded })
+        Ok(Block {
+            addr: aligned,
+            size: padded,
+        })
     }
 }
 
@@ -678,7 +706,10 @@ mod aligned_tests {
     #[test]
     fn bad_alignment_is_rejected() {
         let mut h = DlAllocator::new(0x1000_0000, 1 << 20);
-        assert!(matches!(h.malloc_aligned(64, 48), Err(AllocError::BadRequest { .. })));
+        assert!(matches!(
+            h.malloc_aligned(64, 48),
+            Err(AllocError::BadRequest { .. })
+        ));
         // Granule-or-smaller alignments are the normal path.
         assert!(h.malloc_aligned(64, 16).is_ok());
         assert!(h.malloc_aligned(64, 1).is_ok());

@@ -47,8 +47,12 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(AllocError::OutOfMemory { requested: 64 }.to_string().contains("64"));
-        assert!(AllocError::InvalidFree { addr: 0x10 }.to_string().contains("0x10"));
+        assert!(AllocError::OutOfMemory { requested: 64 }
+            .to_string()
+            .contains("64"));
+        assert!(AllocError::InvalidFree { addr: 0x10 }
+            .to_string()
+            .contains("0x10"));
         assert!(AllocError::BadRequest { size: 0 }.to_string().contains("0"));
     }
 }

@@ -23,12 +23,20 @@ pub struct QuarantineConfig {
 impl QuarantineConfig {
     /// The paper's default configuration: quarantine up to 25% of the heap.
     pub fn paper_default() -> QuarantineConfig {
-        QuarantineConfig { fraction: 0.25, min_bytes: 0, aggregate: true }
+        QuarantineConfig {
+            fraction: 0.25,
+            min_bytes: 0,
+            aggregate: true,
+        }
     }
 
     /// A policy with the given heap-overhead fraction.
     pub fn with_fraction(fraction: f64) -> QuarantineConfig {
-        QuarantineConfig { fraction, min_bytes: 0, aggregate: true }
+        QuarantineConfig {
+            fraction,
+            min_bytes: 0,
+            aggregate: true,
+        }
     }
 }
 
@@ -67,7 +75,12 @@ impl CherivokeAllocator {
 
     /// Wraps `inner` with an explicit [`QuarantineConfig`].
     pub fn with_config(inner: DlAllocator, config: QuarantineConfig) -> CherivokeAllocator {
-        CherivokeAllocator { inner, config, open: BTreeSet::new(), sealed: BTreeSet::new() }
+        CherivokeAllocator {
+            inner,
+            config,
+            open: BTreeSet::new(),
+            sealed: BTreeSet::new(),
+        }
     }
 
     /// The quarantine policy.
@@ -119,8 +132,7 @@ impl CherivokeAllocator {
             return Ok(size);
         }
         let mut start = addr;
-        if let Some((paddr, _, ChunkState::Quarantined)) =
-            self.inner.chunks().prev_neighbour(addr)
+        if let Some((paddr, _, ChunkState::Quarantined)) = self.inner.chunks().prev_neighbour(addr)
         {
             if self.open.contains(&paddr) {
                 self.inner.chunks_mut().merge_with_next(paddr);
@@ -131,8 +143,7 @@ impl CherivokeAllocator {
         } else {
             self.open.insert(addr);
         }
-        if let Some((naddr, _, ChunkState::Quarantined)) =
-            self.inner.chunks().next_neighbour(start)
+        if let Some((naddr, _, ChunkState::Quarantined)) = self.inner.chunks().next_neighbour(start)
         {
             if self.open.remove(&naddr) {
                 self.inner.chunks_mut().merge_with_next(start);
@@ -268,7 +279,10 @@ mod tests {
         let mut h = heap();
         let a = h.malloc(64).unwrap();
         h.free(a.addr).unwrap();
-        assert_eq!(h.free(a.addr), Err(AllocError::InvalidFree { addr: a.addr }));
+        assert_eq!(
+            h.free(a.addr),
+            Err(AllocError::InvalidFree { addr: a.addr })
+        );
     }
 
     #[test]
@@ -295,11 +309,18 @@ mod tests {
         for b in &blocks {
             h.free(b.addr).unwrap();
         }
-        assert_eq!(h.quarantined_chunks(), 1, "contiguous frees aggregate to one chunk");
+        assert_eq!(
+            h.quarantined_chunks(),
+            1,
+            "contiguous frees aggregate to one chunk"
+        );
         h.drain_quarantine();
         let s = h.stats();
         assert_eq!(s.frees, 100);
-        assert_eq!(s.internal_frees, 1, "one internal free after aggregation (§6.1.1)");
+        assert_eq!(
+            s.internal_frees, 1,
+            "one internal free after aggregation (§6.1.1)"
+        );
     }
 
     #[test]
@@ -324,7 +345,11 @@ mod tests {
     fn min_bytes_floor_suppresses_tiny_sweeps() {
         let mut h = CherivokeAllocator::with_config(
             DlAllocator::new(BASE, 1 << 20),
-            QuarantineConfig { fraction: 0.25, min_bytes: 1 << 16, aggregate: true },
+            QuarantineConfig {
+                fraction: 0.25,
+                min_bytes: 1 << 16,
+                aggregate: true,
+            },
         );
         let a = h.malloc(64).unwrap();
         h.free(a.addr).unwrap();

@@ -31,8 +31,9 @@ impl AllocStats {
     /// Updates the high-water marks after live/quarantine changes.
     pub(crate) fn note_footprint(&mut self) {
         self.peak_live_bytes = self.peak_live_bytes.max(self.live_bytes);
-        self.peak_footprint_bytes =
-            self.peak_footprint_bytes.max(self.live_bytes + self.quarantined_bytes);
+        self.peak_footprint_bytes = self
+            .peak_footprint_bytes
+            .max(self.live_bytes + self.quarantined_bytes);
     }
 }
 

@@ -63,7 +63,10 @@ impl ConservativeImage {
                 }
             })
             .collect();
-        ConservativeImage { base: mem.base(), words }
+        ConservativeImage {
+            base: mem.base(),
+            words,
+        }
     }
 
     /// Builds an image directly from words (testing / synthetic densities).
@@ -169,8 +172,7 @@ mod simd {
     //! unaligned addresses, so any `&[u64]` chunk of ≥ 4 words is valid.
 
     use core::arch::x86_64::{
-        __m256i, _mm256_loadu_si256, _mm256_movemask_epi8, _mm256_setzero_si256,
-        _mm256_cmpeq_epi64,
+        __m256i, _mm256_cmpeq_epi64, _mm256_loadu_si256, _mm256_movemask_epi8, _mm256_setzero_si256,
     };
 
     use super::{ConservativeImage, ConservativeStats};
@@ -246,7 +248,10 @@ mod tests {
     ) -> Vec<(&'static str, ConservativeImage, ConservativeStats)> {
         let mut out = Vec::new();
         for (name, f) in [
-            ("scalar", sweep_scalar as fn(&mut ConservativeImage, &ShadowMap) -> ConservativeStats),
+            (
+                "scalar",
+                sweep_scalar as fn(&mut ConservativeImage, &ShadowMap) -> ConservativeStats,
+            ),
             ("unrolled", sweep_unrolled),
             ("avx2", sweep_avx2),
         ] {
@@ -311,7 +316,8 @@ mod tests {
         let mut mem = tagmem::TaggedMemory::new(HEAP, LEN);
         for i in 0..20u64 {
             let obj = HEAP + 0x4000 + i * 64;
-            mem.write_cap(HEAP + i * 16, &Capability::root_rw(obj, 64)).unwrap();
+            mem.write_cap(HEAP + i * 16, &Capability::root_rw(obj, 64))
+                .unwrap();
         }
         let mut shadow = ShadowMap::new(HEAP, LEN);
         for i in (0..20u64).step_by(2) {

@@ -17,7 +17,7 @@
 //!
 //! Sweep kernels come in the same flavours the paper benchmarks in
 //! Figure 7 ([`Kernel::Simple`], [`Kernel::Unrolled`], [`Kernel::Wide`])
-//! plus a crossbeam-parallel variant ([`Kernel::Parallel`]) exploiting the
+//! plus a thread-parallel variant ([`Kernel::Parallel`]) exploiting the
 //! embarrassing parallelism of §3.5.
 //!
 //! # Example

@@ -47,7 +47,7 @@ impl SweepPlan {
             bytes_total += mem.len();
             match mode {
                 SkipMode::None => {
-                    if mem.len() > 0 {
+                    if !mem.is_empty() {
                         regions.push((mem.base(), mem.len()));
                     }
                 }
@@ -78,7 +78,12 @@ impl SweepPlan {
             }
         }
         regions.sort_unstable();
-        SweepPlan { mode, regions, bytes_total, lines_queried }
+        SweepPlan {
+            mode,
+            regions,
+            bytes_total,
+            lines_queried,
+        }
     }
 
     /// The mode this plan was built under.
@@ -127,7 +132,9 @@ mod tests {
     const LEN: u64 = 1 << 16; // 16 pages, 512 lines
 
     fn dump_with_caps(addrs: &[u64]) -> CoreDump {
-        let mut space = AddressSpace::builder().segment(SegmentKind::Heap, HEAP, LEN).build();
+        let mut space = AddressSpace::builder()
+            .segment(SegmentKind::Heap, HEAP, LEN)
+            .build();
         let cap = Capability::root_rw(HEAP, 64);
         for &a in addrs {
             space.store_cap(a, &cap).unwrap();

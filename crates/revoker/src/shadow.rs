@@ -41,8 +41,16 @@ impl ShadowMap {
     ///
     /// Panics unless base and length are 16-byte aligned.
     pub fn new(heap_base: u64, heap_len: u64) -> ShadowMap {
-        assert_eq!(heap_base % GRANULE_SIZE, 0, "heap base must be granule-aligned");
-        assert_eq!(heap_len % GRANULE_SIZE, 0, "heap length must be granule-aligned");
+        assert_eq!(
+            heap_base % GRANULE_SIZE,
+            0,
+            "heap base must be granule-aligned"
+        );
+        assert_eq!(
+            heap_len % GRANULE_SIZE,
+            0,
+            "heap length must be granule-aligned"
+        );
         let granules = heap_len / GRANULE_SIZE;
         ShadowMap {
             heap_base,
@@ -134,7 +142,7 @@ impl ShadowMap {
 
         let mut g = first;
         // Ragged head: bits up to the next word boundary.
-        while g <= last && g % 64 != 0 {
+        while g <= last && !g.is_multiple_of(64) {
             self.put(g, set);
             g += 1;
         }
@@ -144,9 +152,16 @@ impl ShadowMap {
             let old = self.bits[w];
             let new = if set { u64::MAX } else { 0 };
             if old != new {
-                let delta = if set { old.count_zeros() } else { old.count_ones() } as u64;
-                self.painted_granules =
-                    if set { self.painted_granules + delta } else { self.painted_granules - delta };
+                let delta = if set {
+                    old.count_zeros()
+                } else {
+                    old.count_ones()
+                } as u64;
+                self.painted_granules = if set {
+                    self.painted_granules + delta
+                } else {
+                    self.painted_granules - delta
+                };
                 self.bits[w] = new;
             }
             g += 64;

@@ -20,7 +20,7 @@ pub enum Kernel {
     /// the role AVX2 plays in the paper.
     #[default]
     Wide,
-    /// [`Kernel::Wide`] parallelised across threads with crossbeam (§3.5:
+    /// [`Kernel::Wide`] parallelised across scoped threads (§3.5:
     /// sweeping is embarrassingly parallel; the shadow map is read-only).
     Parallel {
         /// Number of worker threads.
@@ -276,7 +276,7 @@ fn kernel_unrolled(
     let mut g = g0;
     while g < g1 {
         let w = g / 64;
-        if g % 64 == 0 && g + 64 <= g1 && tags[w] == 0 {
+        if g.is_multiple_of(64) && g + 64 <= g1 && tags[w] == 0 {
             g += 64;
             continue;
         }
@@ -306,6 +306,7 @@ fn kernel_wide(
     let mut stats = SweepStats::default();
     let w0 = g0 / 64;
     let w1 = g1.div_ceil(64);
+    #[allow(clippy::needless_range_loop)] // `w` also derives `lo`; indexing is the clear form
     for w in w0..w1 {
         // Mask the word to the requested granule range (ragged edges).
         let lo = w * 64;
@@ -372,8 +373,7 @@ fn kernel_parallel(
     let mut w = w0;
     while w < w1 {
         let take = per.min(w1 - w);
-        let (td, rd) = remaining_data
-            .split_at_mut((take * 64 * 16).min(remaining_data.len()));
+        let (td, rd) = remaining_data.split_at_mut((take * 64 * 16).min(remaining_data.len()));
         let (tt, rt) = remaining_tags.split_at_mut(take);
         remaining_data = rd;
         remaining_tags = rt;
@@ -382,11 +382,11 @@ fn kernel_parallel(
     }
 
     let mut total = SweepStats::default();
-    let partials: Vec<SweepStats> = crossbeam::thread::scope(|scope| {
+    let partials: Vec<SweepStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = jobs
             .into_iter()
             .map(|(wstart, take, td, tt)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     // Worker-local granule window, clamped to the request.
                     let local_g0 = (wstart * 64).max(g0) - wstart * 64;
                     let local_g1 = ((wstart + take) * 64).min(g1) - wstart * 64;
@@ -394,9 +394,11 @@ fn kernel_parallel(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
-    })
-    .expect("crossbeam scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
     for p in partials {
         total += p;
     }
@@ -460,7 +462,11 @@ mod tests {
         Sweeper::new(Kernel::Wide).sweep_segment(&mut mem, &shadow);
         let (word, tag) = mem.read_cap_word(HEAP).unwrap();
         assert!(!tag);
-        assert_eq!(word.bits(), 0, "paper's loop stores zero over dangling pointers");
+        assert_eq!(
+            word.bits(),
+            0,
+            "paper's loop stores zero over dangling pointers"
+        );
     }
 
     #[test]
@@ -575,7 +581,9 @@ mod tests {
                     .build();
                 let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
                 for _ in 0..40 {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     let slot = HEAP + (x >> 20) % ((1 << 16) - 16) / 16 * 16;
                     let obj = HEAP + ((x >> 40) % 4096) * 16;
                     let cap = Capability::root_rw(obj, 16);
@@ -602,8 +610,7 @@ mod tests {
     fn parallel_kernel_handles_odd_partitions() {
         for threads in [1, 2, 3, 7, 16] {
             let (mut mem, shadow, expect) = scenario(333);
-            let stats =
-                Sweeper::new(Kernel::Parallel { threads }).sweep_segment(&mut mem, &shadow);
+            let stats = Sweeper::new(Kernel::Parallel { threads }).sweep_segment(&mut mem, &shadow);
             assert_eq!(stats.caps_revoked, expect, "threads={threads}");
         }
     }
@@ -613,8 +620,7 @@ mod tests {
         let (mut mem, shadow, _) = scenario(100);
         // Sweep only the first 32 granules (two tag words): 16 caps live
         // there (i = 0..32 at 16-byte spacing → granules 0..32).
-        let stats =
-            Sweeper::new(Kernel::Wide).sweep_range(&mut mem, &shadow, HEAP, 32 * 16);
+        let stats = Sweeper::new(Kernel::Wide).sweep_range(&mut mem, &shadow, HEAP, 32 * 16);
         assert_eq!(stats.caps_inspected, 32);
         // Capabilities outside the range are untouched even if dangling:
         // granule 40 holds a cap to a painted object (i=40 is even).

@@ -177,7 +177,9 @@ mod tests {
 
     /// An image with `density` of its pages holding one capability line.
     fn image(page_density: f64) -> (CoreDump, ShadowMap) {
-        let mut space = AddressSpace::builder().segment(SegmentKind::Heap, HEAP, LEN).build();
+        let mut space = AddressSpace::builder()
+            .segment(SegmentKind::Heap, HEAP, LEN)
+            .build();
         let cap = Capability::root_rw(HEAP + 0x40, 64);
         let pages = LEN / PAGE_SIZE;
         let dirty = (pages as f64 * page_density) as u64;
@@ -217,7 +219,10 @@ mod tests {
         let r = run(TimedMode::CLoadTags, 0.25);
         // Only one line per dirty page actually holds tags.
         assert_eq!(r.bytes_read, (LEN / PAGE_SIZE / 4) * LINE_SIZE);
-        assert_eq!(r.cloadtags_issued, (LEN / PAGE_SIZE / 4) * (PAGE_SIZE / LINE_SIZE));
+        assert_eq!(
+            r.cloadtags_issued,
+            (LEN / PAGE_SIZE / 4) * (PAGE_SIZE / LINE_SIZE)
+        );
         // Still cheaper than reading the dirty pages wholesale here (lines
         // are very sparse inside pages).
         let pte = run(TimedMode::PteCapDirty, 0.25);
@@ -228,7 +233,9 @@ mod tests {
     fn cloadtags_can_lose_when_lines_are_dense() {
         // Build an image where *every* line of every page holds a pointer:
         // CLoadTags pays the query on top of reading everything (§6.3).
-        let mut space = AddressSpace::builder().segment(SegmentKind::Heap, HEAP, 1 << 18).build();
+        let mut space = AddressSpace::builder()
+            .segment(SegmentKind::Heap, HEAP, 1 << 18)
+            .build();
         let cap = Capability::root_rw(HEAP + 0x40, 64);
         let mut a = HEAP;
         while a < HEAP + (1 << 18) {
@@ -241,14 +248,23 @@ mod tests {
         let pte = timed_sweep(&dump, &shadow, &mut m1, TimedMode::PteCapDirty);
         let mut m2 = Machine::new(MachineConfig::cheri_fpga_like());
         let clt = timed_sweep(&dump, &shadow, &mut m2, TimedMode::CLoadTags);
-        assert!(clt.cycles > pte.cycles, "CLoadTags {} <= PTE {}", clt.cycles, pte.cycles);
+        assert!(
+            clt.cycles > pte.cycles,
+            "CLoadTags {} <= PTE {}",
+            clt.cycles,
+            pte.cycles
+        );
     }
 
     #[test]
     fn ideal_is_lower_bound() {
         for density in [0.1, 0.5, 1.0] {
             let ideal = run(TimedMode::Ideal, density);
-            for mode in [TimedMode::Full, TimedMode::PteCapDirty, TimedMode::CLoadTags] {
+            for mode in [
+                TimedMode::Full,
+                TimedMode::PteCapDirty,
+                TimedMode::CLoadTags,
+            ] {
                 let r = run(mode, density);
                 assert!(
                     ideal.cycles <= r.cycles,
@@ -269,8 +285,7 @@ mod tests {
         let mut dump2 = dump.clone();
         let mut total = crate::SweepStats::default();
         for img in dump2.segments_mut() {
-            total += crate::Sweeper::new(crate::Kernel::Wide)
-                .sweep_segment(&mut img.mem, &shadow);
+            total += crate::Sweeper::new(crate::Kernel::Wide).sweep_segment(&mut img.mem, &shadow);
         }
         assert_eq!(timed.caps_revoked, total.caps_revoked);
         assert_eq!(timed.caps_inspected, total.caps_inspected);

@@ -34,7 +34,8 @@ fn build(plants: &[PlantedCap], paint: &[u64]) -> (TaggedMemory, ShadowMap) {
     let mut mem = TaggedMemory::new(HEAP, LEN);
     for p in plants {
         let cap = Capability::root_rw(HEAP + p.obj * GRANULE_SIZE, GRANULE_SIZE);
-        mem.write_cap(HEAP + p.slot * GRANULE_SIZE, &cap).expect("in range");
+        mem.write_cap(HEAP + p.slot * GRANULE_SIZE, &cap)
+            .expect("in range");
     }
     let mut shadow = ShadowMap::new(HEAP, LEN);
     for &g in paint {

@@ -1,0 +1,110 @@
+//! Deterministic case generation and per-test configuration.
+
+/// Why a generated case did not run to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+}
+
+/// Per-test configuration (the subset of proptest's `Config` we use).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, matching real proptest's default.
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic generator behind every strategy (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from `name` (FNV-1a), so each test walks its own
+    /// reproducible stream.
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `usize` in `[min, max)` (returns `min` when empty).
+    pub fn usize_in(&mut self, min: usize, max: usize) -> usize {
+        if max <= min + 1 {
+            return min;
+        }
+        min + (self.next_u64() as usize) % (max - min)
+    }
+
+    /// Uniform `u64` in `[min, max]` inclusive.
+    pub fn u64_in_inclusive(&mut self, min: u64, max: u64) -> u64 {
+        debug_assert!(min <= max);
+        let span = (max as u128) - (min as u128) + 1;
+        min + ((self.next_u64() as u128) % span) as u64
+    }
+
+    /// Uniform `i64` in `[min, max]` inclusive.
+    pub fn i64_in_inclusive(&mut self, min: i64, max: i64) -> i64 {
+        debug_assert!(min <= max);
+        let span = (max as i128) - (min as i128) + 1;
+        let off = ((self.next_u64() as u128) % (span as u128)) as i128;
+        (min as i128 + off) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_distinct() {
+        let mut a = TestRng::deterministic("foo");
+        let mut a2 = TestRng::deterministic("foo");
+        let mut b = TestRng::deterministic("bar");
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let xs2: Vec<u64> = (0..8).map(|_| a2.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, xs2);
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn bounds_are_inclusive_exclusive_as_documented() {
+        let mut r = TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let v = r.usize_in(3, 7);
+            assert!((3..7).contains(&v));
+            let w = r.u64_in_inclusive(5, 5);
+            assert_eq!(w, 5);
+            let s = r.i64_in_inclusive(-3, 2);
+            assert!((-3..=2).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Offline stand-in for the [`rand`](https://docs.rs/rand) crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of the `rand` API it uses: a seedable
+//! small RNG with `gen_range` / `gen_bool`. The generator is SplitMix64 —
+//! deterministic, fast, and statistically plenty for workload synthesis
+//! (it is the same mixer `rand` itself uses to seed from a `u64`).
+
+#![forbid(unsafe_code)]
+
+/// Uniform sampling from a range (the subset of `rand`'s `SampleRange`).
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws a uniform sample from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range range");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + ((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty gen_range range");
+                let span = (end as u128) - (start as u128) + 1;
+                start + ((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i32, i64);
+
+/// The raw entropy source.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods (the subset of `rand::Rng` we use).
+pub trait Rng: RngCore {
+    /// A uniform sample from `range`.
+    fn gen_range<T: SampleRange>(&mut self, range: T) -> T::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 uniform mantissa bits, the standard open [0, 1) construction.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Deterministic construction from seeds (the subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, seedable generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    /// The "standard" generator — same engine as [`SmallRng`] here; the
+    /// distinction only matters for the real `rand` crate's guarantees.
+    pub type StdRng = SmallRng;
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            SmallRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(1u8..=255);
+            assert!(w >= 1);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.7)).count();
+        assert!((6_500..7_500).contains(&hits), "got {hits}");
+    }
+}

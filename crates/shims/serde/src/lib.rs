@@ -1,0 +1,246 @@
+//! Offline stand-in for [`serde`](https://docs.rs/serde).
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset it uses: a [`Serialize`] trait producing an
+//! ordered JSON [`Value`] tree, with `#[derive(Serialize)]` for
+//! named-field structs (see the sibling `serde_derive` shim) and a
+//! `serde_json` shim that renders the tree. The real serde's
+//! `Serializer`-visitor machinery is not reproduced — every consumer in
+//! this repo serialises benchmark-result rows straight to JSON.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::Serialize;
+
+/// An ordered JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A float (rendered `null` when non-finite, as serde_json does).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Conversion into a JSON [`Value`] (the shim's stand-in for serde's
+/// `Serialize`).
+pub trait Serialize {
+    /// This value as a JSON tree.
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+    )*};
+}
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Value {
+    /// Renders compact JSON.
+    pub fn render(&self, out: &mut String, pretty: bool, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::UInt(u) => out.push_str(&u.to_string()),
+            Value::Float(f) => {
+                if f.is_finite() {
+                    let s = f.to_string();
+                    out.push_str(&s);
+                    // `1.0f64.to_string()` is "1": keep it valid JSON (it
+                    // is), nothing to fix.
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Value::Array(items) => {
+                Self::render_seq(out, pretty, indent, '[', ']', items.len(), |out, i| {
+                    items[i].render(out, pretty, indent + 1);
+                });
+            }
+            Value::Object(entries) => {
+                Self::render_seq(out, pretty, indent, '{', '}', entries.len(), |out, i| {
+                    Value::Str(entries[i].0.clone()).render(out, false, 0);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    entries[i].1.render(out, pretty, indent + 1);
+                });
+            }
+        }
+    }
+
+    fn render_seq(
+        out: &mut String,
+        pretty: bool,
+        indent: usize,
+        open: char,
+        close: char,
+        n: usize,
+        mut item: impl FnMut(&mut String, usize),
+    ) {
+        out.push(open);
+        if n == 0 {
+            out.push(close);
+            return;
+        }
+        for i in 0..n {
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent + 1));
+            }
+            item(out, i);
+            if i + 1 < n {
+                out.push(',');
+            }
+        }
+        if pretty {
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+        }
+        out.push(close);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        let mut s = String::new();
+        Value::Object(vec![
+            ("a".into(), 3u64.to_value()),
+            ("b".into(), 1.5f64.to_value()),
+            ("c".into(), "x\"y".to_value()),
+            ("d".into(), true.to_value()),
+            ("e".into(), Option::<u64>::None.to_value()),
+        ])
+        .render(&mut s, false, 0);
+        assert_eq!(s, r#"{"a":3,"b":1.5,"c":"x\"y","d":true,"e":null}"#);
+    }
+
+    #[test]
+    fn pretty_nests() {
+        let mut s = String::new();
+        vec![1u64, 2].to_value().render(&mut s, true, 0);
+        assert_eq!(s, "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut s = String::new();
+        f64::NAN.to_value().render(&mut s, false, 0);
+        assert_eq!(s, "null");
+    }
+}

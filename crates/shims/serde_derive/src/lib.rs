@@ -1,0 +1,97 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the shapes this workspace actually
+//! serialises: non-generic structs with named fields (benchmark result
+//! rows). No `syn`/`quote` — the input is walked with the compiler's own
+//! `proc_macro` token API, which is all these simple shapes need.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` for a named-field struct.
+///
+/// # Panics
+///
+/// Panics at compile time when applied to enums, tuple structs, or generic
+/// structs — extend the shim if the workspace ever needs those.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Locate `struct <Name> { ... }`, skipping attributes and visibility.
+    let mut name = None;
+    let mut fields_group = None;
+    let mut iter = tokens.iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("Serialize shim: expected struct name, got {other:?}"),
+                }
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        fields_group = Some(g.clone());
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("Serialize shim does not support generic structs")
+                    }
+                    other => {
+                        panic!("Serialize shim only supports named-field structs, got {other:?}")
+                    }
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                panic!("Serialize shim does not support enums")
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("Serialize shim: no struct found in derive input");
+    let group = fields_group.expect("Serialize shim: struct has no braced field list");
+
+    // Field names: after the start or a top-level comma, skip attributes
+    // (`#[...]`) and visibility (`pub`, `pub(...)`), then take the ident
+    // preceding `:`.
+    let mut fields: Vec<String> = Vec::new();
+    let mut expecting_name = true;
+    let mut body = group.stream().into_iter().peekable();
+    while let Some(tt) = body.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => expecting_name = true,
+            TokenTree::Punct(p) if p.as_char() == '#' && expecting_name => {
+                // Attribute: consume the bracket group that follows.
+                body.next();
+            }
+            TokenTree::Ident(id) if expecting_name => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // Optional `pub(...)` restriction group.
+                    if let Some(TokenTree::Group(g)) = body.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            body.next();
+                        }
+                    }
+                } else {
+                    fields.push(s);
+                    expecting_name = false;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("Serialize shim: generated impl failed to parse")
+}

@@ -1,0 +1,56 @@
+//! Offline stand-in for [`serde_json`](https://docs.rs/serde_json):
+//! renders the shim `serde` crate's [`serde::Value`] tree. Only the
+//! serialisation direction is provided — nothing in this workspace parses
+//! JSON back.
+
+#![forbid(unsafe_code)]
+
+use serde::Serialize;
+
+/// Serialisation error. The shim serialiser is total, so this is never
+/// constructed — it exists so call sites keep serde_json's `Result` shape.
+#[derive(Debug)]
+pub struct Error(());
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "json serialisation error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails (the `Result` mirrors serde_json's signature).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().render(&mut out, false, 0);
+    Ok(out)
+}
+
+/// Renders `value` as 2-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails (the `Result` mirrors serde_json's signature).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().render(&mut out, true, 0);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn compact_and_pretty() {
+        let rows = vec![vec![1u64], vec![2, 3]];
+        assert_eq!(super::to_string(&rows).unwrap(), "[[1],[2,3]]");
+        assert_eq!(
+            super::to_string_pretty(&rows).unwrap(),
+            "[\n  [\n    1\n  ],\n  [\n    2,\n    3\n  ]\n]"
+        );
+    }
+}

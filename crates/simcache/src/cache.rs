@@ -21,7 +21,10 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (non-power-of-two line size,
     /// capacity not divisible by `ways * line_bytes`, or zero anywhere).
     pub fn sets(&self) -> u64 {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.ways > 0 && self.size_bytes > 0);
         let per_way = self.size_bytes / u64::from(self.ways);
         assert_eq!(per_way % self.line_bytes, 0, "inconsistent cache geometry");
@@ -109,10 +112,7 @@ impl Cache {
         let sets = config.sets() as usize;
         Cache {
             config,
-            sets: vec![
-                Vec::with_capacity(config.ways as usize);
-                sets
-            ],
+            sets: vec![Vec::with_capacity(config.ways as usize); sets],
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -161,13 +161,21 @@ impl Cache {
             way.stamp = clock;
             way.dirty |= write;
             self.stats.hits += 1;
-            return AccessOutcome { hit: true, writeback: false };
+            return AccessOutcome {
+                hit: true,
+                writeback: false,
+            };
         }
 
         self.stats.misses += 1;
         let mut writeback = false;
         if set.len() < ways {
-            set.push(Way { tag, valid: true, dirty: write, stamp: clock });
+            set.push(Way {
+                tag,
+                valid: true,
+                dirty: write,
+                stamp: clock,
+            });
         } else {
             let victim = set
                 .iter_mut()
@@ -177,9 +185,17 @@ impl Cache {
                 writeback = true;
                 self.stats.writebacks += 1;
             }
-            *victim = Way { tag, valid: true, dirty: write, stamp: clock };
+            *victim = Way {
+                tag,
+                valid: true,
+                dirty: write,
+                stamp: clock,
+            };
         }
-        AccessOutcome { hit: false, writeback }
+        AccessOutcome {
+            hit: false,
+            writeback,
+        }
     }
 
     /// `true` if the line containing `addr` is resident (no LRU update, no
@@ -206,7 +222,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets x 2 ways x 64B lines = 256B.
-        Cache::new(CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64 })
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]
@@ -218,7 +238,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "inconsistent")]
     fn bad_geometry_panics() {
-        let _ = Cache::new(CacheConfig { size_bytes: 100, ways: 3, line_bytes: 64 }).config().sets();
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 100,
+            ways: 3,
+            line_bytes: 64,
+        })
+        .config()
+        .sets();
     }
 
     #[test]

@@ -64,15 +64,31 @@ impl MachineConfig {
         MachineConfig {
             name: "x86-64 (i7-7820HK-like)",
             freq_hz: 2.9e9,
-            l1: CacheConfig { size_bytes: 32 << 10, ways: 8, line_bytes: 64 },
+            l1: CacheConfig {
+                size_bytes: 32 << 10,
+                ways: 8,
+                line_bytes: 64,
+            },
             l1_latency: 4,
-            l2: CacheConfig { size_bytes: 256 << 10, ways: 4, line_bytes: 64 },
+            l2: CacheConfig {
+                size_bytes: 256 << 10,
+                ways: 4,
+                line_bytes: 64,
+            },
             l2_latency: 12,
-            llc: Some(CacheConfig { size_bytes: 8 << 20, ways: 16, line_bytes: 64 }),
+            llc: Some(CacheConfig {
+                size_bytes: 8 << 20,
+                ways: 16,
+                line_bytes: 64,
+            }),
             llc_latency: 42,
             // x86 has no architectural tags; present for uniformity but the
             // x86 experiments never issue CLoadTags.
-            tag_cache: CacheConfig { size_bytes: 32 << 10, ways: 4, line_bytes: 64 },
+            tag_cache: CacheConfig {
+                size_bytes: 32 << 10,
+                ways: 4,
+                line_bytes: 64,
+            },
             cloadtags_latency: 10,
             branch_miss_penalty: 16,
             dram: DramConfig {
@@ -92,13 +108,25 @@ impl MachineConfig {
         MachineConfig {
             name: "CHERI FPGA (Stratix IV-like)",
             freq_hz: 100e6,
-            l1: CacheConfig { size_bytes: 16 << 10, ways: 2, line_bytes: 128 },
+            l1: CacheConfig {
+                size_bytes: 16 << 10,
+                ways: 2,
+                line_bytes: 128,
+            },
             l1_latency: 1,
-            l2: CacheConfig { size_bytes: 256 << 10, ways: 4, line_bytes: 128 },
+            l2: CacheConfig {
+                size_bytes: 256 << 10,
+                ways: 4,
+                line_bytes: 128,
+            },
             l2_latency: 8,
             llc: None,
             llc_latency: 0,
-            tag_cache: CacheConfig { size_bytes: 32 << 10, ways: 4, line_bytes: 128 },
+            tag_cache: CacheConfig {
+                size_bytes: 32 << 10,
+                ways: 4,
+                line_bytes: 128,
+            },
             // ~10-cycle round trip to reach the tag cache (paper §6.3).
             cloadtags_latency: 10,
             branch_miss_penalty: 6,

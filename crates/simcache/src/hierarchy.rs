@@ -145,7 +145,12 @@ impl MemoryHierarchy {
     /// Per-level cache statistics `(l1, l2, llc, tag_cache)`.
     pub fn cache_stats(
         &self,
-    ) -> (crate::CacheStats, crate::CacheStats, Option<crate::CacheStats>, crate::CacheStats) {
+    ) -> (
+        crate::CacheStats,
+        crate::CacheStats,
+        Option<crate::CacheStats>,
+        crate::CacheStats,
+    ) {
         (
             self.l1.stats(),
             self.l2.stats(),
@@ -238,9 +243,21 @@ mod tests {
     fn writeback_traffic_counted() {
         // Tiny direct-mapped-ish config to force evictions quickly.
         let mut cfg = MachineConfig::x86_like();
-        cfg.l1 = crate::CacheConfig { size_bytes: 128, ways: 1, line_bytes: 64 };
-        cfg.l2 = crate::CacheConfig { size_bytes: 256, ways: 1, line_bytes: 64 };
-        cfg.llc = Some(crate::CacheConfig { size_bytes: 512, ways: 1, line_bytes: 64 });
+        cfg.l1 = crate::CacheConfig {
+            size_bytes: 128,
+            ways: 1,
+            line_bytes: 64,
+        };
+        cfg.l2 = crate::CacheConfig {
+            size_bytes: 256,
+            ways: 1,
+            line_bytes: 64,
+        };
+        cfg.llc = Some(crate::CacheConfig {
+            size_bytes: 512,
+            ways: 1,
+            line_bytes: 64,
+        });
         let mut h = MemoryHierarchy::new(&cfg);
         // Write lines mapping to the same LLC set until one dirty line is
         // evicted to DRAM.

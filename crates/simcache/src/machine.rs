@@ -28,7 +28,11 @@ pub struct Machine {
 impl Machine {
     /// Creates a machine with cold caches.
     pub fn new(config: MachineConfig) -> Machine {
-        Machine { hierarchy: MemoryHierarchy::new(&config), config, cycles: 0 }
+        Machine {
+            hierarchy: MemoryHierarchy::new(&config),
+            config,
+            cycles: 0,
+        }
     }
 
     /// The machine's configuration.
@@ -117,7 +121,10 @@ mod tests {
         let peak = cfg.dram.bytes_per_cycle * cfg.freq_hz;
         let achieved = bytes as f64 / secs;
         assert!(achieved <= peak);
-        assert!(achieved > peak / 4.0, "achieved {achieved:.3e} vs peak {peak:.3e}");
+        assert!(
+            achieved > peak / 4.0,
+            "achieved {achieved:.3e} vs peak {peak:.3e}"
+        );
     }
 
     #[test]

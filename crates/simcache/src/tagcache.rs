@@ -31,7 +31,9 @@ pub struct TagCache {
 impl TagCache {
     /// Creates the tag cache described by `config.tag_cache`.
     pub fn new(config: &MachineConfig) -> TagCache {
-        TagCache { cache: Cache::new(config.tag_cache) }
+        TagCache {
+            cache: Cache::new(config.tag_cache),
+        }
     }
 
     /// Maps a *data* address to its tag-table address. Each data byte needs
@@ -48,7 +50,9 @@ impl TagCache {
 
     /// Accesses the tag-table entry for `data_addr`; returns `true` on hit.
     pub fn access(&mut self, data_addr: u64) -> bool {
-        self.cache.access(Self::tag_table_addr(data_addr), false).hit
+        self.cache
+            .access(Self::tag_table_addr(data_addr), false)
+            .hit
     }
 
     /// Hit/miss statistics.
@@ -88,7 +92,10 @@ mod tests {
             addr += 128;
         }
         let hit_rate = hits as f64 / total as f64;
-        assert!(hit_rate > 0.98, "expected near-perfect hit rate, got {hit_rate}");
+        assert!(
+            hit_rate > 0.98,
+            "expected near-perfect hit rate, got {hit_rate}"
+        );
     }
 
     #[test]

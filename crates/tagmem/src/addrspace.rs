@@ -84,7 +84,11 @@ impl AddressSpaceBuilder {
         let mem = TaggedMemory::new(base, len);
         for s in &self.segments {
             let disjoint = mem.end() <= s.mem.base() || mem.base() >= s.mem.end();
-            assert!(disjoint, "segment {kind:?} at {base:#x} overlaps {:?}", s.kind);
+            assert!(
+                disjoint,
+                "segment {kind:?} at {base:#x} overlaps {:?}",
+                s.kind
+            );
         }
         self.segments.push(Segment { kind, mem });
         self
@@ -205,7 +209,8 @@ impl AddressSpace {
     ///
     /// [`MemError::Unmapped`] if no single segment maps the whole range.
     pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) -> Result<(), MemError> {
-        self.seg_for_mut(addr, buf.len() as u64)?.write_bytes(addr, buf)
+        self.seg_for_mut(addr, buf.len() as u64)?
+            .write_bytes(addr, buf)
     }
 
     /// Reads a little-endian `u64`.
@@ -290,7 +295,10 @@ mod tests {
         assert_eq!(s.load_u64(0x1000_0000).unwrap(), 1);
         assert_eq!(s.load_u64(0x7fff_0008).unwrap(), 2);
         assert_eq!(s.load_u64(0x60_0010).unwrap(), 3);
-        assert!(matches!(s.load_u64(0x5000_0000), Err(MemError::Unmapped { .. })));
+        assert!(matches!(
+            s.load_u64(0x5000_0000),
+            Err(MemError::Unmapped { .. })
+        ));
     }
 
     #[test]
@@ -327,7 +335,10 @@ mod tests {
     #[test]
     fn segment_lookup_by_kind() {
         let s = space();
-        assert_eq!(s.segment(SegmentKind::Heap).unwrap().mem().base(), 0x1000_0000);
+        assert_eq!(
+            s.segment(SegmentKind::Heap).unwrap().mem().base(),
+            0x1000_0000
+        );
         assert!(s.segment(SegmentKind::Shadow).is_none());
         assert!(SegmentKind::Heap.sweepable());
         assert!(!SegmentKind::Shadow.sweepable());
@@ -346,6 +357,9 @@ mod tests {
     fn cross_segment_access_is_unmapped() {
         let s = space();
         // 8 bytes straddling the end of the globals segment.
-        assert!(matches!(s.load_u64(0x60_0000 + (1 << 16) - 4), Err(MemError::Unmapped { .. })));
+        assert!(matches!(
+            s.load_u64(0x60_0000 + (1 << 16) - 4),
+            Err(MemError::Unmapped { .. })
+        ));
     }
 }

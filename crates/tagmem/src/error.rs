@@ -36,13 +36,19 @@ impl fmt::Display for MemError {
         match self {
             MemError::Unmapped { addr } => write!(f, "address {addr:#x} is not mapped"),
             MemError::OutOfRange { addr, len } => {
-                write!(f, "access of {len} bytes at {addr:#x} runs outside its segment")
+                write!(
+                    f,
+                    "access of {len} bytes at {addr:#x} runs outside its segment"
+                )
             }
             MemError::Misaligned { addr } => {
                 write!(f, "capability access at {addr:#x} is not 16-byte aligned")
             }
             MemError::CapStoreInhibited { addr } => {
-                write!(f, "capability store to {addr:#x} is inhibited by the page table")
+                write!(
+                    f,
+                    "capability store to {addr:#x} is inhibited by the page table"
+                )
             }
         }
     }
@@ -56,9 +62,17 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(MemError::Unmapped { addr: 0x40 }.to_string().contains("0x40"));
-        assert!(MemError::OutOfRange { addr: 1, len: 2 }.to_string().contains("2 bytes"));
-        assert!(MemError::Misaligned { addr: 3 }.to_string().contains("aligned"));
-        assert!(MemError::CapStoreInhibited { addr: 4 }.to_string().contains("inhibited"));
+        assert!(MemError::Unmapped { addr: 0x40 }
+            .to_string()
+            .contains("0x40"));
+        assert!(MemError::OutOfRange { addr: 1, len: 2 }
+            .to_string()
+            .contains("2 bytes"));
+        assert!(MemError::Misaligned { addr: 3 }
+            .to_string()
+            .contains("aligned"));
+        assert!(MemError::CapStoreInhibited { addr: 4 }
+            .to_string()
+            .contains("inhibited"));
     }
 }

@@ -47,9 +47,18 @@ impl TaggedMemory {
     /// Panics if `base` or `len` is not 16-byte aligned, or `base + len`
     /// overflows.
     pub fn new(base: u64, len: u64) -> TaggedMemory {
-        assert_eq!(base % GRANULE_SIZE, 0, "segment base must be granule-aligned");
-        assert_eq!(len % GRANULE_SIZE, 0, "segment length must be granule-aligned");
-        base.checked_add(len).expect("segment end overflows the address space");
+        assert_eq!(
+            base % GRANULE_SIZE,
+            0,
+            "segment base must be granule-aligned"
+        );
+        assert_eq!(
+            len % GRANULE_SIZE,
+            0,
+            "segment length must be granule-aligned"
+        );
+        base.checked_add(len)
+            .expect("segment end overflows the address space");
         let granules = (len / GRANULE_SIZE) as usize;
         TaggedMemory {
             base,
@@ -139,7 +148,9 @@ impl TaggedMemory {
     /// [`MemError::OutOfRange`] if the range leaves the segment.
     pub fn read_u64(&self, addr: u64) -> Result<u64, MemError> {
         let off = self.offset_of(addr, 8)?;
-        Ok(u64::from_le_bytes(self.data[off..off + 8].try_into().expect("8-byte slice")))
+        Ok(u64::from_le_bytes(
+            self.data[off..off + 8].try_into().expect("8-byte slice"),
+        ))
     }
 
     /// Writes a little-endian `u64` at `addr` as data (clears covered tags).
@@ -182,7 +193,7 @@ impl TaggedMemory {
     ///
     /// As [`TaggedMemory::read_cap`].
     pub fn read_cap_word(&self, addr: u64) -> Result<(CapWord, bool), MemError> {
-        if addr % CAP_SIZE != 0 {
+        if !addr.is_multiple_of(CAP_SIZE) {
             return Err(MemError::Misaligned { addr });
         }
         let off = self.offset_of(addr, CAP_SIZE)?;
@@ -207,7 +218,7 @@ impl TaggedMemory {
     ///
     /// As [`TaggedMemory::read_cap`].
     pub fn write_cap_word(&mut self, addr: u64, word: CapWord, tag: bool) -> Result<(), MemError> {
-        if addr % CAP_SIZE != 0 {
+        if !addr.is_multiple_of(CAP_SIZE) {
             return Err(MemError::Misaligned { addr });
         }
         let off = self.offset_of(addr, CAP_SIZE)?;
@@ -264,7 +275,10 @@ impl TaggedMemory {
     pub fn load_tags(&self, addr: u64) -> Result<u8, MemError> {
         let line = addr & !(LINE_SIZE - 1);
         if !self.contains(line, LINE_SIZE) {
-            return Err(MemError::OutOfRange { addr: line, len: LINE_SIZE });
+            return Err(MemError::OutOfRange {
+                addr: line,
+                len: LINE_SIZE,
+            });
         }
         let first = self.granule_index(line);
         let mut mask = 0u8;
@@ -395,7 +409,10 @@ mod tests {
     #[test]
     fn misaligned_cap_access_fails() {
         let mut m = mem();
-        assert_eq!(m.read_cap(0x4001).unwrap_err(), MemError::Misaligned { addr: 0x4001 });
+        assert_eq!(
+            m.read_cap(0x4001).unwrap_err(),
+            MemError::Misaligned { addr: 0x4001 }
+        );
         assert_eq!(
             m.write_cap(0x4008, &cap()).unwrap_err(),
             MemError::Misaligned { addr: 0x4008 }
@@ -408,7 +425,10 @@ mod tests {
         assert!(m.read_u64(0x4000 + 4096).is_err());
         assert!(m.read_u64(0x4000 + 4089).is_err()); // 8 bytes would spill
         assert!(m.write_bytes(0x3fff, &[0]).is_err());
-        assert!(matches!(m.read_cap(0x2000), Err(MemError::OutOfRange { .. })));
+        assert!(matches!(
+            m.read_cap(0x2000),
+            Err(MemError::OutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl PageTable {
 
     /// Flags for the page containing `addr` (default flags if untouched).
     pub fn flags(&self, addr: u64) -> PageFlags {
-        self.pages.get(&Self::page_of(addr)).copied().unwrap_or_default()
+        self.pages
+            .get(&Self::page_of(addr))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// `true` if the page containing `addr` may hold capabilities.
@@ -71,7 +74,10 @@ impl PageTable {
 
     /// Marks the page containing `addr` as inhibiting capability stores.
     pub fn set_cap_store_inhibit(&mut self, addr: u64, inhibit: bool) {
-        self.pages.entry(Self::page_of(addr)).or_default().cap_store_inhibit = inhibit;
+        self.pages
+            .entry(Self::page_of(addr))
+            .or_default()
+            .cap_store_inhibit = inhibit;
     }
 
     /// Records a tagged capability store to `addr`.
@@ -83,6 +89,7 @@ impl PageTable {
     ///
     /// Returns `Err(())` if the page inhibits capability stores; the caller
     /// converts this into [`crate::MemError::CapStoreInhibited`].
+    #[allow(clippy::result_unit_err)]
     pub fn note_cap_store(&mut self, addr: u64) -> Result<bool, ()> {
         let entry = self.pages.entry(Self::page_of(addr)).or_default();
         if entry.cap_store_inhibit {

@@ -31,7 +31,9 @@ pub struct RegisterFile {
 impl RegisterFile {
     /// Creates a register file of null capabilities.
     pub fn new() -> RegisterFile {
-        RegisterFile { regs: [Capability::NULL; NUM_CAP_REGS] }
+        RegisterFile {
+            regs: [Capability::NULL; NUM_CAP_REGS],
+        }
     }
 
     /// Reads register `idx`.

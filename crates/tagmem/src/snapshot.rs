@@ -51,7 +51,10 @@ impl CoreDump {
                 .segments()
                 .iter()
                 .filter(|s| s.kind().sweepable())
-                .map(|s| SegmentImage { kind: s.kind(), mem: s.mem().clone() })
+                .map(|s| SegmentImage {
+                    kind: s.kind(),
+                    mem: s.mem().clone(),
+                })
                 .collect(),
             cap_dirty_pages: space.page_table().cap_dirty_pages(),
         }
@@ -59,7 +62,10 @@ impl CoreDump {
 
     /// Reassembles a dump from parts (deserialisation).
     pub(crate) fn from_parts(segments: Vec<SegmentImage>, cap_dirty_pages: Vec<u64>) -> CoreDump {
-        CoreDump { segments, cap_dirty_pages }
+        CoreDump {
+            segments,
+            cap_dirty_pages,
+        }
     }
 
     /// Builds a dump directly from segment images (synthetic experiments).
@@ -81,7 +87,10 @@ impl CoreDump {
             }
         }
         cap_dirty_pages.sort_unstable();
-        CoreDump { segments, cap_dirty_pages }
+        CoreDump {
+            segments,
+            cap_dirty_pages,
+        }
     }
 
     /// The captured segment images.
@@ -108,8 +117,9 @@ impl CoreDump {
     /// (used to replay an image repeatedly for timing runs).
     pub fn restore_into(&self, segments: &mut [Segment]) {
         for img in &self.segments {
-            if let Some(seg) =
-                segments.iter_mut().find(|s| s.mem().base() == img.mem.base())
+            if let Some(seg) = segments
+                .iter_mut()
+                .find(|s| s.mem().base() == img.mem.base())
             {
                 *seg.mem_mut() = img.mem.clone();
             }
@@ -129,7 +139,9 @@ impl CoreDump {
             let mut addr = mem.base();
             while addr < mem.end() {
                 let line_end = (addr + LINE_SIZE).min(mem.end());
-                let any = (addr..line_end).step_by(GRANULE_SIZE as usize).any(|a| mem.tag_at(a));
+                let any = (addr..line_end)
+                    .step_by(GRANULE_SIZE as usize)
+                    .any(|a| mem.tag_at(a));
                 s.total_lines += 1;
                 if any {
                     s.lines_with_pointers += 1;
@@ -142,7 +154,9 @@ impl CoreDump {
             while page < mem.end() {
                 let page_end = (page + PAGE_SIZE).min(mem.end());
                 let start = page.max(mem.base());
-                let any = (start..page_end).step_by(GRANULE_SIZE as usize).any(|a| mem.tag_at(a));
+                let any = (start..page_end)
+                    .step_by(GRANULE_SIZE as usize)
+                    .any(|a| mem.tag_at(a));
                 s.total_pages += 1;
                 if any {
                     s.pages_with_pointers += 1;
@@ -248,8 +262,12 @@ mod tests {
     #[test]
     fn from_images_derives_dirty_pages() {
         let mut mem = TaggedMemory::new(0x2_0000, 2 * PAGE_SIZE);
-        mem.write_cap(0x2_0000 + PAGE_SIZE, &Capability::root_rw(0x2_0000, 64)).unwrap();
-        let dump = CoreDump::from_images(vec![SegmentImage { kind: SegmentKind::Heap, mem }]);
+        mem.write_cap(0x2_0000 + PAGE_SIZE, &Capability::root_rw(0x2_0000, 64))
+            .unwrap();
+        let dump = CoreDump::from_images(vec![SegmentImage {
+            kind: SegmentKind::Heap,
+            mem,
+        }]);
         assert_eq!(dump.cap_dirty_pages(), &[0x2_0000 + PAGE_SIZE]);
     }
 
@@ -262,7 +280,11 @@ mod tests {
         assert_eq!(space.tag_count(), 0);
         dump.restore_into(space.sweep_parts_mut().0);
         assert_eq!(space.tag_count(), 3);
-        assert!(space.segment(SegmentKind::Heap).unwrap().mem().tag_at(0x1_5000));
+        assert!(space
+            .segment(SegmentKind::Heap)
+            .unwrap()
+            .mem()
+            .tag_at(0x1_5000));
     }
 
     #[test]

@@ -115,7 +115,10 @@ pub fn decode_dump(mut buf: Bytes) -> Result<CoreDump, DumpIoError> {
         let kind = byte_to_kind(buf.get_u8())?;
         let base = buf.get_u64_le();
         let len = buf.get_u64_le();
-        if base % 16 != 0 || len % 16 != 0 || len > (1 << 40) || base.checked_add(len).is_none()
+        if !base.is_multiple_of(16)
+            || !len.is_multiple_of(16)
+            || len > (1 << 40)
+            || base.checked_add(len).is_none()
         {
             return Err(DumpIoError::Truncated);
         }
@@ -125,7 +128,8 @@ pub fn decode_dump(mut buf: Bytes) -> Result<CoreDump, DumpIoError> {
         need(&buf, tag_words * 8)?;
         let mut mem = TaggedMemory::new(base, len);
         if len > 0 {
-            mem.write_bytes(base, &data).map_err(|_| DumpIoError::Truncated)?;
+            mem.write_bytes(base, &data)
+                .map_err(|_| DumpIoError::Truncated)?;
         }
         // Tags are restored bit-by-bit through the public API so the
         // memory invariants (bitmap padding) hold by construction.
@@ -140,8 +144,11 @@ pub fn decode_dump(mut buf: Bytes) -> Result<CoreDump, DumpIoError> {
                     return Err(DumpIoError::Truncated);
                 }
                 let addr = base + g * 16;
-                let (word, _) = mem.read_cap_word(addr).map_err(|_| DumpIoError::Truncated)?;
-                mem.write_cap_word(addr, word, true).map_err(|_| DumpIoError::Truncated)?;
+                let (word, _) = mem
+                    .read_cap_word(addr)
+                    .map_err(|_| DumpIoError::Truncated)?;
+                mem.write_cap_word(addr, word, true)
+                    .map_err(|_| DumpIoError::Truncated)?;
             }
         }
         segments.push(SegmentImage { kind, mem });

@@ -51,7 +51,11 @@ impl TagTable {
                 root[i / 64] |= 1 << (i % 64);
             }
         }
-        TagTable { base: mem.base(), root, groups }
+        TagTable {
+            base: mem.base(),
+            root,
+            groups,
+        }
     }
 
     /// `true` if the group containing `addr` has **no** tags — its 1 KiB of

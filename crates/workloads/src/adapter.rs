@@ -57,7 +57,10 @@ impl CostModel {
     /// A cost model with a different sweep scan rate (e.g. the fig. 7
     /// kernels' measured rates).
     pub fn with_scan_rate(self, bytes_per_s: f64) -> CostModel {
-        CostModel { scan_rate_bytes_s: bytes_per_s, ..self }
+        CostModel {
+            scan_rate_bytes_s: bytes_per_s,
+            ..self
+        }
     }
 }
 
@@ -173,14 +176,20 @@ impl CherivokeUnderTest {
 impl WorkloadHeap for CherivokeUnderTest {
     fn malloc(&mut self, id: u64, size: u64) -> Result<(), String> {
         // Allocation cost equals the baseline's: no overhead charged.
-        let cap = self.heap.malloc(size).map_err(|e| format!("malloc {id}: {e}"))?;
+        let cap = self
+            .heap
+            .malloc(size)
+            .map_err(|e| format!("malloc {id}: {e}"))?;
         self.handles.insert(id, cap);
         self.absorb_new_work(); // malloc may have emergency-swept
         Ok(())
     }
 
     fn free(&mut self, id: u64) -> Result<(), String> {
-        let cap = self.handles.remove(&id).ok_or_else(|| format!("free of unknown id {id}"))?;
+        let cap = self
+            .handles
+            .remove(&id)
+            .ok_or_else(|| format!("free of unknown id {id}"))?;
         self.heap.free(cap).map_err(|e| format!("free {id}: {e}"))?;
         // The program paid a quarantine push instead of a real free.
         self.quarantine_s += self.cost.t_quarantine_free_s - self.cost.t_free_s;
@@ -189,9 +198,14 @@ impl WorkloadHeap for CherivokeUnderTest {
     }
 
     fn write_ptr(&mut self, from: u64, slot: u64, to: u64) -> Result<(), String> {
-        let from_cap =
-            *self.handles.get(&from).ok_or_else(|| format!("unknown holder {from}"))?;
-        let to_cap = *self.handles.get(&to).ok_or_else(|| format!("unknown target {to}"))?;
+        let from_cap = *self
+            .handles
+            .get(&from)
+            .ok_or_else(|| format!("unknown holder {from}"))?;
+        let to_cap = *self
+            .handles
+            .get(&to)
+            .ok_or_else(|| format!("unknown target {to}"))?;
         // Pointer stores cost the same as on the baseline: no overhead.
         self.heap
             .store_cap(&from_cap, slot, &to_cap)
@@ -248,8 +262,14 @@ mod tests {
         let mut sut = CherivokeUnderTest::paper_default(&t).unwrap();
         let report = run_trace(&mut sut, &t).unwrap();
         assert!(sut.sweeps() > 0, "policy should have triggered sweeps");
-        assert!(report.normalized_time > 1.05, "xalancbmk must show real overhead");
-        assert!(report.normalized_time < 2.0, "but not a blow-up: {report:?}");
+        assert!(
+            report.normalized_time > 1.05,
+            "xalancbmk must show real overhead"
+        );
+        assert!(
+            report.normalized_time < 2.0,
+            "but not a blow-up: {report:?}"
+        );
         assert!(report.breakdown.sweep > 0.0);
         // Memory: quarantine (25% of live) + shadow.
         assert!(report.normalized_memory > 1.05);
@@ -305,9 +325,10 @@ mod tests {
         let mut time_big = 0.0;
         let mut mem_small = 0.0;
         let mut mem_big = 0.0;
-        for (fraction, time, mem) in
-            [(0.25, &mut time_small, &mut mem_small), (1.0, &mut time_big, &mut mem_big)]
-        {
+        for (fraction, time, mem) in [
+            (0.25, &mut time_small, &mut mem_small),
+            (1.0, &mut time_big, &mut mem_big),
+        ] {
             let mut sut = CherivokeUnderTest::new(
                 &t,
                 cherivoke::RevocationPolicy::with_fraction(fraction),
@@ -329,7 +350,10 @@ mod tests {
         let mut sut = CherivokeUnderTest::paper_default(&t).unwrap();
         run_trace(&mut sut, &t).unwrap();
         let stats = sut.heap().stats();
-        assert!(stats.caps_revoked > 0, "churny pointer-dense run must revoke something");
+        assert!(
+            stats.caps_revoked > 0,
+            "churny pointer-dense run must revoke something"
+        );
     }
 }
 
@@ -351,14 +375,16 @@ mod incremental_tests {
         let mut policy = cherivoke::RevocationPolicy::paper_default();
         policy.incremental_slice_bytes = Some(32 << 10);
         let mut inc =
-            CherivokeUnderTest::new(&trace, policy, CostModel::x86_default(), Stage::Full)
-                .unwrap();
+            CherivokeUnderTest::new(&trace, policy, CostModel::x86_default(), Stage::Full).unwrap();
         let inc_report = run_trace(&mut inc, &trace).unwrap();
 
         // Both modes revoke dangling capabilities (barrier + sweep for the
         // incremental run).
         let inc_stats = inc.heap().stats();
-        assert!(inc_stats.epochs > 0, "incremental mode must have run epochs");
+        assert!(
+            inc_stats.epochs > 0,
+            "incremental mode must have run epochs"
+        );
         assert!(
             inc_stats.caps_revoked + inc_stats.barrier_revocations > 0,
             "incremental run revoked nothing"

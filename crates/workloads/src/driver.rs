@@ -147,7 +147,10 @@ mod tests {
             Ok(())
         }
         fn write_ptr(&mut self, from: u64, _slot: u64, _to: u64) -> Result<(), String> {
-            self.live.contains_key(&from).then_some(()).ok_or("write into dead object".into())
+            self.live
+                .contains_key(&from)
+                .then_some(())
+                .ok_or("write into dead object".into())
         }
         fn mechanism(&self) -> MechanismBreakdown {
             MechanismBreakdown::default()
@@ -174,7 +177,12 @@ mod tests {
 
     #[test]
     fn breakdown_total_sums() {
-        let b = MechanismBreakdown { quarantine: 0.1, shadow: 0.2, sweep: 0.3, other: 0.4 };
+        let b = MechanismBreakdown {
+            quarantine: 0.1,
+            shadow: 0.2,
+            sweep: 0.3,
+            other: 0.4,
+        };
         assert!((b.total() - 1.0).abs() < 1e-12);
     }
 }

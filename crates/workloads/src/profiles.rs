@@ -69,16 +69,14 @@ pub fn all() -> Vec<BenchmarkProfile> {
         ("xalancbmk", 0.86, 371.0, 811_000.0, 428.0, 0.22),
     ];
     rows.into_iter()
-        .map(
-            |(name, d, fr, fs, heap, cs)| BenchmarkProfile {
-                name,
-                pointer_page_density: d,
-                free_rate_mib_s: fr,
-                frees_per_sec: fs,
-                heap_mib: heap,
-                cache_sensitivity: cs,
-            },
-        )
+        .map(|(name, d, fr, fs, heap, cs)| BenchmarkProfile {
+            name,
+            pointer_page_density: d,
+            free_rate_mib_s: fr,
+            frees_per_sec: fs,
+            heap_mib: heap,
+            cache_sensitivity: cs,
+        })
         .collect()
 }
 

@@ -63,7 +63,12 @@ fn measured_density(trace: &Trace, sut: &CherivokeUnderTest) -> f64 {
         .segment(SegmentKind::Heap)
         .expect("heap segment")
         .mem();
-    let used = sut.heap().stats().alloc.peak_footprint_bytes.min(heap.len());
+    let used = sut
+        .heap()
+        .stats()
+        .alloc
+        .peak_footprint_bytes
+        .min(heap.len());
     let used_pages = (used.max(1)).div_ceil(tagmem::PAGE_SIZE);
     let mut with_ptrs = 0u64;
     for page_idx in 0..used_pages {

@@ -59,17 +59,26 @@ pub struct Trace {
 impl Trace {
     /// Number of `Malloc` events.
     pub fn mallocs(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e.op, TraceOp::Malloc { .. })).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e.op, TraceOp::Malloc { .. }))
+            .count()
     }
 
     /// Number of `Free` events.
     pub fn frees(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e.op, TraceOp::Free { .. })).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e.op, TraceOp::Free { .. }))
+            .count()
     }
 
     /// Number of `WritePtr` events.
     pub fn ptr_writes(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e.op, TraceOp::WritePtr { .. })).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e.op, TraceOp::WritePtr { .. }))
+            .count()
     }
 
     /// Total bytes freed by the trace.
@@ -130,7 +139,13 @@ impl TraceGenerator {
     /// A generator for `profile` at heap scale `scale` with a deterministic
     /// `seed`.
     pub fn new(profile: BenchmarkProfile, scale: f64, seed: u64) -> TraceGenerator {
-        TraceGenerator { profile, scale, seed, duration_s: None, max_events: 400_000 }
+        TraceGenerator {
+            profile,
+            scale,
+            seed,
+            duration_s: None,
+            max_events: 400_000,
+        }
     }
 
     /// Overrides the automatically-chosen virtual duration.
@@ -239,7 +254,11 @@ impl TraceGenerator {
                         let target = pick_target(rng, live, id);
                         events.push(TraceEvent {
                             at_us,
-                            op: TraceOp::WritePtr { from: id, slot: k * 4096, to: target },
+                            op: TraceOp::WritePtr {
+                                from: id,
+                                slot: k * 4096,
+                                to: target,
+                            },
                         });
                     }
                 }
@@ -247,7 +266,11 @@ impl TraceGenerator {
                 let target = pick_target(rng, live, id);
                 events.push(TraceEvent {
                     at_us,
-                    op: TraceOp::WritePtr { from: id, slot: 0, to: target },
+                    op: TraceOp::WritePtr {
+                        from: id,
+                        slot: 0,
+                        to: target,
+                    },
                 });
             }
         };
@@ -257,7 +280,10 @@ impl TraceGenerator {
             let size = sample_size(&mut rng);
             let id = next_id;
             next_id += 1;
-            events.push(TraceEvent { at_us: t_us, op: TraceOp::Malloc { id, size } });
+            events.push(TraceEvent {
+                at_us: t_us,
+                op: TraceOp::Malloc { id, size },
+            });
             emit_ptrs(&mut rng, &mut events, &live, t_us, id, size);
             live.push((id, size));
             live_bytes += size;
@@ -281,14 +307,20 @@ impl TraceGenerator {
                     };
                     let (id, size) = live.remove(idx);
                     live_bytes -= size;
-                    events.push(TraceEvent { at_us, op: TraceOp::Free { id } });
+                    events.push(TraceEvent {
+                        at_us,
+                        op: TraceOp::Free { id },
+                    });
                 }
                 // Allocate a replacement to hold the live set steady.
                 if live_bytes < live_target {
                     let size = sample_size(&mut rng);
                     let id = next_id;
                     next_id += 1;
-                    events.push(TraceEvent { at_us, op: TraceOp::Malloc { id, size } });
+                    events.push(TraceEvent {
+                        at_us,
+                        op: TraceOp::Malloc { id, size },
+                    });
                     emit_ptrs(&mut rng, &mut events, &live, at_us, id, size);
                     live.push((id, size));
                     live_bytes += size;

@@ -108,10 +108,8 @@ pub fn decode_trace(mut buf: Bytes) -> Result<Trace, TraceIoError> {
     let name_len = buf.get_u8() as usize;
     need(&buf, name_len)?;
     let name_bytes = buf.copy_to_bytes(name_len);
-    let name = String::from_utf8(name_bytes.to_vec())
-        .map_err(|_| TraceIoError::Truncated)?;
-    let profile = profiles::by_name(&name)
-        .ok_or(TraceIoError::UnknownProfile { name })?;
+    let name = String::from_utf8(name_bytes.to_vec()).map_err(|_| TraceIoError::Truncated)?;
+    let profile = profiles::by_name(&name).ok_or(TraceIoError::UnknownProfile { name })?;
     need(&buf, 8 * 4)?;
     let scale = buf.get_f64_le();
     let heap_bytes = buf.get_u64_le();
@@ -127,11 +125,16 @@ pub fn decode_trace(mut buf: Bytes) -> Result<Trace, TraceIoError> {
         let op = match buf.get_u8() {
             OP_MALLOC => {
                 need(&buf, 16)?;
-                TraceOp::Malloc { id: buf.get_u64_le(), size: buf.get_u64_le() }
+                TraceOp::Malloc {
+                    id: buf.get_u64_le(),
+                    size: buf.get_u64_le(),
+                }
             }
             OP_FREE => {
                 need(&buf, 8)?;
-                TraceOp::Free { id: buf.get_u64_le() }
+                TraceOp::Free {
+                    id: buf.get_u64_le(),
+                }
             }
             OP_WRITE_PTR => {
                 need(&buf, 24)?;
@@ -145,7 +148,13 @@ pub fn decode_trace(mut buf: Bytes) -> Result<Trace, TraceIoError> {
         };
         events.push(TraceEvent { at_us, op });
     }
-    Ok(Trace { profile, scale, heap_bytes, duration_s, events })
+    Ok(Trace {
+        profile,
+        scale,
+        heap_bytes,
+        duration_s,
+        events,
+    })
 }
 
 #[cfg(test)]

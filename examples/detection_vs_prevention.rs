@@ -54,15 +54,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     mte.free(victim)?;
     let _fresh = mte.malloc(64)?;
     assert!(mte.load(victim).is_err());
-    println!(
-        "MTE-style:  first stale access faults (tag mismatch) -> DETECTED…"
-    );
+    println!("MTE-style:  first stale access faults (tag mismatch) -> DETECTED…");
     // …but a motivated attacker cycles the colour space (§7.5).
     let mut mte = MteHeap::new(0x2000_0000, 1 << 20);
     let _ballast = mte.malloc(1024)?;
     let victim = mte.malloc(64)?;
     mte.free(victim)?;
-    let attempts = mte.exhaust_colours(victim, 64).expect("exhaustion succeeds");
+    let attempts = mte
+        .exhaust_colours(victim, 64)
+        .expect("exhaustion succeeds");
     assert!(mte.load(victim).is_ok());
     println!(
         "\u{20}           …but {attempts} sprays cycled the {MTE_COLOURS}-colour space and the stale\n\

@@ -24,10 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut live = Vec::new();
     let mut slot = 0u64;
     let mut rng = 0x5eed_5eedu64;
-    while heap.quarantined_bytes() < heap.live_bytes() / 4 || heap.quarantined_bytes() < (1 << 20)
-    {
+    while heap.quarantined_bytes() < heap.live_bytes() / 4 || heap.quarantined_bytes() < (1 << 20) {
         rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
-        if rng % 3 == 0 && !live.is_empty() {
+        if rng.is_multiple_of(3) && !live.is_empty() {
             let cap: cheri::Capability = live.swap_remove((rng >> 33) as usize % live.len());
             heap.free(cap)?;
         } else if heap.live_bytes() < 8 << 20 {
@@ -52,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.page_density() * 100.0,
         stats.line_density() * 100.0
     );
-    let heap_seg = dump.segments().iter().find(|s| s.kind == tagmem::SegmentKind::Heap).unwrap();
+    let heap_seg = dump
+        .segments()
+        .iter()
+        .find(|s| s.kind == tagmem::SegmentKind::Heap)
+        .unwrap();
     let mut shadow = ShadowMap::new(heap_seg.mem.base(), heap_seg.mem.len());
     for (addr, len) in heap.allocator().quarantined_ranges() {
         shadow.paint(addr, len);
@@ -71,9 +74,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Time the sweep on the CHERI-FPGA machine model under each mode
     //    (fig. 8b's metric), averaging several sweeps like the paper.
     println!();
-    for mode in
-        [TimedMode::Full, TimedMode::PteCapDirty, TimedMode::CLoadTags, TimedMode::Ideal]
-    {
+    for mode in [
+        TimedMode::Full,
+        TimedMode::PteCapDirty,
+        TimedMode::CLoadTags,
+        TimedMode::Ideal,
+    ] {
         let mut machine = Machine::new(MachineConfig::cheri_fpga_like());
         let mut cycles = 0;
         const REPS: u64 = 5;

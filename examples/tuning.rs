@@ -22,7 +22,10 @@ fn main() {
         profile.free_rate_mib_s,
         profile.pointer_page_density * 100.0
     );
-    println!("{:>12} {:>12} {:>12} {:>8}", "quarantine", "time (norm)", "mem (norm)", "sweeps");
+    println!(
+        "{:>12} {:>12} {:>12} {:>8}",
+        "quarantine", "time (norm)", "mem (norm)", "sweeps"
+    );
 
     for fraction in [0.05, 0.1, 0.25, 0.5, 1.0, 2.0] {
         let mut sut = CherivokeUnderTest::new(

@@ -27,8 +27,9 @@ const ATTACKER_FUNC: u64 = 0x0bad_f00d;
 /// victim ends up calling.
 fn attack_conventional() -> u64 {
     let heap_base = 0x1000_0000;
-    let mut space =
-        AddressSpace::builder().segment(SegmentKind::Heap, heap_base, 1 << 20).build();
+    let mut space = AddressSpace::builder()
+        .segment(SegmentKind::Heap, heap_base, 1 << 20)
+        .build();
     let mut alloc = DlAllocator::new(heap_base, 1 << 20);
 
     // Victim object; first word is the vtable pointer.
@@ -56,11 +57,13 @@ fn attack_cherivoke() -> Result<u64, String> {
     let mut heap = CherivokeHeap::new(HeapConfig::small()).map_err(|e| e.to_string())?;
 
     let victim = heap.malloc(64).map_err(|e| e.to_string())?;
-    heap.store_u64(&victim, 0, LEGIT_VTABLE).map_err(|e| e.to_string())?;
+    heap.store_u64(&victim, 0, LEGIT_VTABLE)
+        .map_err(|e| e.to_string())?;
 
     // The dangling copy lives in another heap object.
     let stash = heap.malloc(16).map_err(|e| e.to_string())?;
-    heap.store_cap(&stash, 0, &victim).map_err(|e| e.to_string())?;
+    heap.store_cap(&stash, 0, &victim)
+        .map_err(|e| e.to_string())?;
 
     // delete #1: quarantined, not reusable yet.
     heap.free(victim).map_err(|e| e.to_string())?;
@@ -78,11 +81,13 @@ fn attack_cherivoke() -> Result<u64, String> {
         heap.free(spray).map_err(|e| e.to_string())?;
     }
     let spray = recaptured.ok_or("attacker never recaptured the address")?;
-    heap.store_u64(&spray, 0, ATTACKER_FUNC).map_err(|e| e.to_string())?;
+    heap.store_u64(&spray, 0, ATTACKER_FUNC)
+        .map_err(|e| e.to_string())?;
 
     // delete #2: dereference the stashed (dangling) pointer.
     let dangling = heap.load_cap(&stash, 0).map_err(|e| e.to_string())?;
-    heap.load_u64(&dangling, 0).map_err(|e| format!("CHERI fault: {e}"))
+    heap.load_u64(&dangling, 0)
+        .map_err(|e| format!("CHERI fault: {e}"))
 }
 
 fn main() {

@@ -3,7 +3,9 @@
 //! exercised through the public `CherivokeHeap` API.
 
 use cheri::{CapError, Capability, Perms};
-use cherivoke::{CherivokeHeap, HeapConfig, HeapError, RevocationPolicy};
+use cherivoke::{
+    CherivokeHeap, ConcurrentHeap, HeapConfig, HeapError, RevocationPolicy, ServiceConfig,
+};
 
 fn heap() -> CherivokeHeap {
     CherivokeHeap::new(HeapConfig::small()).expect("heap")
@@ -50,7 +52,9 @@ fn derived_capabilities_are_revoked_with_their_allocation() {
     let _ballast = h.malloc(512 << 10).unwrap();
     let obj = h.malloc(256).unwrap();
     let field = obj.set_bounds_exact(obj.base() + 64, 32).unwrap();
-    let ro = obj.with_perms(Perms::LOAD | Perms::LOAD_CAP | Perms::GLOBAL).unwrap();
+    let ro = obj
+        .with_perms(Perms::LOAD | Perms::LOAD_CAP | Perms::GLOBAL)
+        .unwrap();
     let oob = obj.incremented(256).unwrap();
 
     let holder = h.malloc(64).unwrap();
@@ -60,7 +64,10 @@ fn derived_capabilities_are_revoked_with_their_allocation() {
 
     h.free(obj).unwrap();
     let stats = h.revoke_now();
-    assert_eq!(stats.caps_revoked, 3, "all derivations share the base attribution");
+    assert_eq!(
+        stats.caps_revoked, 3,
+        "all derivations share the base attribution"
+    );
 }
 
 /// Unrelated capabilities are never harmed by a sweep — the precision claim
@@ -106,8 +113,10 @@ fn reallocation_is_always_safe_under_churn() {
     let mut rng: u64 = 0x1234_5678;
     let mut live: Vec<Capability> = Vec::new();
     for step in 0..3000u64 {
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        if rng % 3 == 0 && !live.is_empty() {
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if rng.is_multiple_of(3) && !live.is_empty() {
             let victim = live.swap_remove((rng >> 32) as usize % live.len());
             if next_slot < 256 {
                 h.store_cap(&museum, next_slot * 16, &victim).unwrap();
@@ -157,7 +166,10 @@ fn strict_mode_revokes_immediately() {
     // reaches, and the in-memory one is dead.)
     let dangling = h.load_cap(&holder, 0).unwrap();
     assert!(!dangling.tag());
-    assert_eq!(h.load_u64(&dangling, 0), Err(HeapError::Cap(CapError::TagCleared)));
+    assert_eq!(
+        h.load_u64(&dangling, 0),
+        Err(HeapError::Cap(CapError::TagCleared))
+    );
     assert_eq!(h.stats().sweeps, 1);
 }
 
@@ -183,8 +195,15 @@ fn capabilities_cannot_be_forged_through_data_writes() {
     // Reading it back as a capability yields an untagged word: no authority.
     let forged = h.load_cap(&buffer, 0).unwrap();
     assert!(!forged.tag());
-    assert_eq!(forged.address(), secret.address(), "bit pattern copied faithfully");
-    assert_eq!(h.load_u64(&forged, 0), Err(HeapError::Cap(CapError::TagCleared)));
+    assert_eq!(
+        forged.address(),
+        secret.address(),
+        "bit pattern copied faithfully"
+    );
+    assert_eq!(
+        h.load_u64(&forged, 0),
+        Err(HeapError::Cap(CapError::TagCleared))
+    );
 }
 
 /// Freeing through anything but the exact allocation capability fails.
@@ -199,7 +218,10 @@ fn free_validates_provenance() {
     assert!(matches!(h.free(interior), Err(HeapError::Alloc(_))));
 
     // Untagged copy: rejected.
-    assert_eq!(h.free(obj.cleared()), Err(HeapError::Cap(CapError::TagCleared)));
+    assert_eq!(
+        h.free(obj.cleared()),
+        Err(HeapError::Cap(CapError::TagCleared))
+    );
 
     // Stack/global capabilities are not heap allocations.
     assert!(matches!(h.free(h.stack_root()), Err(HeapError::Alloc(_))));
@@ -232,8 +254,78 @@ fn memory_overhead_stays_within_envelope() {
     assert!((h.shadow_bytes() as f64) < 0.01 * (1 << 20) as f64 * 1.3);
 }
 
+/// Multi-threaded use-after-free on the concurrent service: mutator
+/// threads churn in parallel while each keeps stashing dangling
+/// **cross-shard** copies of capabilities it frees. At every probe, a
+/// still-tagged stale copy must read back the exact bytes the thread wrote
+/// (the memory is quarantined, never reallocated); a revoked copy must be
+/// untagged. After the final drain no stale copy survives anywhere.
+#[test]
+fn concurrent_churn_has_no_use_after_reallocation() {
+    const THREADS: usize = 4;
+    const OPS: u64 = 2_000;
+    let heap = ConcurrentHeap::new(ServiceConfig::small()).unwrap();
+
+    // Each thread's stash holder lives on the *next* shard, so every
+    // dangling copy crosses shards — the §3.5 foreign-sweep path.
+    let holders: Vec<Capability> = (0..THREADS)
+        .map(|t| heap.malloc_on((t + 1) % THREADS, 32 * 16).unwrap())
+        .collect();
+
+    std::thread::scope(|scope| {
+        for (t, holder) in holders.iter().enumerate() {
+            let client = heap.handle_on(t);
+            scope.spawn(move || {
+                // slot -> session id written to the stashed (now freed)
+                // allocation. None = slot's copy not expected to be stale.
+                let mut expect: [Option<u64>; 32] = [None; 32];
+                for i in 0..OPS {
+                    let id = (t as u64) << 32 | i;
+                    let obj = client.malloc(64 + (i % 13) * 32).unwrap();
+                    client.store_u64(&obj, 0, id).unwrap();
+                    let slot = i % 32;
+                    client.store_cap(holder, slot * 16, &obj).unwrap();
+                    client.free(obj).unwrap();
+                    expect[slot as usize] = Some(id);
+
+                    // Probe an older stale stash: use-after-free attempt.
+                    let probe = (i * 7 + 3) % 32;
+                    if let Some(id) = expect[probe as usize] {
+                        let stale = client.load_cap(holder, probe * 16).unwrap();
+                        if stale.tag() {
+                            // Not yet revoked: must still be quarantined,
+                            // so the bytes are exactly as this thread left
+                            // them — reallocation never exposed the memory.
+                            assert_eq!(client.load_u64(&stale, 0), Ok(id));
+                        }
+                        // Untagged = revoked before reuse: the safe fault.
+                    }
+                }
+            });
+        }
+    });
+
+    heap.revoke_all_now();
+    assert_eq!(
+        heap.quarantined_bytes(),
+        0,
+        "final drain leaves quarantine empty"
+    );
+    for holder in &holders {
+        for slot in 0..32 {
+            let cap = heap.load_cap(holder, slot * 16).unwrap();
+            assert!(!cap.tag(), "stale cross-shard stash survived revocation");
+        }
+    }
+    let stats = heap.stats();
+    assert!(
+        stats.foreign_sweeps > 0,
+        "cross-shard handshake must have run"
+    );
+}
+
 /// An OOM caused by quarantine pressure recovers via an emergency sweep and
-/// stays safe: the recycled memory is unreachable through old pointers.
+/// stays safe: the recycled memory is unreachable through any old pointers.
 #[test]
 fn emergency_sweep_preserves_safety() {
     let mut cfg = HeapConfig::small();

@@ -8,7 +8,7 @@ use revoker::timed::{timed_sweep, TimedMode};
 use revoker::ShadowMap;
 use simcache::{Machine, MachineConfig};
 use tagmem::{CoreDump, SegmentImage, SegmentKind};
-use workloads::{profiles, run_trace, CherivokeUnderTest, TraceGenerator, WorkloadHeap};
+use workloads::{profiles, run_trace, CherivokeUnderTest, TraceGenerator};
 
 /// Local stand-ins for the bench crate's image builders (the bench crate is
 /// not a dependency of the umbrella crate's tests).
@@ -68,7 +68,8 @@ fn fig5_cherivoke_beats_every_comparator() {
     for p in profiles::spec() {
         let trace = TraceGenerator::new(p, SCALE, SEED).generate();
         let run = |r: Result<workloads::RunReport, String>| {
-            r.unwrap_or_else(|e| panic!("{}: {e}", p.name)).normalized_time
+            r.unwrap_or_else(|e| panic!("{}: {e}", p.name))
+                .normalized_time
         };
         let mut sut = CherivokeUnderTest::paper_default(&trace).expect("heap");
         cv.push(run(run_trace(&mut sut, &trace)));
@@ -79,7 +80,10 @@ fn fig5_cherivoke_beats_every_comparator() {
     }
 
     let cv_geo = geomean(&cv);
-    assert!(cv_geo < 1.10, "CHERIvoke average must be single-digit %, got {cv_geo}");
+    assert!(
+        cv_geo < 1.10,
+        "CHERIvoke average must be single-digit %, got {cv_geo}"
+    );
     for (name, xs) in [
         ("Oscar", &oscar),
         ("pSweeper", &psweeper),
@@ -87,11 +91,17 @@ fn fig5_cherivoke_beats_every_comparator() {
         ("Boehm-GC", &boehm),
     ] {
         let other = geomean(xs);
-        assert!(cv_geo < other, "CHERIvoke ({cv_geo:.3}) must beat {name} ({other:.3})");
+        assert!(
+            cv_geo < other,
+            "CHERIvoke ({cv_geo:.3}) must beat {name} ({other:.3})"
+        );
     }
     // Worst case stays bounded (paper: max 1.51).
     let max = cv.iter().cloned().fold(1.0f64, f64::max);
-    assert!(max < 1.8, "CHERIvoke worst case should stay moderate, got {max}");
+    assert!(
+        max < 1.8,
+        "CHERIvoke worst case should stay moderate, got {max}"
+    );
 }
 
 /// Figure 6 claim: stages are cumulative, sweeping dominates where overhead
@@ -113,7 +123,10 @@ fn fig6_decomposition_shape() {
         times.push(run_trace(&mut sut, &trace).expect("run").normalized_time);
     }
     assert!(times[0] <= times[1] && times[1] <= times[2]);
-    assert!(times[2] - times[1] > times[1] - times[0], "sweeping dominates for omnetpp");
+    assert!(
+        times[2] - times[1] > times[1] - times[0],
+        "sweeping dominates for omnetpp"
+    );
 
     // dealII gains from batching: quarantine-only below 1.0 (fig. 6).
     let p = profiles::by_name("dealII").unwrap();
@@ -126,7 +139,10 @@ fn fig6_decomposition_shape() {
     )
     .expect("heap");
     let t = run_trace(&mut sut, &trace).expect("run").normalized_time;
-    assert!(t < 1.0, "dealII quarantine-only should beat baseline, got {t}");
+    assert!(
+        t < 1.0,
+        "dealII quarantine-only should beat baseline, got {t}"
+    );
 }
 
 /// Figure 8(b) claim: PTE CapDirty tracks the ideal line; CLoadTags wins at
@@ -136,7 +152,10 @@ fn fig8b_hardware_assist_shape() {
     let len = 4 << 20;
     let normalised = |mem: tagmem::TaggedMemory, mode: TimedMode| -> f64 {
         let shadow = ShadowMap::new(mem.base(), mem.len());
-        let dump = CoreDump::from_images(vec![SegmentImage { kind: SegmentKind::Heap, mem }]);
+        let dump = CoreDump::from_images(vec![SegmentImage {
+            kind: SegmentKind::Heap,
+            mem,
+        }]);
         let mut m_full = Machine::new(MachineConfig::cheri_fpga_like());
         let full = timed_sweep(&dump, &shadow, &mut m_full, TimedMode::Full).cycles;
         let mut m = Machine::new(MachineConfig::cheri_fpga_like());
@@ -150,10 +169,16 @@ fn fig8b_hardware_assist_shape() {
     }
     // CLoadTags beats a full sweep at low line density…
     let low = normalised(image_with_line_density(len, 0.1), TimedMode::CLoadTags);
-    assert!(low < 0.6, "CLoadTags should pay off at 10% density, got {low}");
+    assert!(
+        low < 0.6,
+        "CLoadTags should pay off at 10% density, got {low}"
+    );
     // …and exceeds it at full density (the §6.3 'can even lower performance').
     let high = normalised(image_with_line_density(len, 1.0), TimedMode::CLoadTags);
-    assert!(high > 1.0, "CLoadTags must cost extra at 100% density, got {high}");
+    assert!(
+        high > 1.0,
+        "CLoadTags must cost extra at 100% density, got {high}"
+    );
 }
 
 /// Figure 9 claim: time falls monotonically as the quarantine grows, and

@@ -56,7 +56,11 @@ fn serialised_dumps_sweep_identically_to_live_memory() {
     }
 
     // Timed sweeps agree cycle for cycle (the model is deterministic).
-    for mode in [TimedMode::Full, TimedMode::PteCapDirty, TimedMode::CLoadTags] {
+    for mode in [
+        TimedMode::Full,
+        TimedMode::PteCapDirty,
+        TimedMode::CLoadTags,
+    ] {
         let mut m1 = Machine::new(MachineConfig::cheri_fpga_like());
         let mut m2 = Machine::new(MachineConfig::cheri_fpga_like());
         let r1 = timed_sweep(&dump, &shadow, &mut m1, mode);

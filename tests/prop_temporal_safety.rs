@@ -14,17 +14,22 @@
 use std::collections::HashMap;
 
 use cheri::Capability;
-use cherivoke::{CherivokeHeap, HeapConfig, RevocationPolicy};
+use cherivoke::{CherivokeHeap, ConcurrentHeap, HeapConfig, RevocationPolicy, ServiceConfig};
 use proptest::prelude::*;
 use tagmem::SegmentKind;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Malloc { size: u64 },
+    Malloc {
+        size: u64,
+    },
     FreeOldest,
     FreeNewest,
     /// Copy the capability of a random live object into a holder slot.
-    StashCopy { live_idx: usize, slot: usize },
+    StashCopy {
+        live_idx: usize,
+        slot: usize,
+    },
     Sweep,
 }
 
@@ -134,6 +139,100 @@ proptest! {
         for (slot, _) in stashes {
             let cap = h.load_cap(&holder, (slot * 16) as u64).expect("load");
             prop_assert!(!cap.tag(), "stash {slot} survived the final revocation");
+        }
+    }
+}
+
+/// Operations against the *concurrent* service ([`ConcurrentHeap`]): the
+/// same temporal-safety theorem must hold for any shard count and any op
+/// sequence, including capability copies stashed **across shards** and
+/// revocations racing the background revoker thread.
+#[derive(Debug, Clone)]
+enum SvcOp {
+    Malloc {
+        shard: usize,
+        size: u64,
+    },
+    FreeOldest,
+    /// Copy a random live capability into a holder slot — holders are
+    /// spread across shards, so most stashes are cross-shard.
+    Stash {
+        live_idx: usize,
+        slot: usize,
+    },
+    RevokeAll,
+}
+
+fn svc_op_strategy() -> impl Strategy<Value = SvcOp> {
+    prop_oneof![
+        4 => (0usize..8, 16u64..2048).prop_map(|(shard, size)| SvcOp::Malloc { shard, size }),
+        3 => Just(SvcOp::FreeOldest),
+        3 => (0usize..64, 0usize..96).prop_map(|(live_idx, slot)| SvcOp::Stash { live_idx, slot }),
+        1 => Just(SvcOp::RevokeAll),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn concurrent_service_temporal_safety(
+        shards in 1usize..5,
+        ops in proptest::collection::vec(svc_op_strategy(), 1..100),
+    ) {
+        let config = ServiceConfig {
+            shards,
+            ..ServiceConfig::small()
+        };
+        let heap = ConcurrentHeap::new(config).expect("service");
+        // One 96-slot stash holder region, one segment per shard.
+        let holders: Vec<Capability> = (0..shards)
+            .map(|i| heap.malloc_on(i, 96 * 16).expect("holder"))
+            .collect();
+        let slot_of = |slot: usize| (&holders[slot % shards], ((slot / shards) * 16) as u64);
+
+        let mut live: Vec<Capability> = Vec::new();
+        let mut used_slots: Vec<usize> = Vec::new();
+        for op in ops {
+            match op {
+                SvcOp::Malloc { shard, size } => {
+                    if let Ok(cap) = heap.malloc_on(shard % shards, size) {
+                        live.push(cap);
+                    }
+                }
+                SvcOp::FreeOldest if !live.is_empty() => {
+                    heap.free(live.remove(0)).expect("valid free");
+                }
+                SvcOp::FreeOldest => {}
+                SvcOp::Stash { live_idx, slot } => {
+                    if !live.is_empty() {
+                        let cap = live[live_idx % live.len()];
+                        let (holder, off) = slot_of(slot);
+                        heap.store_cap(holder, off, &cap).expect("stash");
+                        used_slots.push(slot);
+                    }
+                }
+                SvcOp::RevokeAll => heap.revoke_all_now(),
+            }
+        }
+
+        // Free every remaining allocation, then run the full cross-shard
+        // revocation: every stashed copy must be revoked — wherever it was
+        // stored, whichever shard it pointed into — and the quarantine of
+        // every shard must be fully drained.
+        for cap in live.drain(..) {
+            heap.free(cap).expect("final free");
+        }
+        heap.revoke_all_now();
+        prop_assert_eq!(heap.quarantined_bytes(), 0, "quarantine drained service-wide");
+        for slot in used_slots {
+            let (holder, off) = slot_of(slot);
+            let cap = heap.load_cap(holder, off).expect("load stash");
+            prop_assert!(
+                !cap.tag(),
+                "cross-shard stash in slot {} survived the final revocation",
+                slot
+            );
         }
     }
 }
