@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 use cherivoke::RevocationPolicy;
-use revoker::{Kernel, ShadowMap, Sweeper};
+use revoker::{Kernel, ShadowMap};
 use serde::Serialize;
 use workloads::{profiles, run_trace, CherivokeUnderTest, CostModel, Stage, TraceGenerator};
 
@@ -136,18 +136,14 @@ fn kernels() -> Vec<KernelAblation> {
     let p = profiles::by_name("xalancbmk").expect("profile");
     let trace = TraceGenerator::new(p, 1.0 / 1024.0, 11).generate();
     [
-        ("simple", Kernel::Simple),
-        ("unrolled", Kernel::Unrolled),
-        ("wide", Kernel::Wide),
-        ("parallel4", Kernel::Parallel { threads: 4 }),
+        ("simple", Kernel::Simple, 1),
+        ("unrolled", Kernel::Unrolled, 1),
+        ("wide", Kernel::Wide, 1),
+        ("parallel4", Kernel::Wide, 4),
     ]
     .into_iter()
-    .map(|(name, kernel)| {
-        let sweeper = Sweeper::new(kernel);
-        let mut img = mem.clone();
-        let t0 = Instant::now();
-        sweeper.sweep_segment(&mut img, &shadow);
-        let rate = (mem.len() as f64 / (1024.0 * 1024.0)) / t0.elapsed().as_secs_f64();
+    .map(|(name, kernel, workers)| {
+        let rate = bench::engine_sweep_rate(kernel, workers, &mem, &shadow);
         let mut sut = CherivokeUnderTest::new(
             &trace,
             RevocationPolicy::paper_default(),

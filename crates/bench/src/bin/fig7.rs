@@ -5,13 +5,15 @@
 //! AVX2 kernel sweeping application images. Here each benchmark's image is
 //! synthesised at its pointer density and swept by this crate's kernel
 //! tiers ([`revoker::Kernel::Simple`] / `Unrolled` / `Wide`, plus the
-//! parallel kernel of §3.5); the reference line is the host's streaming
-//! read bandwidth over the same buffer.
+//! chunk-parallel [`revoker::ParallelSweepEngine`] of §3.5); the reference
+//! line is the host's streaming read bandwidth over the same buffer. All
+//! rates come through [`bench::engine_sweep_rate`] — one engine, one
+//! visitation order.
 
 use std::time::Instant;
 
 use revoker::conservative::{sweep_avx2, sweep_scalar, sweep_unrolled, ConservativeImage};
-use revoker::{Kernel, ShadowMap, Sweeper};
+use revoker::{Kernel, ShadowMap};
 use serde::Serialize;
 use workloads::profiles;
 
@@ -31,20 +33,10 @@ struct Fig7Row {
     cons_avx2_mib_s: f64,
 }
 
-/// Times one sweep of `mem` (median of three runs), returning MiB/s.
+/// Times one sweep of `mem` (median of three runs), returning MiB/s — the
+/// sequential [`revoker::SweepEngine`] path via [`bench::engine_sweep_rate`].
 fn sweep_rate(kernel: Kernel, mem: &tagmem::TaggedMemory, shadow: &ShadowMap) -> f64 {
-    let sweeper = Sweeper::new(kernel);
-    let mut times = Vec::new();
-    for _ in 0..3 {
-        let mut img = mem.clone();
-        let t0 = Instant::now();
-        let stats = sweeper.sweep_segment(&mut img, shadow);
-        let dt = t0.elapsed().as_secs_f64();
-        assert_eq!(stats.bytes_swept, mem.len());
-        times.push(dt);
-    }
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    (IMAGE_BYTES as f64 / (1024.0 * 1024.0)) / times[1]
+    bench::engine_sweep_rate(kernel, 1, mem, shadow)
 }
 
 /// Times a conservative-image sweep kernel (median of three), in MiB/s.
@@ -112,7 +104,7 @@ fn main() {
             simple_mib_s: sweep_rate(Kernel::Simple, &mem, &shadow),
             unrolled_mib_s: sweep_rate(Kernel::Unrolled, &mem, &shadow),
             wide_mib_s: sweep_rate(Kernel::Wide, &mem, &shadow),
-            parallel_mib_s: sweep_rate(Kernel::Parallel { threads: 4 }, &mem, &shadow),
+            parallel_mib_s: bench::engine_sweep_rate(Kernel::Wide, 4, &mem, &shadow),
             cons_simple_mib_s: conservative_rate(sweep_scalar, &cons, &shadow),
             cons_unrolled_mib_s: conservative_rate(sweep_unrolled, &cons, &shadow),
             cons_avx2_mib_s: conservative_rate(sweep_avx2, &cons, &shadow),

@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use revoker::{Kernel, ShadowMap, Sweeper};
+use revoker::{Kernel, ShadowMap};
 use serde::Serialize;
 
 const IMAGE_BYTES: u64 = 128 << 20;
@@ -40,22 +40,10 @@ fn main() {
     std::hint::black_box(acc);
     let read_bw = data.len() as f64 / (1024.0 * 1024.0) / t0.elapsed().as_secs_f64();
 
-    let rate = |threads: usize| -> f64 {
-        let kernel = if threads == 1 {
-            Kernel::Wide
-        } else {
-            Kernel::Parallel { threads }
-        };
-        let sweeper = Sweeper::new(kernel);
-        let mut best = f64::INFINITY;
-        for _ in 0..3 {
-            let mut img = mem.clone();
-            let t0 = Instant::now();
-            sweeper.sweep_segment(&mut img, &shadow);
-            best = best.min(t0.elapsed().as_secs_f64());
-        }
-        IMAGE_BYTES as f64 / (1024.0 * 1024.0) / best
-    };
+    // The chunk-parallel engine: identical plan to the sequential engine,
+    // execution fanned out across `threads` scoped workers.
+    let rate =
+        |threads: usize| -> f64 { bench::engine_sweep_rate(Kernel::Wide, threads, &mem, &shadow) };
 
     let single = rate(1);
     let available = std::thread::available_parallelism()

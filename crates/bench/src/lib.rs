@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 use cheri::Capability;
+use revoker::{Kernel, NoFilter, ParallelSweepEngine, SegmentSource, ShadowMap};
 use tagmem::{TaggedMemory, GRANULE_SIZE, LINE_SIZE, PAGE_SIZE};
 
 /// Geometric mean of a slice (the paper's summary statistic in fig. 5).
@@ -67,6 +68,31 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
 /// `true` if the process was invoked with `--json`.
 pub fn json_mode() -> bool {
     std::env::args().any(|a| a == "--json")
+}
+
+/// Median-of-three sweep rate (MiB/s) of `mem` under one engine
+/// composition: `kernel` executed by a [`ParallelSweepEngine`] with
+/// `workers` threads (1 = the sequential path). Every host-measured sweep
+/// number in the experiment binaries comes through here, so figures, the
+/// Criterion benches and the runtime share one visitation order.
+pub fn engine_sweep_rate(
+    kernel: Kernel,
+    workers: usize,
+    mem: &TaggedMemory,
+    shadow: &ShadowMap,
+) -> f64 {
+    let engine = ParallelSweepEngine::new(kernel, workers);
+    let mut times = Vec::new();
+    for _ in 0..3 {
+        let mut img = mem.clone();
+        let t0 = std::time::Instant::now();
+        let stats = engine.sweep(SegmentSource::new(&mut img), NoFilter, shadow);
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(stats.bytes_swept, mem.len());
+        times.push(dt);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (mem.len() as f64 / (1024.0 * 1024.0)) / times[1]
 }
 
 /// Builds a memory image whose **pages** have capability density `d`:

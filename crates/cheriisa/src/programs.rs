@@ -10,6 +10,7 @@
 //! §3.4.1 proposes.
 
 use cheri::Capability;
+use revoker::line_spans;
 use tagmem::{GRANULE_SIZE, LINE_SIZE};
 
 use crate::{Asm, Cpu, Insn, Reg, Trap, XReg};
@@ -89,8 +90,9 @@ pub fn sweep_heap(
     let mut stats = IsaSweepStats::default();
     let start_retired = cpu.retired();
 
-    let mut line = 0u64;
-    while line < heap_len {
+    // The same line chunking the sweep engine uses — the ISA loop and the
+    // native kernels visit lines in one canonical order.
+    for (line, span) in line_spans(0, heap_len) {
         // CLoadTags: one instruction decides whether the line is touched.
         cpu.step(&Insn::CLoadTags {
             xd: MASK,
@@ -100,10 +102,9 @@ pub fn sweep_heap(
         let mask = cpu.xreg(MASK);
         if mask == 0 {
             stats.lines_skipped += 1;
-            line += LINE_SIZE;
             continue;
         }
-        for g in 0..(LINE_SIZE / GRANULE_SIZE) {
+        for g in 0..(span / GRANULE_SIZE) {
             if mask >> g & 1 == 0 {
                 continue;
             }
@@ -191,7 +192,6 @@ pub fn sweep_heap(
                 stats.caps_revoked += 1;
             }
         }
-        line += LINE_SIZE;
     }
     stats.instructions = cpu.retired() - start_retired;
     Ok(stats)
@@ -234,7 +234,7 @@ pub fn heap_cpu(heap_base: u64, heap_len: u64, plants: &[(u64, Capability)]) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use revoker::{Kernel, ShadowMap, Sweeper};
+    use revoker::{Kernel, NoFilter, ShadowMap, SpaceSource, SweepEngine};
 
     const HEAP: u64 = 0x1000_0000;
     const LEN: u64 = 1 << 14;
@@ -267,7 +267,8 @@ mod tests {
         for (addr, cap) in &plants {
             native_space.store_cap(*addr, cap).unwrap();
         }
-        let native = Sweeper::new(Kernel::Wide).sweep_space(&mut native_space, &shadow);
+        let (source, _page_table) = SpaceSource::split(&mut native_space);
+        let native = SweepEngine::new(Kernel::Wide).sweep(source, NoFilter, &shadow);
 
         assert_eq!(stats.caps_revoked, native.caps_revoked);
         assert!(stats.caps_inspected >= native.caps_inspected);
@@ -546,7 +547,7 @@ pub fn sweep_program(heap_base: u64, heap_len: u64, shadow_base: u64) -> Vec<Ins
 #[cfg(test)]
 mod program_tests {
     use super::*;
-    use revoker::{Kernel, ShadowMap, Sweeper};
+    use revoker::{Kernel, NoFilter, ShadowMap, SpaceSource, SweepEngine};
 
     const HEAP: u64 = 0x1000_0000;
     const LEN: u64 = 1 << 13;
@@ -578,7 +579,8 @@ mod program_tests {
         for (addr, cap) in &plants {
             native.store_cap(*addr, cap).unwrap();
         }
-        let stats = Sweeper::new(Kernel::Wide).sweep_space(&mut native, &shadow);
+        let (source, _page_table) = SpaceSource::split(&mut native);
+        let stats = SweepEngine::new(Kernel::Wide).sweep(source, NoFilter, &shadow);
         assert_eq!(stats.caps_revoked, 8);
 
         let isa_heap = cpu

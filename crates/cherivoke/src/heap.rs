@@ -1,8 +1,14 @@
-//! The [`CherivokeHeap`]: allocator + shadow map + sweeper (paper fig. 3).
+//! The [`CherivokeHeap`]: allocator + shadow map + sweep engine (paper
+//! fig. 3). All sweeps — full cycles, incremental slices and foreign
+//! root-set sweeps — run through one [`ParallelSweepEngine`], sized by
+//! [`RevocationPolicy::sweep_workers`].
 
 use cheri::{CapError, Capability, Perms};
 use cvkalloc::{CherivokeAllocator, DlAllocator};
-use revoker::{ShadowMap, SweepStats, Sweeper};
+use revoker::{
+    sweep_register_file, CapDirtyPages, NoFilter, ParallelSweepEngine, RangeSource, ShadowMap,
+    SpaceSource, SweepStats,
+};
 use tagmem::{AddressSpace, CoreDump, SegmentKind};
 
 use crate::epoch::Epoch;
@@ -61,7 +67,7 @@ pub struct CherivokeHeap {
     space: AddressSpace,
     alloc: CherivokeAllocator,
     shadow: ShadowMap,
-    sweeper: Sweeper,
+    engine: ParallelSweepEngine,
     policy: RevocationPolicy,
     heap_root: Capability,
     stack_root: Capability,
@@ -122,7 +128,7 @@ impl CherivokeHeap {
             space,
             alloc,
             shadow: ShadowMap::new(config.heap_base, config.heap_size),
-            sweeper: Sweeper::new(config.policy.kernel),
+            engine: ParallelSweepEngine::new(config.policy.kernel, config.policy.sweep_workers),
             policy: config.policy,
             heap_root,
             stack_root,
@@ -301,9 +307,14 @@ impl CherivokeHeap {
                 .iter_mut()
                 .find(|s| s.mem().contains(start, len))
                 .expect("worklist regions lie in segments");
-            epoch.stats += self
-                .sweeper
-                .sweep_range(seg.mem_mut(), &self.shadow, start, len);
+            let mut stats = self.engine.sweep(
+                RangeSource::new(seg.mem_mut(), start, len),
+                NoFilter,
+                &self.shadow,
+            );
+            // A slice is a fragment of a segment, not a segment sweep.
+            stats.segments_swept = 0;
+            epoch.stats += stats;
         }
         if !epoch.is_done() || self.epoch_hold {
             self.epoch = Some(epoch);
@@ -311,7 +322,7 @@ impl CherivokeHeap {
         }
         // Epoch complete: registers, drain, unpaint.
         let (_, regs, _) = self.space.sweep_parts_mut();
-        epoch.stats += Sweeper::sweep_registers(regs, &self.shadow);
+        epoch.stats += sweep_register_file(regs, &self.shadow);
         self.alloc.drain_sealed();
         let mut painted = 0;
         for &(addr, len) in &epoch.ranges {
@@ -365,10 +376,12 @@ impl CherivokeHeap {
     /// mistake. Statistics are returned, not folded into this heap's own
     /// sweep counters (the orchestrator accounts for foreign sweeps).
     pub fn sweep_foreign(&mut self, shadow: &ShadowMap) -> SweepStats {
+        let (source, page_table) = SpaceSource::split(&mut self.space);
         if self.policy.use_capdirty {
-            self.sweeper.sweep_space_skipping(&mut self.space, shadow)
+            self.engine
+                .sweep(source, CapDirtyPages::new(page_table), shadow)
         } else {
-            self.sweeper.sweep_space(&mut self.space, shadow)
+            self.engine.sweep(source, NoFilter, shadow)
         }
     }
 
@@ -450,11 +463,14 @@ impl CherivokeHeap {
             self.shadow.paint(addr, len);
             painted += len;
         }
-        let stats = if self.policy.use_capdirty {
-            self.sweeper
-                .sweep_space_skipping(&mut self.space, &self.shadow)
-        } else {
-            self.sweeper.sweep_space(&mut self.space, &self.shadow)
+        let stats = {
+            let (source, page_table) = SpaceSource::split(&mut self.space);
+            if self.policy.use_capdirty {
+                self.engine
+                    .sweep(source, CapDirtyPages::new(page_table), &self.shadow)
+            } else {
+                self.engine.sweep(source, NoFilter, &self.shadow)
+            }
         };
         self.alloc.drain_quarantine();
         for &(addr, len) in &ranges {
@@ -585,7 +601,7 @@ impl CherivokeHeap {
     pub fn set_policy(&mut self, policy: RevocationPolicy) {
         self.policy = policy;
         self.alloc.set_config(policy.quarantine);
-        self.sweeper = Sweeper::new(policy.kernel);
+        self.engine = ParallelSweepEngine::new(policy.kernel, policy.sweep_workers);
     }
 
     /// Heap statistics (sweeps, revocations, allocator counters).

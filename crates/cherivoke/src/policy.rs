@@ -39,6 +39,12 @@ pub struct RevocationPolicy {
     /// instead of stop-the-world pauses, with capability load/store
     /// barriers keeping the interleaving sound. `None` = stop-the-world.
     pub incremental_slice_bytes: Option<u64>,
+    /// Worker threads for each sweep (§3.5's parallel sweeps): 1 runs
+    /// sequentially; more fan chunk execution out across a scoped pool via
+    /// [`revoker::ParallelSweepEngine`]. [`RevocationPolicy::paper_default`]
+    /// reads `CHERIVOKE_SWEEP_WORKERS` (default 1), so CI can force the
+    /// parallel engine on without code changes.
+    pub sweep_workers: usize,
 }
 
 impl RevocationPolicy {
@@ -52,6 +58,7 @@ impl RevocationPolicy {
             use_capdirty: true,
             sweep_on_oom: true,
             incremental_slice_bytes: None,
+            sweep_workers: revoker::workers_from_env(),
         }
     }
 
@@ -153,6 +160,8 @@ mod tests {
             p.incremental_slice_bytes.is_none(),
             "paper evaluates stop-the-world"
         );
+        // Env-dependent (CHERIVOKE_SWEEP_WORKERS), but always a valid pool.
+        assert!(p.sweep_workers >= 1);
     }
 
     #[test]

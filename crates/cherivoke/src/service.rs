@@ -83,8 +83,9 @@ pub struct ServiceConfig {
     /// Heap bytes per shard (rounded up to CHERI-representable bounds).
     pub shard_heap_size: u64,
     /// Revocation policy. The quarantine fraction decides when the
-    /// *service* opens an epoch on a shard; kernel/CapDirty settings flow
-    /// through to each shard's sweeper.
+    /// *service* opens an epoch on a shard; kernel, CapDirty and
+    /// `sweep_workers` settings flow through to each shard's sweep engine
+    /// (epoch slices and the cross-shard foreign sweeps all run on it).
     pub policy: RevocationPolicy,
     /// Sweep pacing for the background revoker.
     pub pacer: SweepPacer,

@@ -11,11 +11,15 @@
 //!
 //! * [`ConservativeImage`] — a memory image preprocessed exactly as §5.3
 //!   describes (non-pointer words zeroed).
-//! * [`sweep_scalar`] / [`sweep_unrolled`] — the §3.3 inner loop over the
-//!   preprocessed image (the paper's first two fig. 7 tiers).
-//! * [`sweep_avx2`] — a genuine AVX2 implementation (`std::arch`), used
-//!   when the host supports it; this is the fig. 7 "AVX2" tier. Falls back
-//!   to the unrolled loop elsewhere.
+//! * [`ConsKernel`] — the fig. 7 tiers as engine
+//!   [`RevokeKernel`](crate::engine::RevokeKernel)s over such images:
+//!   scalar, manually unrolled, and a genuine AVX2 implementation
+//!   (`std::arch`) used when the host supports it.
+//! * [`ImageSource`] — the [`CapSource`](crate::engine::CapSource)
+//!   adapter, so images sweep through the same
+//!   [`SweepEngine`](crate::engine::SweepEngine) as tagged memory.
+//! * [`sweep_scalar`] / [`sweep_unrolled`] / [`sweep_avx2`] — convenience
+//!   wrappers composing the above.
 //!
 //! Unlike the tag-exact kernels in [`crate::Sweeper`], conservative
 //! identification has **false positives**: integers that happen to look
@@ -23,8 +27,9 @@
 //! quarantined memory, zeroed). The paper accepts the same imprecision for
 //! its x86 measurements; CHERI itself does not (§4.1).
 
-use tagmem::TaggedMemory;
+use tagmem::{TaggedMemory, LINE_SIZE};
 
+use crate::engine::{CapSource, NoFilter, RevokeKernel, SweepCost, SweepEngine, TagProbe};
 use crate::ShadowMap;
 
 /// A §5.3-preprocessed image: 64-bit words, with every word whose value is
@@ -74,6 +79,11 @@ impl ConservativeImage {
         ConservativeImage { base, words }
     }
 
+    /// The image's base address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
     /// The image's word array.
     pub fn words(&self) -> &[u64] {
         &self.words
@@ -90,42 +100,134 @@ impl ConservativeImage {
     }
 }
 
-/// The paper's §3.3 inner loop, verbatim shape: test, shift, shadow byte,
-/// bit test, conditional zero.
+impl TagProbe for ConservativeImage {
+    /// After §5.3 preprocessing, "holds a capability" means "holds a
+    /// non-zero word" — the conservative analogue of `CLoadTags`.
+    fn probe_line(&self, line: u64) -> bool {
+        let i0 = ((line.saturating_sub(self.base)) / 8) as usize;
+        let i1 = (i0 + (LINE_SIZE / 8) as usize).min(self.words.len());
+        self.words[i0.min(self.words.len())..i1]
+            .iter()
+            .any(|&w| w != 0)
+    }
+}
+
+/// A [`CapSource`](crate::engine::CapSource) walking one conservative
+/// image as a single region.
+pub struct ImageSource<'a>(&'a mut ConservativeImage);
+
+impl<'a> ImageSource<'a> {
+    /// A source walking all of `image`.
+    pub fn new(image: &'a mut ConservativeImage) -> ImageSource<'a> {
+        ImageSource(image)
+    }
+}
+
+impl CapSource for ImageSource<'_> {
+    type Mem = ConservativeImage;
+
+    fn for_each_region(&mut self, mut f: impl FnMut(&mut ConservativeImage, u64, u64)) {
+        let (base, len) = (self.0.base, self.0.len_bytes());
+        f(self.0, base, len);
+    }
+}
+
+/// The fig. 7 optimisation tiers for conservative images.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConsKernel {
+    /// The paper's §3.3 inner loop, verbatim shape: test, shift, shadow
+    /// byte, bit test, conditional zero.
+    Scalar,
+    /// Manually unrolled/pipelined (the second fig. 7 tier): four words
+    /// per iteration, tests hoisted.
+    Unrolled,
+    /// The AVX2 tier: 256-bit loads test four words against zero at a
+    /// time (runtime-detected; falls back to [`ConsKernel::Unrolled`]
+    /// elsewhere).
+    #[default]
+    Avx2,
+}
+
+impl RevokeKernel<ConservativeImage> for ConsKernel {
+    fn sweep_window<C: SweepCost>(
+        &self,
+        image: &mut ConservativeImage,
+        start: u64,
+        len: u64,
+        shadow: &ShadowMap,
+        _cost: &mut C,
+        stats: &mut crate::SweepStats,
+    ) {
+        let i0 = ((start - image.base) / 8) as usize;
+        let i1 = (i0 + (len / 8) as usize).min(image.words.len());
+        let window = &mut image.words[i0..i1];
+        let (seen, revoked) = match self {
+            ConsKernel::Scalar => scan_scalar(window, shadow),
+            ConsKernel::Unrolled => scan_unrolled(window, shadow),
+            ConsKernel::Avx2 => scan_avx2(window, shadow),
+        };
+        stats.caps_inspected += seen;
+        stats.caps_revoked += revoked;
+    }
+}
+
+fn run(image: &mut ConservativeImage, shadow: &ShadowMap, kernel: ConsKernel) -> ConservativeStats {
+    let stats = SweepEngine::new(kernel).sweep(ImageSource::new(image), NoFilter, shadow);
+    ConservativeStats {
+        words_scanned: stats.bytes_swept / 8,
+        pointers_seen: stats.caps_inspected,
+        revoked: stats.caps_revoked,
+    }
+}
+
+/// Sweeps `image` with [`ConsKernel::Scalar`] through the engine.
 pub fn sweep_scalar(image: &mut ConservativeImage, shadow: &ShadowMap) -> ConservativeStats {
-    let mut stats = ConservativeStats::default();
-    for w in &mut image.words {
-        stats.words_scanned += 1;
+    run(image, shadow, ConsKernel::Scalar)
+}
+
+/// Sweeps `image` with [`ConsKernel::Unrolled`] through the engine.
+pub fn sweep_unrolled(image: &mut ConservativeImage, shadow: &ShadowMap) -> ConservativeStats {
+    run(image, shadow, ConsKernel::Unrolled)
+}
+
+/// Sweeps `image` with [`ConsKernel::Avx2`] through the engine (falling
+/// back to the unrolled loop when the host lacks AVX2).
+pub fn sweep_avx2(image: &mut ConservativeImage, shadow: &ShadowMap) -> ConservativeStats {
+    run(image, shadow, ConsKernel::Avx2)
+}
+
+/// Scalar inner loop over one word window. Returns (pointers_seen,
+/// revoked).
+fn scan_scalar(words: &mut [u64], shadow: &ShadowMap) -> (u64, u64) {
+    let (mut seen, mut revoked) = (0, 0);
+    for w in words.iter_mut() {
         let capword = *w;
         if capword != 0 {
-            stats.pointers_seen += 1;
+            seen += 1;
             if shadow.is_painted(capword) {
                 *w = 0;
-                stats.revoked += 1;
+                revoked += 1;
             }
         }
     }
-    stats
+    (seen, revoked)
 }
 
-/// Manually unrolled/pipelined variant (the paper's second fig. 7 tier):
-/// four words per iteration, tests hoisted.
-pub fn sweep_unrolled(image: &mut ConservativeImage, shadow: &ShadowMap) -> ConservativeStats {
-    let mut stats = ConservativeStats::default();
-    let words = &mut image.words;
+/// Unrolled inner loop: four words per iteration, tests hoisted.
+fn scan_unrolled(words: &mut [u64], shadow: &ShadowMap) -> (u64, u64) {
+    let (mut seen, mut revoked) = (0, 0);
     let n = words.len() & !3;
     let mut i = 0;
     while i < n {
         let (a, b, c, d) = (words[i], words[i + 1], words[i + 2], words[i + 3]);
-        stats.words_scanned += 4;
         // Fast path: a whole iteration of zeros (common at low density).
         if a | b | c | d != 0 {
             for (k, w) in [a, b, c, d].into_iter().enumerate() {
                 if w != 0 {
-                    stats.pointers_seen += 1;
+                    seen += 1;
                     if shadow.is_painted(w) {
                         words[i + k] = 0;
-                        stats.revoked += 1;
+                        revoked += 1;
                     }
                 }
             }
@@ -134,33 +236,29 @@ pub fn sweep_unrolled(image: &mut ConservativeImage, shadow: &ShadowMap) -> Cons
     }
     while i < words.len() {
         let w = words[i];
-        stats.words_scanned += 1;
         if w != 0 {
-            stats.pointers_seen += 1;
+            seen += 1;
             if shadow.is_painted(w) {
                 words[i] = 0;
-                stats.revoked += 1;
+                revoked += 1;
             }
         }
         i += 1;
     }
-    stats
+    (seen, revoked)
 }
 
-/// The AVX2 tier: 256-bit loads test four words against zero at a time;
-/// only vectors containing pointer-looking words fall back to scalar
-/// shadow lookups (the paper's loop similarly mixes vector tests with the
-/// indirect shadow access). Uses the unrolled loop when AVX2 is absent.
+/// AVX2 inner loop when available; the unrolled loop otherwise.
 #[allow(unsafe_code)]
-pub fn sweep_avx2(image: &mut ConservativeImage, shadow: &ShadowMap) -> ConservativeStats {
+fn scan_avx2(words: &mut [u64], shadow: &ShadowMap) -> (u64, u64) {
     #[cfg(target_arch = "x86_64")]
     {
         if is_x86_feature_detected!("avx2") {
             // SAFETY: feature presence checked at runtime immediately above.
-            return unsafe { simd::sweep(image, shadow) };
+            return unsafe { simd::scan(words, shadow) };
         }
     }
-    sweep_unrolled(image, shadow)
+    scan_unrolled(words, shadow)
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -175,16 +273,11 @@ mod simd {
         __m256i, _mm256_cmpeq_epi64, _mm256_loadu_si256, _mm256_movemask_epi8, _mm256_setzero_si256,
     };
 
-    use super::{ConservativeImage, ConservativeStats};
     use crate::ShadowMap;
 
     #[target_feature(enable = "avx2")]
-    pub(super) unsafe fn sweep(
-        image: &mut ConservativeImage,
-        shadow: &ShadowMap,
-    ) -> ConservativeStats {
-        let mut stats = ConservativeStats::default();
-        let words = &mut image.words;
+    pub(super) unsafe fn scan(words: &mut [u64], shadow: &ShadowMap) -> (u64, u64) {
+        let (mut seen, mut revoked) = (0, 0);
         let n = words.len() & !3;
         let zero = _mm256_setzero_si256();
         let mut i = 0;
@@ -194,16 +287,15 @@ mod simd {
             let v = unsafe { _mm256_loadu_si256(words.as_ptr().add(i) as *const __m256i) };
             let eq = _mm256_cmpeq_epi64(v, zero);
             let mask = _mm256_movemask_epi8(eq) as u32;
-            stats.words_scanned += 4;
             // All four lanes zero: skip (mask is all ones).
             if mask != u32::MAX {
                 for k in 0..4 {
                     let w = words[i + k];
                     if w != 0 {
-                        stats.pointers_seen += 1;
+                        seen += 1;
                         if shadow.is_painted(w) {
                             words[i + k] = 0;
-                            stats.revoked += 1;
+                            revoked += 1;
                         }
                     }
                 }
@@ -212,17 +304,16 @@ mod simd {
         }
         while i < words.len() {
             let w = words[i];
-            stats.words_scanned += 1;
             if w != 0 {
-                stats.pointers_seen += 1;
+                seen += 1;
                 if shadow.is_painted(w) {
                     words[i] = 0;
-                    stats.revoked += 1;
+                    revoked += 1;
                 }
             }
             i += 1;
         }
-        stats
+        (seen, revoked)
     }
 }
 
@@ -337,5 +428,12 @@ mod tests {
             assert_eq!(stats.pointers_seen, 0, "{name}");
             assert_eq!(stats.words_scanned, LEN / 8, "{name}");
         }
+    }
+
+    #[test]
+    fn line_probe_matches_word_content() {
+        let img = image_with(&[(16, HEAP + 0x40)]); // word 16 = byte 128
+        assert!(!img.probe_line(HEAP), "first line is empty");
+        assert!(img.probe_line(HEAP + 128), "second line holds a pointer");
     }
 }

@@ -1,0 +1,946 @@
+//! The unified sweep engine: roots × filters × kernels (§3.3–§3.5).
+//!
+//! Revocation sweeping decomposes into three orthogonal choices:
+//!
+//! * **What to walk** — a [`CapSource`]: an [`AddressSpace`]'s sweepable
+//!   segments plus the register file ([`SpaceSource`]), one segment
+//!   ([`SegmentSource`]), a sub-range of one ([`RangeSource`]), the
+//!   register file alone ([`RegisterSource`]), a core dump's images
+//!   ([`DumpSource`]), or a conservatively preprocessed x86 image
+//!   ([`crate::conservative::ImageSource`]).
+//! * **What to skip** — a [`GranuleFilter`]: nothing ([`NoFilter`]), PTE
+//!   CapDirty-clean pages ([`CapDirtyPages`], [`DirtyPageList`]; §3.4.2),
+//!   or capability-free cache lines ([`CLoadTagsLines`], [`IdealLines`];
+//!   §3.4.1). Filters compose as tuples: `(pages, lines)` applies both.
+//! * **How to revoke** — a [`RevokeKernel`]: the Figure 7 optimisation
+//!   tiers wrapped by [`Kernel`], or the conservative-image kernels in
+//!   [`crate::conservative`].
+//!
+//! [`SweepEngine`] composes the three, owning chunked visitation and
+//! [`SweepStats`] accumulation. Because the *same* walk drives both the
+//! functional sweep and the cycle-accounted one (via [`SweepCost`] hooks,
+//! implemented over [`simcache::Machine`] in [`crate::timed`]), the timed
+//! and untimed paths share one visitation order by construction.
+//! [`ParallelSweepEngine`] runs the identical plan across scoped worker
+//! threads (§3.5: sweeping is embarrassingly parallel) with per-worker
+//! stats merged deterministically.
+
+use tagmem::{
+    AddressSpace, PageTable, RegisterFile, Segment, SegmentImage, TaggedMemory, GRANULE_SIZE,
+    LINE_SIZE, PAGE_SIZE,
+};
+
+use crate::sweep::run_kernel;
+use crate::{Kernel, ShadowMap, SweepStats};
+
+/// Hooks charging the memory-system cost of a sweep's accesses.
+///
+/// The sequential [`SweepEngine`] invokes these in exactly the order the
+/// sweep touches memory, so a cost model (e.g. [`crate::timed`]'s machine
+/// replay) observes the same access stream the functional sweep performs.
+/// Every method defaults to a no-op; [`NoCost`] is the free implementation
+/// used by untimed sweeps.
+pub trait SweepCost {
+    /// A data read of `len` bytes at `addr` (one chunk the engine visits).
+    fn chunk_read(&mut self, addr: u64, len: u64) {
+        let _ = (addr, len);
+    }
+    /// A `CLoadTags` tag query for the line at `addr` (§3.4.1).
+    fn cloadtags(&mut self, addr: u64) {
+        let _ = addr;
+    }
+    /// A shadow-map lookup for a capability with base `cap_base` (§3.2).
+    fn shadow_lookup(&mut self, cap_base: u64) {
+        let _ = cap_base;
+    }
+    /// The revocation store zeroing the granule at `addr` (§3.3).
+    fn revoke_store(&mut self, addr: u64) {
+        let _ = addr;
+    }
+    /// A data-dependent branch misprediction in the inner loop (§6.3).
+    fn branch_mispredict(&mut self) {}
+}
+
+/// The free cost model: untimed sweeps charge nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCost;
+
+impl SweepCost for NoCost {}
+
+/// Memory a filter can query for tag presence without reading data.
+pub trait TagProbe {
+    /// Whether the cache line containing `line` holds any tagged granule
+    /// (the `CLoadTags` primitive, §3.4.1). Conservative: returns `true`
+    /// when the line cannot be queried.
+    fn probe_line(&self, line: u64) -> bool;
+}
+
+impl TagProbe for TaggedMemory {
+    fn probe_line(&self, line: u64) -> bool {
+        self.load_tags(line).map(|mask| mask != 0).unwrap_or(true)
+    }
+}
+
+/// A root set to sweep: one or more contiguous memory regions, plus
+/// optionally the capability register file (§3.3's roots).
+pub trait CapSource {
+    /// The memory type backing each region.
+    type Mem: TagProbe;
+
+    /// Calls `f(mem, start, len)` for each region, in a fixed order.
+    fn for_each_region(&mut self, f: impl FnMut(&mut Self::Mem, u64, u64));
+
+    /// The register file to sweep after the regions, if this source has
+    /// one.
+    fn registers(&mut self) -> Option<&mut RegisterFile> {
+        None
+    }
+}
+
+/// The full §3.3 root set of an [`AddressSpace`]: every sweepable segment
+/// and the register file.
+pub struct SpaceSource<'a> {
+    segments: &'a mut [Segment],
+    regs: &'a mut RegisterFile,
+}
+
+impl<'a> SpaceSource<'a> {
+    /// Splits `space` into a sweep source and its page table (so a
+    /// [`CapDirtyPages`] filter can borrow the table while the source
+    /// borrows the segments).
+    pub fn split(space: &'a mut AddressSpace) -> (SpaceSource<'a>, &'a mut PageTable) {
+        let (segments, regs, page_table) = space.sweep_parts_mut();
+        (SpaceSource { segments, regs }, page_table)
+    }
+}
+
+impl CapSource for SpaceSource<'_> {
+    type Mem = TaggedMemory;
+
+    fn for_each_region(&mut self, mut f: impl FnMut(&mut TaggedMemory, u64, u64)) {
+        for seg in self.segments.iter_mut().filter(|s| s.kind().sweepable()) {
+            let mem = seg.mem_mut();
+            let (base, len) = (mem.base(), mem.len());
+            f(mem, base, len);
+        }
+    }
+
+    fn registers(&mut self) -> Option<&mut RegisterFile> {
+        Some(self.regs)
+    }
+}
+
+/// One whole segment, no registers.
+pub struct SegmentSource<'a>(&'a mut TaggedMemory);
+
+impl<'a> SegmentSource<'a> {
+    /// A source walking all of `mem`.
+    pub fn new(mem: &'a mut TaggedMemory) -> SegmentSource<'a> {
+        SegmentSource(mem)
+    }
+}
+
+impl CapSource for SegmentSource<'_> {
+    type Mem = TaggedMemory;
+
+    fn for_each_region(&mut self, mut f: impl FnMut(&mut TaggedMemory, u64, u64)) {
+        let (base, len) = (self.0.base(), self.0.len());
+        f(self.0, base, len);
+    }
+}
+
+/// A granule-aligned sub-range of one segment (incremental sweep slices,
+/// §3.5).
+pub struct RangeSource<'a> {
+    mem: &'a mut TaggedMemory,
+    start: u64,
+    len: u64,
+}
+
+impl<'a> RangeSource<'a> {
+    /// A source walking `[start, start + len)` of `mem`.
+    pub fn new(mem: &'a mut TaggedMemory, start: u64, len: u64) -> RangeSource<'a> {
+        RangeSource { mem, start, len }
+    }
+}
+
+impl CapSource for RangeSource<'_> {
+    type Mem = TaggedMemory;
+
+    fn for_each_region(&mut self, mut f: impl FnMut(&mut TaggedMemory, u64, u64)) {
+        let (start, len) = (self.start, self.len);
+        f(self.mem, start, len);
+    }
+}
+
+/// The capability register file alone (swept at the end of an incremental
+/// revocation epoch).
+pub struct RegisterSource<'a>(&'a mut RegisterFile);
+
+impl<'a> RegisterSource<'a> {
+    /// A source sweeping only `regs`.
+    pub fn new(regs: &'a mut RegisterFile) -> RegisterSource<'a> {
+        RegisterSource(regs)
+    }
+}
+
+impl CapSource for RegisterSource<'_> {
+    type Mem = TaggedMemory;
+
+    fn for_each_region(&mut self, _f: impl FnMut(&mut TaggedMemory, u64, u64)) {}
+
+    fn registers(&mut self) -> Option<&mut RegisterFile> {
+        Some(self.0)
+    }
+}
+
+/// The segment images of a captured core dump (the §5.3 offline pipeline).
+pub struct DumpSource<'a>(&'a mut [SegmentImage]);
+
+impl<'a> DumpSource<'a> {
+    /// A source walking each image in `segments`.
+    pub fn new(segments: &'a mut [SegmentImage]) -> DumpSource<'a> {
+        DumpSource(segments)
+    }
+}
+
+impl CapSource for DumpSource<'_> {
+    type Mem = TaggedMemory;
+
+    fn for_each_region(&mut self, mut f: impl FnMut(&mut TaggedMemory, u64, u64)) {
+        for img in self.0.iter_mut() {
+            let (base, len) = (img.mem.base(), img.mem.len());
+            f(&mut img.mem, base, len);
+        }
+    }
+}
+
+/// How finely a [`GranuleFilter`] partitions the walk. Ordered: composing
+/// filters walks at the finest granularity either requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FilterGranularity {
+    /// One chunk per region (no skip opportunities).
+    Region,
+    /// One chunk per page ([`PAGE_SIZE`] frames; §3.4.2).
+    Page,
+    /// One chunk per cache line ([`LINE_SIZE`]; §3.4.1).
+    Line,
+}
+
+/// A work-skipping predicate over the walk (the paper's hardware assists,
+/// §3.4). Filters are stateful; the engine consults them in ascending
+/// address order.
+pub trait GranuleFilter<M: TagProbe> {
+    /// The chunking this filter needs. Defaults to whole regions.
+    fn granularity(&self) -> FilterGranularity {
+        FilterGranularity::Region
+    }
+
+    /// Whether the page frame at `page` must be visited. Charged via
+    /// `cost`; called once per frame, ascending. Defaults to visiting.
+    fn visit_page<C: SweepCost>(&mut self, page: u64, mem: &M, cost: &mut C) -> bool {
+        let _ = (page, mem, cost);
+        true
+    }
+
+    /// Whether the line at `line` (within a visited page) must be swept.
+    /// Defaults to sweeping.
+    fn visit_line<C: SweepCost>(&mut self, line: u64, mem: &M, cost: &mut C) -> bool {
+        let _ = (line, mem, cost);
+        true
+    }
+
+    /// Feedback after a visited page has been fully swept: `caps_found` is
+    /// the number of capabilities inspected on it (0 ⇒ CapDirty false
+    /// positive, §3.4.2).
+    fn page_swept(&mut self, page: u64, caps_found: u64) {
+        let _ = (page, caps_found);
+    }
+}
+
+/// No filtering: sweep every byte of every region.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFilter;
+
+impl<M: TagProbe> GranuleFilter<M> for NoFilter {}
+
+/// PTE CapDirty page skipping over a live [`PageTable`] (§3.4.2): clean
+/// pages are skipped, and visited pages found capability-free are
+/// re-cleaned (clearing false positives).
+pub struct CapDirtyPages<'a>(&'a mut PageTable);
+
+impl<'a> CapDirtyPages<'a> {
+    /// A filter over `table`'s CapDirty bits.
+    pub fn new(table: &'a mut PageTable) -> CapDirtyPages<'a> {
+        CapDirtyPages(table)
+    }
+}
+
+impl<M: TagProbe> GranuleFilter<M> for CapDirtyPages<'_> {
+    fn granularity(&self) -> FilterGranularity {
+        FilterGranularity::Page
+    }
+
+    fn visit_page<C: SweepCost>(&mut self, page: u64, _mem: &M, _cost: &mut C) -> bool {
+        self.0.is_cap_dirty(page)
+    }
+
+    fn page_swept(&mut self, page: u64, caps_found: u64) {
+        if caps_found == 0 {
+            // False positive: the page held no capabilities.
+            self.0.clear_cap_dirty(page);
+        }
+    }
+}
+
+/// Page skipping from a precomputed sorted dirty-page array (the §5.3
+/// offline form, as handed over by the OS with a core dump).
+pub struct DirtyPageList<'a>(&'a [u64]);
+
+impl<'a> DirtyPageList<'a> {
+    /// A filter over `pages`, a sorted list of page-aligned addresses.
+    pub fn new(pages: &'a [u64]) -> DirtyPageList<'a> {
+        DirtyPageList(pages)
+    }
+}
+
+impl<M: TagProbe> GranuleFilter<M> for DirtyPageList<'_> {
+    fn granularity(&self) -> FilterGranularity {
+        FilterGranularity::Page
+    }
+
+    fn visit_page<C: SweepCost>(&mut self, page: u64, _mem: &M, _cost: &mut C) -> bool {
+        self.0.binary_search(&(page & !(PAGE_SIZE - 1))).is_ok()
+    }
+}
+
+/// `CLoadTags` line skipping (§3.4.1): each line pays a tag query, and the
+/// skip decision is a data-dependent branch mispredicted whenever it flips
+/// (§6.3) — which is why this filter can *lose* at high line density.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CLoadTagsLines {
+    prev_skipped: bool,
+}
+
+impl CLoadTagsLines {
+    /// A fresh filter (predictor state reset).
+    pub fn new() -> CLoadTagsLines {
+        CLoadTagsLines::default()
+    }
+}
+
+impl<M: TagProbe> GranuleFilter<M> for CLoadTagsLines {
+    fn granularity(&self) -> FilterGranularity {
+        FilterGranularity::Line
+    }
+
+    fn visit_page<C: SweepCost>(&mut self, _page: u64, _mem: &M, _cost: &mut C) -> bool {
+        self.prev_skipped = false;
+        true
+    }
+
+    fn visit_line<C: SweepCost>(&mut self, line: u64, mem: &M, cost: &mut C) -> bool {
+        cost.cloadtags(line);
+        let skip = !mem.probe_line(line);
+        if skip != self.prev_skipped {
+            cost.branch_mispredict();
+        }
+        self.prev_skipped = skip;
+        !skip
+    }
+}
+
+/// Oracle line skipping: reads exactly the lines containing capabilities
+/// with zero query overhead (Fig. 8b's dotted lower bound).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdealLines;
+
+impl<M: TagProbe> GranuleFilter<M> for IdealLines {
+    fn granularity(&self) -> FilterGranularity {
+        FilterGranularity::Line
+    }
+
+    fn visit_line<C: SweepCost>(&mut self, line: u64, mem: &M, _cost: &mut C) -> bool {
+        mem.probe_line(line)
+    }
+}
+
+/// Forces line-granular chunking without skipping anything: a timed full
+/// sweep reads line by line, like the hardware it models.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EveryLine;
+
+impl<M: TagProbe> GranuleFilter<M> for EveryLine {
+    fn granularity(&self) -> FilterGranularity {
+        FilterGranularity::Line
+    }
+}
+
+impl<M: TagProbe, A: GranuleFilter<M>, B: GranuleFilter<M>> GranuleFilter<M> for (A, B) {
+    fn granularity(&self) -> FilterGranularity {
+        self.0.granularity().max(self.1.granularity())
+    }
+
+    fn visit_page<C: SweepCost>(&mut self, page: u64, mem: &M, cost: &mut C) -> bool {
+        self.0.visit_page(page, mem, cost) && self.1.visit_page(page, mem, cost)
+    }
+
+    fn visit_line<C: SweepCost>(&mut self, line: u64, mem: &M, cost: &mut C) -> bool {
+        self.0.visit_line(line, mem, cost) && self.1.visit_line(line, mem, cost)
+    }
+
+    fn page_swept(&mut self, page: u64, caps_found: u64) {
+        self.0.page_swept(page, caps_found);
+        self.1.page_swept(page, caps_found);
+    }
+}
+
+/// A revocation inner loop over one contiguous window of a source's
+/// memory (§3.3). Implementations add `caps_inspected` / `caps_revoked`
+/// (and, via `cost`, per-capability charges) to `stats`; the engine
+/// accounts `bytes_swept` and the chunk read itself.
+pub trait RevokeKernel<M> {
+    /// Sweeps `[start, start + len)` of `mem` against `shadow`.
+    fn sweep_window<C: SweepCost>(
+        &self,
+        mem: &mut M,
+        start: u64,
+        len: u64,
+        shadow: &ShadowMap,
+        cost: &mut C,
+        stats: &mut SweepStats,
+    );
+}
+
+impl RevokeKernel<TaggedMemory> for Kernel {
+    fn sweep_window<C: SweepCost>(
+        &self,
+        mem: &mut TaggedMemory,
+        start: u64,
+        len: u64,
+        shadow: &ShadowMap,
+        cost: &mut C,
+        stats: &mut SweepStats,
+    ) {
+        assert!(mem.contains(start, len), "sweep range outside segment");
+        assert_eq!(start % GRANULE_SIZE, 0, "unaligned sweep start");
+        assert_eq!(len % GRANULE_SIZE, 0, "unaligned sweep length");
+        let base = mem.base();
+        let g0 = ((start - base) / GRANULE_SIZE) as usize;
+        let g1 = g0 + (len / GRANULE_SIZE) as usize;
+        let (data, tags) = mem.as_parts_mut();
+        run_kernel(*self, data, tags, g0, g1, shadow, base, cost, stats);
+    }
+}
+
+/// Yields the page frames overlapping `[start, start + len)` as
+/// `(frame, clamped_start, clamped_end)` triples, ascending. `frame` is
+/// the [`PAGE_SIZE`]-aligned key used by page tables and dirty lists.
+pub fn page_spans(start: u64, len: u64) -> impl Iterator<Item = (u64, u64, u64)> {
+    let end = start + len;
+    let mut page = start & !(PAGE_SIZE - 1);
+    core::iter::from_fn(move || {
+        if page >= end {
+            return None;
+        }
+        let frame = page;
+        let span = (frame.max(start), (frame + PAGE_SIZE).min(end));
+        page += PAGE_SIZE;
+        Some((frame, span.0, span.1))
+    })
+}
+
+/// Yields `(line_start, line_len)` chunks of at most [`LINE_SIZE`] bytes
+/// covering `[start, start + len)`, ascending — the visitation order the
+/// engine (and [`cheriisa`-style assembled sweeps][crate::timed]) use for
+/// line-granular walks.
+pub fn line_spans(start: u64, len: u64) -> impl Iterator<Item = (u64, u64)> {
+    let end = start + len;
+    let mut line = start;
+    core::iter::from_fn(move || {
+        if line >= end {
+            return None;
+        }
+        let chunk = (line, (end - line).min(LINE_SIZE));
+        line += chunk.1;
+        Some(chunk)
+    })
+}
+
+/// Walks one region under `filter`, calling `emit(mem, start, len, cost,
+/// stats)` for each chunk that must be swept; `emit` returns the number of
+/// capabilities it inspected. Returns the visited pages as `(frame,
+/// caps_found)` pairs — the engine feeds these to
+/// [`GranuleFilter::page_swept`] after execution (page feedback only
+/// affects *future* sweeps, so deferring it preserves semantics).
+fn walk_region<M, F, C>(
+    mem: &mut M,
+    start: u64,
+    len: u64,
+    filter: &mut F,
+    cost: &mut C,
+    stats: &mut SweepStats,
+    mut emit: impl FnMut(&mut M, u64, u64, &mut C, &mut SweepStats) -> u64,
+) -> Vec<(u64, u64)>
+where
+    M: TagProbe,
+    F: GranuleFilter<M>,
+    C: SweepCost,
+{
+    let mut pages = Vec::new();
+    match filter.granularity() {
+        FilterGranularity::Region => {
+            emit(mem, start, len, cost, stats);
+        }
+        granularity => {
+            for (frame, page_start, page_end) in page_spans(start, len) {
+                if !filter.visit_page(frame, mem, cost) {
+                    stats.pages_skipped = stats.pages_skipped.saturating_add(1);
+                    continue;
+                }
+                let mut caps = 0u64;
+                if granularity == FilterGranularity::Page {
+                    caps += emit(mem, page_start, page_end - page_start, cost, stats);
+                } else {
+                    for (line, line_len) in line_spans(page_start, page_end - page_start) {
+                        if filter.visit_line(line, mem, cost) {
+                            caps += emit(mem, line, line_len, cost, stats);
+                        } else {
+                            stats.lines_skipped = stats.lines_skipped.saturating_add(1);
+                        }
+                    }
+                }
+                pages.push((frame, caps));
+            }
+        }
+    }
+    pages
+}
+
+/// Sweeps the capability register file against `shadow` (§3.3's register
+/// roots). Shared by every engine and by [`crate::Sweeper`].
+pub fn sweep_register_file(regs: &mut RegisterFile, shadow: &ShadowMap) -> SweepStats {
+    let mut stats = SweepStats::default();
+    for cap in regs.iter_mut() {
+        if cap.tag() {
+            stats.caps_inspected += 1;
+            if shadow.is_painted(cap.base()) {
+                *cap = cap.cleared();
+                stats.caps_revoked += 1;
+                stats.regs_revoked += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// The sequential sweep engine: one `source × filter × kernel`
+/// composition, executed chunk by chunk in ascending address order with
+/// optional cost accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepEngine<K> {
+    kernel: K,
+}
+
+impl<K> SweepEngine<K> {
+    /// An engine revoking with `kernel`.
+    pub fn new(kernel: K) -> SweepEngine<K> {
+        SweepEngine { kernel }
+    }
+
+    /// The configured kernel.
+    pub fn kernel(&self) -> &K {
+        &self.kernel
+    }
+
+    /// Sweeps `source` under `filter` without cost accounting.
+    pub fn sweep<S, F>(&self, source: S, filter: F, shadow: &ShadowMap) -> SweepStats
+    where
+        S: CapSource,
+        F: GranuleFilter<S::Mem>,
+        K: RevokeKernel<S::Mem>,
+    {
+        self.sweep_costed(source, filter, shadow, &mut NoCost)
+    }
+
+    /// Sweeps `source` under `filter`, charging every access to `cost` in
+    /// visitation order.
+    pub fn sweep_costed<S, F, C>(
+        &self,
+        mut source: S,
+        mut filter: F,
+        shadow: &ShadowMap,
+        cost: &mut C,
+    ) -> SweepStats
+    where
+        S: CapSource,
+        F: GranuleFilter<S::Mem>,
+        C: SweepCost,
+        K: RevokeKernel<S::Mem>,
+    {
+        let mut stats = SweepStats::default();
+        source.for_each_region(|mem, start, len| {
+            let pages = walk_region(
+                mem,
+                start,
+                len,
+                &mut filter,
+                cost,
+                &mut stats,
+                |mem, s, l, cost, stats| {
+                    cost.chunk_read(s, l);
+                    let before = stats.caps_inspected;
+                    self.kernel.sweep_window(mem, s, l, shadow, cost, stats);
+                    stats.bytes_swept = stats.bytes_swept.saturating_add(l);
+                    stats.caps_inspected - before
+                },
+            );
+            stats.segments_swept = stats.segments_swept.saturating_add(1);
+            for (frame, caps) in pages {
+                filter.page_swept(frame, caps);
+            }
+        });
+        if let Some(regs) = source.registers() {
+            stats += sweep_register_file(regs, shadow);
+        }
+        stats
+    }
+}
+
+/// Worker-thread count for parallel sweeps, from the
+/// `CHERIVOKE_SWEEP_WORKERS` environment variable (default 1 =
+/// sequential).
+pub fn workers_from_env() -> usize {
+    std::env::var("CHERIVOKE_SWEEP_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or(1)
+}
+
+/// The parallel sweep engine (§3.5): plans the identical chunk list the
+/// sequential engine would visit, partitions it across scoped worker
+/// threads on tag-word boundaries (workers own disjoint 64-granule words,
+/// so no two touch the same tag word), and merges per-worker stats
+/// deterministically with [`SweepStats::merge_parallel`]. The shadow map
+/// is shared read-only. Results — memory, tags, and stats — are
+/// byte-identical to the sequential engine by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelSweepEngine {
+    kernel: Kernel,
+    workers: usize,
+}
+
+impl ParallelSweepEngine {
+    /// An engine using `kernel` across `workers` threads (clamped to ≥ 1;
+    /// 1 executes sequentially with no thread overhead).
+    pub fn new(kernel: Kernel, workers: usize) -> ParallelSweepEngine {
+        ParallelSweepEngine {
+            kernel,
+            workers: workers.max(1),
+        }
+    }
+
+    /// An engine sized from `CHERIVOKE_SWEEP_WORKERS` (see
+    /// [`workers_from_env`]).
+    pub fn from_env(kernel: Kernel) -> ParallelSweepEngine {
+        ParallelSweepEngine::new(kernel, workers_from_env())
+    }
+
+    /// The configured kernel.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Sweeps `source` under `filter`, fanning chunk execution out across
+    /// the worker pool. Untimed only: parallel workers charge no
+    /// [`SweepCost`].
+    pub fn sweep<S, F>(&self, mut source: S, mut filter: F, shadow: &ShadowMap) -> SweepStats
+    where
+        S: CapSource<Mem = TaggedMemory>,
+        F: GranuleFilter<TaggedMemory>,
+    {
+        let mut stats = SweepStats::default();
+        source.for_each_region(|mem, start, len| {
+            // Plan: the exact walk the sequential engine performs,
+            // executing nothing. Skip decisions cannot depend on execution
+            // (revocations only clear tags in already-visited chunks), so
+            // plan-then-execute is equivalent to the interleaved walk.
+            let mut chunks: Vec<(u64, u64)> = Vec::new();
+            let mut pages = walk_region(
+                mem,
+                start,
+                len,
+                &mut filter,
+                &mut NoCost,
+                &mut stats,
+                |_mem, s, l, _cost, _stats| {
+                    chunks.push((s, l));
+                    0
+                },
+            );
+            stats.segments_swept = stats.segments_swept.saturating_add(1);
+
+            let caps_per_chunk =
+                execute_chunks(self.kernel, self.workers, mem, &chunks, shadow, &mut stats);
+
+            // Fold per-chunk capability counts back onto their pages and
+            // deliver the deferred page feedback in address order.
+            for (&(chunk_start, _), caps) in chunks.iter().zip(&caps_per_chunk) {
+                let frame = chunk_start & !(PAGE_SIZE - 1);
+                if let Ok(i) = pages.binary_search_by_key(&frame, |&(f, _)| f) {
+                    pages[i].1 += caps;
+                }
+            }
+            for (frame, caps) in pages {
+                filter.page_swept(frame, caps);
+            }
+        });
+        if let Some(regs) = source.registers() {
+            stats += sweep_register_file(regs, shadow);
+        }
+        stats
+    }
+}
+
+/// Executes a planned chunk list, in parallel when `workers > 1` and the
+/// plan is large enough to split. Returns per-chunk `caps_inspected`
+/// counts in plan order.
+fn execute_chunks(
+    kernel: Kernel,
+    workers: usize,
+    mem: &mut TaggedMemory,
+    chunks: &[(u64, u64)],
+    shadow: &ShadowMap,
+    stats: &mut SweepStats,
+) -> Vec<u64> {
+    let base = mem.base();
+    // Granule windows per chunk (chunks are granule-aligned by
+    // construction: regions, pages, and lines are all multiples of 16).
+    let windows: Vec<(usize, usize)> = chunks
+        .iter()
+        .map(|&(s, l)| {
+            let g0 = ((s - base) / GRANULE_SIZE) as usize;
+            (g0, g0 + (l / GRANULE_SIZE) as usize)
+        })
+        .collect();
+
+    if workers <= 1 || chunks.len() <= 1 {
+        let (data, tags) = mem.as_parts_mut();
+        let mut caps = Vec::with_capacity(chunks.len());
+        for (&(_, l), &(g0, g1)) in chunks.iter().zip(&windows) {
+            let before = stats.caps_inspected;
+            run_kernel(kernel, data, tags, g0, g1, shadow, base, &mut NoCost, stats);
+            stats.bytes_swept = stats.bytes_swept.saturating_add(l);
+            caps.push(stats.caps_inspected - before);
+        }
+        return caps;
+    }
+
+    // Group contiguous runs of chunks, closing a group only between chunks
+    // that fall in different tag words (64 granules = 1 KiB), so groups
+    // own disjoint word ranges of both the data and tag arrays.
+    let total_bytes: u64 = chunks.iter().map(|c| c.1).sum();
+    let target = (total_bytes / workers as u64).max(1);
+    let mut groups: Vec<(usize, usize)> = Vec::new();
+    let mut group_start = 0;
+    let mut acc = 0u64;
+    for i in 0..chunks.len() {
+        acc += chunks[i].1;
+        let word_boundary =
+            i + 1 == chunks.len() || windows[i + 1].0 / 64 > (windows[i].1 - 1) / 64;
+        if acc >= target && word_boundary && groups.len() + 1 < workers {
+            groups.push((group_start, i + 1));
+            group_start = i + 1;
+            acc = 0;
+        }
+    }
+    if group_start < chunks.len() {
+        groups.push((group_start, chunks.len()));
+    }
+
+    if groups.len() <= 1 {
+        // Couldn't split (e.g. everything in one tag word): run inline.
+        return execute_chunks(kernel, 1, mem, chunks, shadow, stats);
+    }
+
+    // Carve each group's word range out of the data and tag arrays.
+    let (data, tags) = mem.as_parts_mut();
+    let mut data_rest: &mut [u8] = data;
+    let mut tags_rest: &mut [u64] = tags;
+    let mut word_off = 0usize;
+    let mut jobs = Vec::with_capacity(groups.len());
+    for &(c0, c1) in &groups {
+        let w_lo = windows[c0].0 / 64;
+        let w_hi = (windows[c1 - 1].1).div_ceil(64);
+        // Discard [word_off, w_lo).
+        let skip = w_lo - word_off;
+        let taken_d = std::mem::take(&mut data_rest);
+        let (_, d) = taken_d.split_at_mut((skip * 64 * GRANULE_SIZE as usize).min(taken_d.len()));
+        let taken_t = std::mem::take(&mut tags_rest);
+        let (_, t) = taken_t.split_at_mut(skip.min(taken_t.len()));
+        // Take [w_lo, w_hi).
+        let take_w = w_hi - w_lo;
+        let (dj, d_rest) = d.split_at_mut((take_w * 64 * GRANULE_SIZE as usize).min(d.len()));
+        let (tj, t_rest) = t.split_at_mut(take_w.min(t.len()));
+        data_rest = d_rest;
+        tags_rest = t_rest;
+        word_off = w_hi;
+        jobs.push((c0, c1, w_lo, dj, tj));
+    }
+
+    let results: Vec<(SweepStats, Vec<u64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|(c0, c1, w_lo, dj, tj)| {
+                let windows = &windows;
+                scope.spawn(move || {
+                    let mut local = SweepStats::default();
+                    let mut caps = Vec::with_capacity(c1 - c0);
+                    let local_base = base + (w_lo as u64) * 64 * GRANULE_SIZE;
+                    for i in c0..c1 {
+                        let (g0, g1) = windows[i];
+                        let before = local.caps_inspected;
+                        run_kernel(
+                            kernel,
+                            dj,
+                            tj,
+                            g0 - w_lo * 64,
+                            g1 - w_lo * 64,
+                            shadow,
+                            local_base,
+                            &mut NoCost,
+                            &mut local,
+                        );
+                        local.bytes_swept = local.bytes_swept.saturating_add(chunks[i].1);
+                        caps.push(local.caps_inspected - before);
+                    }
+                    (local, caps)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+
+    let mut caps_per_chunk = Vec::with_capacity(chunks.len());
+    let mut partials = Vec::with_capacity(results.len());
+    for (local, caps) in results {
+        partials.push(local);
+        caps_per_chunk.extend(caps);
+    }
+    *stats += SweepStats::merge_parallel(partials);
+    caps_per_chunk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri::Capability;
+    use tagmem::SegmentKind;
+
+    const HEAP: u64 = 0x1000_0000;
+    const LEN: u64 = 1 << 16;
+
+    fn seeded_space(seed: u64) -> (AddressSpace, ShadowMap) {
+        let mut space = AddressSpace::builder()
+            .segment(SegmentKind::Heap, HEAP, LEN)
+            .build();
+        let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        for _ in 0..60 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let slot = HEAP + (x >> 20) % (LEN - 16) / 16 * 16;
+            let obj = HEAP + ((x >> 40) % 4096) * 16;
+            space
+                .store_cap(slot, &Capability::root_rw(obj, 16))
+                .unwrap();
+        }
+        let mut shadow = ShadowMap::new(HEAP, LEN);
+        for g in 0..4096u64 {
+            if g % 3 == 0 {
+                shadow.paint(HEAP + g * 16, 16);
+            }
+        }
+        (space, shadow)
+    }
+
+    #[test]
+    fn line_spans_cover_range_exactly() {
+        let spans: Vec<_> = line_spans(HEAP + 32, 300).collect();
+        let total: u64 = spans.iter().map(|s| s.1).sum();
+        assert_eq!(total, 300);
+        assert_eq!(spans[0], (HEAP + 32, 128));
+        assert_eq!(spans.last().unwrap().1, 300 - 256);
+        // Chunks are contiguous.
+        for w in spans.windows(2) {
+            assert_eq!(w[0].0 + w[0].1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn page_spans_use_aligned_frames() {
+        let spans: Vec<_> = page_spans(HEAP + 100, PAGE_SIZE + 200).collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0], (HEAP, HEAP + 100, HEAP + PAGE_SIZE));
+        assert_eq!(
+            spans[1],
+            (HEAP + PAGE_SIZE, HEAP + PAGE_SIZE, HEAP + PAGE_SIZE + 300)
+        );
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_on_all_filters() {
+        for workers in [1, 2, 3, 8] {
+            let (mut a, shadow) = seeded_space(7);
+            let (mut b, _) = seeded_space(7);
+
+            let (src_a, pt_a) = SpaceSource::split(&mut a);
+            let seq = SweepEngine::new(Kernel::Wide).sweep(
+                src_a,
+                (CapDirtyPages::new(pt_a), CLoadTagsLines::new()),
+                &shadow,
+            );
+            let (src_b, pt_b) = SpaceSource::split(&mut b);
+            let par = ParallelSweepEngine::new(Kernel::Wide, workers).sweep(
+                src_b,
+                (CapDirtyPages::new(pt_b), CLoadTagsLines::new()),
+                &shadow,
+            );
+            assert_eq!(seq, par, "workers={workers}");
+            assert_eq!(a.tag_count(), b.tag_count(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn register_source_sweeps_only_registers() {
+        let mut regs = RegisterFile::new();
+        regs.set(0, Capability::root_rw(HEAP + 0x40, 64));
+        let mut shadow = ShadowMap::new(HEAP, LEN);
+        shadow.paint(HEAP + 0x40, 64);
+        let stats =
+            SweepEngine::new(Kernel::Wide).sweep(RegisterSource::new(&mut regs), NoFilter, &shadow);
+        assert_eq!(stats.regs_revoked, 1);
+        assert_eq!(stats.segments_swept, 0);
+        assert_eq!(stats.bytes_swept, 0);
+    }
+
+    #[test]
+    fn workers_from_env_defaults_to_one() {
+        // The test environment does not set the variable for this process
+        // (CI's forced-parallel job sets it globally, which is also fine —
+        // then the assertion below still holds for parse failures only).
+        match std::env::var("CHERIVOKE_SWEEP_WORKERS") {
+            Err(_) => assert_eq!(workers_from_env(), 1),
+            Ok(v) => assert_eq!(workers_from_env(), v.parse().unwrap_or(1)),
+        }
+    }
+}

@@ -20,11 +20,18 @@
 //! plus a thread-parallel variant ([`Kernel::Parallel`]) exploiting the
 //! embarrassing parallelism of §3.5.
 //!
+//! All sweeping runs through the [`engine`] module's [`SweepEngine`]: a
+//! composition of a [`CapSource`] (what to walk), a [`GranuleFilter`]
+//! (what to skip), and a [`RevokeKernel`] (the inner loop).
+//! [`ParallelSweepEngine`] executes the identical plan across worker
+//! threads. [`Sweeper`] remains as a thin facade over the common
+//! compositions.
+//!
 //! # Example
 //!
 //! ```
 //! use cheri::Capability;
-//! use revoker::{Kernel, ShadowMap, Sweeper};
+//! use revoker::{CapDirtyPages, Kernel, ShadowMap, SpaceSource, SweepEngine};
 //! use tagmem::{AddressSpace, SegmentKind};
 //!
 //! # fn main() -> Result<(), tagmem::MemError> {
@@ -41,8 +48,15 @@
 //! let mut shadow = ShadowMap::new(heap_base, 1 << 20);
 //! shadow.paint(heap_base + 0x40, 64);
 //!
-//! // One sweep later the stored capability is revoked.
-//! let stats = Sweeper::new(Kernel::Wide).sweep_space(&mut space, &shadow);
+//! // One sweep later the stored capability is revoked: compose the root
+//! // set (segments + registers), the PTE CapDirty page filter (§3.4.2),
+//! // and a kernel, then sweep.
+//! let (source, page_table) = SpaceSource::split(&mut space);
+//! let stats = SweepEngine::new(Kernel::Wide).sweep(
+//!     source,
+//!     CapDirtyPages::new(page_table),
+//!     &shadow,
+//! );
 //! assert_eq!(stats.caps_revoked, 1);
 //! assert!(!space.load_cap(heap_base + 0x1000)?.tag());
 //! # Ok(())
@@ -53,11 +67,18 @@
 #![warn(missing_docs)]
 
 pub mod conservative;
+pub mod engine;
 mod plan;
 mod shadow;
 mod sweep;
 pub mod timed;
 
+pub use engine::{
+    line_spans, page_spans, sweep_register_file, workers_from_env, CLoadTagsLines, CapDirtyPages,
+    CapSource, DirtyPageList, DumpSource, EveryLine, FilterGranularity, GranuleFilter, IdealLines,
+    NoCost, NoFilter, ParallelSweepEngine, RangeSource, RegisterSource, RevokeKernel,
+    SegmentSource, SpaceSource, SweepCost, SweepEngine, TagProbe,
+};
 pub use plan::{SkipMode, SweepPlan};
 pub use shadow::ShadowMap;
 pub use sweep::{Kernel, SweepStats, Sweeper};

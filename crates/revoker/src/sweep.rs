@@ -1,8 +1,17 @@
-//! The sweeping procedure and its kernel implementations (paper §3.3, §6.2).
+//! Sweep kernels, stats, and the legacy [`Sweeper`] facade (§3.3, §6.2).
+//!
+//! The walk logic lives in [`crate::engine`]; this module contributes the
+//! Figure 7 kernel tiers (the inner loops) and keeps [`Sweeper`] as a thin
+//! facade whose methods are one-line compositions over
+//! [`SweepEngine`](crate::engine::SweepEngine).
 
 use cheri::CapWord;
 use tagmem::{AddressSpace, RegisterFile, TaggedMemory, GRANULE_SIZE};
 
+use crate::engine::{
+    sweep_register_file, CLoadTagsLines, CapDirtyPages, NoFilter, RangeSource, SegmentSource,
+    SpaceSource, SweepCost, SweepEngine,
+};
 use crate::ShadowMap;
 
 /// Which inner-loop implementation to use — the paper's Figure 7 compares
@@ -29,6 +38,9 @@ pub enum Kernel {
 }
 
 /// Counters from one revocation sweep.
+///
+/// All accumulation is **saturating**: merging worker partials or summing
+/// across epochs can never wrap (see [`SweepStats::merge_parallel`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SweepStats {
     /// Segments visited.
@@ -47,21 +59,44 @@ pub struct SweepStats {
     pub lines_skipped: u64,
 }
 
+impl SweepStats {
+    /// Merges per-worker partial stats from one parallel sweep.
+    ///
+    /// Only the per-granule *work* counters (`bytes_swept`,
+    /// `caps_inspected`, `caps_revoked`, `regs_revoked`) are summed
+    /// (saturating). The *plan-level* counters (`segments_swept`,
+    /// `pages_skipped`, `lines_skipped`) belong to the single planning
+    /// pass that produced the workers' chunks, so they are left at zero —
+    /// summing them per worker would double-count skipped work.
+    pub fn merge_parallel(parts: impl IntoIterator<Item = SweepStats>) -> SweepStats {
+        let mut out = SweepStats::default();
+        for p in parts {
+            out.bytes_swept = out.bytes_swept.saturating_add(p.bytes_swept);
+            out.caps_inspected = out.caps_inspected.saturating_add(p.caps_inspected);
+            out.caps_revoked = out.caps_revoked.saturating_add(p.caps_revoked);
+            out.regs_revoked = out.regs_revoked.saturating_add(p.regs_revoked);
+        }
+        out
+    }
+}
+
 impl core::ops::AddAssign for SweepStats {
     fn add_assign(&mut self, rhs: SweepStats) {
-        self.segments_swept += rhs.segments_swept;
-        self.bytes_swept += rhs.bytes_swept;
-        self.caps_inspected += rhs.caps_inspected;
-        self.caps_revoked += rhs.caps_revoked;
-        self.regs_revoked += rhs.regs_revoked;
-        self.pages_skipped += rhs.pages_skipped;
-        self.lines_skipped += rhs.lines_skipped;
+        self.segments_swept = self.segments_swept.saturating_add(rhs.segments_swept);
+        self.bytes_swept = self.bytes_swept.saturating_add(rhs.bytes_swept);
+        self.caps_inspected = self.caps_inspected.saturating_add(rhs.caps_inspected);
+        self.caps_revoked = self.caps_revoked.saturating_add(rhs.caps_revoked);
+        self.regs_revoked = self.regs_revoked.saturating_add(rhs.regs_revoked);
+        self.pages_skipped = self.pages_skipped.saturating_add(rhs.pages_skipped);
+        self.lines_skipped = self.lines_skipped.saturating_add(rhs.lines_skipped);
     }
 }
 
 /// Executes revocation sweeps with a chosen [`Kernel`].
 ///
-/// See the crate-level example for typical use.
+/// A thin facade over [`SweepEngine`]: each method is one fixed
+/// `source × filter` composition, kept for callers that don't need the
+/// engine's generality. See the crate-level example for typical use.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Sweeper {
     kernel: Kernel,
@@ -81,42 +116,16 @@ impl Sweeper {
     /// Sweeps every sweepable segment and the register file: the full §3.3
     /// root set.
     pub fn sweep_space(&self, space: &mut AddressSpace, shadow: &ShadowMap) -> SweepStats {
-        let mut stats = SweepStats::default();
-        let (segments, regs, _) = space.sweep_parts_mut();
-        for seg in segments.iter_mut().filter(|s| s.kind().sweepable()) {
-            stats += self.sweep_segment(seg.mem_mut(), shadow);
-        }
-        stats += Self::sweep_registers(regs, shadow);
-        stats
+        let (source, _) = SpaceSource::split(space);
+        SweepEngine::new(self.kernel).sweep(source, NoFilter, shadow)
     }
 
     /// Sweeps with PTE CapDirty filtering (§3.4.2): clean pages are skipped
     /// entirely, and pages found capability-free are re-cleaned (clearing
     /// CapDirty false positives).
     pub fn sweep_space_skipping(&self, space: &mut AddressSpace, shadow: &ShadowMap) -> SweepStats {
-        let mut stats = SweepStats::default();
-        let (segments, regs, page_table) = space.sweep_parts_mut();
-        for seg in segments.iter_mut().filter(|s| s.kind().sweepable()) {
-            let mem = seg.mem_mut();
-            let mut page = mem.base();
-            while page < mem.end() {
-                let len = (mem.end() - page).min(tagmem::PAGE_SIZE);
-                if page_table.is_cap_dirty(page) {
-                    let s = self.sweep_range(mem, shadow, page, len);
-                    if s.caps_inspected == 0 {
-                        // False positive: page held no capabilities.
-                        page_table.clear_cap_dirty(page);
-                    }
-                    stats += s;
-                } else {
-                    stats.pages_skipped += 1;
-                }
-                page += len;
-            }
-            stats.segments_swept += 1;
-        }
-        stats += Self::sweep_registers(regs, shadow);
-        stats
+        let (source, page_table) = SpaceSource::split(space);
+        SweepEngine::new(self.kernel).sweep(source, CapDirtyPages::new(page_table), shadow)
     }
 
     /// Sweeps with both hardware assists (§3.4): PTE CapDirty skips clean
@@ -128,50 +137,17 @@ impl Sweeper {
         space: &mut AddressSpace,
         shadow: &ShadowMap,
     ) -> SweepStats {
-        let mut stats = SweepStats::default();
-        let (segments, regs, page_table) = space.sweep_parts_mut();
-        for seg in segments.iter_mut().filter(|s| s.kind().sweepable()) {
-            let mem = seg.mem_mut();
-            let mut page = mem.base();
-            while page < mem.end() {
-                let page_len = (mem.end() - page).min(tagmem::PAGE_SIZE);
-                if page_table.is_cap_dirty(page) {
-                    let mut page_caps = 0;
-                    let mut line = page;
-                    while line < page + page_len {
-                        let line_len = (page + page_len - line).min(tagmem::LINE_SIZE);
-                        // CLoadTags: query only the tags of this line.
-                        let mask = mem.load_tags(line).unwrap_or(u8::MAX);
-                        if mask == 0 {
-                            stats.lines_skipped += 1;
-                        } else {
-                            let s = self.sweep_range(mem, shadow, line, line_len);
-                            page_caps += s.caps_inspected;
-                            stats += s;
-                        }
-                        line += line_len;
-                    }
-                    if page_caps == 0 {
-                        page_table.clear_cap_dirty(page);
-                    }
-                } else {
-                    stats.pages_skipped += 1;
-                }
-                page += page_len;
-            }
-            stats.segments_swept += 1;
-        }
-        stats += Self::sweep_registers(regs, shadow);
-        stats
+        let (source, page_table) = SpaceSource::split(space);
+        SweepEngine::new(self.kernel).sweep(
+            source,
+            (CapDirtyPages::new(page_table), CLoadTagsLines::new()),
+            shadow,
+        )
     }
 
     /// Sweeps one whole segment.
     pub fn sweep_segment(&self, mem: &mut TaggedMemory, shadow: &ShadowMap) -> SweepStats {
-        let base = mem.base();
-        let len = mem.len();
-        let mut stats = self.sweep_range(mem, shadow, base, len);
-        stats.segments_swept = 1;
-        stats
+        SweepEngine::new(self.kernel).sweep(SegmentSource::new(mem), NoFilter, shadow)
     }
 
     /// Sweeps `[start, start + len)` of a segment (must be granule-aligned
@@ -187,39 +163,45 @@ impl Sweeper {
         start: u64,
         len: u64,
     ) -> SweepStats {
-        assert!(mem.contains(start, len), "sweep range outside segment");
-        assert_eq!(start % GRANULE_SIZE, 0, "unaligned sweep start");
-        assert_eq!(len % GRANULE_SIZE, 0, "unaligned sweep length");
-        let base = mem.base();
-        let g0 = ((start - base) / GRANULE_SIZE) as usize;
-        let g1 = g0 + (len / GRANULE_SIZE) as usize;
-        let (data, tags) = mem.as_parts_mut();
-        let mut stats = match self.kernel {
-            Kernel::Simple => kernel_simple(data, tags, g0, g1, shadow),
-            Kernel::Unrolled => kernel_unrolled(data, tags, g0, g1, shadow),
-            Kernel::Wide => kernel_wide(data, tags, g0, g1, shadow),
-            Kernel::Parallel { threads } => {
-                kernel_parallel(data, tags, g0, g1, shadow, threads.max(1))
-            }
-        };
-        stats.bytes_swept = len;
+        let mut stats = SweepEngine::new(self.kernel).sweep(
+            RangeSource::new(mem, start, len),
+            NoFilter,
+            shadow,
+        );
+        // Historical contract: a partial-range sweep reports no completed
+        // segments (callers tally segment completion themselves).
+        stats.segments_swept = 0;
         stats
     }
 
     /// Sweeps the capability register file.
     pub fn sweep_registers(regs: &mut RegisterFile, shadow: &ShadowMap) -> SweepStats {
-        let mut stats = SweepStats::default();
-        for cap in regs.iter_mut() {
-            if cap.tag() {
-                stats.caps_inspected += 1;
-                if shadow.is_painted(cap.base()) {
-                    *cap = cap.cleared();
-                    stats.caps_revoked += 1;
-                    stats.regs_revoked += 1;
-                }
-            }
+        sweep_register_file(regs, shadow)
+    }
+}
+
+/// Dispatches `kernel` over granules `[g0, g1)` of a data/tag slice pair.
+/// `base` is the address of granule 0 (for cost hooks). The engine's
+/// single entry point into the inner loops.
+#[allow(clippy::too_many_arguments)] // kernel ABI: slices + window + hooks
+pub(crate) fn run_kernel<C: SweepCost>(
+    kernel: Kernel,
+    data: &mut [u8],
+    tags: &mut [u64],
+    g0: usize,
+    g1: usize,
+    shadow: &ShadowMap,
+    base: u64,
+    cost: &mut C,
+    stats: &mut SweepStats,
+) {
+    match kernel {
+        Kernel::Simple => kernel_simple(data, tags, g0, g1, shadow, base, cost, stats),
+        Kernel::Unrolled => kernel_unrolled(data, tags, g0, g1, shadow, base, cost, stats),
+        Kernel::Wide => kernel_wide(data, tags, g0, g1, shadow, base, cost, stats),
+        Kernel::Parallel { threads } => {
+            kernel_parallel(data, tags, g0, g1, shadow, threads.max(1), stats)
         }
-        stats
     }
 }
 
@@ -238,21 +220,27 @@ fn word_base(data: &[u8], g: usize) -> u64 {
 }
 
 /// §3.3's naïve loop: visit every granule, test its tag, branch.
-fn kernel_simple(
+#[allow(clippy::too_many_arguments)] // kernel ABI: slices + window + hooks
+fn kernel_simple<C: SweepCost>(
     data: &mut [u8],
     tags: &mut [u64],
     g0: usize,
     g1: usize,
     shadow: &ShadowMap,
-) -> SweepStats {
-    let mut stats = SweepStats::default();
+    base: u64,
+    cost: &mut C,
+    stats: &mut SweepStats,
+) {
     for g in g0..g1 {
         let tagged = tags[g / 64] >> (g % 64) & 1 == 1;
         if tagged {
             stats.caps_inspected += 1;
-            let base = word_base(data, g);
-            if shadow.is_painted(base) {
+            let cap_base = word_base(data, g);
+            cost.shadow_lookup(cap_base);
+            if shadow.is_painted(cap_base) {
                 revoke(data, tags, g);
+                cost.revoke_store(base + (g as u64) * GRANULE_SIZE);
+                cost.branch_mispredict();
                 stats.caps_revoked += 1;
             }
         }
@@ -260,19 +248,21 @@ fn kernel_simple(
         // bandwidth for the full range via bytes_swept.
         core::hint::black_box(&data[g * 16]);
     }
-    stats
 }
 
 /// Word-skipping loop: all-zero tag words (64 granules = 1 KiB) fall
 /// through in one test.
-fn kernel_unrolled(
+#[allow(clippy::too_many_arguments)]
+fn kernel_unrolled<C: SweepCost>(
     data: &mut [u8],
     tags: &mut [u64],
     g0: usize,
     g1: usize,
     shadow: &ShadowMap,
-) -> SweepStats {
-    let mut stats = SweepStats::default();
+    base: u64,
+    cost: &mut C,
+    stats: &mut SweepStats,
+) {
     let mut g = g0;
     while g < g1 {
         let w = g / 64;
@@ -283,27 +273,32 @@ fn kernel_unrolled(
         let tagged = tags[w] >> (g % 64) & 1 == 1;
         if tagged {
             stats.caps_inspected += 1;
-            let base = word_base(data, g);
-            if shadow.is_painted(base) {
+            let cap_base = word_base(data, g);
+            cost.shadow_lookup(cap_base);
+            if shadow.is_painted(cap_base) {
                 revoke(data, tags, g);
+                cost.revoke_store(base + (g as u64) * GRANULE_SIZE);
+                cost.branch_mispredict();
                 stats.caps_revoked += 1;
             }
         }
         g += 1;
     }
-    stats
 }
 
 /// Bit-parallel loop: visit only set bits via count-trailing-zeros, build
 /// the revocation mask, and write the tag word back once.
-fn kernel_wide(
+#[allow(clippy::too_many_arguments)]
+fn kernel_wide<C: SweepCost>(
     data: &mut [u8],
     tags: &mut [u64],
     g0: usize,
     g1: usize,
     shadow: &ShadowMap,
-) -> SweepStats {
-    let mut stats = SweepStats::default();
+    base: u64,
+    cost: &mut C,
+    stats: &mut SweepStats,
+) {
     let w0 = g0 / 64;
     let w1 = g1.div_ceil(64);
     #[allow(clippy::needless_range_loop)] // `w` also derives `lo`; indexing is the clear form
@@ -327,9 +322,10 @@ fn kernel_wide(
             bits &= bits - 1;
             let g = lo + b;
             stats.caps_inspected += 1;
-            let base = word_base(data, g);
+            let cap_base = word_base(data, g);
+            cost.shadow_lookup(cap_base);
             // Branch-minimised: accumulate the kill mask.
-            kill |= u64::from(shadow.is_painted(base)) << b;
+            kill |= u64::from(shadow.is_painted(cap_base)) << b;
         }
         if kill != 0 {
             tags[w] &= !kill;
@@ -339,15 +335,18 @@ fn kernel_wide(
                 bits &= bits - 1;
                 let g = lo + b;
                 data[g * 16..g * 16 + 16].fill(0);
+                cost.revoke_store(base + (g as u64) * GRANULE_SIZE);
+                cost.branch_mispredict();
                 stats.caps_revoked += 1;
             }
         }
     }
-    stats
 }
 
-/// [`kernel_wide`] across threads: tag words and their 1 KiB data blocks are
-/// partitioned disjointly; the shadow map is shared read-only (§3.5).
+/// [`kernel_wide`] across threads: tag words and their 1 KiB data blocks
+/// are partitioned disjointly; the shadow map is shared read-only (§3.5).
+/// Workers charge no [`SweepCost`] (use a sequential kernel for timed
+/// sweeps).
 fn kernel_parallel(
     data: &mut [u8],
     tags: &mut [u64],
@@ -355,13 +354,14 @@ fn kernel_parallel(
     g1: usize,
     shadow: &ShadowMap,
     threads: usize,
-) -> SweepStats {
+    stats: &mut SweepStats,
+) {
     // Partition on tag-word boundaries so each worker owns whole words.
     let w0 = g0 / 64;
     let w1 = g1.div_ceil(64);
     let words = w1 - w0;
     if words == 0 {
-        return SweepStats::default();
+        return;
     }
     let per = words.div_ceil(threads);
 
@@ -381,7 +381,6 @@ fn kernel_parallel(
         w += take;
     }
 
-    let mut total = SweepStats::default();
     let partials: Vec<SweepStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = jobs
             .into_iter()
@@ -390,7 +389,18 @@ fn kernel_parallel(
                     // Worker-local granule window, clamped to the request.
                     let local_g0 = (wstart * 64).max(g0) - wstart * 64;
                     let local_g1 = ((wstart + take) * 64).min(g1) - wstart * 64;
-                    kernel_wide(td, tt, local_g0, local_g1, shadow)
+                    let mut local = SweepStats::default();
+                    kernel_wide(
+                        td,
+                        tt,
+                        local_g0,
+                        local_g1,
+                        shadow,
+                        (wstart as u64) * 64 * GRANULE_SIZE,
+                        &mut crate::engine::NoCost,
+                        &mut local,
+                    );
+                    local
                 })
             })
             .collect();
@@ -399,10 +409,7 @@ fn kernel_parallel(
             .map(|h| h.join().expect("sweep worker panicked"))
             .collect()
     });
-    for p in partials {
-        total += p;
-    }
-    total
+    *stats += SweepStats::merge_parallel(partials);
 }
 
 #[cfg(test)]
@@ -438,6 +445,57 @@ mod tests {
             Kernel::Wide,
             Kernel::Parallel { threads: 4 },
         ]
+    }
+
+    #[test]
+    fn stats_addassign_saturates() {
+        let mut a = SweepStats {
+            bytes_swept: u64::MAX - 1,
+            caps_inspected: u64::MAX,
+            ..SweepStats::default()
+        };
+        let b = SweepStats {
+            bytes_swept: 100,
+            caps_inspected: 7,
+            lines_skipped: 3,
+            ..SweepStats::default()
+        };
+        a += b;
+        assert_eq!(a.bytes_swept, u64::MAX, "saturates instead of wrapping");
+        assert_eq!(a.caps_inspected, u64::MAX);
+        assert_eq!(a.lines_skipped, 3);
+    }
+
+    #[test]
+    fn merge_parallel_sums_work_but_not_plan_counters() {
+        let worker = SweepStats {
+            segments_swept: 1,
+            bytes_swept: 1000,
+            caps_inspected: 10,
+            caps_revoked: 4,
+            regs_revoked: 1,
+            pages_skipped: 5,
+            lines_skipped: 9,
+        };
+        let merged = SweepStats::merge_parallel([worker, worker]);
+        assert_eq!(merged.bytes_swept, 2000);
+        assert_eq!(merged.caps_inspected, 20);
+        assert_eq!(merged.caps_revoked, 8);
+        assert_eq!(merged.regs_revoked, 2);
+        // Plan-level counters are not double-counted across workers.
+        assert_eq!(merged.segments_swept, 0);
+        assert_eq!(merged.pages_skipped, 0);
+        assert_eq!(merged.lines_skipped, 0);
+    }
+
+    #[test]
+    fn merge_parallel_saturates() {
+        let big = SweepStats {
+            caps_revoked: u64::MAX / 2 + 1,
+            ..SweepStats::default()
+        };
+        let merged = SweepStats::merge_parallel([big, big, big]);
+        assert_eq!(merged.caps_revoked, u64::MAX);
     }
 
     #[test]

@@ -8,11 +8,21 @@
 //! page-level skipping tracks the ideal line closely, while `CLoadTags` pays
 //! a per-line tag-cache round trip and an unpredictable branch, so it can
 //! *lose* to page skipping at high line density (§6.3).
+//!
+//! The timed path is the *same walk* as the functional path: it runs the
+//! [`SweepEngine`](crate::engine::SweepEngine) with a [`SweepCost`] hook
+//! that charges each access to the machine, so the visitation order (and
+//! therefore the revocation set) cannot diverge from an untimed sweep by
+//! construction. Each [`TimedMode`] is just a different
+//! [`GranuleFilter`](crate::engine::GranuleFilter) composition.
 
 use simcache::Machine;
-use tagmem::{CoreDump, GRANULE_SIZE, LINE_SIZE, PAGE_SIZE};
+use tagmem::{CoreDump, GRANULE_SIZE};
 
-use crate::ShadowMap;
+use crate::engine::{
+    CLoadTagsLines, DirtyPageList, DumpSource, EveryLine, IdealLines, SweepCost, SweepEngine,
+};
+use crate::{Kernel, ShadowMap, SweepStats};
 
 /// The hardware configuration a timed sweep models (the four lines of
 /// Fig. 8b).
@@ -55,113 +65,100 @@ const INSPECT_CYCLES: u64 = 2;
 /// (only locality matters, not the absolute value).
 const SHADOW_BASE: u64 = 0x7000_0000_0000;
 
+/// A [`SweepCost`] that charges every engine access to a
+/// [`simcache::Machine`] in visitation order.
+struct MachineCost<'a> {
+    machine: &'a mut Machine,
+    shadow: &'a ShadowMap,
+    bytes_read: u64,
+    cloadtags_issued: u64,
+}
+
+impl SweepCost for MachineCost<'_> {
+    fn chunk_read(&mut self, addr: u64, len: u64) {
+        self.machine.read(addr, len);
+        self.bytes_read += len;
+        self.machine.charge((len / GRANULE_SIZE) * INSPECT_CYCLES);
+    }
+
+    fn cloadtags(&mut self, addr: u64) {
+        self.machine.cloadtags(addr);
+        self.cloadtags_issued += 1;
+    }
+
+    fn shadow_lookup(&mut self, cap_base: u64) {
+        // Shadow-map lookup (usually LLC/L2-resident, §3.2).
+        self.machine
+            .read(self.shadow.shadow_addr(SHADOW_BASE, cap_base), 1);
+    }
+
+    fn revoke_store(&mut self, addr: u64) {
+        // Revocation store (the data-dependent store, §3.3).
+        self.machine.write(addr, GRANULE_SIZE);
+    }
+
+    fn branch_mispredict(&mut self) {
+        self.machine.branch_mispredict();
+    }
+}
+
 /// Replays a revocation sweep of `dump` on `machine` under `mode`,
 /// returning its cost. The dump is not mutated (so one image can be timed
-/// repeatedly, like the paper's 20-sweep averages, §5.3).
+/// repeatedly, like the paper's 20-sweep averages, §5.3): the sweep runs
+/// on a scratch clone whose revocations are discarded.
 pub fn timed_sweep(
     dump: &CoreDump,
     shadow: &ShadowMap,
     machine: &mut Machine,
     mode: TimedMode,
 ) -> TimedSweepReport {
-    let mut report = TimedSweepReport {
-        cycles: 0,
-        seconds: 0.0,
+    let mut scratch = dump.clone();
+    let start_cycles = machine.cycles();
+    let mut cost = MachineCost {
+        machine,
+        shadow,
         bytes_read: 0,
         cloadtags_issued: 0,
-        caps_inspected: 0,
-        caps_revoked: 0,
     };
-    let start_cycles = machine.cycles();
-
-    for img in dump.segments() {
-        let mem = &img.mem;
-        let mut page = mem.base() & !(PAGE_SIZE - 1);
-        while page < mem.end() {
-            let page_start = page.max(mem.base());
-            let page_end = (page + PAGE_SIZE).min(mem.end());
-            page += PAGE_SIZE;
-
-            let page_key = page_start & !(PAGE_SIZE - 1);
-            let page_dirty = dump.cap_dirty_pages().binary_search(&page_key).is_ok();
-
-            match mode {
-                TimedMode::Full => {}
-                TimedMode::PteCapDirty | TimedMode::CLoadTags | TimedMode::Ideal => {
-                    if !page_dirty {
-                        // Page skipped for free (the OS handed us only the
-                        // dirty-page array, §5.3).
-                        continue;
-                    }
-                }
-            }
-
-            let mut line = page_start;
-            let mut prev_skipped = false;
-            while line < page_end {
-                let len = (page_end - line).min(LINE_SIZE);
-                let mask = mem.load_tags(line).unwrap_or(0);
-
-                let read_line = match mode {
-                    TimedMode::Full | TimedMode::PteCapDirty => true,
-                    TimedMode::CLoadTags => {
-                        machine.cloadtags(line);
-                        report.cloadtags_issued += 1;
-                        // The skip decision is a data-dependent branch; a
-                        // simple local predictor mispredicts on decision
-                        // changes (§3.3, §6.3).
-                        let skip = mask == 0;
-                        if skip != prev_skipped {
-                            machine.branch_mispredict();
-                        }
-                        prev_skipped = skip;
-                        !skip
-                    }
-                    TimedMode::Ideal => mask != 0,
-                };
-                if read_line {
-                    machine.read(line, len);
-                    report.bytes_read += len;
-                    machine.charge((len / GRANULE_SIZE) * INSPECT_CYCLES);
-                    sweep_line_caps(mem, shadow, machine, line, len, &mut report);
-                }
-                line += len;
-            }
-        }
-    }
-
-    report.cycles = machine.cycles() - start_cycles;
-    report.seconds = machine.config().cycles_to_seconds(report.cycles);
-    report
-}
-
-/// Charges the per-capability work of one line: shadow lookup per tagged
-/// word, revocation store per dangling word.
-fn sweep_line_caps(
-    mem: &tagmem::TaggedMemory,
-    shadow: &ShadowMap,
-    machine: &mut Machine,
-    line: u64,
-    len: u64,
-    report: &mut TimedSweepReport,
-) {
-    let mut addr = line;
-    while addr < line + len {
-        if mem.tag_at(addr) {
-            report.caps_inspected += 1;
-            if let Ok(cap) = mem.read_cap(addr) {
-                let base = cap.base();
-                // Shadow-map lookup (usually LLC/L2-resident, §3.2).
-                machine.read(shadow.shadow_addr(SHADOW_BASE, base), 1);
-                if shadow.is_painted(base) {
-                    // Revocation store (the data-dependent store, §3.3).
-                    machine.write(addr, GRANULE_SIZE);
-                    machine.branch_mispredict();
-                    report.caps_revoked += 1;
-                }
-            }
-        }
-        addr += GRANULE_SIZE;
+    // Kernel::Simple visits capabilities in ascending granule order — the
+    // per-capability charge order of the scalar loop the paper times.
+    let engine = SweepEngine::new(Kernel::Simple);
+    let dirty = dump.cap_dirty_pages();
+    let stats: SweepStats = match mode {
+        TimedMode::Full => engine.sweep_costed(
+            DumpSource::new(scratch.segments_mut()),
+            EveryLine,
+            shadow,
+            &mut cost,
+        ),
+        TimedMode::PteCapDirty => engine.sweep_costed(
+            DumpSource::new(scratch.segments_mut()),
+            (DirtyPageList::new(dirty), EveryLine),
+            shadow,
+            &mut cost,
+        ),
+        TimedMode::CLoadTags => engine.sweep_costed(
+            DumpSource::new(scratch.segments_mut()),
+            (DirtyPageList::new(dirty), CLoadTagsLines::new()),
+            shadow,
+            &mut cost,
+        ),
+        TimedMode::Ideal => engine.sweep_costed(
+            DumpSource::new(scratch.segments_mut()),
+            (DirtyPageList::new(dirty), IdealLines),
+            shadow,
+            &mut cost,
+        ),
+    };
+    let (bytes_read, cloadtags_issued) = (cost.bytes_read, cost.cloadtags_issued);
+    let cycles = machine.cycles() - start_cycles;
+    TimedSweepReport {
+        cycles,
+        seconds: machine.config().cycles_to_seconds(cycles),
+        bytes_read,
+        cloadtags_issued,
+        caps_inspected: stats.caps_inspected,
+        caps_revoked: stats.caps_revoked,
     }
 }
 
@@ -170,7 +167,7 @@ mod tests {
     use super::*;
     use cheri::Capability;
     use simcache::MachineConfig;
-    use tagmem::{AddressSpace, SegmentKind};
+    use tagmem::{AddressSpace, SegmentKind, LINE_SIZE, PAGE_SIZE};
 
     const HEAP: u64 = 0x1000_0000;
     const LEN: u64 = 1 << 20; // 256 pages

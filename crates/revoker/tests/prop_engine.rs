@@ -1,0 +1,213 @@
+//! Property tests for the unified sweep engine: the parallel engine is
+//! observationally identical to the sequential one for any worker count,
+//! and the hardware-assist filters (PTE CapDirty pages, CLoadTags lines)
+//! never change *what* a sweep revokes — only how much it reads.
+
+use cheri::Capability;
+use proptest::prelude::*;
+use revoker::{
+    CLoadTagsLines, CapDirtyPages, EveryLine, IdealLines, Kernel, NoFilter, ParallelSweepEngine,
+    SegmentSource, ShadowMap, SweepEngine, SweepStats,
+};
+use tagmem::{PageTable, TaggedMemory, GRANULE_SIZE, PAGE_SIZE};
+
+const HEAP: u64 = 0x1000_0000;
+const LEN: u64 = 1 << 16;
+
+#[derive(Debug, Clone, Copy)]
+struct PlantedCap {
+    /// Granule slot the capability is stored in.
+    slot: u64,
+    /// The object (granule index) it points to.
+    obj: u64,
+}
+
+fn planted() -> impl Strategy<Value = Vec<PlantedCap>> {
+    proptest::collection::vec(
+        (0u64..LEN / GRANULE_SIZE, 0u64..LEN / GRANULE_SIZE)
+            .prop_map(|(slot, obj)| PlantedCap { slot, obj }),
+        0..80,
+    )
+}
+
+fn painted_granules() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..LEN / GRANULE_SIZE, 0..40)
+}
+
+fn kernels() -> impl Strategy<Value = Kernel> {
+    prop_oneof![
+        Just(Kernel::Simple),
+        Just(Kernel::Unrolled),
+        Just(Kernel::Wide),
+    ]
+}
+
+fn build(plants: &[PlantedCap], paint: &[u64]) -> (TaggedMemory, ShadowMap) {
+    let mut mem = TaggedMemory::new(HEAP, LEN);
+    for p in plants {
+        let cap = Capability::root_rw(HEAP + p.obj * GRANULE_SIZE, GRANULE_SIZE);
+        mem.write_cap(HEAP + p.slot * GRANULE_SIZE, &cap)
+            .expect("in range");
+    }
+    let mut shadow = ShadowMap::new(HEAP, LEN);
+    for &g in paint {
+        shadow.paint(HEAP + g * GRANULE_SIZE, GRANULE_SIZE);
+    }
+    (mem, shadow)
+}
+
+/// Sequential reference sweep of a fresh image.
+fn sequential(plants: &[PlantedCap], paint: &[u64], kernel: Kernel) -> (TaggedMemory, SweepStats) {
+    let (mut mem, shadow) = build(plants, paint);
+    let stats = SweepEngine::new(kernel).sweep(SegmentSource::new(&mut mem), NoFilter, &shadow);
+    (mem, stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The parallel engine with any worker count in 1..=8 produces
+    /// byte-identical memory, tags and `SweepStats` to the sequential
+    /// engine — both on the single-chunk (region) plan and on a
+    /// line-granular plan large enough to actually split across workers.
+    #[test]
+    fn parallel_engine_matches_sequential(
+        plants in planted(),
+        paint in painted_granules(),
+        kernel in kernels(),
+    ) {
+        let (seq_mem, seq_stats) = sequential(&plants, &paint, kernel);
+        // Line-granular reference: same revocations, chunked plan.
+        let (mut line_mem, shadow) = build(&plants, &paint);
+        let line_stats = SweepEngine::new(kernel)
+            .sweep(SegmentSource::new(&mut line_mem), EveryLine, &shadow);
+        prop_assert_eq!(&seq_mem, &line_mem, "chunking changed the result");
+
+        for workers in 1..=8usize {
+            let engine = ParallelSweepEngine::new(kernel, workers);
+
+            let (mut mem, shadow) = build(&plants, &paint);
+            let stats = engine.sweep(SegmentSource::new(&mut mem), NoFilter, &shadow);
+            prop_assert_eq!(&mem, &seq_mem, "memory diverged at {} workers", workers);
+            prop_assert_eq!(stats, seq_stats, "stats diverged at {} workers", workers);
+
+            let (mut mem, shadow) = build(&plants, &paint);
+            let stats = engine.sweep(SegmentSource::new(&mut mem), EveryLine, &shadow);
+            prop_assert_eq!(&mem, &seq_mem, "line-plan memory diverged at {} workers", workers);
+            prop_assert_eq!(stats, line_stats, "line-plan stats diverged at {} workers", workers);
+        }
+    }
+
+    /// PTE CapDirty page skipping (§3.4.2) revokes exactly the same
+    /// capability set as an unfiltered sweep, provided the dirty set covers
+    /// every page that took a capability store — which is what the page
+    /// table guarantees by construction. Extra (false-positive) dirty
+    /// pages are visited harmlessly and re-cleaned.
+    #[test]
+    fn capdirty_filter_revokes_same_set(
+        plants in planted(),
+        paint in painted_granules(),
+        false_positives in proptest::collection::vec(0u64..LEN / PAGE_SIZE, 0..4),
+        kernel in kernels(),
+    ) {
+        let (seq_mem, seq_stats) = sequential(&plants, &paint, kernel);
+
+        let (mut mem, shadow) = build(&plants, &paint);
+        let cap_pages: std::collections::BTreeSet<u64> = mem
+            .tagged_addrs()
+            .map(|addr| addr & !(PAGE_SIZE - 1))
+            .collect();
+        let mut table = PageTable::new();
+        for addr in mem.tagged_addrs().collect::<Vec<_>>() {
+            table.note_cap_store(addr).expect("stores not inhibited");
+        }
+        for &page in &false_positives {
+            table.note_cap_store(HEAP + page * PAGE_SIZE).expect("stores not inhibited");
+        }
+
+        let stats = SweepEngine::new(kernel).sweep(
+            SegmentSource::new(&mut mem),
+            CapDirtyPages::new(&mut table),
+            &shadow,
+        );
+        prop_assert_eq!(&mem, &seq_mem, "filtered sweep revoked a different set");
+        prop_assert_eq!(stats.caps_revoked, seq_stats.caps_revoked);
+        prop_assert_eq!(stats.caps_inspected, seq_stats.caps_inspected);
+        prop_assert!(stats.bytes_swept <= seq_stats.bytes_swept);
+        // Visited + skipped covers the whole image.
+        prop_assert_eq!(
+            stats.bytes_swept / PAGE_SIZE + stats.pages_skipped,
+            LEN / PAGE_SIZE
+        );
+        // Every capability-free page the filter visited got re-cleaned:
+        // whatever is still dirty held a capability before the sweep.
+        for page in table.cap_dirty_pages() {
+            prop_assert!(
+                cap_pages.contains(&page),
+                "false-positive page {page:#x} not re-cleaned"
+            );
+        }
+    }
+
+    /// CLoadTags line skipping (§3.4.1) — and the ideal-oracle variant —
+    /// revoke exactly the same capability set as an unfiltered sweep: the
+    /// skip decision reads the very tags the kernel would.
+    #[test]
+    fn line_filters_revoke_same_set(
+        plants in planted(),
+        paint in painted_granules(),
+        kernel in kernels(),
+    ) {
+        let (seq_mem, seq_stats) = sequential(&plants, &paint, kernel);
+
+        let (mut mem, shadow) = build(&plants, &paint);
+        let stats = SweepEngine::new(kernel).sweep(
+            SegmentSource::new(&mut mem),
+            CLoadTagsLines::new(),
+            &shadow,
+        );
+        prop_assert_eq!(&mem, &seq_mem, "CLoadTags sweep revoked a different set");
+        prop_assert_eq!(stats.caps_revoked, seq_stats.caps_revoked);
+        prop_assert_eq!(stats.caps_inspected, seq_stats.caps_inspected);
+
+        let (mut mem, shadow) = build(&plants, &paint);
+        let ideal = SweepEngine::new(kernel).sweep(
+            SegmentSource::new(&mut mem),
+            IdealLines,
+            &shadow,
+        );
+        prop_assert_eq!(&mem, &seq_mem, "ideal-lines sweep revoked a different set");
+        prop_assert_eq!(ideal.caps_revoked, seq_stats.caps_revoked);
+        // The oracle reads exactly the capability-bearing lines.
+        prop_assert_eq!(
+            ideal.lines_skipped + ideal.bytes_swept / tagmem::LINE_SIZE,
+            LEN / tagmem::LINE_SIZE
+        );
+    }
+
+    /// Filtered sweeps behave identically under the parallel engine too:
+    /// the plan is built by the same filter walk, so worker count cannot
+    /// change which chunks are skipped.
+    #[test]
+    fn parallel_filtered_matches_sequential_filtered(
+        plants in planted(),
+        paint in painted_granules(),
+        workers in 2..=8usize,
+    ) {
+        let (mut seq_mem, shadow) = build(&plants, &paint);
+        let seq = SweepEngine::new(Kernel::Wide).sweep(
+            SegmentSource::new(&mut seq_mem),
+            CLoadTagsLines::new(),
+            &shadow,
+        );
+
+        let (mut par_mem, shadow) = build(&plants, &paint);
+        let par = ParallelSweepEngine::new(Kernel::Wide, workers).sweep(
+            SegmentSource::new(&mut par_mem),
+            CLoadTagsLines::new(),
+            &shadow,
+        );
+        prop_assert_eq!(&par_mem, &seq_mem);
+        prop_assert_eq!(par, seq);
+    }
+}
