@@ -6,7 +6,12 @@
 //! cargo run --release --bin service_throughput            # full run
 //! cargo run --release --bin service_throughput -- --smoke # CI-sized
 //! cargo run --release --bin service_throughput -- --json  # machine output
+//! cargo run --release --bin service_throughput -- --telemetry --metrics-out metrics.json
 //! ```
+//!
+//! With `--telemetry`, every run enables the service's telemetry registry;
+//! `--metrics-out PATH` writes the 4-thread sharded run's final metrics
+//! snapshot (JSON) to `PATH` — the artifact CI uploads.
 //!
 //! Two properties are measured:
 //!
@@ -54,10 +59,18 @@ struct Row {
 /// One churn run: `threads` mutators over a `shards`-sharded service, each
 /// doing `ops_per_thread` malloc(+store/load)+free pairs. With `contend`,
 /// every mutator is pinned to shard 0 so allocation serialises on one lock.
-fn run(threads: usize, shards: usize, contend: bool, ops_per_thread: u64, shard_mib: u64) -> Row {
+fn run(
+    threads: usize,
+    shards: usize,
+    contend: bool,
+    ops_per_thread: u64,
+    shard_mib: u64,
+    telemetry: bool,
+) -> (Row, Option<String>) {
     let config = ServiceConfig {
         shards,
         shard_heap_size: shard_mib << 20,
+        telemetry,
         ..ServiceConfig::default()
     };
     let fraction = config.policy.quarantine.fraction;
@@ -119,9 +132,10 @@ fn run(threads: usize, shards: usize, contend: bool, ops_per_thread: u64, shard_
     });
 
     let stats = heap.stats();
+    let metrics = telemetry.then(|| heap.snapshot().to_json());
     let total_ops = 2 * threads as u64 * ops_per_thread; // mallocs + frees
     let peak_fraction = peak_ppm.load(Ordering::Relaxed) as f64 / 1e6;
-    Row {
+    let row = Row {
         mode: if contend {
             "contended-1-shard"
         } else {
@@ -141,20 +155,44 @@ fn run(threads: usize, shards: usize, contend: bool, ops_per_thread: u64, shard_
         p99_pause_us: stats.pauses.percentile_ns(99.0) as f64 / 1e3,
         max_pause_us: stats.pauses.max_ns() as f64 / 1e3,
         sweep_bandwidth_mib_s: stats.sweep_bandwidth() / (1 << 20) as f64,
-    }
+    };
+    (row, metrics)
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let telemetry = args.iter().any(|a| a == "--telemetry");
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .map(|i| args.get(i + 1).expect("--metrics-out PATH").clone());
     let ops_per_thread: u64 = if smoke { 20_000 } else { 200_000 };
     let shard_mib = if smoke { 4 } else { 16 };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
+    // With telemetry on, the 4-thread sharded run's snapshot is the one
+    // worth keeping (the configuration the scaling verdict is about).
+    let mut sharded_metrics = None;
     let mut rows: Vec<Row> = [1usize, 2, 4]
         .iter()
-        .map(|&t| run(t, 4, false, ops_per_thread, shard_mib))
+        .map(|&t| {
+            let (row, metrics) = run(t, 4, false, ops_per_thread, shard_mib, telemetry);
+            if t == 4 {
+                sharded_metrics = metrics;
+            }
+            row
+        })
         .collect();
-    rows.push(run(4, 4, true, ops_per_thread, shard_mib));
+    rows.push(run(4, 4, true, ops_per_thread, shard_mib, telemetry).0);
+
+    if let Some(path) = &metrics_out {
+        let metrics = sharded_metrics
+            .as_deref()
+            .expect("--metrics-out requires --telemetry");
+        std::fs::write(path, metrics).expect("write metrics snapshot");
+        eprintln!("metrics snapshot written to {path}");
+    }
 
     let sharded_4 = rows
         .iter()

@@ -12,6 +12,7 @@ use revoker::{
 use tagmem::{AddressSpace, CoreDump, SegmentKind};
 
 use crate::epoch::Epoch;
+use crate::obs::HeapTelemetry;
 use crate::{HeapError, HeapStats, RevocationPolicy};
 
 /// Memory layout and policy for a [`CherivokeHeap`].
@@ -75,6 +76,8 @@ pub struct CherivokeHeap {
     stats: HeapStats,
     epoch: Option<Epoch>,
     epoch_hold: bool,
+    telemetry: HeapTelemetry,
+    epoch_opened_at: Option<std::time::Instant>,
 }
 
 impl CherivokeHeap {
@@ -136,7 +139,28 @@ impl CherivokeHeap {
             stats: HeapStats::default(),
             epoch: None,
             epoch_hold: false,
+            telemetry: HeapTelemetry::default(),
+            epoch_opened_at: None,
         })
+    }
+
+    /// Attaches telemetry: the heap's epoch lifecycle, its allocator and
+    /// its sweep engine all report into `registry` (see
+    /// [`crate::obs::HeapTelemetry`]). Equivalent to
+    /// [`CherivokeHeap::set_telemetry_for_shard`] with shard 0.
+    pub fn set_telemetry(&mut self, registry: &telemetry::Registry) {
+        self.set_telemetry_for_shard(registry, 0);
+    }
+
+    /// Attaches telemetry with an explicit shard label for lifecycle
+    /// events (used by [`crate::ConcurrentHeap`], whose shards share one
+    /// registry — counters and gauges aggregate, events stay
+    /// distinguishable).
+    pub fn set_telemetry_for_shard(&mut self, registry: &telemetry::Registry, shard: usize) {
+        self.telemetry = HeapTelemetry::register(registry, shard);
+        self.alloc.set_telemetry(registry);
+        self.engine = ParallelSweepEngine::new(self.policy.kernel, self.policy.sweep_workers)
+            .with_telemetry(self.telemetry.sweep());
     }
 
     // --- Allocation ---------------------------------------------------------
@@ -156,6 +180,7 @@ impl CherivokeHeap {
                 if self.policy.sweep_on_oom && self.alloc.quarantined_bytes() > 0 =>
             {
                 self.stats.oom_sweeps += 1;
+                self.telemetry.on_oom_sweep();
                 self.revoke_now();
                 self.alloc.malloc(size)?
             }
@@ -246,8 +271,16 @@ impl CherivokeHeap {
         if ranges.is_empty() {
             return false;
         }
+        let mut painted = 0u64;
         for &(addr, len) in &ranges {
             self.shadow.paint(addr, len);
+            painted += len;
+        }
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .on_quarantine_sealed(painted, ranges.len() as u64);
+            self.telemetry.on_epoch_opened(painted);
+            self.epoch_opened_at = Some(std::time::Instant::now());
         }
         // Worklist: CapDirty pages of every sweepable segment, coalesced.
         // Capabilities stored to clean pages *after* this point are caught
@@ -331,6 +364,14 @@ impl CherivokeHeap {
         }
         self.stats.absorb_sweep(&epoch.stats, painted);
         self.stats.epochs += 1;
+        if self.telemetry.is_enabled() {
+            let elapsed_ns = self
+                .epoch_opened_at
+                .take()
+                .map(|t0| u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX))
+                .unwrap_or(0);
+            self.telemetry.on_epoch_retired(elapsed_ns);
+        }
         Some(epoch.stats)
     }
 
@@ -550,6 +591,7 @@ impl CherivokeHeap {
         let filtered = self.barrier(*value);
         if filtered.tag() != value.tag() {
             self.stats.barrier_revocations += 1;
+            self.telemetry.on_barrier_revocation();
         }
         Ok(self.space.store_cap(addr, &filtered)?)
     }
@@ -574,6 +616,7 @@ impl CherivokeHeap {
         let filtered = self.barrier(cap);
         if filtered.tag() != cap.tag() {
             self.stats.barrier_revocations += 1;
+            self.telemetry.on_barrier_revocation();
         }
         self.space.registers_mut().set(idx, filtered);
     }
@@ -601,7 +644,8 @@ impl CherivokeHeap {
     pub fn set_policy(&mut self, policy: RevocationPolicy) {
         self.policy = policy;
         self.alloc.set_config(policy.quarantine);
-        self.engine = ParallelSweepEngine::new(policy.kernel, policy.sweep_workers);
+        self.engine = ParallelSweepEngine::new(policy.kernel, policy.sweep_workers)
+            .with_telemetry(self.telemetry.sweep());
     }
 
     /// Heap statistics (sweeps, revocations, allocator counters).

@@ -57,6 +57,7 @@ mod epoch;
 mod error;
 mod heap;
 mod model;
+mod obs;
 mod policy;
 mod service;
 mod stats;
@@ -64,9 +65,12 @@ mod stats;
 pub use error::HeapError;
 pub use heap::{CherivokeHeap, HeapConfig};
 pub use model::OverheadModel;
+pub use obs::HeapTelemetry;
 pub use policy::{RevocationPolicy, SweepPacer};
 pub use service::{ConcurrentHeap, HeapClient, ServiceConfig};
-pub use stats::{HeapStats, PauseHistogram, PauseSnapshot, ServiceStats, ShardStats};
+pub use stats::{
+    HeapStats, PauseHistogram, PauseSnapshot, ServiceStats, ShardStats, PAUSE_BUCKETS,
+};
 
 pub use cvkalloc::QuarantineConfig;
 pub use revoker::Kernel;

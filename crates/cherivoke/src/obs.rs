@@ -1,0 +1,83 @@
+//! Heap-level telemetry: epoch lifecycle counters and events.
+//!
+//! The layering (DESIGN.md §13): the [`telemetry::Registry`] owns the
+//! metric cells; instrumented sites — [`crate::CherivokeHeap`], the
+//! allocator ([`cvkalloc::AllocTelemetry`]), the sweep engine
+//! ([`revoker::SweepTelemetry`]) and [`crate::ConcurrentHeap`] — hold
+//! cheap handles; exporters render [`telemetry::Registry::snapshot`]s.
+
+use telemetry::{Counter, EventKind, Registry};
+
+use revoker::SweepTelemetry;
+
+/// Metric handles a [`crate::CherivokeHeap`] reports into. Detached by
+/// default; attach with [`crate::CherivokeHeap::set_telemetry`].
+#[derive(Debug, Clone, Default)]
+pub struct HeapTelemetry {
+    epochs: Counter,
+    oom_sweeps: Counter,
+    barrier_revocations: Counter,
+    sweep: SweepTelemetry,
+    registry: Registry,
+    shard: usize,
+}
+
+impl HeapTelemetry {
+    /// Telemetry reporting into `registry` under the `cvk_heap_*` metric
+    /// names; `shard` labels this heap's lifecycle events (0 for a
+    /// standalone heap).
+    pub fn register(registry: &Registry, shard: usize) -> HeapTelemetry {
+        HeapTelemetry {
+            epochs: registry.counter("cvk_heap_epochs_total"),
+            oom_sweeps: registry.counter("cvk_heap_oom_sweeps_total"),
+            barrier_revocations: registry.counter("cvk_heap_barrier_revocations_total"),
+            sweep: SweepTelemetry::register(registry),
+            registry: registry.clone(),
+            shard,
+        }
+    }
+
+    /// Whether any backing registry records.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_enabled()
+    }
+
+    /// The sweep-engine telemetry sharing this registry (re-attached to
+    /// the engine whenever the heap rebuilds it).
+    pub(crate) fn sweep(&self) -> SweepTelemetry {
+        self.sweep.clone()
+    }
+
+    pub(crate) fn on_quarantine_sealed(&self, bytes: u64, ranges: u64) {
+        self.registry.event(EventKind::QuarantineSealed {
+            shard: self.shard,
+            bytes,
+            ranges,
+        });
+    }
+
+    pub(crate) fn on_epoch_opened(&self, painted_bytes: u64) {
+        self.registry.event(EventKind::EpochOpened {
+            shard: self.shard,
+            painted_bytes,
+        });
+    }
+
+    pub(crate) fn on_epoch_retired(&self, duration_ns: u64) {
+        self.epochs.inc();
+        self.registry.event(EventKind::EpochRetired {
+            shard: self.shard,
+            duration_ns,
+        });
+    }
+
+    pub(crate) fn on_oom_sweep(&self) {
+        self.oom_sweeps.inc();
+        self.registry
+            .event(EventKind::OomRevocation { shard: self.shard });
+    }
+
+    pub(crate) fn on_barrier_revocation(&self) {
+        self.barrier_revocations.inc();
+    }
+}

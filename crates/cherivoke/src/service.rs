@@ -71,6 +71,7 @@ use std::time::{Duration, Instant};
 
 use cheri::Capability;
 use revoker::SweepStats;
+use telemetry::{Counter, EventKind, MetricsSnapshot, PeriodicExporter, Registry};
 
 use crate::stats::{PauseHistogram, ServiceStats, ShardStats};
 use crate::{CherivokeHeap, HeapConfig, HeapError, RevocationPolicy, SweepPacer};
@@ -91,6 +92,12 @@ pub struct ServiceConfig {
     pub pacer: SweepPacer,
     /// How often the background revoker wakes to check shard quarantines.
     pub revoker_interval: Duration,
+    /// Enables the telemetry subsystem: every shard heap, allocator and
+    /// sweep engine reports into one shared [`telemetry::Registry`]
+    /// (reachable via [`ConcurrentHeap::telemetry`]), and lifecycle events
+    /// are traced. Disabled (the default), instrumented sites cost one
+    /// branch each.
+    pub telemetry: bool,
 }
 
 impl Default for ServiceConfig {
@@ -102,6 +109,7 @@ impl Default for ServiceConfig {
             policy: RevocationPolicy::paper_default(),
             pacer: SweepPacer::paper_default(),
             revoker_interval: Duration::from_millis(1),
+            telemetry: false,
         }
     }
 }
@@ -178,6 +186,14 @@ struct Inner {
     bytes_swept: AtomicU64,
     sweep_ns: AtomicU64,
     pauses: PauseHistogram,
+    /// Service-level telemetry: the registry shared by every shard heap,
+    /// allocator and sweep engine, plus the service's own counters
+    /// (`cvk_service_*`). Disabled handles when `config.telemetry` is off.
+    registry: Registry,
+    svc_epochs: Counter,
+    svc_foreign_sweeps: Counter,
+    svc_oom_revocations: Counter,
+    svc_barrier_revocations: Counter,
     /// Revoker parking and shutdown.
     stop: AtomicBool,
     park: Mutex<bool>,
@@ -214,6 +230,7 @@ impl Inner {
             .any(|&(addr, len)| base >= addr && base < addr + len);
         if hit {
             self.barrier_revocations.fetch_add(1, Ordering::Relaxed);
+            self.svc_barrier_revocations.inc();
             cap.cleared()
         } else {
             cap
@@ -259,6 +276,9 @@ impl Inner {
                 // shard-local drain would skip the cross-shard handshake.
                 // Run the full synchronous revocation and retry once.
                 self.oom_revocations.fetch_add(1, Ordering::Relaxed);
+                self.svc_oom_revocations.inc();
+                self.registry
+                    .event(EventKind::OomRevocation { shard: shard_idx });
                 self.revoke_all_now();
                 let cap = self.lock(shard_idx).malloc(size)?;
                 self.shards[shard_idx]
@@ -383,6 +403,12 @@ impl Inner {
             self.foreign_sweeps.fetch_add(1, Ordering::Relaxed);
             self.foreign_caps_revoked
                 .fetch_add(stats.caps_revoked, Ordering::Relaxed);
+            self.svc_foreign_sweeps.inc();
+            self.registry.event(EventKind::ForeignSweep {
+                painting_shard: i,
+                swept_shard: j,
+                caps_revoked: stats.caps_revoked,
+            });
         }
     }
 
@@ -391,7 +417,7 @@ impl Inner {
             .fetch_add(stats.bytes_swept, Ordering::Relaxed);
         self.sweep_ns
             .fetch_add(pause.as_nanos() as u64, Ordering::Relaxed);
-        self.pauses.record(pause);
+        self.pauses.record_duration(pause);
     }
 
     /// Runs shard `i`'s epoch through the full handshake: foreign sweeps,
@@ -427,6 +453,7 @@ impl Inner {
             std::thread::yield_now();
         }
         self.epochs.fetch_add(1, Ordering::Relaxed);
+        self.svc_epochs.inc();
     }
 
     /// One revoker wakeup: pace, then scan all shards for due epochs.
@@ -598,15 +625,23 @@ impl ConcurrentHeap {
         ));
         let stride = rounded.next_power_of_two();
         let first_base = stride.max(0x1000_0000);
+        let registry = if config.telemetry {
+            Registry::new(256)
+        } else {
+            Registry::disabled()
+        };
         let mut shard_vec = Vec::with_capacity(shards);
         for i in 0..shards {
             let base = first_base + i as u64 * stride;
-            let heap = CherivokeHeap::new(HeapConfig {
+            let mut heap = CherivokeHeap::new(HeapConfig {
                 heap_base: base,
                 heap_size: rounded,
                 policy,
                 ..HeapConfig::default()
             })?;
+            if config.telemetry {
+                heap.set_telemetry_for_shard(&registry, i);
+            }
             shard_vec.push(Shard {
                 heap: Mutex::new(heap),
                 base,
@@ -629,7 +664,19 @@ impl ConcurrentHeap {
             oom_revocations: AtomicU64::new(0),
             bytes_swept: AtomicU64::new(0),
             sweep_ns: AtomicU64::new(0),
-            pauses: PauseHistogram::new(),
+            // Registry-backed when telemetry is on (the same distribution
+            // feeds the exporters); a standalone histogram otherwise, so
+            // `ServiceStats::pauses` is always populated.
+            pauses: if config.telemetry {
+                registry.histogram("cvk_service_pause_ns")
+            } else {
+                PauseHistogram::new()
+            },
+            svc_epochs: registry.counter("cvk_service_epochs_total"),
+            svc_foreign_sweeps: registry.counter("cvk_service_foreign_sweeps_total"),
+            svc_oom_revocations: registry.counter("cvk_service_oom_revocations_total"),
+            svc_barrier_revocations: registry.counter("cvk_service_barrier_revocations_total"),
+            registry,
             stop: AtomicBool::new(false),
             park: Mutex::new(false),
             wake: Condvar::new(),
@@ -790,6 +837,31 @@ impl ConcurrentHeap {
     /// A statistics snapshot across all shards and the revoker.
     pub fn stats(&self) -> ServiceStats {
         self.inner.stats()
+    }
+
+    /// The service's telemetry registry — the shared sink every shard
+    /// heap, allocator and sweep engine reports into. A disabled registry
+    /// (all reads zero, no events) unless [`ServiceConfig::telemetry`] is
+    /// set.
+    pub fn telemetry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// A point-in-time metrics snapshot (export with
+    /// [`MetricsSnapshot::to_prometheus`] / [`MetricsSnapshot::to_json`],
+    /// or diff two with [`MetricsSnapshot::delta`] for rates).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.registry.snapshot()
+    }
+
+    /// Spawns a background thread calling `emit` with a fresh snapshot
+    /// every `interval` (and once more on shutdown). Drop the returned
+    /// [`PeriodicExporter`] to stop it.
+    pub fn spawn_exporter<F>(&self, interval: Duration, emit: F) -> PeriodicExporter
+    where
+        F: FnMut(MetricsSnapshot) + Send + 'static,
+    {
+        PeriodicExporter::spawn(self.inner.registry.clone(), interval, emit)
     }
 }
 
@@ -1053,6 +1125,57 @@ mod tests {
         heap.free(victim).unwrap();
         heap.revoke_all_now();
         assert!(heap.stats().foreign_caps_revoked >= 1);
+    }
+
+    #[test]
+    fn telemetry_registry_tracks_service_lifecycle() {
+        let mut config = ServiceConfig::small();
+        config.telemetry = true;
+        let heap = ConcurrentHeap::new(config).unwrap();
+        let victim = heap.malloc_on(0, 64).unwrap();
+        let stash = heap.malloc_on(1, 16).unwrap();
+        heap.store_cap(&stash, 0, &victim).unwrap();
+        heap.free(victim).unwrap();
+        heap.revoke_all_now();
+        let snap = heap.snapshot();
+        assert!(snap.counters["cvk_alloc_mallocs_total"] >= 2);
+        assert!(snap.counters["cvk_alloc_frees_total"] >= 1);
+        assert!(snap.counters["cvk_service_epochs_total"] >= 1);
+        assert!(snap.counters["cvk_service_foreign_sweeps_total"] >= 3);
+        assert!(snap.counters["cvk_heap_epochs_total"] >= 1);
+        assert!(snap.counters["cvk_sweeps_total"] >= 1);
+        assert!(snap.histograms["cvk_service_pause_ns"].count() > 0);
+        // The quarantine drained, so its gauge is back to zero.
+        assert_eq!(snap.gauges["cvk_alloc_quarantined_bytes"], 0);
+        // Lifecycle events were traced, including the cross-shard
+        // handshake.
+        let events = heap.telemetry().recent_events(64);
+        assert!(!events.is_empty());
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ForeignSweep { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::EpochRetired { .. })));
+        // Both exporters render the service metrics.
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("cvk_service_pause_ns_count"));
+        assert!(prom.contains("cvk_service_epochs_total"));
+        assert!(snap.to_json().contains("\"cvk_service_epochs_total\""));
+    }
+
+    #[test]
+    fn telemetry_disabled_by_default() {
+        let heap = service();
+        let c = heap.malloc_on(0, 64).unwrap();
+        heap.free(c).unwrap();
+        heap.revoke_all_now();
+        assert!(!heap.telemetry().is_enabled());
+        let snap = heap.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(heap.telemetry().recent_events(8).is_empty());
+        // ServiceStats pause accounting still works without the registry.
+        assert!(heap.stats().pauses.count() > 0);
     }
 
     #[test]

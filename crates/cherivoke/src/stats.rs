@@ -1,9 +1,6 @@
 //! Heap-wide statistics — and the concurrent service's per-shard counters,
 //! sweep-bandwidth accounting and pause-time histogram.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
-
 use cvkalloc::AllocStats;
 use revoker::SweepStats;
 
@@ -46,95 +43,24 @@ impl HeapStats {
     }
 }
 
-/// Number of log2 buckets in a [`PauseHistogram`] (covers 1 ns … ~34 s).
-pub const PAUSE_BUCKETS: usize = 36;
+/// Number of log2 buckets in a [`PauseHistogram`] (the full `u64` range).
+pub use telemetry::HIST_BUCKETS as PAUSE_BUCKETS;
 
 /// A lock-free log2 histogram of revoker pause times (the time the
 /// background revoker holds one shard's lock per step — the mutator-visible
 /// "pause" of §3.5's concurrent revocation).
 ///
-/// Bucket `i` counts pauses with `2^i ≤ nanoseconds < 2^(i+1)` (bucket 0
-/// also absorbs 0 ns). Recording is a single relaxed atomic increment.
-#[derive(Debug)]
-pub struct PauseHistogram {
-    buckets: [AtomicU64; PAUSE_BUCKETS],
-}
+/// Since the telemetry subsystem landed this is [`telemetry::LogHistogram`]
+/// recording nanoseconds: construct a standalone one with
+/// [`telemetry::LogHistogram::new`], or obtain a registry-backed one from
+/// [`telemetry::Registry::histogram`] so the same distribution feeds the
+/// exporters. Note `LogHistogram::default()` is a *disabled* handle.
+pub use telemetry::LogHistogram as PauseHistogram;
 
-impl Default for PauseHistogram {
-    fn default() -> Self {
-        PauseHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-}
-
-impl PauseHistogram {
-    /// An empty histogram.
-    pub fn new() -> PauseHistogram {
-        PauseHistogram::default()
-    }
-
-    /// Records one pause.
-    pub fn record(&self, pause: Duration) {
-        let ns = pause.as_nanos().max(1) as u64;
-        let bucket = (63 - ns.leading_zeros() as usize).min(PAUSE_BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// A point-in-time copy of the bucket counts.
-    pub fn snapshot(&self) -> PauseSnapshot {
-        let mut counts = [0u64; PAUSE_BUCKETS];
-        for (c, b) in counts.iter_mut().zip(&self.buckets) {
-            *c = b.load(Ordering::Relaxed);
-        }
-        PauseSnapshot { counts }
-    }
-}
-
-/// An immutable copy of a [`PauseHistogram`]'s counts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PauseSnapshot {
-    /// `counts[i]` pauses fell in `[2^i, 2^(i+1))` nanoseconds.
-    pub counts: [u64; PAUSE_BUCKETS],
-}
-
-impl Default for PauseSnapshot {
-    fn default() -> Self {
-        PauseSnapshot {
-            counts: [0; PAUSE_BUCKETS],
-        }
-    }
-}
-
-impl PauseSnapshot {
-    /// Total pauses recorded.
-    pub fn count(&self) -> u64 {
-        self.counts.iter().sum()
-    }
-
-    /// An upper bound (bucket ceiling) on the `p`-th percentile pause, in
-    /// nanoseconds. `p` in `[0, 100]`. Returns 0 for an empty histogram.
-    pub fn percentile_ns(&self, p: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return 1u64 << (i + 1);
-            }
-        }
-        1u64 << PAUSE_BUCKETS
-    }
-
-    /// Ceiling of the largest recorded pause, in nanoseconds.
-    pub fn max_ns(&self) -> u64 {
-        self.percentile_ns(100.0)
-    }
-}
+/// An immutable copy of a [`PauseHistogram`]'s counts
+/// ([`telemetry::HistogramSnapshot`]; `percentile_ns`/`max_ns` give bucket
+/// ceilings in nanoseconds).
+pub use telemetry::HistogramSnapshot as PauseSnapshot;
 
 /// Counters for one shard of a [`crate::ConcurrentHeap`], plus derived
 /// rates over the service's lifetime.
@@ -234,10 +160,11 @@ mod tests {
 
     #[test]
     fn pause_histogram_buckets_by_log2() {
+        use std::time::Duration;
         let h = PauseHistogram::new();
-        h.record(Duration::from_nanos(1)); // bucket 0
-        h.record(Duration::from_nanos(3)); // bucket 1
-        h.record(Duration::from_nanos(1024)); // bucket 10
+        h.record_duration(Duration::from_nanos(1)); // bucket 0
+        h.record_duration(Duration::from_nanos(3)); // bucket 1
+        h.record_duration(Duration::from_nanos(1024)); // bucket 10
         let s = h.snapshot();
         assert_eq!(s.count(), 3);
         assert_eq!(s.counts[0], 1);
@@ -247,11 +174,12 @@ mod tests {
 
     #[test]
     fn pause_percentiles_are_bucket_ceilings() {
+        use std::time::Duration;
         let h = PauseHistogram::new();
         for _ in 0..99 {
-            h.record(Duration::from_nanos(100)); // bucket 6: [64, 128)
+            h.record_duration(Duration::from_nanos(100)); // bucket 6: [64, 128)
         }
-        h.record(Duration::from_micros(100)); // bucket 16
+        h.record_duration(Duration::from_micros(100)); // bucket 16
         let s = h.snapshot();
         assert_eq!(s.percentile_ns(50.0), 128);
         assert_eq!(s.percentile_ns(99.0), 128);

@@ -51,12 +51,14 @@ mod bins;
 mod chunks;
 mod dlmalloc;
 mod error;
+mod obs;
 mod quarantine;
 mod stats;
 
 pub use chunks::{ChunkMap, ChunkState};
 pub use dlmalloc::{Block, DlAllocator};
 pub use error::AllocError;
+pub use obs::AllocTelemetry;
 pub use quarantine::{CherivokeAllocator, QuarantineConfig};
 pub use stats::AllocStats;
 

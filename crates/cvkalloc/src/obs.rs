@@ -1,0 +1,77 @@
+//! Allocator telemetry: malloc/free counters and bin/quarantine gauges.
+
+use telemetry::{Counter, Gauge, LogHistogram, Registry};
+
+/// Metric handles the allocator reports into. Default-constructed
+/// telemetry is detached (every record is a no-op branch); attach with
+/// [`CherivokeAllocator::set_telemetry`][crate::CherivokeAllocator::set_telemetry].
+///
+/// Gauges are updated with **deltas**, so several allocators (one per
+/// heap shard) registered against one [`Registry`] share the named gauge
+/// and the reading is the aggregate across shards.
+#[derive(Debug, Clone, Default)]
+pub struct AllocTelemetry {
+    mallocs: Counter,
+    frees: Counter,
+    drains: Counter,
+    live_bytes: Gauge,
+    quarantined_bytes: Gauge,
+    free_bin_bytes: Gauge,
+    request_bytes: LogHistogram,
+}
+
+/// A point-in-time reading of the allocator's three byte pools, used to
+/// compute gauge deltas around an operation.
+pub(crate) type ByteLevels = (u64, u64, u64); // (live, quarantined, free-bin)
+
+impl AllocTelemetry {
+    /// Telemetry reporting into `registry` under the `cvk_alloc_*`
+    /// metric names.
+    pub fn register(registry: &Registry) -> AllocTelemetry {
+        AllocTelemetry {
+            mallocs: registry.counter("cvk_alloc_mallocs_total"),
+            frees: registry.counter("cvk_alloc_frees_total"),
+            drains: registry.counter("cvk_alloc_quarantine_drains_total"),
+            live_bytes: registry.gauge("cvk_alloc_live_bytes"),
+            quarantined_bytes: registry.gauge("cvk_alloc_quarantined_bytes"),
+            free_bin_bytes: registry.gauge("cvk_alloc_free_bin_bytes"),
+            request_bytes: registry.histogram("cvk_alloc_request_bytes"),
+        }
+    }
+
+    /// Whether any backing registry records.
+    pub fn is_enabled(&self) -> bool {
+        self.mallocs.is_enabled()
+    }
+
+    pub(crate) fn on_malloc(&self, requested: u64, before: ByteLevels, after: ByteLevels) {
+        self.mallocs.inc();
+        self.request_bytes.record(requested);
+        self.apply_levels(before, after);
+    }
+
+    pub(crate) fn on_free(&self, before: ByteLevels, after: ByteLevels) {
+        self.frees.inc();
+        self.apply_levels(before, after);
+    }
+
+    pub(crate) fn on_drain(&self, before: ByteLevels, after: ByteLevels) {
+        self.drains.inc();
+        self.apply_levels(before, after);
+    }
+
+    /// Adds the allocator's current pool levels to the shared gauges
+    /// (called once at attach time so a mid-life attach starts accurate).
+    pub(crate) fn seed_levels(&self, levels: ByteLevels) {
+        self.live_bytes.add(levels.0);
+        self.quarantined_bytes.add(levels.1);
+        self.free_bin_bytes.add(levels.2);
+    }
+
+    fn apply_levels(&self, before: ByteLevels, after: ByteLevels) {
+        self.live_bytes.offset(after.0 as i64 - before.0 as i64);
+        self.quarantined_bytes
+            .offset(after.1 as i64 - before.1 as i64);
+        self.free_bin_bytes.offset(after.2 as i64 - before.2 as i64);
+    }
+}

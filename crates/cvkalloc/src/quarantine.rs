@@ -2,6 +2,7 @@
 
 use std::collections::BTreeSet;
 
+use crate::obs::{AllocTelemetry, ByteLevels};
 use crate::{AllocError, AllocStats, Block, ChunkState, DlAllocator};
 
 /// Sizing policy for the quarantine buffer.
@@ -65,6 +66,9 @@ pub struct CherivokeAllocator {
     /// in-progress (incremental) revocation epoch. No further aggregation —
     /// their extents must match what was painted.
     sealed: BTreeSet<u64>,
+    /// Metric handles (detached by default; see
+    /// [`CherivokeAllocator::set_telemetry`]).
+    telemetry: AllocTelemetry,
 }
 
 impl CherivokeAllocator {
@@ -80,7 +84,26 @@ impl CherivokeAllocator {
             config,
             open: BTreeSet::new(),
             sealed: BTreeSet::new(),
+            telemetry: AllocTelemetry::default(),
         }
+    }
+
+    /// Attaches allocator telemetry: mallocs/frees/drains count into
+    /// `registry` and the live/quarantined/free-bin byte pools become
+    /// shared gauges (delta-updated, so shards aggregate). The gauges are
+    /// seeded with this allocator's current levels.
+    pub fn set_telemetry(&mut self, registry: &telemetry::Registry) {
+        self.telemetry = AllocTelemetry::register(registry);
+        self.telemetry.seed_levels(self.byte_levels());
+    }
+
+    /// Current (live, quarantined, free-bin) byte pools, for gauge deltas.
+    fn byte_levels(&self) -> ByteLevels {
+        (
+            self.inner.live_bytes(),
+            self.inner.stats().quarantined_bytes,
+            self.inner.free_bytes(),
+        )
     }
 
     /// The quarantine policy.
@@ -103,7 +126,13 @@ impl CherivokeAllocator {
     /// can produce out-of-memory conditions a non-quarantining allocator
     /// would not hit; callers may respond by sweeping early.
     pub fn malloc(&mut self, size: u64) -> Result<Block, AllocError> {
-        self.inner.malloc(size)
+        if !self.telemetry.is_enabled() {
+            return self.inner.malloc(size);
+        }
+        let before = self.byte_levels();
+        let block = self.inner.malloc(size)?;
+        self.telemetry.on_malloc(size, before, self.byte_levels());
+        Ok(block)
     }
 
     /// Frees `addr` into the quarantine buffer.
@@ -119,6 +148,7 @@ impl CherivokeAllocator {
     /// particular, freeing an already-quarantined chunk is a detected double
     /// free.
     pub fn free(&mut self, addr: u64) -> Result<u64, AllocError> {
+        let levels_before = self.telemetry.is_enabled().then(|| self.byte_levels());
         let size = self.inner.begin_free(addr)?;
         self.inner.set_chunk_state(addr, ChunkState::Quarantined);
         self.inner.stats_mut().quarantined_bytes += size;
@@ -129,25 +159,30 @@ impl CherivokeAllocator {
         // frozen because their shadow bits are already painted.
         if !self.config.aggregate {
             self.open.insert(addr);
-            return Ok(size);
-        }
-        let mut start = addr;
-        if let Some((paddr, _, ChunkState::Quarantined)) = self.inner.chunks().prev_neighbour(addr)
-        {
-            if self.open.contains(&paddr) {
-                self.inner.chunks_mut().merge_with_next(paddr);
-                start = paddr;
+        } else {
+            let mut start = addr;
+            if let Some((paddr, _, ChunkState::Quarantined)) =
+                self.inner.chunks().prev_neighbour(addr)
+            {
+                if self.open.contains(&paddr) {
+                    self.inner.chunks_mut().merge_with_next(paddr);
+                    start = paddr;
+                } else {
+                    self.open.insert(addr);
+                }
             } else {
                 self.open.insert(addr);
             }
-        } else {
-            self.open.insert(addr);
-        }
-        if let Some((naddr, _, ChunkState::Quarantined)) = self.inner.chunks().next_neighbour(start)
-        {
-            if self.open.remove(&naddr) {
-                self.inner.chunks_mut().merge_with_next(start);
+            if let Some((naddr, _, ChunkState::Quarantined)) =
+                self.inner.chunks().next_neighbour(start)
+            {
+                if self.open.remove(&naddr) {
+                    self.inner.chunks_mut().merge_with_next(start);
+                }
             }
+        }
+        if let Some(before) = levels_before {
+            self.telemetry.on_free(before, self.byte_levels());
         }
         Ok(size)
     }
@@ -210,6 +245,7 @@ impl CherivokeAllocator {
     /// epoch's sweep completes). Returns the drained ranges, whose shadow
     /// bits the caller clears.
     pub fn drain_sealed(&mut self) -> Vec<(u64, u64)> {
+        let levels_before = self.telemetry.is_enabled().then(|| self.byte_levels());
         let ranges = self.ranges_of(&self.sealed);
         for &(addr, _) in &ranges {
             self.inner.release(addr);
@@ -219,6 +255,9 @@ impl CherivokeAllocator {
         let stats = self.inner.stats_mut();
         stats.quarantined_bytes -= drained;
         stats.drains += 1;
+        if let Some(before) = levels_before {
+            self.telemetry.on_drain(before, self.byte_levels());
+        }
         ranges
     }
 
@@ -384,6 +423,34 @@ mod tests {
         assert_eq!(s.live_bytes, b.size);
         assert_eq!(s.quarantined_bytes, a.size);
         assert_eq!(s.peak_footprint_bytes, a.size + b.size);
+    }
+
+    #[test]
+    fn telemetry_gauges_track_pool_movement() {
+        let registry = telemetry::Registry::new(8);
+        let mut h = heap();
+        let pre = h.malloc(1024).unwrap(); // allocated before attach
+        h.set_telemetry(&registry);
+        // Gauges seeded with the pre-attach live bytes.
+        assert_eq!(registry.snapshot().gauges["cvk_alloc_live_bytes"], pre.size);
+
+        let a = h.malloc(256).unwrap();
+        h.free(a.addr).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["cvk_alloc_mallocs_total"], 1);
+        assert_eq!(snap.counters["cvk_alloc_frees_total"], 1);
+        assert_eq!(snap.gauges["cvk_alloc_live_bytes"], pre.size);
+        assert_eq!(snap.gauges["cvk_alloc_quarantined_bytes"], a.size);
+
+        h.drain_quarantine();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["cvk_alloc_quarantine_drains_total"], 1);
+        assert_eq!(snap.gauges["cvk_alloc_quarantined_bytes"], 0);
+        // Gauge agrees with the allocator's own accounting throughout.
+        assert_eq!(
+            snap.gauges["cvk_alloc_free_bin_bytes"],
+            h.inner().free_bytes()
+        );
     }
 
     #[test]

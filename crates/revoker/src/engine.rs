@@ -607,15 +607,62 @@ impl<K> SweepEngine<K> {
     }
 }
 
+/// Upper bound on `CHERIVOKE_SWEEP_WORKERS`: beyond this, thread spawn
+/// and merge overhead dominates any sweep this repo models, so larger
+/// requests are clamped (with a warning) rather than honoured.
+pub const MAX_SWEEP_WORKERS: usize = 64;
+
+/// Validates a raw `CHERIVOKE_SWEEP_WORKERS` value. Returns the worker
+/// count to use plus a human-readable warning when the value was
+/// malformed or out of range (empty/unparseable/0 fall back to 1; values
+/// above [`MAX_SWEEP_WORKERS`] clamp down to it).
+pub fn parse_workers(raw: &str) -> (usize, Option<String>) {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return (
+            1,
+            Some("CHERIVOKE_SWEEP_WORKERS is set but empty; using 1 worker".to_string()),
+        );
+    }
+    match trimmed.parse::<usize>() {
+        Err(_) => (
+            1,
+            Some(format!(
+                "CHERIVOKE_SWEEP_WORKERS={trimmed:?} is not a positive integer; using 1 worker"
+            )),
+        ),
+        Ok(0) => (
+            1,
+            Some("CHERIVOKE_SWEEP_WORKERS=0 is invalid (minimum 1); using 1 worker".to_string()),
+        ),
+        Ok(n) if n > MAX_SWEEP_WORKERS => (
+            MAX_SWEEP_WORKERS,
+            Some(format!(
+                "CHERIVOKE_SWEEP_WORKERS={n} exceeds the maximum of {MAX_SWEEP_WORKERS}; \
+                 clamping to {MAX_SWEEP_WORKERS}"
+            )),
+        ),
+        Ok(n) => (n, None),
+    }
+}
+
 /// Worker-thread count for parallel sweeps, from the
 /// `CHERIVOKE_SWEEP_WORKERS` environment variable (default 1 =
-/// sequential).
+/// sequential). Malformed or out-of-range values are validated by
+/// [`parse_workers`]; the warning, if any, is printed to stderr once per
+/// process instead of being silently swallowed.
 pub fn workers_from_env() -> usize {
-    std::env::var("CHERIVOKE_SWEEP_WORKERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&w| w >= 1)
-        .unwrap_or(1)
+    match std::env::var("CHERIVOKE_SWEEP_WORKERS") {
+        Err(_) => 1,
+        Ok(raw) => {
+            let (workers, warning) = parse_workers(&raw);
+            if let Some(msg) = warning {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| eprintln!("warning: {msg}"));
+            }
+            workers
+        }
+    }
 }
 
 /// The parallel sweep engine (§3.5): plans the identical chunk list the
@@ -625,10 +672,16 @@ pub fn workers_from_env() -> usize {
 /// deterministically with [`SweepStats::merge_parallel`]. The shadow map
 /// is shared read-only. Results — memory, tags, and stats — are
 /// byte-identical to the sequential engine by construction.
-#[derive(Debug, Clone, Copy)]
+///
+/// An engine optionally carries a [`SweepTelemetry`][crate::SweepTelemetry]
+/// (see [`ParallelSweepEngine::with_telemetry`]): each sweep is then timed
+/// and reported as metrics plus one structured event. Detached telemetry
+/// (the default) costs one branch per sweep.
+#[derive(Debug, Clone)]
 pub struct ParallelSweepEngine {
     kernel: Kernel,
     workers: usize,
+    telemetry: crate::SweepTelemetry,
 }
 
 impl ParallelSweepEngine {
@@ -638,6 +691,7 @@ impl ParallelSweepEngine {
         ParallelSweepEngine {
             kernel,
             workers: workers.max(1),
+            telemetry: crate::SweepTelemetry::default(),
         }
     }
 
@@ -645,6 +699,13 @@ impl ParallelSweepEngine {
     /// [`workers_from_env`]).
     pub fn from_env(kernel: Kernel) -> ParallelSweepEngine {
         ParallelSweepEngine::new(kernel, workers_from_env())
+    }
+
+    /// Attaches sweep telemetry: every subsequent sweep records its
+    /// duration, volume and revocation counts.
+    pub fn with_telemetry(mut self, telemetry: crate::SweepTelemetry) -> ParallelSweepEngine {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The configured kernel.
@@ -665,6 +726,7 @@ impl ParallelSweepEngine {
         S: CapSource<Mem = TaggedMemory>,
         F: GranuleFilter<TaggedMemory>,
     {
+        let timer = self.telemetry.is_enabled().then(std::time::Instant::now);
         let mut stats = SweepStats::default();
         source.for_each_region(|mem, start, len| {
             // Plan: the exact walk the sequential engine performs,
@@ -703,6 +765,10 @@ impl ParallelSweepEngine {
         });
         if let Some(regs) = source.registers() {
             stats += sweep_register_file(regs, shadow);
+        }
+        if let Some(timer) = timer {
+            self.telemetry
+                .observe(&stats, timer.elapsed(), self.workers);
         }
         stats
     }
@@ -937,10 +1003,37 @@ mod tests {
     fn workers_from_env_defaults_to_one() {
         // The test environment does not set the variable for this process
         // (CI's forced-parallel job sets it globally, which is also fine —
-        // then the assertion below still holds for parse failures only).
+        // then workers_from_env must agree with parse_workers).
         match std::env::var("CHERIVOKE_SWEEP_WORKERS") {
             Err(_) => assert_eq!(workers_from_env(), 1),
-            Ok(v) => assert_eq!(workers_from_env(), v.parse().unwrap_or(1)),
+            Ok(v) => assert_eq!(workers_from_env(), parse_workers(&v).0),
         }
+    }
+
+    #[test]
+    fn parse_workers_validates_and_clamps() {
+        assert_eq!(parse_workers("4"), (4, None));
+        assert_eq!(parse_workers(" 8 "), (8, None)); // whitespace tolerated
+        assert_eq!(parse_workers(&MAX_SWEEP_WORKERS.to_string()).0, 64);
+
+        let (w, warn) = parse_workers("");
+        assert_eq!(w, 1);
+        assert!(warn.unwrap().contains("empty"));
+
+        let (w, warn) = parse_workers("0");
+        assert_eq!(w, 1);
+        assert!(warn.unwrap().contains("minimum 1"));
+
+        let (w, warn) = parse_workers("banana");
+        assert_eq!(w, 1);
+        assert!(warn.unwrap().contains("not a positive integer"));
+
+        let (w, warn) = parse_workers("-3");
+        assert_eq!(w, 1);
+        assert!(warn.is_some());
+
+        let (w, warn) = parse_workers("10000");
+        assert_eq!(w, MAX_SWEEP_WORKERS);
+        assert!(warn.unwrap().contains("clamping"));
     }
 }

@@ -68,17 +68,19 @@
 
 pub mod conservative;
 pub mod engine;
+pub mod obs;
 mod plan;
 mod shadow;
 mod sweep;
 pub mod timed;
 
 pub use engine::{
-    line_spans, page_spans, sweep_register_file, workers_from_env, CLoadTagsLines, CapDirtyPages,
-    CapSource, DirtyPageList, DumpSource, EveryLine, FilterGranularity, GranuleFilter, IdealLines,
-    NoCost, NoFilter, ParallelSweepEngine, RangeSource, RegisterSource, RevokeKernel,
-    SegmentSource, SpaceSource, SweepCost, SweepEngine, TagProbe,
+    line_spans, page_spans, parse_workers, sweep_register_file, workers_from_env, CLoadTagsLines,
+    CapDirtyPages, CapSource, DirtyPageList, DumpSource, EveryLine, FilterGranularity,
+    GranuleFilter, IdealLines, NoCost, NoFilter, ParallelSweepEngine, RangeSource, RegisterSource,
+    RevokeKernel, SegmentSource, SpaceSource, SweepCost, SweepEngine, TagProbe, MAX_SWEEP_WORKERS,
 };
+pub use obs::{SweepTelemetry, TelemetryCost};
 pub use plan::{SkipMode, SweepPlan};
 pub use shadow::ShadowMap;
 pub use sweep::{Kernel, SweepStats, Sweeper};

@@ -1,0 +1,254 @@
+//! Deterministic exporters: Prometheus text format, JSON, and a periodic
+//! exporter thread.
+//!
+//! Both renderings iterate the snapshot's sorted maps and emit only
+//! integer values, so two snapshots of the same state produce *identical*
+//! text — the property the exporter unit tests and the CI metrics
+//! artifact rely on.
+
+use std::sync::mpsc::{RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::{bucket_ceiling, HistogramSnapshot, MetricsSnapshot, Registry, HIST_BUCKETS};
+
+impl MetricsSnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format.
+    ///
+    /// Counters and gauges are plain samples; histograms expand to
+    /// cumulative `_bucket{le="..."}` samples (only non-empty buckets,
+    /// plus the `+Inf` catch-all) with `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, &c) in h.counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cumulative += c;
+                let le = bucket_ceiling(i);
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"+Inf\"}} {cumulative}\n{name}_sum {}\n{name}_count {cumulative}\n",
+                h.sum
+            ));
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON object with `counters`, `gauges`
+    /// and `histograms` members (histograms carry sparse `buckets` keyed
+    /// by ceiling, plus `sum` and `count`). Keys are emitted in sorted
+    /// order and all values are integers, so the rendering is
+    /// deterministic.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_scalar_map(&mut out, self.counters.iter());
+        out.push_str("},\n  \"gauges\": {");
+        push_scalar_map(&mut out, self.gauges.iter());
+        out.push_str("},\n  \"histograms\": {");
+        let mut first = true;
+        for (name, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    {}: {}", json_string(name), hist_json(h)));
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn push_scalar_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, &'a u64)>) {
+    let mut first = true;
+    for (name, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    {}: {v}", json_string(name)));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+fn hist_json(h: &HistogramSnapshot) -> String {
+    let mut out = String::from("{\"buckets\": {");
+    let mut first = true;
+    for i in 0..HIST_BUCKETS {
+        if h.counts[i] == 0 {
+            continue;
+        }
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str(&format!("\"{}\": {}", bucket_ceiling(i), h.counts[i]));
+    }
+    out.push_str(&format!(
+        "}}, \"sum\": {}, \"count\": {}}}",
+        h.sum,
+        h.count()
+    ));
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A background thread that snapshots a [`Registry`] on a fixed interval
+/// and hands each snapshot to a callback (write to a file, push to a
+/// socket, print). The thread stops when the exporter is dropped.
+#[derive(Debug)]
+pub struct PeriodicExporter {
+    stop: Sender<()>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl PeriodicExporter {
+    /// Spawns the exporter thread. `emit` runs on that thread once per
+    /// `interval` (and once more on shutdown with the final snapshot).
+    pub fn spawn<F>(registry: Registry, interval: Duration, mut emit: F) -> PeriodicExporter
+    where
+        F: FnMut(MetricsSnapshot) + Send + 'static,
+    {
+        let (stop, stopped) = std::sync::mpsc::channel::<()>();
+        let handle = std::thread::Builder::new()
+            .name("cvk-telemetry-export".into())
+            .spawn(move || loop {
+                match stopped.recv_timeout(interval) {
+                    Err(RecvTimeoutError::Timeout) => emit(registry.snapshot()),
+                    _ => {
+                        emit(registry.snapshot());
+                        return;
+                    }
+                }
+            })
+            .expect("spawn telemetry exporter thread");
+        PeriodicExporter {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for PeriodicExporter {
+    fn drop(&mut self) {
+        let _ = self.stop.send(());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new(16);
+        r.counter("cvk_sweeps_total").add(3);
+        r.counter("cvk_mallocs_total").add(100);
+        r.gauge("cvk_quarantined_bytes").add(4096);
+        let h = r.histogram("cvk_pause_ns");
+        h.record(100);
+        h.record(100);
+        h.record(70_000);
+        r
+    }
+
+    #[test]
+    fn prometheus_rendering_is_deterministic_and_complete() {
+        let r = sample_registry();
+        let a = r.snapshot().to_prometheus();
+        let b = r.snapshot().to_prometheus();
+        assert_eq!(a, b, "same state must render identically");
+        assert!(a.contains("# TYPE cvk_sweeps_total counter\ncvk_sweeps_total 3\n"));
+        assert!(a.contains("# TYPE cvk_quarantined_bytes gauge\ncvk_quarantined_bytes 4096\n"));
+        // 100 falls in [64,128) -> le=128 (x2); 70_000 in [65536,131072).
+        assert!(a.contains("cvk_pause_ns_bucket{le=\"128\"} 2\n"), "{a}");
+        assert!(a.contains("cvk_pause_ns_bucket{le=\"131072\"} 3\n"), "{a}");
+        assert!(a.contains("cvk_pause_ns_bucket{le=\"+Inf\"} 3\n"), "{a}");
+        assert!(a.contains("cvk_pause_ns_sum 70200\n"), "{a}");
+        assert!(a.contains("cvk_pause_ns_count 3\n"), "{a}");
+        // Counters render before gauges, sorted by name within each kind.
+        let mallocs = a.find("cvk_mallocs_total 100").unwrap();
+        let sweeps = a.find("cvk_sweeps_total 3").unwrap();
+        assert!(mallocs < sweeps);
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic_and_sorted() {
+        let r = sample_registry();
+        let a = r.snapshot().to_json();
+        let b = r.snapshot().to_json();
+        assert_eq!(a, b, "same state must render identically");
+        assert!(a.contains("\"cvk_sweeps_total\": 3"), "{a}");
+        assert!(a.contains("\"cvk_quarantined_bytes\": 4096"), "{a}");
+        assert!(a.contains("\"128\": 2"), "{a}");
+        assert!(a.contains("\"sum\": 70200, \"count\": 3"), "{a}");
+        let mallocs = a.find("cvk_mallocs_total").unwrap();
+        let sweeps = a.find("cvk_sweeps_total").unwrap();
+        assert!(mallocs < sweeps, "keys must be sorted: {a}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_objects() {
+        let snap = Registry::disabled().snapshot();
+        assert_eq!(snap.to_prometheus(), "");
+        let json = snap.to_json();
+        assert!(json.contains("\"counters\": {}"), "{json}");
+        assert!(json.contains("\"histograms\": {}"), "{json}");
+    }
+
+    #[test]
+    fn json_escapes_metric_names() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn periodic_exporter_emits_and_stops() {
+        let r = Registry::new(4);
+        r.counter("ticks").inc();
+        let emitted = Arc::new(AtomicUsize::new(0));
+        let seen = emitted.clone();
+        let exporter = PeriodicExporter::spawn(r, Duration::from_millis(5), move |snap| {
+            assert_eq!(snap.counters["ticks"], 1);
+            seen.fetch_add(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        drop(exporter); // joins the thread; final emit on shutdown
+        assert!(emitted.load(Ordering::SeqCst) >= 1);
+    }
+}

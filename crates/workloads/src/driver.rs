@@ -87,12 +87,100 @@ pub struct RunReport {
     pub events: u64,
 }
 
+/// Why a trace replay failed: which operation the heap rejected, at which
+/// event index, and the heap's own diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// `malloc` of object `id` failed (e.g. out of simulated memory).
+    Malloc {
+        /// Index of the failing event in [`Trace::events`].
+        event: usize,
+        /// The object id being allocated.
+        id: u64,
+        /// The requested size in bytes.
+        size: u64,
+        /// The heap's diagnostic.
+        message: String,
+    },
+    /// `free` of object `id` failed (e.g. unknown or already-freed id).
+    Free {
+        /// Index of the failing event in [`Trace::events`].
+        event: usize,
+        /// The object id being freed.
+        id: u64,
+        /// The heap's diagnostic.
+        message: String,
+    },
+    /// `write_ptr` failed (e.g. a write into a dead object).
+    WritePtr {
+        /// Index of the failing event in [`Trace::events`].
+        event: usize,
+        /// The object being written into.
+        from: u64,
+        /// The pointer slot within `from`.
+        slot: u64,
+        /// The object being pointed to.
+        to: u64,
+        /// The heap's diagnostic.
+        message: String,
+    },
+}
+
+impl ReplayError {
+    /// Index of the failing event in [`Trace::events`].
+    pub fn event(&self) -> usize {
+        match *self {
+            ReplayError::Malloc { event, .. }
+            | ReplayError::Free { event, .. }
+            | ReplayError::WritePtr { event, .. } => event,
+        }
+    }
+
+    /// The heap implementation's own diagnostic.
+    pub fn message(&self) -> &str {
+        match self {
+            ReplayError::Malloc { message, .. }
+            | ReplayError::Free { message, .. }
+            | ReplayError::WritePtr { message, .. } => message,
+        }
+    }
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Malloc {
+                event,
+                id,
+                size,
+                message,
+            } => write!(f, "event {event}: malloc(id={id}, size={size}): {message}"),
+            ReplayError::Free { event, id, message } => {
+                write!(f, "event {event}: free(id={id}): {message}")
+            }
+            ReplayError::WritePtr {
+                event,
+                from,
+                slot,
+                to,
+                message,
+            } => write!(
+                f,
+                "event {event}: write_ptr(from={from}, slot={slot}, to={to}): {message}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
 /// Replays `trace` against `heap`, producing the normalised overheads.
 ///
 /// # Errors
 ///
-/// Propagates the first implementation error, tagged with the event index.
-pub fn run_trace<H: WorkloadHeap>(heap: &mut H, trace: &Trace) -> Result<RunReport, String> {
+/// Stops at the first operation the heap rejects, returning a
+/// [`ReplayError`] carrying the event index and the failing operation.
+pub fn run_trace<H: WorkloadHeap>(heap: &mut H, trace: &Trace) -> Result<RunReport, ReplayError> {
     let mut sizes: HashMap<u64, u64> = HashMap::new();
     let mut events = 0u64;
     for (i, e) in trace.events.iter().enumerate() {
@@ -100,11 +188,30 @@ pub fn run_trace<H: WorkloadHeap>(heap: &mut H, trace: &Trace) -> Result<RunRepo
             TraceOp::Malloc { id, size } => {
                 sizes.insert(id, size);
                 heap.malloc(id, size)
+                    .map_err(|message| ReplayError::Malloc {
+                        event: i,
+                        id,
+                        size,
+                        message,
+                    })
             }
-            TraceOp::Free { id } => heap.free(id),
-            TraceOp::WritePtr { from, slot, to } => heap.write_ptr(from, slot, to),
+            TraceOp::Free { id } => heap.free(id).map_err(|message| ReplayError::Free {
+                event: i,
+                id,
+                message,
+            }),
+            TraceOp::WritePtr { from, slot, to } => {
+                heap.write_ptr(from, slot, to)
+                    .map_err(|message| ReplayError::WritePtr {
+                        event: i,
+                        from,
+                        slot,
+                        to,
+                        message,
+                    })
+            }
         };
-        r.map_err(|err| format!("event {i} ({:?}): {err}", e.op))?;
+        r?;
         events += 1;
     }
     heap.finish();
@@ -173,6 +280,44 @@ mod tests {
             assert!((report.normalized_time - 1.0).abs() < 1e-12, "{}", p.name);
             assert!((report.normalized_memory - 1.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn replay_errors_carry_event_and_op_context() {
+        struct FailingHeap;
+        impl WorkloadHeap for FailingHeap {
+            fn malloc(&mut self, _id: u64, _size: u64) -> Result<(), String> {
+                Ok(())
+            }
+            fn free(&mut self, _id: u64) -> Result<(), String> {
+                Err("quarantine full".into())
+            }
+            fn write_ptr(&mut self, _from: u64, _slot: u64, _to: u64) -> Result<(), String> {
+                Ok(())
+            }
+            fn mechanism(&self) -> MechanismBreakdown {
+                MechanismBreakdown::default()
+            }
+            fn peak_footprint(&self) -> u64 {
+                0
+            }
+            fn peak_live(&self) -> u64 {
+                0
+            }
+        }
+        let p = profiles::all()[0];
+        let trace = TraceGenerator::new(p, 1.0 / 1024.0, 9).generate();
+        let err = run_trace(&mut FailingHeap, &trace).unwrap_err();
+        assert!(matches!(err, ReplayError::Free { .. }));
+        assert_eq!(err.message(), "quarantine full");
+        assert!(
+            matches!(trace.events[err.event()].op, crate::TraceOp::Free { id }
+                if matches!(err, ReplayError::Free { id: eid, .. } if eid == id)),
+            "error's event index points at the failing Free"
+        );
+        let rendered = err.to_string();
+        assert!(rendered.contains("free(id="));
+        assert!(rendered.contains("quarantine full"));
     }
 
     #[test]

@@ -47,7 +47,7 @@ mod trace;
 pub mod trace_io;
 
 pub use adapter::{CherivokeUnderTest, CostModel, Stage};
-pub use driver::{run_trace, MechanismBreakdown, RunReport, WorkloadHeap};
+pub use driver::{run_trace, MechanismBreakdown, ReplayError, RunReport, WorkloadHeap};
 pub use multirun::{run_many, MultiRunSummary};
 pub use profiles::BenchmarkProfile;
 pub use table2::{measure_table2, Table2Row};

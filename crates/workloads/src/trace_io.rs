@@ -242,7 +242,65 @@ mod fuzz {
     use super::*;
     use proptest::prelude::*;
 
+    fn arb_op() -> impl Strategy<Value = TraceOp> {
+        prop_oneof![
+            (any::<u64>(), any::<u64>()).prop_map(|(id, size)| TraceOp::Malloc { id, size }),
+            any::<u64>().prop_map(|id| TraceOp::Free { id }),
+            (any::<u64>(), any::<u64>(), any::<u64>())
+                .prop_map(|(from, slot, to)| TraceOp::WritePtr { from, slot, to }),
+        ]
+    }
+
+    /// Arbitrary structurally-valid traces: any Table 2 profile, any
+    /// event mix — not just what [`crate::TraceGenerator`] emits.
+    fn arb_trace() -> impl Strategy<Value = Trace> {
+        let n_profiles = profiles::all().len();
+        (
+            0..n_profiles,
+            0.0..=1.0f64,
+            any::<u64>(),
+            0.0..=1e6f64,
+            proptest::collection::vec(
+                (any::<u64>(), arb_op()).prop_map(|(at_us, op)| TraceEvent { at_us, op }),
+                0..64,
+            ),
+        )
+            .prop_map(|(pi, scale, heap_bytes, duration_s, events)| Trace {
+                profile: profiles::all()[pi],
+                scale,
+                heap_bytes,
+                duration_s,
+                events,
+            })
+    }
+
     proptest! {
+        /// Every encodable trace decodes back to itself, field for field.
+        #[test]
+        fn roundtrip_is_lossless_for_arbitrary_traces(t in arb_trace()) {
+            let back = decode_trace(encode_trace(&t)).unwrap();
+            prop_assert_eq!(back.profile.name, t.profile.name);
+            prop_assert_eq!(back.scale.to_bits(), t.scale.to_bits());
+            prop_assert_eq!(back.heap_bytes, t.heap_bytes);
+            prop_assert_eq!(back.duration_s.to_bits(), t.duration_s.to_bits());
+            prop_assert_eq!(back.events, t.events);
+        }
+
+        /// Every strict prefix of a valid encoding fails with a clean
+        /// error — never a panic, never a silently-shortened trace.
+        #[test]
+        fn every_truncation_errors_cleanly(t in arb_trace(), frac in 0.0..1.0f64) {
+            let bytes = encode_trace(&t);
+            let cut = ((bytes.len() as f64) * frac) as usize; // strictly < len
+            let r = decode_trace(bytes.slice(..cut));
+            prop_assert!(
+                matches!(r, Err(TraceIoError::Truncated)),
+                "cut at {} of {} gave {:?}", cut, bytes.len(), r
+            );
+        }
+
+        /// Decoding arbitrary bytes never panics — it returns an error or a
+        /// structurally valid trace.
         /// Decoding arbitrary bytes never panics — it returns an error or a
         /// structurally valid trace.
         #[test]

@@ -67,7 +67,7 @@ fn fig5_cherivoke_beats_every_comparator() {
 
     for p in profiles::spec() {
         let trace = TraceGenerator::new(p, SCALE, SEED).generate();
-        let run = |r: Result<workloads::RunReport, String>| {
+        let run = |r: Result<workloads::RunReport, workloads::ReplayError>| {
             r.unwrap_or_else(|e| panic!("{}: {e}", p.name))
                 .normalized_time
         };
