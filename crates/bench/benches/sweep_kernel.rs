@@ -1,0 +1,97 @@
+//! Criterion benchmark for the word-at-a-time fast revoke kernel
+//! ([`Kernel::Fast`]) against the §3.3 reference loop ([`Kernel::Simple`])
+//! and the wide tier it extends, across sparse/dense tag density and
+//! clean/painted shadow state.
+//!
+//! The final verdict line is the PR's acceptance bar: on a
+//! sparse-capability heap (≤ 5% tag density, capability-dense pages amid
+//! capability-free spans — the clustered shape real heaps exhibit) the
+//! fast kernel must clear 3× the reference kernel's throughput.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use revoker::{Kernel, NoFilter, SegmentSource, ShadowMap, SweepEngine, SweepScratch};
+
+const IMAGE_BYTES: u64 = 4 << 20;
+
+/// Sparse: 5% tag density, clustered (the verdict image). Dense: 25%
+/// uniformly spread self-caps — the shape where per-capability decode
+/// work dominates and no tag word is skippable.
+fn images() -> Vec<(&'static str, tagmem::TaggedMemory)> {
+    vec![
+        (
+            "sparse",
+            bench::image_with_clustered_caps(IMAGE_BYTES, 0.05),
+        ),
+        ("dense", bench::image_with_self_caps(IMAGE_BYTES, 0.25)),
+    ]
+}
+
+fn shadows(mem: &tagmem::TaggedMemory) -> Vec<(&'static str, ShadowMap)> {
+    let clean = ShadowMap::new(mem.base(), mem.len());
+    let mut painted = ShadowMap::new(mem.base(), mem.len());
+    // A quarter of the heap quarantined: revocation stores happen and
+    // shadow screens must discriminate.
+    painted.paint(mem.base(), mem.len() / 4);
+    vec![("clean", clean), ("painted", painted)]
+}
+
+fn bench_kernel_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_kernel");
+    group.throughput(Throughput::Bytes(IMAGE_BYTES));
+    group.sample_size(10);
+    for (iname, mem) in images() {
+        for (sname, shadow) in shadows(&mem) {
+            for (kname, kernel) in [
+                ("reference", Kernel::Simple),
+                ("wide", Kernel::Wide),
+                ("fast", Kernel::Fast),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(kname, format!("{iname}_{sname}")),
+                    &kernel,
+                    |b, &kernel| {
+                        let engine = SweepEngine::new(kernel);
+                        let mut scratch = SweepScratch::new();
+                        b.iter_batched(
+                            || mem.clone(),
+                            |mut img| {
+                                engine.sweep_scratched(
+                                    SegmentSource::new(&mut img),
+                                    NoFilter,
+                                    &shadow,
+                                    &mut scratch,
+                                )
+                            },
+                            criterion::BatchSize::LargeInput,
+                        );
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+/// The acceptance-bar check: fast ≥ 3× reference on the sparse clustered
+/// image with a painted quarantine (median-of-three via
+/// `bench::engine_sweep_rate`, the same measurement every experiment
+/// binary uses).
+fn fast_verdict() {
+    let mem = bench::image_with_clustered_caps(IMAGE_BYTES, 0.05);
+    let mut shadow = ShadowMap::new(mem.base(), mem.len());
+    shadow.paint(mem.base(), mem.len() / 4);
+    let reference = bench::engine_sweep_rate(Kernel::Simple, 1, &mem, &shadow);
+    let fast = bench::engine_sweep_rate(Kernel::Fast, 1, &mem, &shadow);
+    let speedup = fast / reference;
+    let verdict = if speedup >= 3.0 { "PASS" } else { "BELOW-BAR" };
+    println!(
+        "sweep_kernel/fast_verdict: {verdict} ({reference:.0} MiB/s reference, {fast:.0} MiB/s fast, {speedup:.2}x, target 3.00x)"
+    );
+}
+
+criterion_group!(benches, bench_kernel_matrix);
+
+fn main() {
+    benches();
+    fast_verdict();
+}

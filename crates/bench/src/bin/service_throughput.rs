@@ -40,6 +40,7 @@ use serde::Serialize;
 #[derive(Serialize)]
 struct Row {
     mode: &'static str,
+    kernel: &'static str,
     threads: usize,
     shards: usize,
     total_ops: u64,
@@ -51,6 +52,7 @@ struct Row {
     peak_quarantine_fraction: f64,
     quarantine_bound_fraction: f64,
     quarantine_bounded: bool,
+    p50_pause_us: f64,
     p99_pause_us: f64,
     max_pause_us: f64,
     sweep_bandwidth_mib_s: f64,
@@ -74,6 +76,7 @@ fn run(
         ..ServiceConfig::default()
     };
     let fraction = config.policy.quarantine.fraction;
+    let kernel = config.policy.kernel.name();
     let heap = ConcurrentHeap::new(config).expect("construct service");
     let total_heap = (shard_mib << 20) * shards as u64;
 
@@ -141,6 +144,7 @@ fn run(
         } else {
             "sharded"
         },
+        kernel,
         threads,
         shards,
         total_ops,
@@ -152,6 +156,7 @@ fn run(
         peak_quarantine_fraction: peak_fraction,
         quarantine_bound_fraction: fraction,
         quarantine_bounded: peak_fraction < fraction,
+        p50_pause_us: stats.pauses.percentile_ns(50.0) as f64 / 1e3,
         p99_pause_us: stats.pauses.percentile_ns(99.0) as f64 / 1e3,
         max_pause_us: stats.pauses.max_ns() as f64 / 1e3,
         sweep_bandwidth_mib_s: stats.sweep_bandwidth() / (1 << 20) as f64,
@@ -254,10 +259,12 @@ fn main() {
             .map(|r| {
                 vec![
                     r.mode.to_string(),
+                    r.kernel.to_string(),
                     r.threads.to_string(),
                     format!("{:.0}k", r.ops_per_sec / 1e3),
                     r.epochs.to_string(),
                     format!("{:.1}%", r.peak_quarantine_fraction * 100.0),
+                    format!("{:.0}", r.p50_pause_us),
                     format!("{:.0}", r.p99_pause_us),
                     format!("{:.0}", r.max_pause_us),
                     format!("{:.0}", r.sweep_bandwidth_mib_s),
@@ -267,10 +274,12 @@ fn main() {
         bench::print_table(
             &[
                 "mode",
+                "kernel",
                 "threads",
                 "ops/s",
                 "epochs",
                 "peak quarantine",
+                "p50 pause µs",
                 "p99 pause µs",
                 "max pause µs",
                 "sweep MiB/s",

@@ -147,6 +147,47 @@ pub fn image_with_granule_density(len: u64, d: f64) -> TaggedMemory {
     mem
 }
 
+/// Builds an image with the given **granule** density of capabilities,
+/// each bounded to its *own* granule — allocation-local pointees, the
+/// steady-state shape the sweep-kernel benchmark measures: a painted
+/// quarantine prefix revokes only the capabilities living inside it, and
+/// every survivor's shadow lookup lands in its own 1 KiB window.
+pub fn image_with_self_caps(len: u64, d: f64) -> TaggedMemory {
+    let base = 0x1000_0000u64;
+    let mut mem = TaggedMemory::new(base, len);
+    let granules = len / GRANULE_SIZE;
+    let tagged = (granules as f64 * d).round() as u64;
+    for i in 0..tagged {
+        let g = base + (i * granules / tagged.max(1)) * GRANULE_SIZE;
+        let cap = Capability::root_rw(g, GRANULE_SIZE);
+        mem.write_cap(g, &cap).expect("in range");
+    }
+    mem
+}
+
+/// Builds an image with **clustered** capabilities at overall granule
+/// density `d`: a `d` fraction of pages is capability-dense (a self-cap
+/// in every granule), the rest are capability-free — the pointer-array /
+/// data-page split real heaps exhibit, and the shape where word-at-a-time
+/// tag skipping pays (a uniform spread at the same density leaves almost
+/// no tag word empty).
+pub fn image_with_clustered_caps(len: u64, d: f64) -> TaggedMemory {
+    let base = 0x1000_0000u64;
+    let mut mem = TaggedMemory::new(base, len);
+    let pages = len / PAGE_SIZE;
+    let dirty = (pages as f64 * d).round() as u64;
+    for i in 0..dirty {
+        let page = base + (i * pages / dirty.max(1)) * PAGE_SIZE;
+        let mut g = page;
+        while g < page + PAGE_SIZE {
+            let cap = Capability::root_rw(g, GRANULE_SIZE);
+            mem.write_cap(g, &cap).expect("in range");
+            g += GRANULE_SIZE;
+        }
+    }
+    mem
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

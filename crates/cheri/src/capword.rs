@@ -103,6 +103,21 @@ impl CapWord {
         CompressedBounds::from_raw(e, b, t).decode_base(addr)
     }
 
+    /// [`CapWord::base`] computed directly from the two 64-bit halves of the
+    /// stored word, without assembling a `u128` first, via the partial
+    /// (base-only, 64-bit) bounds decode. The word-at-a-time sweep kernel
+    /// reads capability words as two 8-byte loads (the shape a 64-bit
+    /// machine's inner loop actually takes), so this skips both the
+    /// widen/narrow round trip and the unused `top` reconstruction on its
+    /// hottest path.
+    #[inline]
+    pub fn base_from_halves(lo: u64, hi: u64) -> u64 {
+        let t = (hi & 0x3fff) as u16;
+        let b = ((hi >> 14) & 0x3fff) as u16;
+        let e = ((hi >> 28) & 0x3f) as u8;
+        CompressedBounds::from_raw(e, b, t).decode_base_partial(lo)
+    }
+
     /// The raw 128-bit value.
     #[inline]
     pub const fn bits(self) -> u128 {
@@ -199,6 +214,27 @@ mod tests {
         for cap in sample_caps() {
             let w = CapWord::encode(&cap);
             assert_eq!(w.base(), w.decode(true).base());
+            let lo = w.bits() as u64;
+            let hi = (w.bits() >> 64) as u64;
+            assert_eq!(CapWord::base_from_halves(lo, hi), w.base());
+        }
+    }
+
+    #[test]
+    fn base_from_halves_matches_on_raw_patterns() {
+        // The sweep feeds raw (possibly non-capability) memory through the
+        // halves path, so it must agree with the u128 path on anything.
+        let mut x = 0x243f_6a88_85a3_08d3u64;
+        let mut next = move || {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        for _ in 0..10_000 {
+            let (lo, hi) = (next(), next());
+            let w = CapWord::from_bits((u128::from(hi) << 64) | u128::from(lo));
+            assert_eq!(CapWord::base_from_halves(lo, hi), w.base());
         }
     }
 

@@ -159,12 +159,42 @@ impl CompressedBounds {
         (base, top)
     }
 
-    /// The *base only* — the fast path the revocation sweep uses to index the
+    /// The *base only* — what the revocation sweep uses to index the
     /// shadow map (paper §3.2: "a lookup in the shadow map using the base of
-    /// each capability").
+    /// each capability"). Runs the full reconstruction and discards the top;
+    /// the word-at-a-time sweep kernel uses
+    /// [`CompressedBounds::decode_base_partial`] instead.
     #[inline]
     pub fn decode_base(self, addr: u64) -> u64 {
         self.decode(addr).0
+    }
+
+    /// A **partial decode** of the base: skips the top reconstruction
+    /// entirely and stays in 64-bit arithmetic — the fast path of the
+    /// word-at-a-time sweep kernel, which only needs the base to probe the
+    /// shadow map.
+    ///
+    /// The result is bit-identical to [`CompressedBounds::decode_base`] for
+    /// every bit pattern: the full decode's base is its u128 value truncated
+    /// to 64 bits, which depends only on the low `64 - (E + MW)` bits of the
+    /// corrected upper address, so the u128 widening that `top` needs is
+    /// unnecessary here. `partial_decode_matches_full_decode_on_arbitrary_patterns`
+    /// pins the equivalence.
+    #[inline]
+    pub fn decode_base_partial(self, addr: u64) -> u64 {
+        let e = self.e as u32;
+        let b = self.b as u64;
+        // E is capped at MAX_EXPONENT = 52, so `shift` can reach 66: the
+        // whole corrected-upper term then falls outside the low 64 bits.
+        let shift = e + MW;
+        let a_mid = (addr >> e) & MASK;
+        let a_hi = if shift >= 64 { 0 } else { addr >> shift };
+        let r = b.wrapping_sub(MAX_LEN_MANT) & MASK;
+        let cb = a_hi
+            .wrapping_add(u64::from(b < r))
+            .wrapping_sub(u64::from(a_mid < r));
+        let hi = if shift >= 64 { 0 } else { cb << shift };
+        hi.wrapping_add(b << e)
     }
 
     /// `true` if decoding at `addr` yields the same bounds as decoding at
@@ -333,6 +363,39 @@ mod tests {
         for addr in [base, base + 1, top - 1, top, top + 128] {
             if cb.addr_is_representable(base, addr) {
                 assert_eq!(cb.decode_base(addr), base);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_decode_matches_full_decode_on_arbitrary_patterns() {
+        // The sweep decodes raw memory words, so the u64-only base path
+        // must agree with the u128 reconstruction on *any* bit pattern,
+        // including exponents at and beyond the cap and mantissas that
+        // wrap the correction window.
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            // xorshift64*: deterministic, dependency-free.
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        for _ in 0..20_000 {
+            let r = next();
+            let cb = CompressedBounds::from_raw((r >> 48) as u8, (r >> 16) as u16, r as u16);
+            let addr = next();
+            assert_eq!(
+                cb.decode_base_partial(addr),
+                cb.decode(addr).0,
+                "divergence at {cb:?} addr={addr:#x}"
+            );
+        }
+        // Boundary exponents around the shift >= 64 branch.
+        for e in [49u8, 50, 51, 52, 0xff] {
+            for addr in [0u64, u64::MAX, 1 << 63, 0x1234_5678_9abc_def0] {
+                let cb = CompressedBounds::from_raw(e, 0x3fff, 0);
+                assert_eq!(cb.decode_base_partial(addr), cb.decode(addr).0);
             }
         }
     }

@@ -7,7 +7,7 @@ use cheri::{CapError, Capability, Perms};
 use cvkalloc::{CherivokeAllocator, DlAllocator};
 use revoker::{
     sweep_register_file, CapDirtyPages, NoFilter, ParallelSweepEngine, RangeSource, ShadowMap,
-    SpaceSource, SweepStats,
+    SpaceSource, SweepScratch, SweepStats,
 };
 use tagmem::{AddressSpace, CoreDump, SegmentKind};
 
@@ -69,6 +69,9 @@ pub struct CherivokeHeap {
     alloc: CherivokeAllocator,
     shadow: ShadowMap,
     engine: ParallelSweepEngine,
+    /// Reusable sweep working memory: persists across epochs so
+    /// steady-state sweeps allocate nothing in the walk and inner loop.
+    scratch: SweepScratch,
     policy: RevocationPolicy,
     heap_root: Capability,
     stack_root: Capability,
@@ -132,6 +135,7 @@ impl CherivokeHeap {
             alloc,
             shadow: ShadowMap::new(config.heap_base, config.heap_size),
             engine: ParallelSweepEngine::new(config.policy.kernel, config.policy.sweep_workers),
+            scratch: SweepScratch::new(),
             policy: config.policy,
             heap_root,
             stack_root,
@@ -340,10 +344,11 @@ impl CherivokeHeap {
                 .iter_mut()
                 .find(|s| s.mem().contains(start, len))
                 .expect("worklist regions lie in segments");
-            let mut stats = self.engine.sweep(
+            let mut stats = self.engine.sweep_scratched(
                 RangeSource::new(seg.mem_mut(), start, len),
                 NoFilter,
                 &self.shadow,
+                &mut self.scratch,
             );
             // A slice is a fragment of a segment, not a segment sweep.
             stats.segments_swept = 0;
@@ -419,10 +424,15 @@ impl CherivokeHeap {
     pub fn sweep_foreign(&mut self, shadow: &ShadowMap) -> SweepStats {
         let (source, page_table) = SpaceSource::split(&mut self.space);
         if self.policy.use_capdirty {
-            self.engine
-                .sweep(source, CapDirtyPages::new(page_table), shadow)
+            self.engine.sweep_scratched(
+                source,
+                CapDirtyPages::new(page_table),
+                shadow,
+                &mut self.scratch,
+            )
         } else {
-            self.engine.sweep(source, NoFilter, shadow)
+            self.engine
+                .sweep_scratched(source, NoFilter, shadow, &mut self.scratch)
         }
     }
 
@@ -507,10 +517,15 @@ impl CherivokeHeap {
         let stats = {
             let (source, page_table) = SpaceSource::split(&mut self.space);
             if self.policy.use_capdirty {
-                self.engine
-                    .sweep(source, CapDirtyPages::new(page_table), &self.shadow)
+                self.engine.sweep_scratched(
+                    source,
+                    CapDirtyPages::new(page_table),
+                    &self.shadow,
+                    &mut self.scratch,
+                )
             } else {
-                self.engine.sweep(source, NoFilter, &self.shadow)
+                self.engine
+                    .sweep_scratched(source, NoFilter, &self.shadow, &mut self.scratch)
             }
         };
         self.alloc.drain_quarantine();

@@ -50,11 +50,15 @@ pub struct RevocationPolicy {
 impl RevocationPolicy {
     /// The configuration evaluated in the paper: 25% quarantine, buffered
     /// (non-strict) revocation, optimised kernel, CapDirty page skipping.
+    ///
+    /// The kernel honours `CHERIVOKE_FAST_KERNEL` (default on): the
+    /// word-at-a-time fast path, falling back to [`Kernel::Wide`] when the
+    /// variable disables it (see [`revoker::fast_kernel_from_env`]).
     pub fn paper_default() -> RevocationPolicy {
         RevocationPolicy {
             quarantine: QuarantineConfig::paper_default(),
             strict: false,
-            kernel: Kernel::Wide,
+            kernel: Kernel::from_env(),
             use_capdirty: true,
             sweep_on_oom: true,
             incremental_slice_bytes: None,
@@ -168,7 +172,10 @@ mod tests {
     fn with_fraction_overrides_only_quarantine() {
         let p = RevocationPolicy::with_fraction(1.0);
         assert_eq!(p.quarantine.fraction, 1.0);
-        assert_eq!(p.kernel, Kernel::Wide);
+        // The kernel is env-selected (CHERIVOKE_FAST_KERNEL, default on):
+        // either the fast path or the wide reference tier.
+        assert_eq!(p.kernel, Kernel::from_env());
+        assert!(matches!(p.kernel, Kernel::Fast | Kernel::Wide));
     }
 
     #[test]

@@ -196,6 +196,28 @@ pub fn sweep_avx2(image: &mut ConservativeImage, shadow: &ShadowMap) -> Conserva
     run(image, shadow, ConsKernel::Avx2)
 }
 
+/// Sweeps `image` with `kernel`, reusing `scratch`'s walk buffers — the
+/// repeated-measurement form (§5.3 sweeps the same image 20×): after the
+/// first sweep warms the scratch, subsequent sweeps allocate nothing.
+pub fn sweep_scratched(
+    image: &mut ConservativeImage,
+    shadow: &ShadowMap,
+    kernel: ConsKernel,
+    scratch: &mut crate::SweepScratch,
+) -> ConservativeStats {
+    let stats = SweepEngine::new(kernel).sweep_scratched(
+        ImageSource::new(image),
+        NoFilter,
+        shadow,
+        scratch,
+    );
+    ConservativeStats {
+        words_scanned: stats.bytes_swept / 8,
+        pointers_seen: stats.caps_inspected,
+        revoked: stats.caps_revoked,
+    }
+}
+
 /// Scalar inner loop over one word window. Returns (pointers_seen,
 /// revoked).
 fn scan_scalar(words: &mut [u64], shadow: &ShadowMap) -> (u64, u64) {

@@ -41,6 +41,14 @@ use crate::{Kernel, ShadowMap, SweepStats};
 /// Every method defaults to a no-op; [`NoCost`] is the free implementation
 /// used by untimed sweeps.
 pub trait SweepCost {
+    /// Whether this cost model observes nothing (every hook is a no-op).
+    /// Kernels may take accounting-free shortcuts — e.g. the fast kernel's
+    /// empty-shadow bulk fall-through — only when this is `true`, so that
+    /// cost-charging sweeps always see the full access stream. Composite
+    /// models must AND their parts; anything that records state must leave
+    /// this `false` (the conservative default).
+    const IS_FREE: bool = false;
+
     /// A data read of `len` bytes at `addr` (one chunk the engine visits).
     fn chunk_read(&mut self, addr: u64, len: u64) {
         let _ = (addr, len);
@@ -65,7 +73,9 @@ pub trait SweepCost {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoCost;
 
-impl SweepCost for NoCost {}
+impl SweepCost for NoCost {
+    const IS_FREE: bool = true;
+}
 
 /// Memory a filter can query for tag presence without reading data.
 pub trait TagProbe {
@@ -467,12 +477,52 @@ pub fn line_spans(start: u64, len: u64) -> impl Iterator<Item = (u64, u64)> {
     })
 }
 
+/// Reusable working memory for sweep walks and plans.
+///
+/// Each engine walk needs a handful of growable buffers: the visited-page
+/// feedback list and — for the parallel engine — the planned chunk list,
+/// per-chunk granule windows, worker group boundaries and per-worker
+/// capability-count buffers. A `SweepScratch` owns all of them, so a
+/// caller that threads the *same* scratch through every sweep (see
+/// [`SweepEngine::sweep_scratched`],
+/// [`ParallelSweepEngine::sweep_scratched`]) pays each allocation once:
+/// the buffers grow to their high-water mark during warm-up and are then
+/// reused, leaving steady-state sweeps with **zero heap allocations** in
+/// the walk and inner loop. The scratch-free entry points build a fresh
+/// scratch per sweep, preserving the old behaviour.
+#[derive(Debug, Default)]
+pub struct SweepScratch {
+    /// `(frame, caps_found)` pairs from the page walk of one region.
+    pages: Vec<(u64, u64)>,
+    /// Planned `(start, len)` chunk list (parallel engine).
+    chunks: Vec<(u64, u64)>,
+    /// Granule windows per planned chunk.
+    windows: Vec<(usize, usize)>,
+    /// Per-chunk `caps_inspected` counts, in plan order.
+    caps_per_chunk: Vec<u64>,
+    /// Worker group boundaries as chunk-index ranges.
+    groups: Vec<(usize, usize)>,
+    /// Per-worker capability-count buffers (never shrunk, so a worker
+    /// pool's buffers persist across sweeps).
+    worker_caps: Vec<Vec<u64>>,
+}
+
+impl SweepScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> SweepScratch {
+        SweepScratch::default()
+    }
+}
+
 /// Walks one region under `filter`, calling `emit(mem, start, len, cost,
 /// stats)` for each chunk that must be swept; `emit` returns the number of
-/// capabilities it inspected. Returns the visited pages as `(frame,
-/// caps_found)` pairs — the engine feeds these to
-/// [`GranuleFilter::page_swept`] after execution (page feedback only
-/// affects *future* sweeps, so deferring it preserves semantics).
+/// capabilities it inspected. The visited pages are collected into
+/// `pages` (cleared first) as `(frame, caps_found)` pairs — the engine
+/// feeds these to [`GranuleFilter::page_swept`] after execution (page
+/// feedback only affects *future* sweeps, so deferring it preserves
+/// semantics). Taking the buffer from the caller lets a reused
+/// [`SweepScratch`] make this walk allocation-free after warm-up.
+#[allow(clippy::too_many_arguments)] // walk ABI: region + hooks + scratch
 fn walk_region<M, F, C>(
     mem: &mut M,
     start: u64,
@@ -480,14 +530,14 @@ fn walk_region<M, F, C>(
     filter: &mut F,
     cost: &mut C,
     stats: &mut SweepStats,
+    pages: &mut Vec<(u64, u64)>,
     mut emit: impl FnMut(&mut M, u64, u64, &mut C, &mut SweepStats) -> u64,
-) -> Vec<(u64, u64)>
-where
+) where
     M: TagProbe,
     F: GranuleFilter<M>,
     C: SweepCost,
 {
-    let mut pages = Vec::new();
+    pages.clear();
     match filter.granularity() {
         FilterGranularity::Region => {
             emit(mem, start, len, cost, stats);
@@ -514,7 +564,6 @@ where
             }
         }
     }
-    pages
 }
 
 /// Sweeps the capability register file against `shadow` (§3.3's register
@@ -567,8 +616,8 @@ impl<K> SweepEngine<K> {
     /// visitation order.
     pub fn sweep_costed<S, F, C>(
         &self,
-        mut source: S,
-        mut filter: F,
+        source: S,
+        filter: F,
         shadow: &ShadowMap,
         cost: &mut C,
     ) -> SweepStats
@@ -578,15 +627,53 @@ impl<K> SweepEngine<K> {
         C: SweepCost,
         K: RevokeKernel<S::Mem>,
     {
+        self.sweep_costed_scratched(source, filter, shadow, cost, &mut SweepScratch::new())
+    }
+
+    /// [`SweepEngine::sweep`] reusing `scratch`'s buffers: after the first
+    /// (warm-up) sweep grows them, subsequent sweeps with the same scratch
+    /// allocate nothing.
+    pub fn sweep_scratched<S, F>(
+        &self,
+        source: S,
+        filter: F,
+        shadow: &ShadowMap,
+        scratch: &mut SweepScratch,
+    ) -> SweepStats
+    where
+        S: CapSource,
+        F: GranuleFilter<S::Mem>,
+        K: RevokeKernel<S::Mem>,
+    {
+        self.sweep_costed_scratched(source, filter, shadow, &mut NoCost, scratch)
+    }
+
+    /// [`SweepEngine::sweep_costed`] reusing `scratch`'s buffers.
+    pub fn sweep_costed_scratched<S, F, C>(
+        &self,
+        mut source: S,
+        mut filter: F,
+        shadow: &ShadowMap,
+        cost: &mut C,
+        scratch: &mut SweepScratch,
+    ) -> SweepStats
+    where
+        S: CapSource,
+        F: GranuleFilter<S::Mem>,
+        C: SweepCost,
+        K: RevokeKernel<S::Mem>,
+    {
         let mut stats = SweepStats::default();
+        let pages = &mut scratch.pages;
         source.for_each_region(|mem, start, len| {
-            let pages = walk_region(
+            walk_region(
                 mem,
                 start,
                 len,
                 &mut filter,
                 cost,
                 &mut stats,
+                pages,
                 |mem, s, l, cost, stats| {
                     cost.chunk_read(s, l);
                     let before = stats.caps_inspected;
@@ -596,7 +683,7 @@ impl<K> SweepEngine<K> {
                 },
             );
             stats.segments_swept = stats.segments_swept.saturating_add(1);
-            for (frame, caps) in pages {
+            for &(frame, caps) in pages.iter() {
                 filter.page_swept(frame, caps);
             }
         });
@@ -665,6 +752,52 @@ pub fn workers_from_env() -> usize {
     }
 }
 
+/// Validates a raw `CHERIVOKE_FAST_KERNEL` value. Returns whether the
+/// fast kernel is enabled plus a warning when the value was not
+/// recognised (unrecognised values keep the default: enabled).
+pub fn parse_fast_kernel(raw: &str) -> (bool, Option<String>) {
+    let v = raw.trim();
+    if v.is_empty()
+        || v.eq_ignore_ascii_case("1")
+        || v.eq_ignore_ascii_case("true")
+        || v.eq_ignore_ascii_case("on")
+    {
+        (true, None)
+    } else if v.eq_ignore_ascii_case("0")
+        || v.eq_ignore_ascii_case("false")
+        || v.eq_ignore_ascii_case("off")
+    {
+        (false, None)
+    } else {
+        (
+            true,
+            Some(format!(
+                "CHERIVOKE_FAST_KERNEL={v:?} is not recognised (expected 0/1/true/false/on/off); \
+                 keeping the fast kernel enabled"
+            )),
+        )
+    }
+}
+
+/// Whether the word-at-a-time fast sweep kernel is enabled, from the
+/// `CHERIVOKE_FAST_KERNEL` environment variable. **Default on**: unset,
+/// empty, `1`, `true` and `on` enable it; `0`, `false` and `off` fall
+/// back to [`Kernel::Wide`]. Unrecognised values warn once to stderr and
+/// keep the default.
+pub fn fast_kernel_from_env() -> bool {
+    match std::env::var("CHERIVOKE_FAST_KERNEL") {
+        Err(_) => true,
+        Ok(raw) => {
+            let (enabled, warning) = parse_fast_kernel(&raw);
+            if let Some(msg) = warning {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| eprintln!("warning: {msg}"));
+            }
+            enabled
+        }
+    }
+}
+
 /// The parallel sweep engine (§3.5): plans the identical chunk list the
 /// sequential engine would visit, partitions it across scoped worker
 /// threads on tag-word boundaries (workers own disjoint 64-granule words,
@@ -721,26 +854,54 @@ impl ParallelSweepEngine {
     /// Sweeps `source` under `filter`, fanning chunk execution out across
     /// the worker pool. Untimed only: parallel workers charge no
     /// [`SweepCost`].
-    pub fn sweep<S, F>(&self, mut source: S, mut filter: F, shadow: &ShadowMap) -> SweepStats
+    pub fn sweep<S, F>(&self, source: S, filter: F, shadow: &ShadowMap) -> SweepStats
+    where
+        S: CapSource<Mem = TaggedMemory>,
+        F: GranuleFilter<TaggedMemory>,
+    {
+        self.sweep_scratched(source, filter, shadow, &mut SweepScratch::new())
+    }
+
+    /// [`ParallelSweepEngine::sweep`] reusing `scratch`'s plan buffers
+    /// (chunk list, granule windows, worker groups, per-worker capability
+    /// counts). After warm-up, the walk, plan and inner loops allocate
+    /// nothing; only per-worker thread spawns remain (O(workers), not
+    /// O(chunks)).
+    pub fn sweep_scratched<S, F>(
+        &self,
+        mut source: S,
+        mut filter: F,
+        shadow: &ShadowMap,
+        scratch: &mut SweepScratch,
+    ) -> SweepStats
     where
         S: CapSource<Mem = TaggedMemory>,
         F: GranuleFilter<TaggedMemory>,
     {
         let timer = self.telemetry.is_enabled().then(std::time::Instant::now);
         let mut stats = SweepStats::default();
+        let SweepScratch {
+            pages,
+            chunks,
+            windows,
+            caps_per_chunk,
+            groups,
+            worker_caps,
+        } = scratch;
         source.for_each_region(|mem, start, len| {
             // Plan: the exact walk the sequential engine performs,
             // executing nothing. Skip decisions cannot depend on execution
             // (revocations only clear tags in already-visited chunks), so
             // plan-then-execute is equivalent to the interleaved walk.
-            let mut chunks: Vec<(u64, u64)> = Vec::new();
-            let mut pages = walk_region(
+            chunks.clear();
+            walk_region(
                 mem,
                 start,
                 len,
                 &mut filter,
                 &mut NoCost,
                 &mut stats,
+                pages,
                 |_mem, s, l, _cost, _stats| {
                     chunks.push((s, l));
                     0
@@ -748,18 +909,28 @@ impl ParallelSweepEngine {
             );
             stats.segments_swept = stats.segments_swept.saturating_add(1);
 
-            let caps_per_chunk =
-                execute_chunks(self.kernel, self.workers, mem, &chunks, shadow, &mut stats);
+            execute_chunks(
+                self.kernel,
+                self.workers,
+                mem,
+                chunks,
+                shadow,
+                &mut stats,
+                windows,
+                caps_per_chunk,
+                groups,
+                worker_caps,
+            );
 
             // Fold per-chunk capability counts back onto their pages and
             // deliver the deferred page feedback in address order.
-            for (&(chunk_start, _), caps) in chunks.iter().zip(&caps_per_chunk) {
+            for (&(chunk_start, _), &caps) in chunks.iter().zip(caps_per_chunk.iter()) {
                 let frame = chunk_start & !(PAGE_SIZE - 1);
                 if let Ok(i) = pages.binary_search_by_key(&frame, |&(f, _)| f) {
                     pages[i].1 += caps;
                 }
             }
-            for (frame, caps) in pages {
+            for &(frame, caps) in pages.iter() {
                 filter.page_swept(frame, caps);
             }
         });
@@ -768,15 +939,19 @@ impl ParallelSweepEngine {
         }
         if let Some(timer) = timer {
             self.telemetry
-                .observe(&stats, timer.elapsed(), self.workers);
+                .observe(&stats, timer.elapsed(), self.workers, self.kernel.name());
         }
         stats
     }
 }
 
 /// Executes a planned chunk list, in parallel when `workers > 1` and the
-/// plan is large enough to split. Returns per-chunk `caps_inspected`
-/// counts in plan order.
+/// plan is large enough to split. Fills `caps_per_chunk` with per-chunk
+/// `caps_inspected` counts in plan order. The `windows`, `groups` and
+/// `worker_caps` buffers come from the caller's [`SweepScratch`], so a
+/// warmed-up scratch makes the whole plan-and-execute pass allocation-free
+/// apart from the O(workers) thread spawns.
+#[allow(clippy::too_many_arguments)] // plan ABI: work + scratch buffers
 fn execute_chunks(
     kernel: Kernel,
     workers: usize,
@@ -784,28 +959,30 @@ fn execute_chunks(
     chunks: &[(u64, u64)],
     shadow: &ShadowMap,
     stats: &mut SweepStats,
-) -> Vec<u64> {
+    windows: &mut Vec<(usize, usize)>,
+    caps_per_chunk: &mut Vec<u64>,
+    groups: &mut Vec<(usize, usize)>,
+    worker_caps: &mut Vec<Vec<u64>>,
+) {
     let base = mem.base();
     // Granule windows per chunk (chunks are granule-aligned by
     // construction: regions, pages, and lines are all multiples of 16).
-    let windows: Vec<(usize, usize)> = chunks
-        .iter()
-        .map(|&(s, l)| {
-            let g0 = ((s - base) / GRANULE_SIZE) as usize;
-            (g0, g0 + (l / GRANULE_SIZE) as usize)
-        })
-        .collect();
+    windows.clear();
+    windows.extend(chunks.iter().map(|&(s, l)| {
+        let g0 = ((s - base) / GRANULE_SIZE) as usize;
+        (g0, g0 + (l / GRANULE_SIZE) as usize)
+    }));
+    caps_per_chunk.clear();
 
     if workers <= 1 || chunks.len() <= 1 {
         let (data, tags) = mem.as_parts_mut();
-        let mut caps = Vec::with_capacity(chunks.len());
-        for (&(_, l), &(g0, g1)) in chunks.iter().zip(&windows) {
+        for (&(_, l), &(g0, g1)) in chunks.iter().zip(windows.iter()) {
             let before = stats.caps_inspected;
             run_kernel(kernel, data, tags, g0, g1, shadow, base, &mut NoCost, stats);
             stats.bytes_swept = stats.bytes_swept.saturating_add(l);
-            caps.push(stats.caps_inspected - before);
+            caps_per_chunk.push(stats.caps_inspected - before);
         }
-        return caps;
+        return;
     }
 
     // Group contiguous runs of chunks, closing a group only between chunks
@@ -813,7 +990,7 @@ fn execute_chunks(
     // own disjoint word ranges of both the data and tag arrays.
     let total_bytes: u64 = chunks.iter().map(|c| c.1).sum();
     let target = (total_bytes / workers as u64).max(1);
-    let mut groups: Vec<(usize, usize)> = Vec::new();
+    groups.clear();
     let mut group_start = 0;
     let mut acc = 0u64;
     for i in 0..chunks.len() {
@@ -832,7 +1009,14 @@ fn execute_chunks(
 
     if groups.len() <= 1 {
         // Couldn't split (e.g. everything in one tag word): run inline.
-        return execute_chunks(kernel, 1, mem, chunks, shadow, stats);
+        let (data, tags) = mem.as_parts_mut();
+        for (&(_, l), &(g0, g1)) in chunks.iter().zip(windows.iter()) {
+            let before = stats.caps_inspected;
+            run_kernel(kernel, data, tags, g0, g1, shadow, base, &mut NoCost, stats);
+            stats.bytes_swept = stats.bytes_swept.saturating_add(l);
+            caps_per_chunk.push(stats.caps_inspected - before);
+        }
+        return;
     }
 
     // Carve each group's word range out of the data and tag arrays.
@@ -841,7 +1025,7 @@ fn execute_chunks(
     let mut tags_rest: &mut [u64] = tags;
     let mut word_off = 0usize;
     let mut jobs = Vec::with_capacity(groups.len());
-    for &(c0, c1) in &groups {
+    for &(c0, c1) in groups.iter() {
         let w_lo = windows[c0].0 / 64;
         let w_hi = (windows[c1 - 1].1).div_ceil(64);
         // Discard [word_off, w_lo).
@@ -860,14 +1044,20 @@ fn execute_chunks(
         jobs.push((c0, c1, w_lo, dj, tj));
     }
 
-    let results: Vec<(SweepStats, Vec<u64>)> = std::thread::scope(|scope| {
+    // Per-worker capability buffers persist in the scratch; grow the pool
+    // but never shrink it (shrinking would free a warmed-up buffer).
+    if worker_caps.len() < groups.len() {
+        worker_caps.resize_with(groups.len(), Vec::new);
+    }
+    let windows: &[(usize, usize)] = windows;
+    let partials: Vec<SweepStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = jobs
             .into_iter()
-            .map(|(c0, c1, w_lo, dj, tj)| {
-                let windows = &windows;
+            .zip(worker_caps.iter_mut())
+            .map(|((c0, c1, w_lo, dj, tj), caps)| {
                 scope.spawn(move || {
+                    caps.clear();
                     let mut local = SweepStats::default();
-                    let mut caps = Vec::with_capacity(c1 - c0);
                     let local_base = base + (w_lo as u64) * 64 * GRANULE_SIZE;
                     for i in c0..c1 {
                         let (g0, g1) = windows[i];
@@ -886,7 +1076,7 @@ fn execute_chunks(
                         local.bytes_swept = local.bytes_swept.saturating_add(chunks[i].1);
                         caps.push(local.caps_inspected - before);
                     }
-                    (local, caps)
+                    local
                 })
             })
             .collect();
@@ -896,14 +1086,10 @@ fn execute_chunks(
             .collect()
     });
 
-    let mut caps_per_chunk = Vec::with_capacity(chunks.len());
-    let mut partials = Vec::with_capacity(results.len());
-    for (local, caps) in results {
-        partials.push(local);
-        caps_per_chunk.extend(caps);
+    for caps in worker_caps.iter().take(groups.len()) {
+        caps_per_chunk.extend_from_slice(caps);
     }
     *stats += SweepStats::merge_parallel(partials);
-    caps_per_chunk
 }
 
 #[cfg(test)]
@@ -1035,5 +1221,54 @@ mod tests {
         let (w, warn) = parse_workers("10000");
         assert_eq!(w, MAX_SWEEP_WORKERS);
         assert!(warn.unwrap().contains("clamping"));
+    }
+
+    #[test]
+    fn parse_fast_kernel_recognises_switches() {
+        for on in ["", "1", "true", "on", "TRUE", " 1 "] {
+            assert_eq!(parse_fast_kernel(on), (true, None), "{on:?}");
+        }
+        for off in ["0", "false", "off", "FALSE", " 0 "] {
+            assert_eq!(parse_fast_kernel(off), (false, None), "{off:?}");
+        }
+        let (enabled, warn) = parse_fast_kernel("banana");
+        assert!(enabled, "unrecognised values keep the default");
+        assert!(warn.unwrap().contains("not recognised"));
+    }
+
+    #[test]
+    fn scratched_sweeps_match_unscratched() {
+        let mut scratch = SweepScratch::new();
+        for seed in 0..3u64 {
+            // Sequential, filtered: the page-feedback buffer is reused.
+            let (mut a, shadow) = seeded_space(seed);
+            let (mut b, _) = seeded_space(seed);
+            let (src_a, pt_a) = SpaceSource::split(&mut a);
+            let plain = SweepEngine::new(Kernel::Fast).sweep(
+                src_a,
+                (CapDirtyPages::new(pt_a), CLoadTagsLines::new()),
+                &shadow,
+            );
+            let (src_b, pt_b) = SpaceSource::split(&mut b);
+            let scratched = SweepEngine::new(Kernel::Fast).sweep_scratched(
+                src_b,
+                (CapDirtyPages::new(pt_b), CLoadTagsLines::new()),
+                &shadow,
+                &mut scratch,
+            );
+            assert_eq!(plain, scratched, "seed {seed}");
+            assert_eq!(a.tag_count(), b.tag_count(), "seed {seed}");
+
+            // Parallel: plan buffers and worker cap buffers are reused.
+            let (mut c, shadow) = seeded_space(seed);
+            let (mut d, _) = seeded_space(seed);
+            let engine = ParallelSweepEngine::new(Kernel::Fast, 4);
+            let (src_c, _) = SpaceSource::split(&mut c);
+            let plain = engine.sweep(src_c, EveryLine, &shadow);
+            let (src_d, _) = SpaceSource::split(&mut d);
+            let scratched = engine.sweep_scratched(src_d, EveryLine, &shadow, &mut scratch);
+            assert_eq!(plain, scratched, "seed {seed}");
+            assert_eq!(c.tag_count(), d.tag_count(), "seed {seed}");
+        }
     }
 }

@@ -75,10 +75,11 @@ mod sweep;
 pub mod timed;
 
 pub use engine::{
-    line_spans, page_spans, parse_workers, sweep_register_file, workers_from_env, CLoadTagsLines,
-    CapDirtyPages, CapSource, DirtyPageList, DumpSource, EveryLine, FilterGranularity,
-    GranuleFilter, IdealLines, NoCost, NoFilter, ParallelSweepEngine, RangeSource, RegisterSource,
-    RevokeKernel, SegmentSource, SpaceSource, SweepCost, SweepEngine, TagProbe, MAX_SWEEP_WORKERS,
+    fast_kernel_from_env, line_spans, page_spans, parse_fast_kernel, parse_workers,
+    sweep_register_file, workers_from_env, CLoadTagsLines, CapDirtyPages, CapSource, DirtyPageList,
+    DumpSource, EveryLine, FilterGranularity, GranuleFilter, IdealLines, NoCost, NoFilter,
+    ParallelSweepEngine, RangeSource, RegisterSource, RevokeKernel, SegmentSource, SpaceSource,
+    SweepCost, SweepEngine, SweepScratch, TagProbe, MAX_SWEEP_WORKERS,
 };
 pub use obs::{SweepTelemetry, TelemetryCost};
 pub use plan::{SkipMode, SweepPlan};

@@ -42,8 +42,15 @@ impl SweepTelemetry {
         self.registry.is_enabled()
     }
 
-    /// Records one completed sweep.
-    pub fn observe(&self, stats: &SweepStats, elapsed: Duration, workers: usize) {
+    /// Records one completed sweep. `kernel` is the executing kernel's
+    /// stable name (see [`crate::Kernel::name`]).
+    pub fn observe(
+        &self,
+        stats: &SweepStats,
+        elapsed: Duration,
+        workers: usize,
+        kernel: &'static str,
+    ) {
         if !self.is_enabled() {
             return;
         }
@@ -60,6 +67,7 @@ impl SweepTelemetry {
             caps_revoked: stats.caps_revoked,
             duration_ns,
             workers,
+            kernel,
         });
     }
 }
@@ -124,6 +132,8 @@ impl SweepCost for TelemetryCost {
 /// a timed sweep can charge its machine model *and* stream the same
 /// access mix into telemetry in one walk.
 impl<A: SweepCost, B: SweepCost> SweepCost for (A, B) {
+    const IS_FREE: bool = A::IS_FREE && B::IS_FREE;
+
     fn chunk_read(&mut self, addr: u64, len: u64) {
         self.0.chunk_read(addr, len);
         self.1.chunk_read(addr, len);
@@ -207,7 +217,7 @@ mod tests {
     fn disabled_telemetry_observes_nothing() {
         let t = SweepTelemetry::default();
         assert!(!t.is_enabled());
-        t.observe(&SweepStats::default(), Duration::from_micros(5), 2);
+        t.observe(&SweepStats::default(), Duration::from_micros(5), 2, "wide");
         // And a registered one records.
         let registry = Registry::new(8);
         let t = SweepTelemetry::register(&registry);
@@ -217,7 +227,7 @@ mod tests {
             caps_revoked: 2,
             ..Default::default()
         };
-        t.observe(&stats, Duration::from_micros(5), 2);
+        t.observe(&stats, Duration::from_micros(5), 2, Kernel::Fast.name());
         let snap = registry.snapshot();
         assert_eq!(snap.counters["cvk_sweeps_total"], 1);
         assert_eq!(snap.counters["cvk_sweep_bytes_total"], 4096);
@@ -228,8 +238,18 @@ mod tests {
             EventKind::Sweep {
                 caps_revoked: 2,
                 workers: 2,
+                kernel: "fast",
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn cost_freeness_composes() {
+        use crate::engine::NoCost;
+        assert!(<NoCost as SweepCost>::IS_FREE);
+        assert!(<(NoCost, NoCost) as SweepCost>::IS_FREE);
+        assert!(!<TelemetryCost as SweepCost>::IS_FREE);
+        assert!(!<(NoCost, TelemetryCost) as SweepCost>::IS_FREE);
     }
 }

@@ -2,6 +2,11 @@
 
 use tagmem::GRANULE_SIZE;
 
+/// Granules covered by one shadow word (1 KiB of heap). One bit of the
+/// hierarchical summary covers one such word; a whole summary word covers
+/// 64 × 64 granules = 4 MiB of heap.
+const WORD_GRANULES: u64 = 64;
+
 /// One bit per 16-byte allocation granule: set means "references to this
 /// granule are to be revoked in the next sweep".
 ///
@@ -30,6 +35,10 @@ pub struct ShadowMap {
     heap_base: u64,
     granules: u64,
     bits: Vec<u64>,
+    /// Hierarchical summary: bit `i` is set iff `bits[i] != 0`. One
+    /// summary word covers 64 shadow words = 4 MiB of heap, so a sweep of
+    /// a mostly-clean heap falls through in O(heap / 4 MiB) compares.
+    summary: Vec<u64>,
     painted_granules: u64,
 }
 
@@ -52,10 +61,12 @@ impl ShadowMap {
             "heap length must be granule-aligned"
         );
         let granules = heap_len / GRANULE_SIZE;
+        let words = (granules as usize).div_ceil(64);
         ShadowMap {
             heap_base,
             granules,
-            bits: vec![0; (granules as usize).div_ceil(64)],
+            bits: vec![0; words],
+            summary: vec![0; words.div_ceil(64)],
             painted_granules: 0,
         }
     }
@@ -150,19 +161,20 @@ impl ShadowMap {
         while g + 63 <= last {
             let w = (g / 64) as usize;
             let old = self.bits[w];
-            let new = if set { u64::MAX } else { 0 };
-            if old != new {
-                let delta = if set {
-                    old.count_zeros()
-                } else {
-                    old.count_ones()
-                } as u64;
-                self.painted_granules = if set {
-                    self.painted_granules + delta
-                } else {
-                    self.painted_granules - delta
-                };
-                self.bits[w] = new;
+            if set {
+                // Under the strict paint/clear contract (each granule is
+                // painted exactly once per quarantine generation) a
+                // whole-word paint always lands on a clean word; anything
+                // else means `painted_granules` was about to drift.
+                debug_assert_eq!(old, 0, "repainting word {w}: already-painted granules");
+                self.painted_granules += u64::from(old.count_zeros());
+                self.bits[w] = u64::MAX;
+                self.summary[w / 64] |= 1 << (w % 64);
+            } else {
+                debug_assert_eq!(old, u64::MAX, "clearing word {w}: already-clean granules");
+                self.painted_granules -= u64::from(old.count_ones());
+                self.bits[w] = 0;
+                self.summary[w / 64] &= !(1 << (w % 64));
             }
             g += 64;
         }
@@ -178,12 +190,22 @@ impl ShadowMap {
         let w = (g / 64) as usize;
         let mask = 1u64 << (g % 64);
         let was = self.bits[w] & mask != 0;
-        if set && !was {
-            self.bits[w] |= mask;
-            self.painted_granules += 1;
-        } else if !set && was {
-            self.bits[w] &= !mask;
-            self.painted_granules -= 1;
+        if set {
+            debug_assert!(!was, "repainting already-painted granule {g}");
+            if !was {
+                self.bits[w] |= mask;
+                self.summary[w / 64] |= 1 << (w % 64);
+                self.painted_granules += 1;
+            }
+        } else {
+            debug_assert!(was, "clearing already-clean granule {g}");
+            if was {
+                self.bits[w] &= !mask;
+                if self.bits[w] == 0 {
+                    self.summary[w / 64] &= !(1 << (w % 64));
+                }
+                self.painted_granules -= 1;
+            }
         }
     }
 
@@ -198,6 +220,96 @@ impl ShadowMap {
         }
     }
 
+    /// The whole shadow **word** covering `addr`'s 64-granule group (1 KiB
+    /// of heap): bit `i` covers granule `group_start + i`. Zero means no
+    /// granule in the window is painted, so a word-at-a-time sweep kernel
+    /// can discharge the entire window with one compare. Addresses outside
+    /// the shadowed heap return 0 (never painted).
+    #[inline]
+    pub fn word(&self, addr: u64) -> u64 {
+        match self.granule_of(addr) {
+            Some(g) => self.bits[(g / WORD_GRANULES) as usize],
+            None => 0,
+        }
+    }
+
+    /// [`ShadowMap::is_painted`] as a branch-free 0/1 — the sweep kernels'
+    /// inner-loop form. Out-of-coverage addresses (including anything
+    /// below the heap base, via the wrapping subtraction) select word 0
+    /// masked to zero, so the load always hits the map and the result is
+    /// computed with compares and masks only — no data-dependent branch
+    /// for the predictor to miss on random pointees.
+    #[inline]
+    pub fn painted_bit(&self, addr: u64) -> u64 {
+        let g = addr.wrapping_sub(self.heap_base) / GRANULE_SIZE;
+        let in_range = g < self.granules;
+        // `granules > 0` whenever `in_range` can be true, so index 0 is
+        // always loadable when it matters; an empty map short-circuits.
+        if self.bits.is_empty() {
+            return 0;
+        }
+        let idx = if in_range {
+            (g / WORD_GRANULES) as usize
+        } else {
+            0
+        };
+        (self.bits[idx] >> (g % WORD_GRANULES)) & 1 & u64::from(in_range)
+    }
+
+    /// `true` if any granule of `[addr, addr + len)` is painted. Portions
+    /// of the range outside the shadowed heap count as unpainted. Large
+    /// mostly-clean ranges are answered through the hierarchical summary
+    /// in O(len / 4 MiB).
+    pub fn any_painted_in(&self, addr: u64, len: u64) -> bool {
+        if len == 0 || self.painted_granules == 0 {
+            return false;
+        }
+        let end = addr.saturating_add(len);
+        let lo = addr.max(self.heap_base);
+        let hi = end.min(self.heap_base + self.covered_bytes());
+        if lo >= hi {
+            return false;
+        }
+        let g0 = (lo - self.heap_base) / GRANULE_SIZE;
+        let g1 = (hi - self.heap_base).div_ceil(GRANULE_SIZE);
+        let w0 = (g0 / WORD_GRANULES) as usize;
+        let w1 = ((g1 - 1) / WORD_GRANULES) as usize;
+        if w0 == w1 {
+            let mask = (u64::MAX << (g0 % 64)) & (u64::MAX >> ((64 - g1 % 64) % 64));
+            return self.bits[w0] & mask != 0;
+        }
+        if self.bits[w0] & (u64::MAX << (g0 % 64)) != 0 {
+            return true;
+        }
+        let tail_mask = u64::MAX >> ((64 - g1 % 64) % 64);
+        if self.bits[w1] & tail_mask != 0 {
+            return true;
+        }
+        // Whole interior words, skipping 64 (4 MiB of heap) at a time
+        // wherever the summary word is clean.
+        let mut w = w0 + 1;
+        while w < w1 {
+            let s = w / 64;
+            if self.summary[s] == 0 {
+                w = (s + 1) * 64;
+                continue;
+            }
+            if self.bits[w] != 0 {
+                return true;
+            }
+            w += 1;
+        }
+        false
+    }
+
+    /// The hierarchical summary words: bit `i` of word `i / 64` is set iff
+    /// shadow word `i` holds any paint. One summary bit covers 1 KiB of
+    /// heap ([`ShadowMap::word`]); one summary word covers 4 MiB.
+    #[inline]
+    pub fn summary_words(&self) -> &[u64] {
+        &self.summary
+    }
+
     /// Total painted bytes.
     pub fn painted_bytes(&self) -> u64 {
         self.painted_granules * GRANULE_SIZE
@@ -206,6 +318,7 @@ impl ShadowMap {
     /// Clears the entire map (constant-time bulk store).
     pub fn clear_all(&mut self) {
         self.bits.fill(0);
+        self.summary.fill(0);
         self.painted_granules = 0;
     }
 
@@ -259,11 +372,146 @@ mod tests {
         // 100 KiB starting at a ragged offset.
         s.paint(BASE + 0x30, 100 * 1024 + 16);
         assert_eq!(s.painted_bytes(), 100 * 1024 + 16);
-        // Repainting is idempotent.
-        s.paint(BASE + 0x30, 100 * 1024 + 16);
-        assert_eq!(s.painted_bytes(), 100 * 1024 + 16);
         s.clear_all();
         assert_eq!(s.painted_bytes(), 0);
+    }
+
+    #[test]
+    fn clear_all_and_repaint_roundtrips_painted_bytes() {
+        // The bookkeeping-drift guard: after a bulk clear, repainting the
+        // identical range set must reproduce the identical byte count and
+        // bitmap — `painted_granules` cannot diverge from the bits.
+        let mut s = ShadowMap::new(BASE, LEN);
+        let ranges = [
+            (BASE + 0x30, 100 * 1024 + 16),
+            (BASE + 0x2_0000, 0x40),
+            (BASE + LEN - 0x1000, 0x1000),
+        ];
+        for &(a, l) in &ranges {
+            s.paint(a, l);
+        }
+        let bytes = s.painted_bytes();
+        let words = s.as_words().to_vec();
+        let summary = s.summary_words().to_vec();
+        s.clear_all();
+        assert_eq!(s.painted_bytes(), 0);
+        assert!(s.summary_words().iter().all(|&w| w == 0));
+        for &(a, l) in &ranges {
+            s.paint(a, l);
+        }
+        assert_eq!(s.painted_bytes(), bytes);
+        assert_eq!(s.as_words(), &words[..]);
+        assert_eq!(s.summary_words(), &summary[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repainting")]
+    #[cfg(debug_assertions)]
+    fn repainting_a_painted_granule_is_a_bug() {
+        let mut s = ShadowMap::new(BASE, LEN);
+        s.paint(BASE + 0x40, 16);
+        s.paint(BASE + 0x40, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "clearing already-clean")]
+    #[cfg(debug_assertions)]
+    fn clearing_a_clean_granule_is_a_bug() {
+        let mut s = ShadowMap::new(BASE, LEN);
+        s.clear(BASE + 0x40, 16);
+    }
+
+    #[test]
+    fn word_exposes_the_window_mask() {
+        let mut s = ShadowMap::new(BASE, LEN);
+        s.paint(BASE + 0x40, 16); // granule 4 of word 0
+        assert_eq!(s.word(BASE), 1 << 4);
+        assert_eq!(s.word(BASE + 0x3ff), 1 << 4); // same 1 KiB window
+        assert_eq!(s.word(BASE + 0x400), 0); // next window is clean
+        assert_eq!(s.word(BASE - 16), 0); // outside: never painted
+        assert_eq!(s.word(BASE + LEN), 0);
+    }
+
+    #[test]
+    fn painted_bit_matches_is_painted() {
+        let mut s = ShadowMap::new(BASE, LEN);
+        s.paint(BASE + 0x400, 16);
+        s.paint(BASE + 0x8230, 0x20);
+        s.paint(BASE + LEN - 16, 16);
+        // In-range addresses (granule-aligned and interior bytes), the
+        // heap edges, and out-of-range addresses on both sides — the
+        // branch-free form must agree with the boolean everywhere.
+        for addr in [
+            BASE,
+            BASE + 0x400,
+            BASE + 0x407,
+            BASE + 0x410,
+            BASE + 0x8230,
+            BASE + 0x824f,
+            BASE + 0x8250,
+            BASE + LEN - 16,
+            BASE + LEN - 1,
+            BASE + LEN,
+            BASE - 16,
+            0,
+            u64::MAX,
+        ] {
+            assert_eq!(
+                s.painted_bit(addr),
+                u64::from(s.is_painted(addr)),
+                "addr {addr:#x}"
+            );
+        }
+        // An empty map never reports painted, in or out of range.
+        let empty = ShadowMap::new(BASE, 0);
+        assert_eq!(empty.painted_bit(BASE), 0);
+        assert_eq!(empty.painted_bit(BASE - 16), 0);
+    }
+
+    #[test]
+    fn any_painted_in_matches_per_granule_scan() {
+        let mut s = ShadowMap::new(BASE, LEN);
+        // Paint at a word boundary, mid-word, and near the heap end.
+        s.paint(BASE + 0x400, 16);
+        s.paint(BASE + 0x8230, 0x20);
+        s.paint(BASE + LEN - 16, 16);
+        let reference = |addr: u64, len: u64| {
+            (0..len / GRANULE_SIZE).any(|i| s.is_painted(addr + i * GRANULE_SIZE))
+        };
+        for (addr, len) in [
+            (BASE, 0x400),            // clean prefix
+            (BASE, 0x410),            // just reaches the first paint
+            (BASE + 0x410, 0x7e20),   // between paints
+            (BASE + 0x8000, 0x1000),  // covers the mid-word paint
+            (BASE, LEN),              // everything
+            (BASE + LEN - 32, 32),    // ragged tail at heap end
+            (BASE + 0x10_0000, 0x40), // clean interior
+        ] {
+            assert_eq!(
+                s.any_painted_in(addr, len),
+                reference(addr, len),
+                "range {addr:#x}+{len:#x}"
+            );
+        }
+        // Zero-length and fully-outside ranges are never painted.
+        assert!(!s.any_painted_in(BASE, 0));
+        assert!(!s.any_painted_in(0x100, 0x100));
+        assert!(!s.any_painted_in(BASE + LEN, 0x1000));
+    }
+
+    #[test]
+    fn summary_tracks_nonzero_words() {
+        let mut s = ShadowMap::new(BASE, LEN);
+        assert!(s.summary_words().iter().all(|&w| w == 0));
+        s.paint(BASE + 0x400, 16); // shadow word 1
+        assert_eq!(s.summary_words()[0], 1 << 1);
+        // A wide paint covering whole words sets their summary bits too.
+        s.paint(BASE + 0x1_0000, 0x1_0000); // granules 4096..8192, words 64..128
+        assert_eq!(s.summary_words()[1], u64::MAX);
+        s.clear(BASE + 0x1_0000, 0x1_0000);
+        assert_eq!(s.summary_words()[1], 0);
+        s.clear(BASE + 0x400, 16);
+        assert!(s.summary_words().iter().all(|&w| w == 0));
     }
 
     #[test]

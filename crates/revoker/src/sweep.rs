@@ -35,6 +35,39 @@ pub enum Kernel {
         /// Number of worker threads.
         threads: usize,
     },
+    /// The word-at-a-time fast path: like [`Kernel::Wide`], but each
+    /// capability is read as two 8-byte loads (no `u128` round trip), only
+    /// its **base** is decoded (the partial 64-bit decode,
+    /// [`cheri::CompressedBounds::decode_base_partial`]), and the decoded
+    /// base is first tested against the whole 64-granule shadow word
+    /// covering it — one `u64` compare rejects unpainted bases without a
+    /// bit extraction. Selected by default via `CHERIVOKE_FAST_KERNEL`
+    /// (see [`crate::fast_kernel_from_env`]).
+    Fast,
+}
+
+impl Kernel {
+    /// A short stable name for telemetry and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Simple => "simple",
+            Kernel::Unrolled => "unrolled",
+            Kernel::Wide => "wide",
+            Kernel::Parallel { .. } => "parallel",
+            Kernel::Fast => "fast",
+        }
+    }
+
+    /// The default sweep kernel honouring the `CHERIVOKE_FAST_KERNEL`
+    /// environment variable: [`Kernel::Fast`] unless the variable disables
+    /// it, then [`Kernel::Wide`] (see [`crate::fast_kernel_from_env`]).
+    pub fn from_env() -> Kernel {
+        if crate::engine::fast_kernel_from_env() {
+            Kernel::Fast
+        } else {
+            Kernel::Wide
+        }
+    }
 }
 
 /// Counters from one revocation sweep.
@@ -202,6 +235,7 @@ pub(crate) fn run_kernel<C: SweepCost>(
         Kernel::Parallel { threads } => {
             kernel_parallel(data, tags, g0, g1, shadow, threads.max(1), stats)
         }
+        Kernel::Fast => kernel_fast(data, tags, g0, g1, shadow, base, cost, stats),
     }
 }
 
@@ -343,6 +377,94 @@ fn kernel_wide<C: SweepCost>(
     }
 }
 
+/// The tentpole fast path: [`kernel_wide`]'s visitation order and exact
+/// statistics, with three per-capability savings.
+///
+/// * The word is read as two `u64` halves straight out of the data slice —
+///   no 16-byte slice → `u128` widen/narrow round trip.
+/// * Only the base is decoded, with the partial 64-bit bounds decode
+///   ([`CapWord::base_from_halves`]); the unused `top` is never
+///   reconstructed and no 128-bit arithmetic runs.
+/// * The decoded base probes the shadow through the branch-free
+///   [`ShadowMap::painted_bit`]: one load of the `u64` covering its
+///   64-granule window, folded into the kill mask with shifts and masks
+///   only — no data-dependent branch for random pointees to mispredict.
+///
+/// When no cost model is attached (`C::IS_FREE`) and the shadow map is
+/// entirely empty, whole tag words fall through without decoding at all:
+/// every live bit is counted as inspected (the result an empty shadow
+/// forces) and nothing else happens. Cost-charging sweeps never take this
+/// shortcut, so timed replays observe the full access stream.
+#[allow(clippy::too_many_arguments)]
+fn kernel_fast<C: SweepCost>(
+    data: &mut [u8],
+    tags: &mut [u64],
+    g0: usize,
+    g1: usize,
+    shadow: &ShadowMap,
+    base: u64,
+    cost: &mut C,
+    stats: &mut SweepStats,
+) {
+    let empty_shadow = C::IS_FREE && shadow.painted_bytes() == 0;
+    let w0 = g0 / 64;
+    let w1 = g1.div_ceil(64);
+    #[allow(clippy::needless_range_loop)] // `w` also derives `lo`; indexing is the clear form
+    for w in w0..w1 {
+        // Mask the word to the requested granule range (ragged edges).
+        let lo = w * 64;
+        let mut live = tags[w];
+        if lo < g0 {
+            live &= u64::MAX << (g0 - lo);
+        }
+        if lo + 64 > g1 {
+            live &= u64::MAX >> (lo + 64 - g1);
+        }
+        if live == 0 {
+            continue;
+        }
+        if empty_shadow {
+            // Nothing is painted: every tagged word survives. Count the
+            // inspections (identical stats to the decoding path) and move
+            // on without touching the data array.
+            stats.caps_inspected += u64::from(live.count_ones());
+            continue;
+        }
+        let mut kill = 0u64;
+        let mut bits = live;
+        {
+            // Reborrow the data as aligned 8-byte halves: each capability
+            // word is two direct u64 loads, no 16-byte slice → u128 round
+            // trip and no per-load range construction.
+            let (halves, _) = data.as_chunks::<8>();
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let g = lo + b;
+                stats.caps_inspected += 1;
+                let half_lo = u64::from_le_bytes(halves[2 * g]);
+                let half_hi = u64::from_le_bytes(halves[2 * g + 1]);
+                let cap_base = CapWord::base_from_halves(half_lo, half_hi);
+                cost.shadow_lookup(cap_base);
+                kill |= shadow.painted_bit(cap_base) << b;
+            }
+        }
+        if kill != 0 {
+            tags[w] &= !kill;
+            let mut bits = kill;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let g = lo + b;
+                data[g * 16..g * 16 + 16].fill(0);
+                cost.revoke_store(base + (g as u64) * GRANULE_SIZE);
+                cost.branch_mispredict();
+                stats.caps_revoked += 1;
+            }
+        }
+    }
+}
+
 /// [`kernel_wide`] across threads: tag words and their 1 KiB data blocks
 /// are partitioned disjointly; the shadow map is shared read-only (§3.5).
 /// Workers charge no [`SweepCost`] (use a sequential kernel for timed
@@ -444,7 +566,32 @@ mod tests {
             Kernel::Unrolled,
             Kernel::Wide,
             Kernel::Parallel { threads: 4 },
+            Kernel::Fast,
         ]
+    }
+
+    #[test]
+    fn kernel_names_are_stable() {
+        assert_eq!(Kernel::Simple.name(), "simple");
+        assert_eq!(Kernel::Unrolled.name(), "unrolled");
+        assert_eq!(Kernel::Wide.name(), "wide");
+        assert_eq!(Kernel::Parallel { threads: 4 }.name(), "parallel");
+        assert_eq!(Kernel::Fast.name(), "fast");
+    }
+
+    #[test]
+    fn fast_kernel_sweeps_empty_shadow_with_identical_stats() {
+        // The C::IS_FREE bulk path must report the same stats the decoding
+        // path would: every tagged word inspected, none revoked.
+        let (mut mem, _, _) = scenario(100);
+        let empty = ShadowMap::new(HEAP, LEN);
+        let fast = Sweeper::new(Kernel::Fast).sweep_segment(&mut mem, &empty);
+        let (mut mem2, _, _) = scenario(100);
+        let wide = Sweeper::new(Kernel::Wide).sweep_segment(&mut mem2, &empty);
+        assert_eq!(fast, wide);
+        assert_eq!(fast.caps_inspected, 100);
+        assert_eq!(fast.caps_revoked, 0);
+        assert_eq!(mem, mem2);
     }
 
     #[test]

@@ -106,11 +106,32 @@ impl SweepCost for MachineCost<'_> {
 /// returning its cost. The dump is not mutated (so one image can be timed
 /// repeatedly, like the paper's 20-sweep averages, §5.3): the sweep runs
 /// on a scratch clone whose revocations are discarded.
+///
+/// Uses [`Kernel::Simple`] — the per-capability charge order of the scalar
+/// loop the paper times. [`timed_sweep_with_kernel`] times other kernels;
+/// because every kernel charges the same [`SweepCost`] events for the same
+/// image, tier choice moves only the host-side inner-loop cost, never the
+/// modelled access stream.
 pub fn timed_sweep(
     dump: &CoreDump,
     shadow: &ShadowMap,
     machine: &mut Machine,
     mode: TimedMode,
+) -> TimedSweepReport {
+    timed_sweep_with_kernel(dump, shadow, machine, mode, Kernel::Simple)
+}
+
+/// [`timed_sweep`] with an explicit inner-loop [`Kernel`]. The fast
+/// word-at-a-time kernel charges the identical cost events as the
+/// reference tiers (its accounting-free shortcuts are disabled whenever a
+/// cost model is attached), so swapping kernels never changes the modelled
+/// cycle count's inputs.
+pub fn timed_sweep_with_kernel(
+    dump: &CoreDump,
+    shadow: &ShadowMap,
+    machine: &mut Machine,
+    mode: TimedMode,
+    kernel: Kernel,
 ) -> TimedSweepReport {
     let mut scratch = dump.clone();
     let start_cycles = machine.cycles();
@@ -120,9 +141,7 @@ pub fn timed_sweep(
         bytes_read: 0,
         cloadtags_issued: 0,
     };
-    // Kernel::Simple visits capabilities in ascending granule order — the
-    // per-capability charge order of the scalar loop the paper times.
-    let engine = SweepEngine::new(Kernel::Simple);
+    let engine = SweepEngine::new(kernel);
     let dirty = dump.cap_dirty_pages();
     let stats: SweepStats = match mode {
         TimedMode::Full => engine.sweep_costed(
@@ -286,6 +305,27 @@ mod tests {
         }
         assert_eq!(timed.caps_revoked, total.caps_revoked);
         assert_eq!(timed.caps_inspected, total.caps_inspected);
+    }
+
+    #[test]
+    fn fast_kernel_charges_identical_costs() {
+        // Wide and Fast issue the same two-pass event stream per tag word
+        // (all shadow lookups, then all revocation stores, ascending), so
+        // their timed reports must be bit-identical — the fast kernel's
+        // shortcuts are host-side only, invisible to the machine model.
+        for mode in [
+            TimedMode::Full,
+            TimedMode::PteCapDirty,
+            TimedMode::CLoadTags,
+            TimedMode::Ideal,
+        ] {
+            let (dump, shadow) = image(0.5);
+            let mut m1 = Machine::new(MachineConfig::cheri_fpga_like());
+            let wide = timed_sweep_with_kernel(&dump, &shadow, &mut m1, mode, Kernel::Wide);
+            let mut m2 = Machine::new(MachineConfig::cheri_fpga_like());
+            let fast = timed_sweep_with_kernel(&dump, &shadow, &mut m2, mode, Kernel::Fast);
+            assert_eq!(wide, fast, "{mode:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Proves the "allocation-free sweep scratch" claim: once a
+//! [`revoker::SweepScratch`] has been warmed by one sweep, further
+//! steady-state sweeps through the sequential [`revoker::SweepEngine`]
+//! perform **zero** heap allocations — the walk, the per-page capability
+//! accounting and the revoke inner loop all reuse the scratch's buffers.
+//!
+//! The proof is a counting `#[global_allocator]`: every `alloc`/`realloc`
+//! bumps an atomic, and the measured region asserts the counter does not
+//! move. The parallel engine is deliberately out of scope — spawning its
+//! scoped worker threads allocates O(workers) per sweep by design (see
+//! `ParallelSweepEngine::sweep_scratched` docs).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use cheri::Capability;
+use revoker::{
+    CLoadTagsLines, EveryLine, Kernel, NoFilter, SegmentSource, ShadowMap, SweepEngine,
+    SweepScratch,
+};
+use tagmem::TaggedMemory;
+
+struct CountingAlloc;
+
+// Per-thread, const-initialised (so reading it from inside the allocator
+// never itself allocates): the libtest harness thread allocates
+// concurrently with the test thread, so a process-global counter would
+// pick up its noise.
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Heap allocations made by *this* thread so far.
+fn allocations() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+const BASE: u64 = 0x1000_0000;
+const LEN: u64 = 1 << 20;
+
+/// A 1 MiB image with a capability every 256 bytes, a painted stripe in
+/// the shadow, and one warm-up sweep already absorbed by `scratch`.
+fn warmed(kernel: Kernel, scratch: &mut SweepScratch) -> (TaggedMemory, ShadowMap) {
+    let mut mem = TaggedMemory::new(BASE, LEN);
+    let cap = Capability::root_rw(BASE, 64);
+    let mut addr = BASE;
+    while addr < BASE + LEN {
+        mem.write_cap(addr, &cap).expect("inside image");
+        addr += 256;
+    }
+    let mut shadow = ShadowMap::new(BASE, LEN);
+    // Paint a stripe that does NOT cover the capabilities' base granule,
+    // so sweeps keep finding live capabilities to inspect every pass
+    // (nothing is revoked, the inner loop stays hot).
+    shadow.paint(BASE + 4096, 4096);
+    let engine = SweepEngine::new(kernel);
+    engine.sweep_scratched(SegmentSource::new(&mut mem), NoFilter, &shadow, scratch);
+    (mem, shadow)
+}
+
+/// One test function (not several) so no concurrently-running sibling test
+/// can bump the process-global counter inside a measured region.
+#[test]
+fn steady_state_scratched_sweeps_allocate_nothing() {
+    for kernel in [Kernel::Wide, Kernel::Fast] {
+        let mut scratch = SweepScratch::new();
+        let (mut mem, shadow) = warmed(kernel, &mut scratch);
+        let engine = SweepEngine::new(kernel);
+
+        // NoFilter steady state.
+        let before = allocations();
+        let mut inspected = 0u64;
+        for _ in 0..8 {
+            let stats = engine.sweep_scratched(
+                SegmentSource::new(&mut mem),
+                NoFilter,
+                &shadow,
+                &mut scratch,
+            );
+            inspected += stats.caps_inspected;
+        }
+        let after = allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state NoFilter sweep allocated ({kernel:?})"
+        );
+        assert!(inspected > 0, "sweeps must have inspected capabilities");
+
+        // Filtered steady state: the line/page span consumers must reuse
+        // the scratch too (the hoisted per-page buffers).
+        engine.sweep_scratched(
+            SegmentSource::new(&mut mem),
+            (EveryLine, CLoadTagsLines::new()),
+            &shadow,
+            &mut scratch,
+        );
+        let before = allocations();
+        for _ in 0..8 {
+            engine.sweep_scratched(
+                SegmentSource::new(&mut mem),
+                (EveryLine, CLoadTagsLines::new()),
+                &shadow,
+                &mut scratch,
+            );
+        }
+        let after = allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state filtered sweep allocated ({kernel:?})"
+        );
+    }
+}

@@ -50,7 +50,11 @@ fn build(plants: &[PlantedCap], paint: &[u64]) -> (TaggedMemory, ShadowMap) {
             .expect("in range");
     }
     let mut shadow = ShadowMap::new(HEAP, LEN);
-    for &g in paint {
+    // Dedupe: painting the same granule twice violates the shadow map's
+    // strict paint/clear contract (each granule painted once per
+    // quarantine generation).
+    let paint: std::collections::BTreeSet<u64> = paint.iter().copied().collect();
+    for &g in &paint {
         shadow.paint(HEAP + g * GRANULE_SIZE, GRANULE_SIZE);
     }
     (mem, shadow)

@@ -1,0 +1,161 @@
+//! Property tests pinning the word-at-a-time fast kernel to the wide
+//! reference tier: for any random heap image, paint set, filter and
+//! worker count, [`Kernel::Fast`] revokes exactly the same capability set
+//! with exactly the same [`SweepStats`] as [`Kernel::Wide`]. The fast
+//! path's shortcuts — partial base-only decode, shadow-word screening,
+//! the empty-shadow bulk fall-through — must be invisible except in time.
+
+use cheri::Capability;
+use proptest::prelude::*;
+use revoker::{
+    CLoadTagsLines, CapDirtyPages, EveryLine, Kernel, NoFilter, ParallelSweepEngine, SegmentSource,
+    ShadowMap, SweepEngine, SweepStats,
+};
+use tagmem::{PageTable, TaggedMemory, GRANULE_SIZE};
+
+const HEAP: u64 = 0x1000_0000;
+const LEN: u64 = 1 << 16;
+
+#[derive(Debug, Clone, Copy)]
+struct PlantedCap {
+    /// Granule slot the capability is stored in.
+    slot: u64,
+    /// The object (granule index) it points to.
+    obj: u64,
+}
+
+fn planted() -> impl Strategy<Value = Vec<PlantedCap>> {
+    proptest::collection::vec(
+        (0u64..LEN / GRANULE_SIZE, 0u64..LEN / GRANULE_SIZE)
+            .prop_map(|(slot, obj)| PlantedCap { slot, obj }),
+        0..80,
+    )
+}
+
+fn painted_granules() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..LEN / GRANULE_SIZE, 0..40)
+}
+
+fn build(plants: &[PlantedCap], paint: &[u64]) -> (TaggedMemory, ShadowMap) {
+    let mut mem = TaggedMemory::new(HEAP, LEN);
+    for p in plants {
+        let cap = Capability::root_rw(HEAP + p.obj * GRANULE_SIZE, GRANULE_SIZE);
+        mem.write_cap(HEAP + p.slot * GRANULE_SIZE, &cap)
+            .expect("in range");
+    }
+    let mut shadow = ShadowMap::new(HEAP, LEN);
+    // Dedupe: the shadow map's strict contract paints each granule once
+    // per quarantine generation.
+    let paint: std::collections::BTreeSet<u64> = paint.iter().copied().collect();
+    for &g in &paint {
+        shadow.paint(HEAP + g * GRANULE_SIZE, GRANULE_SIZE);
+    }
+    (mem, shadow)
+}
+
+/// Wide-tier reference sweep of a fresh image under `filter`.
+fn reference<F>(plants: &[PlantedCap], paint: &[u64], filter: F) -> (TaggedMemory, SweepStats)
+where
+    F: revoker::GranuleFilter<TaggedMemory>,
+{
+    let (mut mem, shadow) = build(plants, paint);
+    let stats = SweepEngine::new(Kernel::Wide).sweep(SegmentSource::new(&mut mem), filter, &shadow);
+    (mem, stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Unfiltered and line-granular sweeps: fast == wide, bit for bit —
+    /// memory, tags and every stats counter.
+    #[test]
+    fn fast_matches_wide_sequential(
+        plants in planted(),
+        paint in painted_granules(),
+    ) {
+        let (wide_mem, wide_stats) = reference(&plants, &paint, NoFilter);
+        let (mut mem, shadow) = build(&plants, &paint);
+        let stats = SweepEngine::new(Kernel::Fast)
+            .sweep(SegmentSource::new(&mut mem), NoFilter, &shadow);
+        prop_assert_eq!(&mem, &wide_mem, "fast kernel revoked a different set");
+        prop_assert_eq!(stats, wide_stats);
+
+        let (wide_mem, wide_stats) = reference(&plants, &paint, EveryLine);
+        let (mut mem, shadow) = build(&plants, &paint);
+        let stats = SweepEngine::new(Kernel::Fast)
+            .sweep(SegmentSource::new(&mut mem), EveryLine, &shadow);
+        prop_assert_eq!(&mem, &wide_mem, "line-granular fast sweep diverged");
+        prop_assert_eq!(stats, wide_stats);
+
+        let (wide_mem, wide_stats) = reference(&plants, &paint, CLoadTagsLines::new());
+        let (mut mem, shadow) = build(&plants, &paint);
+        let stats = SweepEngine::new(Kernel::Fast)
+            .sweep(SegmentSource::new(&mut mem), CLoadTagsLines::new(), &shadow);
+        prop_assert_eq!(&mem, &wide_mem, "CLoadTags fast sweep diverged");
+        prop_assert_eq!(stats, wide_stats);
+    }
+
+    /// CapDirty page filtering composes with the fast kernel exactly as
+    /// with the wide one (same dirty set in ⇒ same revocations and same
+    /// re-cleaned pages out).
+    #[test]
+    fn fast_matches_wide_under_capdirty(
+        plants in planted(),
+        paint in painted_granules(),
+    ) {
+        let dirty = |mem: &TaggedMemory| {
+            let mut table = PageTable::new();
+            for addr in mem.tagged_addrs().collect::<Vec<_>>() {
+                table.note_cap_store(addr).expect("stores not inhibited");
+            }
+            table
+        };
+
+        let (mut wide_mem, shadow) = build(&plants, &paint);
+        let mut wide_table = dirty(&wide_mem);
+        let wide_stats = SweepEngine::new(Kernel::Wide).sweep(
+            SegmentSource::new(&mut wide_mem),
+            CapDirtyPages::new(&mut wide_table),
+            &shadow,
+        );
+
+        let (mut mem, shadow) = build(&plants, &paint);
+        let mut table = dirty(&mem);
+        let stats = SweepEngine::new(Kernel::Fast).sweep(
+            SegmentSource::new(&mut mem),
+            CapDirtyPages::new(&mut table),
+            &shadow,
+        );
+        prop_assert_eq!(&mem, &wide_mem, "CapDirty fast sweep diverged");
+        prop_assert_eq!(stats, wide_stats);
+        prop_assert_eq!(
+            wide_table.cap_dirty_pages(),
+            table.cap_dirty_pages(),
+            "page re-cleaning diverged"
+        );
+    }
+
+    /// The parallel engine running the fast kernel at any worker count in
+    /// 1..=8 matches the sequential wide reference — both unfiltered and
+    /// on a chunked line-granular plan.
+    #[test]
+    fn parallel_fast_matches_wide(
+        plants in planted(),
+        paint in painted_granules(),
+        workers in 1..=8usize,
+    ) {
+        let (wide_mem, wide_stats) = reference(&plants, &paint, NoFilter);
+        let engine = ParallelSweepEngine::new(Kernel::Fast, workers);
+
+        let (mut mem, shadow) = build(&plants, &paint);
+        let stats = engine.sweep(SegmentSource::new(&mut mem), NoFilter, &shadow);
+        prop_assert_eq!(&mem, &wide_mem, "parallel fast diverged at {} workers", workers);
+        prop_assert_eq!(stats, wide_stats);
+
+        let (line_mem, line_stats) = reference(&plants, &paint, EveryLine);
+        let (mut mem, shadow) = build(&plants, &paint);
+        let stats = engine.sweep(SegmentSource::new(&mut mem), EveryLine, &shadow);
+        prop_assert_eq!(&mem, &line_mem, "parallel line-plan fast diverged at {} workers", workers);
+        prop_assert_eq!(stats, line_stats);
+    }
+}

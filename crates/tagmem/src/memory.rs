@@ -312,6 +312,33 @@ impl TaggedMemory {
         })
     }
 
+    /// The tag **leaf word** covering `addr`'s 64-granule group (1 KiB of
+    /// data): bit `i` covers granule `group_start + i`. Word-at-a-time
+    /// sweep kernels fetch this once per window instead of probing 64
+    /// individual tag bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via slice indexing) if `addr` is outside the segment.
+    #[inline]
+    pub fn tag_word(&self, addr: u64) -> u64 {
+        self.tags[self.granule_index(addr) / 64]
+    }
+
+    /// Iterates over the non-zero tag leaf words as `(group_start_addr,
+    /// word)` pairs — the capability-bearing 1 KiB windows of the segment,
+    /// in address order. Zero words (capability-free windows) are skipped
+    /// without per-granule work, which is the whole point of the word
+    /// layout.
+    pub fn iter_nonzero_tag_words(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let base = self.base;
+        self.tags
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w != 0)
+            .map(move |(wi, &w)| (base + wi as u64 * 64 * GRANULE_SIZE, w))
+    }
+
     // --- Raw views for sweep kernels ----------------------------------------
 
     /// The raw data bytes (read-only).
@@ -464,6 +491,22 @@ mod tests {
         }
         let addrs: Vec<u64> = m.tagged_addrs().collect();
         assert_eq!(addrs, vec![0x4000, 0x4050, 0x4ff0]);
+    }
+
+    #[test]
+    fn tag_words_expose_the_leaf_layout() {
+        let mut m = TaggedMemory::new(0x4000, 4096); // 256 granules, 4 words
+        m.write_cap(0x4000, &cap()).unwrap(); // granule 0, word 0
+        m.write_cap(0x4ff0, &cap()).unwrap(); // granule 255, word 3
+        assert_eq!(m.tag_word(0x4000), 1);
+        assert_eq!(m.tag_word(0x43ff), 1); // anywhere in the 1 KiB window
+        assert_eq!(m.tag_word(0x4400), 0);
+        assert_eq!(m.tag_word(0x4ff0), 1 << 63);
+        let words: Vec<(u64, u64)> = m.iter_nonzero_tag_words().collect();
+        assert_eq!(words, vec![(0x4000, 1), (0x4c00, 1 << 63)]);
+        // The iterator agrees with the bit-at-a-time view.
+        let from_words: u64 = words.iter().map(|(_, w)| w.count_ones() as u64).sum();
+        assert_eq!(from_words, m.tag_count());
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub enum EventKind {
         duration_ns: u64,
         /// Worker threads the sweep ran on.
         workers: usize,
+        /// Stable name of the revoke kernel that executed the sweep
+        /// (e.g. `"wide"`, `"fast"`).
+        kernel: &'static str,
     },
     /// A revocation epoch opened: quarantine sealed and shadow painted.
     EpochOpened {
@@ -74,10 +77,11 @@ impl fmt::Display for EventKind {
                 caps_revoked,
                 duration_ns,
                 workers,
+                kernel,
             } => write!(
                 f,
                 "sweep {bytes_swept}B inspected={caps_inspected} revoked={caps_revoked} \
-                 {duration_ns}ns workers={workers}"
+                 {duration_ns}ns workers={workers} kernel={kernel}"
             ),
             EventKind::EpochOpened {
                 shard,
@@ -230,11 +234,13 @@ mod tests {
                 caps_revoked: 3,
                 duration_ns: 1500,
                 workers: 2,
+                kernel: "fast",
             },
         };
         let s = e.to_string();
         assert!(s.contains("#7"), "{s}");
         assert!(s.contains("sweep 4096B"), "{s}");
         assert!(s.contains("workers=2"), "{s}");
+        assert!(s.contains("kernel=fast"), "{s}");
     }
 }

@@ -41,6 +41,7 @@
 //!     caps_revoked: 3,
 //!     duration_ns: 1500,
 //!     workers: 1,
+//!     kernel: "wide",
 //! });
 //!
 //! let snap = registry.snapshot();
