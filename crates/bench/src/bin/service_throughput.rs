@@ -29,13 +29,27 @@
 //!    this on any core count: per-shard locks are what the service buys.
 //!
 //! Alongside both: the §3.5 pause-time distribution and the quarantine
-//! bound (peak quarantined bytes stay below the configured heap fraction).
+//! bound (peak quarantined bytes stay below the configured heap fraction),
+//! and — since the fault-injection subsystem landed — proof that a
+//! *disabled* [`cherivoke::fault::FaultInjector`] costs <1% per service
+//! op: a `sharded-faults-off` row churns with an explicitly disabled
+//! injector, and the disabled `should_fire` branch is microbenchmarked
+//! directly (the same methodology that priced the telemetry handles).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
+use cherivoke::fault::{FaultInjector, FaultPoint};
 use cherivoke::{ConcurrentHeap, ServiceConfig};
 use serde::Serialize;
+
+/// Disabled `should_fire` branches a single service op crosses: mallocs
+/// cross exactly one (the allocator's alloc-failure check), frees cross
+/// none, and the sweep/barrier/revoker sites run on the sweep path behind
+/// an `is_enabled()` gate, amortising to a rounding error per op — so 1.0
+/// over-counts the true per-op average (which is ~0.5 across a
+/// malloc+free pair).
+const FAULT_SITES_PER_OP: f64 = 1.0;
 
 #[derive(Serialize)]
 struct Row {
@@ -69,6 +83,26 @@ fn run(
     shard_mib: u64,
     telemetry: bool,
 ) -> (Row, Option<String>) {
+    run_with(
+        threads,
+        shards,
+        contend,
+        ops_per_thread,
+        shard_mib,
+        telemetry,
+        false,
+    )
+}
+
+fn run_with(
+    threads: usize,
+    shards: usize,
+    contend: bool,
+    ops_per_thread: u64,
+    shard_mib: u64,
+    telemetry: bool,
+    faults_off: bool,
+) -> (Row, Option<String>) {
     let config = ServiceConfig {
         shards,
         shard_heap_size: shard_mib << 20,
@@ -77,7 +111,15 @@ fn run(
     };
     let fraction = config.policy.quarantine.fraction;
     let kernel = config.policy.kernel.name();
-    let heap = ConcurrentHeap::new(config).expect("construct service");
+    // `faults_off` pins an explicitly disabled injector (ignoring any
+    // `CHERIVOKE_FAULT_PLAN` in the environment) — the control row for the
+    // fault-overhead verdict.
+    let heap = if faults_off {
+        ConcurrentHeap::with_faults(config, FaultInjector::disabled())
+    } else {
+        ConcurrentHeap::new(config)
+    }
+    .expect("construct service");
     let total_heap = (shard_mib << 20) * shards as u64;
 
     // Peak-quarantine sampler: fraction of the *total heap* detained, in
@@ -141,6 +183,8 @@ fn run(
     let row = Row {
         mode: if contend {
             "contended-1-shard"
+        } else if faults_off {
+            "sharded-faults-off"
         } else {
             "sharded"
         },
@@ -162,6 +206,22 @@ fn run(
         sweep_bandwidth_mib_s: stats.sweep_bandwidth() / (1 << 20) as f64,
     };
     (row, metrics)
+}
+
+/// Nanoseconds per call of `should_fire` on a *disabled* injector — the
+/// cost every instrumented hot-path site pays in production.
+fn disabled_branch_ns(iters: u64) -> f64 {
+    let injector = FaultInjector::disabled();
+    let mut fired = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        if std::hint::black_box(&injector).should_fire(FaultPoint::AllocFailure) {
+            fired += 1;
+        }
+    }
+    let ns = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    assert_eq!(std::hint::black_box(fired), 0);
+    ns
 }
 
 fn main() {
@@ -190,6 +250,7 @@ fn main() {
         })
         .collect();
     rows.push(run(4, 4, true, ops_per_thread, shard_mib, telemetry).0);
+    rows.push(run_with(4, 4, false, ops_per_thread, shard_mib, telemetry, true).0);
 
     if let Some(path) = &metrics_out {
         let metrics = sharded_metrics
@@ -220,6 +281,14 @@ fn main() {
     } else {
         scaling_1_to_4 >= 0.5
     };
+
+    // Fault-injection overhead verdict: price the disabled `should_fire`
+    // branch directly and scale by the sites a service op can cross. The
+    // churn rows are too noisy to resolve <1%; the branch cost is not.
+    let fault_branch_ns = disabled_branch_ns(if smoke { 10_000_000 } else { 100_000_000 });
+    let op_ns = sharded_4.secs * 1e9 / sharded_4.total_ops as f64;
+    let fault_overhead_pct = 100.0 * FAULT_SITES_PER_OP * fault_branch_ns / op_ns;
+    let fault_verdict = fault_overhead_pct < 1.0;
     let bound_violation = rows.iter().find(|r| !r.quarantine_bounded).map(|r| {
         format!(
             "{} threads ({}): peak quarantine {:.1}% exceeded the configured {:.0}% heap fraction",
@@ -238,6 +307,10 @@ fn main() {
             scaling_1_to_4: f64,
             scaling_measurable: bool,
             sharding_speedup: f64,
+            fault_branch_ns: f64,
+            fault_sites_per_op: f64,
+            fault_overhead_pct: f64,
+            fault_verdict: bool,
             pass: bool,
         }
         println!(
@@ -248,6 +321,10 @@ fn main() {
                 scaling_1_to_4,
                 scaling_measurable,
                 sharding_speedup,
+                fault_branch_ns,
+                fault_sites_per_op: FAULT_SITES_PER_OP,
+                fault_overhead_pct,
+                fault_verdict,
                 pass,
             })
             .expect("serialise")
@@ -295,6 +372,10 @@ fn main() {
             );
         }
         println!("sharded vs contended single lock, 4 threads: {sharding_speedup:.2}x");
+        println!(
+            "disabled fault injection: {fault_branch_ns:.2} ns/branch × {FAULT_SITES_PER_OP:.0} \
+             sites = {fault_overhead_pct:.3}% of a service op (target < 1%)"
+        );
     }
 
     assert!(bound_violation.is_none(), "{}", bound_violation.unwrap());
@@ -302,5 +383,9 @@ fn main() {
         pass,
         "throughput targets missed: scaling {scaling_1_to_4:.2}x \
          (measurable: {scaling_measurable}), sharding speedup {sharding_speedup:.2}x"
+    );
+    assert!(
+        fault_verdict,
+        "disabled fault injection costs {fault_overhead_pct:.3}% per service op (target < 1%)"
     );
 }

@@ -22,6 +22,23 @@ pub enum HeapError {
         /// The capability's base.
         base: u64,
     },
+    /// The heap is genuinely full: allocation failed even after an
+    /// emergency synchronous revocation returned every reclaimable
+    /// quarantined byte to the free bins. The documented terminal error
+    /// for memory pressure — the service never panics on a full heap.
+    OutOfMemory {
+        /// The request size that could not be satisfied.
+        requested: u64,
+    },
+    /// The OS refused to spawn the background revoker (or supervisor)
+    /// thread. [`crate::ConcurrentHeap`] degrades to inline revocation
+    /// rather than failing construction; the error is what the degraded
+    /// path reports.
+    RevokerSpawn,
+    /// A configuration value failed validation at construction (e.g. a
+    /// NaN or non-positive quarantine fraction). The payload names the
+    /// offending field and constraint.
+    InvalidConfig(&'static str),
 }
 
 impl fmt::Display for HeapError {
@@ -33,6 +50,14 @@ impl fmt::Display for HeapError {
             HeapError::NotAnAllocation { base } => {
                 write!(f, "capability base {base:#x} is not a live allocation")
             }
+            HeapError::OutOfMemory { requested } => write!(
+                f,
+                "out of memory: {requested} bytes unavailable even after emergency revocation"
+            ),
+            HeapError::RevokerSpawn => {
+                write!(f, "could not spawn the background revoker thread")
+            }
+            HeapError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
         }
     }
 }
@@ -43,7 +68,10 @@ impl std::error::Error for HeapError {
             HeapError::Cap(e) => Some(e),
             HeapError::Alloc(e) => Some(e),
             HeapError::Mem(e) => Some(e),
-            HeapError::NotAnAllocation { .. } => None,
+            HeapError::NotAnAllocation { .. }
+            | HeapError::OutOfMemory { .. }
+            | HeapError::RevokerSpawn
+            | HeapError::InvalidConfig(_) => None,
         }
     }
 }

@@ -81,6 +81,7 @@ pub struct CherivokeHeap {
     epoch_hold: bool,
     telemetry: HeapTelemetry,
     epoch_opened_at: Option<std::time::Instant>,
+    faults: revoker::fault::FaultInjector,
 }
 
 impl CherivokeHeap {
@@ -89,9 +90,17 @@ impl CherivokeHeap {
     ///
     /// # Errors
     ///
-    /// Returns [`HeapError::Cap`] if the configured heap range cannot be
-    /// covered by a root capability (never happens for sane configs).
+    /// Returns [`HeapError::InvalidConfig`] for a policy that fails
+    /// validation (see [`RevocationPolicy::validated`]; repairable values
+    /// are clamped with a warning on stderr instead), or
+    /// [`HeapError::Cap`] if the configured heap range cannot be covered
+    /// by a root capability (never happens for sane configs).
     pub fn new(mut config: HeapConfig) -> Result<CherivokeHeap, HeapError> {
+        let (policy, warnings) = config.policy.validated()?;
+        for warning in &warnings {
+            eprintln!("cherivoke: {warning}");
+        }
+        config.policy = policy;
         // The heap-spanning root capability needs exactly-representable
         // bounds, so the heap size is rounded up to the CHERI-representable
         // length (the base addresses used here are generously aligned).
@@ -145,7 +154,27 @@ impl CherivokeHeap {
             epoch_hold: false,
             telemetry: HeapTelemetry::default(),
             epoch_opened_at: None,
+            faults: revoker::fault::FaultInjector::disabled(),
         })
+    }
+
+    /// Arms fault injection across the heap's machinery: sweep chunks run
+    /// panic-guarded with injected worker panics / tag read errors (see
+    /// [`ParallelSweepEngine`]), and the allocator can fail requests
+    /// spuriously to exercise the emergency-sweep path. Chaos tests attach
+    /// a shared injector here; production heaps leave it disabled.
+    pub fn set_fault_injector(&mut self, faults: revoker::fault::FaultInjector) {
+        self.faults = faults;
+        self.alloc.set_fault_injector(self.faults.clone());
+        self.rebuild_engine();
+    }
+
+    /// Rebuilds the sweep engine from the current policy, telemetry and
+    /// fault injector (the engine is immutable-by-construction).
+    fn rebuild_engine(&mut self) {
+        self.engine = ParallelSweepEngine::new(self.policy.kernel, self.policy.sweep_workers)
+            .with_telemetry(self.telemetry.sweep())
+            .with_faults(self.faults.clone());
     }
 
     /// Attaches telemetry: the heap's epoch lifecycle, its allocator and
@@ -163,8 +192,7 @@ impl CherivokeHeap {
     pub fn set_telemetry_for_shard(&mut self, registry: &telemetry::Registry, shard: usize) {
         self.telemetry = HeapTelemetry::register(registry, shard);
         self.alloc.set_telemetry(registry);
-        self.engine = ParallelSweepEngine::new(self.policy.kernel, self.policy.sweep_workers)
-            .with_telemetry(self.telemetry.sweep());
+        self.rebuild_engine();
     }
 
     // --- Allocation ---------------------------------------------------------
@@ -174,9 +202,11 @@ impl CherivokeHeap {
     ///
     /// # Errors
     ///
-    /// [`HeapError::Alloc`] on allocator failure. If the policy allows, an
-    /// out-of-memory first triggers an emergency revocation sweep to
-    /// recycle quarantined memory, and only fails if that doesn't help.
+    /// [`HeapError::Alloc`] on allocator rejection (bad request), or
+    /// [`HeapError::OutOfMemory`] when the heap is genuinely full. If the
+    /// policy allows, an out-of-memory first triggers an emergency
+    /// revocation sweep to recycle quarantined memory, and only fails if
+    /// that doesn't help — memory pressure never panics.
     pub fn malloc(&mut self, size: u64) -> Result<Capability, HeapError> {
         let block = match self.alloc.malloc(size) {
             Ok(b) => b,
@@ -186,7 +216,15 @@ impl CherivokeHeap {
                 self.stats.oom_sweeps += 1;
                 self.telemetry.on_oom_sweep();
                 self.revoke_now();
-                self.alloc.malloc(size)?
+                self.alloc.malloc(size).map_err(|e| match e {
+                    cvkalloc::AllocError::OutOfMemory { requested } => {
+                        HeapError::OutOfMemory { requested }
+                    }
+                    other => HeapError::Alloc(other),
+                })?
+            }
+            Err(cvkalloc::AllocError::OutOfMemory { requested }) => {
+                return Err(HeapError::OutOfMemory { requested })
             }
             Err(e) => return Err(e.into()),
         };
@@ -659,8 +697,7 @@ impl CherivokeHeap {
     pub fn set_policy(&mut self, policy: RevocationPolicy) {
         self.policy = policy;
         self.alloc.set_config(policy.quarantine);
-        self.engine = ParallelSweepEngine::new(policy.kernel, policy.sweep_workers)
-            .with_telemetry(self.telemetry.sweep());
+        self.rebuild_engine();
     }
 
     /// Heap statistics (sweeps, revocations, allocator counters).

@@ -74,3 +74,8 @@ pub use stats::{
 
 pub use cvkalloc::QuarantineConfig;
 pub use revoker::Kernel;
+
+/// Deterministic fault injection ([`fault::FaultInjector`],
+/// [`fault::FaultPlan`], the `CHERIVOKE_FAULT_PLAN` knob) — re-exported so
+/// chaos harnesses depend only on `cherivoke`.
+pub use faultinject as fault;

@@ -1,7 +1,9 @@
 //! Revocation policy: when and how to sweep.
 
 use cvkalloc::QuarantineConfig;
-use revoker::Kernel;
+use revoker::{Kernel, MAX_SWEEP_WORKERS};
+
+use crate::HeapError;
 
 /// Controls when sweeps trigger and how they execute.
 ///
@@ -73,6 +75,53 @@ impl RevocationPolicy {
             ..RevocationPolicy::paper_default()
         }
     }
+
+    /// Validates and normalises the policy, as heap/service constructors
+    /// do. Values no clamp can repair — a NaN or non-positive quarantine
+    /// fraction — are typed [`HeapError::InvalidConfig`] errors; values
+    /// with an obvious safe reading are clamped with a warning, consistent
+    /// with the `CHERIVOKE_SWEEP_WORKERS` precedent
+    /// ([`revoker::parse_workers`]). Returns the normalised policy and the
+    /// warnings (callers print them to stderr).
+    ///
+    /// A finite fraction above 1.0 is *valid* (the fig. 9 trade-off sweeps
+    /// past 1.0: quarantine may outgrow the live heap) but warned about;
+    /// `f64::INFINITY` is the documented "never trigger by size" sentinel
+    /// and passes silently.
+    pub fn validated(mut self) -> Result<(RevocationPolicy, Vec<String>), HeapError> {
+        let fraction = self.quarantine.fraction;
+        if fraction.is_nan() || fraction <= 0.0 {
+            return Err(HeapError::InvalidConfig(
+                "quarantine fraction must be > 0 (f64::INFINITY disables the size trigger)",
+            ));
+        }
+        let mut warnings = Vec::new();
+        if fraction.is_finite() && fraction > 1.0 {
+            warnings.push(format!(
+                "quarantine fraction {fraction} exceeds 1.0: quarantine may outgrow \
+                 the live heap (valid for trade-off sweeps, unusual in deployment)"
+            ));
+        }
+        if self.sweep_workers == 0 {
+            warnings.push("sweep_workers 0 cannot execute; clamping to 1".to_string());
+            self.sweep_workers = 1;
+        } else if self.sweep_workers > MAX_SWEEP_WORKERS {
+            warnings.push(format!(
+                "sweep_workers {} exceeds the maximum {MAX_SWEEP_WORKERS}; clamping",
+                self.sweep_workers
+            ));
+            self.sweep_workers = MAX_SWEEP_WORKERS;
+        }
+        if self.incremental_slice_bytes == Some(0) {
+            warnings.push(
+                "incremental_slice_bytes 0 makes no sweep progress; clamping to one \
+                 granule (16 B)"
+                    .to_string(),
+            );
+            self.incremental_slice_bytes = Some(16);
+        }
+        Ok((self, warnings))
+    }
 }
 
 impl Default for RevocationPolicy {
@@ -120,6 +169,34 @@ impl SweepPacer {
             max_slice_bytes: 4 << 20,
             headroom: 1.5,
         }
+    }
+
+    /// Validates and normalises the pacer (see
+    /// [`RevocationPolicy::validated`] for the error/clamp split): a NaN
+    /// or non-positive headroom is a typed error (the control law would
+    /// compute garbage budgets); a zero floor or an inverted
+    /// floor/ceiling pair is clamped with a warning.
+    pub fn validated(mut self) -> Result<(SweepPacer, Vec<String>), HeapError> {
+        if self.headroom.is_nan() || self.headroom <= 0.0 {
+            return Err(HeapError::InvalidConfig(
+                "pacer headroom must be a positive multiplier",
+            ));
+        }
+        let mut warnings = Vec::new();
+        if self.min_slice_bytes == 0 {
+            warnings.push(
+                "pacer min_slice_bytes 0 stalls idle progress; clamping to 4 KiB".to_string(),
+            );
+            self.min_slice_bytes = 4 << 10;
+        }
+        if self.max_slice_bytes < self.min_slice_bytes {
+            warnings.push(format!(
+                "pacer max_slice_bytes {} below min_slice_bytes {}; clamping to the floor",
+                self.max_slice_bytes, self.min_slice_bytes
+            ));
+            self.max_slice_bytes = self.min_slice_bytes;
+        }
+        Ok((self, warnings))
     }
 
     /// The byte budget for the next revoker wakeup.
@@ -176,6 +253,72 @@ mod tests {
         // either the fast path or the wide reference tier.
         assert_eq!(p.kernel, Kernel::from_env());
         assert!(matches!(p.kernel, Kernel::Fast | Kernel::Wide));
+    }
+
+    #[test]
+    fn validation_rejects_unrepairable_fractions() {
+        for bad in [f64::NAN, 0.0, -0.25, f64::NEG_INFINITY] {
+            let p = RevocationPolicy::with_fraction(bad);
+            assert!(
+                matches!(p.validated(), Err(HeapError::InvalidConfig(_))),
+                "fraction {bad} must be rejected"
+            );
+        }
+        // INFINITY is the documented "no size trigger" sentinel: valid,
+        // no warning.
+        let (_, warnings) = RevocationPolicy::with_fraction(f64::INFINITY)
+            .validated()
+            .unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
+        // Finite > 1 is valid (fig. 9 sweeps past 1.0) but warned.
+        let (p, warnings) = RevocationPolicy::with_fraction(2.0).validated().unwrap();
+        assert_eq!(p.quarantine.fraction, 2.0);
+        assert_eq!(warnings.len(), 1);
+    }
+
+    #[test]
+    fn validation_clamps_with_warnings() {
+        let p = RevocationPolicy {
+            sweep_workers: 0,
+            incremental_slice_bytes: Some(0),
+            ..RevocationPolicy::paper_default()
+        };
+        let (fixed, warnings) = p.validated().unwrap();
+        assert_eq!(fixed.sweep_workers, 1);
+        assert_eq!(fixed.incremental_slice_bytes, Some(16));
+        assert_eq!(warnings.len(), 2);
+
+        let p = RevocationPolicy {
+            sweep_workers: 10_000,
+            ..RevocationPolicy::paper_default()
+        };
+        let (fixed, warnings) = p.validated().unwrap();
+        assert_eq!(fixed.sweep_workers, revoker::MAX_SWEEP_WORKERS);
+        assert_eq!(warnings.len(), 1);
+    }
+
+    #[test]
+    fn pacer_validation() {
+        for bad in [f64::NAN, 0.0, -1.0] {
+            let p = SweepPacer {
+                headroom: bad,
+                ..SweepPacer::paper_default()
+            };
+            assert!(matches!(p.validated(), Err(HeapError::InvalidConfig(_))));
+        }
+        let p = SweepPacer {
+            min_slice_bytes: 0,
+            max_slice_bytes: 0,
+            headroom: 1.0,
+        };
+        let (fixed, warnings) = p.validated().unwrap();
+        assert_eq!(fixed.min_slice_bytes, 4 << 10);
+        assert_eq!(fixed.max_slice_bytes, fixed.min_slice_bytes);
+        assert_eq!(warnings.len(), 2);
+        // A valid pacer passes untouched.
+        let (same, warnings) = SweepPacer::paper_default().validated().unwrap();
+        assert_eq!(same, SweepPacer::paper_default());
+        assert!(warnings.is_empty());
     }
 
     #[test]

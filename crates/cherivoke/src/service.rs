@@ -70,6 +70,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cheri::Capability;
+use faultinject::{FaultInjector, FaultPoint};
 use revoker::SweepStats;
 use telemetry::{Counter, EventKind, MetricsSnapshot, PeriodicExporter, Registry};
 
@@ -92,6 +93,12 @@ pub struct ServiceConfig {
     pub pacer: SweepPacer,
     /// How often the background revoker wakes to check shard quarantines.
     pub revoker_interval: Duration,
+    /// Watchdog deadline for the background revoker: if its heartbeat goes
+    /// silent for longer than this, the supervisor declares it stalled,
+    /// supersedes it, and spawns a replacement (with exponential backoff).
+    /// A dead revoker (thread exited) is detected immediately at the next
+    /// supervisor tick regardless of this deadline.
+    pub revoker_watchdog: Duration,
     /// Enables the telemetry subsystem: every shard heap, allocator and
     /// sweep engine reports into one shared [`telemetry::Registry`]
     /// (reachable via [`ConcurrentHeap::telemetry`]), and lifecycle events
@@ -109,6 +116,7 @@ impl Default for ServiceConfig {
             policy: RevocationPolicy::paper_default(),
             pacer: SweepPacer::paper_default(),
             revoker_interval: Duration::from_millis(1),
+            revoker_watchdog: Duration::from_secs(1),
             telemetry: false,
         }
     }
@@ -131,6 +139,48 @@ impl ServiceConfig {
             shards,
             ..ServiceConfig::default()
         }
+    }
+
+    /// Validates and normalises the whole service configuration (see
+    /// [`RevocationPolicy::validated`] for the error/clamp philosophy):
+    /// unrepairable values are typed [`HeapError::InvalidConfig`] errors,
+    /// repairable ones (zero shards, zero intervals, a watchdog shorter
+    /// than the revoker cadence) are clamped with a warning. Constructors
+    /// call this and print the warnings to stderr.
+    pub fn validated(mut self) -> Result<(ServiceConfig, Vec<String>), HeapError> {
+        let mut warnings = Vec::new();
+        if self.shards == 0 {
+            warnings.push("shards 0 cannot hold a heap; clamping to 1".to_string());
+            self.shards = 1;
+        }
+        if self.shard_heap_size < (1 << 16) {
+            warnings.push(format!(
+                "shard_heap_size {} is below the 64 KiB floor; clamping",
+                self.shard_heap_size
+            ));
+            self.shard_heap_size = 1 << 16;
+        }
+        if self.revoker_interval.is_zero() {
+            warnings
+                .push("revoker_interval 0 busy-spins the revoker; clamping to 50 µs".to_string());
+            self.revoker_interval = Duration::from_micros(50);
+        }
+        let watchdog_floor = (self.revoker_interval * 4).max(Duration::from_millis(1));
+        if self.revoker_watchdog < watchdog_floor {
+            warnings.push(format!(
+                "revoker_watchdog {:?} is shorter than 4 revoker wakeups; clamping to {:?} \
+                 (a healthy revoker heartbeats once per wakeup)",
+                self.revoker_watchdog, watchdog_floor
+            ));
+            self.revoker_watchdog = watchdog_floor;
+        }
+        let (policy, policy_warnings) = self.policy.validated()?;
+        self.policy = policy;
+        warnings.extend(policy_warnings);
+        let (pacer, pacer_warnings) = self.pacer.validated()?;
+        self.pacer = pacer;
+        warnings.extend(pacer_warnings);
+        Ok((self, warnings))
     }
 }
 
@@ -186,6 +236,22 @@ struct Inner {
     bytes_swept: AtomicU64,
     sweep_ns: AtomicU64,
     pauses: PauseHistogram,
+    /// Deterministic fault injection (disabled in production: one branch
+    /// per instrumented site). Shared with every shard heap so allocator
+    /// and sweep faults draw from the same plan.
+    faults: FaultInjector,
+    /// Supervision state. `heartbeat_ns` is stamped by the live revoker
+    /// each wakeup (nanoseconds since `started`); `alive_gen` holds the
+    /// generation of the currently-running revoker thread (0 = none — a
+    /// generation-tagged drop guard clears it, so a superseded thread
+    /// exiting late cannot erase its replacement's liveness);
+    /// `revoker_gen` is the latest generation the supervisor issued, and a
+    /// revoker that observes a newer generation retires itself.
+    heartbeat_ns: AtomicU64,
+    alive_gen: AtomicU64,
+    revoker_gen: AtomicU64,
+    revoker_restarts: AtomicU64,
+    emergency_sweeps: AtomicU64,
     /// Service-level telemetry: the registry shared by every shard heap,
     /// allocator and sweep engine, plus the service's own counters
     /// (`cvk_service_*`). Disabled handles when `config.telemetry` is off.
@@ -194,6 +260,9 @@ struct Inner {
     svc_foreign_sweeps: Counter,
     svc_oom_revocations: Counter,
     svc_barrier_revocations: Counter,
+    svc_revoker_restarts: Counter,
+    svc_emergency_sweeps: Counter,
+    svc_faults_injected: Counter,
     /// Revoker parking and shutdown.
     stop: AtomicBool,
     park: Mutex<bool>,
@@ -258,6 +327,35 @@ impl Inner {
         self.active_epochs.fetch_sub(1, Ordering::SeqCst);
     }
 
+    fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    /// Whether a background revoker thread is currently running. `false`
+    /// covers thread death, spawn failure and the window before the
+    /// supervisor's first (or next) spawn — in all of which mutators route
+    /// revocation inline (see `free`).
+    fn revoker_alive(&self) -> bool {
+        self.alive_gen.load(Ordering::SeqCst) != 0
+    }
+
+    fn note_fault(&self, point: FaultPoint, shard: usize) {
+        self.svc_faults_injected.inc();
+        self.registry.event(EventKind::FaultInjected {
+            point: point.name(),
+            shard,
+        });
+    }
+
+    /// Records an emergency synchronous sweep: the graceful-degradation
+    /// path taken under memory pressure (allocation failure with a
+    /// non-empty quarantine, or quarantine overflow past the hard cap).
+    fn note_emergency(&self, shard: usize) {
+        self.emergency_sweeps.fetch_add(1, Ordering::Relaxed);
+        self.svc_emergency_sweeps.inc();
+        self.registry.event(EventKind::EmergencySweep { shard });
+    }
+
     // --- Mutator-facing operations ---------------------------------------
 
     fn malloc(self: &Arc<Self>, shard_idx: usize, size: u64) -> Result<Capability, HeapError> {
@@ -269,16 +367,20 @@ impl Inner {
                     .fetch_add(1, Ordering::Relaxed);
                 Ok(cap)
             }
-            Err(HeapError::Alloc(cvkalloc::AllocError::OutOfMemory { .. }))
+            Err(HeapError::OutOfMemory { .. })
                 if self.config.policy.sweep_on_oom && self.total_quarantined() > 0 =>
             {
                 // Quarantined memory could satisfy this request, but a
                 // shard-local drain would skip the cross-shard handshake.
-                // Run the full synchronous revocation and retry once.
+                // Run the full synchronous revocation and retry once; if
+                // the heap is genuinely full even after every reclaimable
+                // byte came back, the typed error propagates — memory
+                // pressure never panics.
                 self.oom_revocations.fetch_add(1, Ordering::Relaxed);
                 self.svc_oom_revocations.inc();
                 self.registry
                     .event(EventKind::OomRevocation { shard: shard_idx });
+                self.note_emergency(shard_idx);
                 self.revoke_all_now();
                 let cap = self.lock(shard_idx).malloc(size)?;
                 self.shards[shard_idx]
@@ -299,10 +401,10 @@ impl Inner {
             .find(|(_, s)| base >= s.base && base < s.base + s.size)
             .ok_or(HeapError::NotAnAllocation { base })?;
         let size = cap.length();
-        let quarantined = {
+        let (quarantined, live) = {
             let mut heap = self.lock(idx);
             heap.free(cap)?;
-            heap.quarantined_bytes()
+            (heap.quarantined_bytes(), heap.live_bytes())
         };
         shard.frees.fetch_add(1, Ordering::Relaxed);
         shard.freed_bytes.fetch_add(size, Ordering::Relaxed);
@@ -312,9 +414,24 @@ impl Inner {
         // sweep itself — exactly the paper's synchronous design, with the
         // background thread merely moving the common case off the mutator.
         if quarantined >= self.quarantine_hard_cap(idx) {
+            // Quarantine overflow: emergency synchronous drain.
+            self.note_emergency(idx);
+            self.revoke_shard_now(idx);
+        } else if !self.revoker_alive() && self.inline_due(quarantined, live) {
+            // Graceful degradation: with the background revoker down (dead,
+            // restarting, or never spawned), mutators run the paper's
+            // synchronous design themselves at the normal trigger instead
+            // of letting quarantine climb to the hard cap.
             self.revoke_shard_now(idx);
         }
         Ok(())
+    }
+
+    /// The ordinary epoch trigger (policy fraction of live bytes), used by
+    /// mutators to route revocation inline while no revoker thread runs.
+    fn inline_due(&self, quarantined: u64, live: u64) -> bool {
+        let q = self.config.policy.quarantine;
+        quarantined >= q.min_bytes.max(1) && quarantined as f64 >= q.fraction * live.max(1) as f64
     }
 
     /// The per-shard quarantine bound: the policy fraction applied to the
@@ -424,6 +541,13 @@ impl Inner {
     /// barrier retirement, then paced slices until the quarantine drains.
     fn run_epoch(&self, i: usize, ranges: Vec<(u64, u64)>, budget: u64) {
         self.publish(&ranges);
+        if self.faults.should_fire(FaultPoint::EpochBarrierDelay) {
+            // Stretch the window between barrier publication and the
+            // foreign sweeps: mutators moving capabilities meanwhile must
+            // be filtered by the published index, not by sweep timing.
+            self.note_fault(FaultPoint::EpochBarrierDelay, i);
+            std::thread::sleep(Duration::from_millis(1));
+        }
         self.foreign_sweeps(i);
         // All dangling copies outside shard `i` are gone, and shard `i`'s
         // own epoch barrier covers its unswept regions until completion —
@@ -536,9 +660,40 @@ impl Inner {
         }
     }
 
-    fn revoker_loop(&self) {
+    /// Whether the generation-`gen` revoker should keep running: a stop
+    /// request or a newer generation (the supervisor declared this thread
+    /// stalled and superseded it) retires it.
+    fn revoker_retired(&self, gen: u64) -> bool {
+        self.stop.load(Ordering::SeqCst) || self.revoker_gen.load(Ordering::SeqCst) != gen
+    }
+
+    /// The background revoker, generation `gen`. Claims the liveness flag
+    /// on entry and releases it through a drop guard, so *any* exit —
+    /// normal retirement, an injected death, or a genuine panic — is
+    /// visible to the supervisor as `alive_gen == 0`.
+    fn revoker_loop(&self, gen: u64) {
+        struct AliveGuard<'a> {
+            inner: &'a Inner,
+            gen: u64,
+        }
+        impl Drop for AliveGuard<'_> {
+            fn drop(&mut self) {
+                // Only the generation that set the flag may clear it: a
+                // superseded revoker exiting late must not erase its
+                // replacement's liveness.
+                let _ = self.inner.alive_gen.compare_exchange(
+                    self.gen,
+                    0,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+            }
+        }
+        self.alive_gen.store(gen, Ordering::SeqCst);
+        let _alive = AliveGuard { inner: self, gen };
         let mut last = Instant::now();
-        while !self.stop.load(Ordering::SeqCst) {
+        while !self.revoker_retired(gen) {
+            self.heartbeat_ns.store(self.now_ns(), Ordering::Relaxed);
             let mut pending = match self.park.lock() {
                 Ok(g) => g,
                 Err(poisoned) => poisoned.into_inner(),
@@ -552,12 +707,120 @@ impl Inner {
             }
             *pending = false;
             drop(pending);
-            if self.stop.load(Ordering::SeqCst) {
+            if self.revoker_retired(gen) {
+                return;
+            }
+            if self.faults.should_fire(FaultPoint::RevokerDeath) {
+                // Simulated revoker-thread death: exit without a pass. The
+                // drop guard clears liveness; the supervisor restarts us.
+                self.note_fault(FaultPoint::RevokerDeath, 0);
                 return;
             }
             let now = Instant::now();
             self.revoker_pass(now - last);
             last = now;
+        }
+    }
+
+    fn spawn_revoker(self: &Arc<Self>, gen: u64) -> Result<JoinHandle<()>, HeapError> {
+        let inner = Arc::clone(self);
+        std::thread::Builder::new()
+            .name(format!("cherivoke-revoker-{gen}"))
+            .spawn(move || inner.revoker_loop(gen))
+            .map_err(|_| HeapError::RevokerSpawn)
+    }
+
+    /// The revoker supervisor: spawns the first revoker, then watches for
+    /// death (liveness flag cleared) and stalls (heartbeat older than the
+    /// watchdog) and respawns with exponential backoff. While no revoker
+    /// runs, mutators revoke inline (see `free`), so every failure mode
+    /// degrades to the paper's synchronous design rather than unbounded
+    /// quarantine growth.
+    fn supervisor_loop(self: &Arc<Self>) {
+        let watchdog = self.config.revoker_watchdog;
+        let tick = (watchdog / 8)
+            .max(Duration::from_micros(200))
+            .min(Duration::from_millis(20));
+        let backoff_floor = self.config.revoker_interval.max(Duration::from_millis(1));
+        let backoff_ceiling = Duration::from_secs(1);
+        let mut backoff = backoff_floor;
+        let mut handles: Vec<JoinHandle<()>> = Vec::new();
+        self.heartbeat_ns.store(self.now_ns(), Ordering::Relaxed);
+        self.revoker_gen.store(1, Ordering::SeqCst);
+        match self.spawn_revoker(1) {
+            Ok(h) => handles.push(h),
+            Err(e) => eprintln!("cherivoke: {e}; mutators will revoke inline until a retry"),
+        }
+        while !self.stop.load(Ordering::SeqCst) {
+            // Sleep one tick on the shared condvar (woken early by
+            // shutdown's notify_all) without consuming the revoker's
+            // pending-kick flag.
+            {
+                let guard = match self.park.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                let _ = self
+                    .wake
+                    .wait_timeout(guard, tick)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let gen = self.revoker_gen.load(Ordering::SeqCst);
+            let alive = self.alive_gen.load(Ordering::SeqCst) == gen;
+            let heartbeat_age_ns = self
+                .now_ns()
+                .saturating_sub(self.heartbeat_ns.load(Ordering::Relaxed));
+            let stalled = alive && heartbeat_age_ns > watchdog.as_nanos() as u64;
+            if alive && !stalled {
+                backoff = backoff_floor;
+                continue;
+            }
+            let cause = if stalled { "stall" } else { "death" };
+            // Exponential backoff between restart attempts: a crash-looping
+            // revoker must not starve mutators (who are covering inline).
+            if self
+                .heartbeat_ns
+                .load(Ordering::Relaxed)
+                .saturating_add(backoff.as_nanos() as u64)
+                > self.now_ns()
+                && cause == "death"
+            {
+                continue;
+            }
+            let next_gen = gen + 1;
+            // Superseding first makes a stalled thread retire itself as
+            // soon as it resumes; its drop guard cannot clear the new
+            // generation's liveness flag.
+            self.revoker_gen.store(next_gen, Ordering::SeqCst);
+            self.heartbeat_ns.store(self.now_ns(), Ordering::Relaxed);
+            match self.spawn_revoker(next_gen) {
+                Ok(h) => {
+                    handles.push(h);
+                    self.revoker_restarts.fetch_add(1, Ordering::Relaxed);
+                    self.svc_revoker_restarts.inc();
+                    self.registry.event(EventKind::RevokerRestarted {
+                        generation: next_gen,
+                        cause,
+                    });
+                }
+                Err(e) => {
+                    eprintln!("cherivoke: {e}; mutators will revoke inline until a retry");
+                }
+            }
+            backoff = (backoff * 2).min(backoff_ceiling);
+            // Retired threads eventually finish; reap without blocking the
+            // watch loop on a stalled one.
+            handles.retain(|h| !h.is_finished());
+            while handles.len() > 8 {
+                let h = handles.remove(0);
+                let _ = h.join();
+            }
+        }
+        for h in handles {
+            let _ = h.join();
         }
     }
 
@@ -588,6 +851,8 @@ impl Inner {
             foreign_caps_revoked: self.foreign_caps_revoked.load(Ordering::Relaxed),
             barrier_revocations: self.barrier_revocations.load(Ordering::Relaxed),
             oom_revocations: self.oom_revocations.load(Ordering::Relaxed),
+            revoker_restarts: self.revoker_restarts.load(Ordering::Relaxed),
+            emergency_sweeps: self.emergency_sweeps.load(Ordering::Relaxed),
             bytes_swept: self.bytes_swept.load(Ordering::Relaxed),
             sweep_secs: self.sweep_ns.load(Ordering::Relaxed) as f64 / 1e9,
             pauses: self.pauses.snapshot(),
@@ -602,26 +867,53 @@ impl Inner {
 /// [`HeapClient`]s across threads, and drop it to stop the revoker.
 pub struct ConcurrentHeap {
     inner: Arc<Inner>,
-    revoker: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     next_handle: AtomicUsize,
 }
 
 impl ConcurrentHeap {
-    /// Builds the shards and starts the background revoker thread.
+    /// Builds the shards and starts the revoker supervisor (which in turn
+    /// runs the background revoker thread). Reads a fault plan from
+    /// `CHERIVOKE_FAULT_PLAN` if set (see [`faultinject`]); use
+    /// [`ConcurrentHeap::with_faults`] to pass one programmatically.
+    ///
+    /// This constructor never panics: configuration problems come back as
+    /// typed [`HeapError`]s, and a failure to spawn the supervisor or
+    /// revoker thread degrades the service to inline revocation on mutator
+    /// threads instead of failing construction.
     ///
     /// # Errors
     ///
-    /// [`HeapError`] if a shard heap cannot be constructed (degenerate
-    /// sizes). Zero `shards` is rounded up to one.
+    /// [`HeapError::InvalidConfig`] for unrepairable configuration (see
+    /// [`ServiceConfig::validated`]); [`HeapError`] if a shard heap cannot
+    /// be constructed.
     pub fn new(config: ServiceConfig) -> Result<ConcurrentHeap, HeapError> {
-        let shards = config.shards.max(1);
+        ConcurrentHeap::with_faults(config, FaultInjector::from_env())
+    }
+
+    /// As [`ConcurrentHeap::new`], with an explicit fault injector (the
+    /// chaos tests construct plans programmatically; pass
+    /// [`FaultInjector::disabled`] to ignore the environment).
+    ///
+    /// # Errors
+    ///
+    /// As [`ConcurrentHeap::new`].
+    pub fn with_faults(
+        config: ServiceConfig,
+        faults: FaultInjector,
+    ) -> Result<ConcurrentHeap, HeapError> {
+        let (config, warnings) = config.validated()?;
+        for warning in &warnings {
+            eprintln!("cherivoke: {warning}");
+        }
+        let shards = config.shards;
         let policy = shard_policy(&config.policy, &config.pacer);
         // Disjoint per-shard address ranges: shard i's heap starts at
         // base + i·stride. The stride over-provisions to the next power
         // of two so every base stays generously aligned for exact CHERI
         // bounds regardless of representable-length rounding.
         let rounded = cheri::CompressedBounds::representable_length(cheri::granule_round_up(
-            config.shard_heap_size.max(1 << 16),
+            config.shard_heap_size,
         ));
         let stride = rounded.next_power_of_two();
         let first_base = stride.max(0x1000_0000);
@@ -641,6 +933,9 @@ impl ConcurrentHeap {
             })?;
             if config.telemetry {
                 heap.set_telemetry_for_shard(&registry, i);
+            }
+            if faults.is_enabled() {
+                heap.set_fault_injector(faults.clone());
             }
             shard_vec.push(Shard {
                 heap: Mutex::new(heap),
@@ -672,24 +967,45 @@ impl ConcurrentHeap {
             } else {
                 PauseHistogram::new()
             },
+            faults,
+            heartbeat_ns: AtomicU64::new(0),
+            alive_gen: AtomicU64::new(0),
+            revoker_gen: AtomicU64::new(0),
+            revoker_restarts: AtomicU64::new(0),
+            emergency_sweeps: AtomicU64::new(0),
             svc_epochs: registry.counter("cvk_service_epochs_total"),
             svc_foreign_sweeps: registry.counter("cvk_service_foreign_sweeps_total"),
             svc_oom_revocations: registry.counter("cvk_service_oom_revocations_total"),
             svc_barrier_revocations: registry.counter("cvk_service_barrier_revocations_total"),
+            svc_revoker_restarts: registry.counter("cvk_service_revoker_restarts_total"),
+            svc_emergency_sweeps: registry.counter("cvk_service_emergency_sweeps_total"),
+            svc_faults_injected: registry.counter("cvk_service_faults_injected_total"),
             registry,
             stop: AtomicBool::new(false),
             park: Mutex::new(false),
             wake: Condvar::new(),
             started: Instant::now(),
         });
-        let revoker_inner = Arc::clone(&inner);
-        let revoker = std::thread::Builder::new()
-            .name("cherivoke-revoker".into())
-            .spawn(move || revoker_inner.revoker_loop())
-            .expect("spawn revoker thread");
+        let supervisor_inner = Arc::clone(&inner);
+        let supervisor = match std::thread::Builder::new()
+            .name("cherivoke-supervisor".into())
+            .spawn(move || supervisor_inner.supervisor_loop())
+        {
+            Ok(handle) => Some(handle),
+            Err(_) => {
+                // Thread exhaustion must not fail construction: with no
+                // supervisor (hence no revoker), `revoker_alive` stays
+                // false and mutators revoke inline.
+                eprintln!(
+                    "cherivoke: {}; degrading to inline revocation on mutator threads",
+                    HeapError::RevokerSpawn
+                );
+                None
+            }
+        };
         Ok(ConcurrentHeap {
             inner,
-            revoker: Some(revoker),
+            supervisor,
             next_handle: AtomicUsize::new(0),
         })
     }
@@ -819,7 +1135,23 @@ impl ConcurrentHeap {
             Err(poisoned) => poisoned.into_inner(),
         };
         *pending = true;
-        self.inner.wake.notify_one();
+        // The supervisor shares the condvar (it must wake on shutdown), so
+        // notify every waiter; it leaves the pending flag untouched.
+        self.inner.wake.notify_all();
+    }
+
+    /// Whether a background revoker thread is currently running. `false`
+    /// during restart windows (death or stall recovery) and in fully
+    /// degraded inline mode — mutators cover revocation either way.
+    pub fn revoker_alive(&self) -> bool {
+        self.inner.revoker_alive()
+    }
+
+    /// The service's fault injector (disabled unless a plan was supplied
+    /// via [`ConcurrentHeap::with_faults`] or `CHERIVOKE_FAULT_PLAN`).
+    /// Chaos tests read its hit/fired counts to assert coverage.
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.inner.faults
     }
 
     /// Bytes quarantined across all shards.
@@ -869,7 +1201,8 @@ impl Drop for ConcurrentHeap {
     fn drop(&mut self) {
         self.inner.stop.store(true, Ordering::SeqCst);
         self.kick_revoker();
-        if let Some(handle) = self.revoker.take() {
+        // Joining the supervisor joins every revoker generation it spawned.
+        if let Some(handle) = self.supervisor.take() {
             let _ = handle.join();
         }
     }
@@ -1176,6 +1509,120 @@ mod tests {
         assert!(heap.telemetry().recent_events(8).is_empty());
         // ServiceStats pause accounting still works without the registry.
         assert!(heap.stats().pauses.count() > 0);
+    }
+
+    #[test]
+    fn config_validation_clamps_and_rejects() {
+        // Repairable: zero shards clamps to one (with a warning).
+        let heap = ConcurrentHeap::new(ServiceConfig {
+            shards: 0,
+            ..ServiceConfig::small()
+        })
+        .unwrap();
+        assert_eq!(heap.shards(), 1);
+        drop(heap);
+        // Unrepairable: a non-positive quarantine fraction is a typed error.
+        let mut config = ServiceConfig::small();
+        config.policy.quarantine.fraction = 0.0;
+        assert!(matches!(
+            ConcurrentHeap::new(config),
+            Err(HeapError::InvalidConfig(_))
+        ));
+        let mut config = ServiceConfig::small();
+        config.pacer.headroom = f64::NAN;
+        assert!(matches!(
+            ConcurrentHeap::new(config),
+            Err(HeapError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn exhausted_heap_returns_typed_oom() {
+        // One shard, nothing freed: the emergency sweep has nothing to
+        // reclaim and the typed terminal error comes back — no panic.
+        let config = ServiceConfig {
+            shards: 1,
+            ..ServiceConfig::small()
+        };
+        let heap = ConcurrentHeap::new(config).unwrap();
+        let mut held = Vec::new();
+        let err = loop {
+            match heap.malloc_on(0, 64 << 10) {
+                Ok(cap) => held.push(cap),
+                Err(e) => break e,
+            }
+            assert!(held.len() < 1 << 10, "1 MiB shard never filled");
+        };
+        assert!(matches!(err, HeapError::OutOfMemory { .. }), "got {err:?}");
+        // The service is still operational after reporting OOM.
+        for cap in held {
+            heap.free(cap).unwrap();
+        }
+        heap.revoke_all_now();
+        assert!(heap.malloc_on(0, 64 << 10).is_ok());
+    }
+
+    #[test]
+    fn supervisor_restarts_dead_revoker() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        // The revoker dies on its first three wakeups, then stays up.
+        let plan: FaultPlan = "revoker_death@1/1x3".parse().unwrap();
+        let mut config = ServiceConfig::small();
+        config.telemetry = true;
+        config.revoker_watchdog = Duration::from_millis(5);
+        let heap = ConcurrentHeap::with_faults(config, FaultInjector::new(plan)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while heap.stats().revoker_restarts < 3 || !heap.revoker_alive() {
+            assert!(Instant::now() < deadline, "supervisor never recovered");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Recovery is observable in telemetry, and the healed service
+        // still revokes.
+        let events = heap.telemetry().recent_events(64);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RevokerRestarted { cause: "death", .. })));
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::FaultInjected {
+                point: "revoker_death",
+                ..
+            }
+        )));
+        let victim = heap.malloc_on(0, 64).unwrap();
+        let stash = heap.malloc_on(1, 16).unwrap();
+        heap.store_cap(&stash, 0, &victim).unwrap();
+        heap.free(victim).unwrap();
+        heap.revoke_all_now();
+        assert!(!heap.load_cap(&stash, 0).unwrap().tag());
+    }
+
+    #[test]
+    fn supervisor_supersedes_stalled_revoker() {
+        let mut config = ServiceConfig::small();
+        config.telemetry = true;
+        config.revoker_watchdog = Duration::from_millis(2);
+        let heap = ConcurrentHeap::new(config).unwrap();
+        // Wedge the revoker: its pass blocks on shard 0's lock, its
+        // heartbeat goes stale, and the watchdog must fire.
+        let guard = heap.inner.lock(0);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        // stats() takes shard locks (we hold one); probe the registry
+        // counter instead.
+        while heap.snapshot().counters["cvk_service_revoker_restarts_total"] == 0 {
+            assert!(Instant::now() < deadline, "watchdog never fired");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(guard);
+        let events = heap.telemetry().recent_events(64);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RevokerRestarted { cause: "stall", .. })));
+        // Superseded generations unwedge and retire; the service drains.
+        let c = heap.malloc_on(0, 64).unwrap();
+        heap.free(c).unwrap();
+        heap.revoke_all_now();
+        assert_eq!(heap.quarantined_bytes(), 0);
     }
 
     #[test]

@@ -101,6 +101,12 @@ pub struct ServiceStats {
     pub barrier_revocations: u64,
     /// Synchronous whole-service revocations forced by out-of-memory.
     pub oom_revocations: u64,
+    /// Background revoker threads respawned by the supervisor after a
+    /// death or watchdog stall.
+    pub revoker_restarts: u64,
+    /// Emergency synchronous sweeps: allocation failures retried after a
+    /// full revocation, plus quarantine-overflow drains past the hard cap.
+    pub emergency_sweeps: u64,
     /// Bytes swept by the background revoker (own slices + foreign sweeps).
     pub bytes_swept: u64,
     /// Wall-clock seconds the revoker spent sweeping (lock held).

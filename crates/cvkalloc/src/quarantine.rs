@@ -69,6 +69,9 @@ pub struct CherivokeAllocator {
     /// Metric handles (detached by default; see
     /// [`CherivokeAllocator::set_telemetry`]).
     telemetry: AllocTelemetry,
+    /// Fault injection (disabled by default; see
+    /// [`CherivokeAllocator::set_fault_injector`]).
+    faults: faultinject::FaultInjector,
 }
 
 impl CherivokeAllocator {
@@ -85,7 +88,16 @@ impl CherivokeAllocator {
             open: BTreeSet::new(),
             sealed: BTreeSet::new(),
             telemetry: AllocTelemetry::default(),
+            faults: faultinject::FaultInjector::disabled(),
         }
+    }
+
+    /// Arms fault injection: `malloc` fails with a spurious
+    /// [`AllocError::OutOfMemory`] whenever the armed plan fires
+    /// [`faultinject::FaultPoint::AllocFailure`], exercising callers'
+    /// emergency-sweep paths exactly as genuine memory pressure would.
+    pub fn set_fault_injector(&mut self, faults: faultinject::FaultInjector) {
+        self.faults = faults;
     }
 
     /// Attaches allocator telemetry: mallocs/frees/drains count into
@@ -126,6 +138,12 @@ impl CherivokeAllocator {
     /// can produce out-of-memory conditions a non-quarantining allocator
     /// would not hit; callers may respond by sweeping early.
     pub fn malloc(&mut self, size: u64) -> Result<Block, AllocError> {
+        if self
+            .faults
+            .should_fire(faultinject::FaultPoint::AllocFailure)
+        {
+            return Err(AllocError::OutOfMemory { requested: size });
+        }
         if !self.telemetry.is_enabled() {
             return self.inner.malloc(size);
         }

@@ -25,6 +25,7 @@
 //! threads (§3.5: sweeping is embarrassingly parallel) with per-worker
 //! stats merged deterministically.
 
+use faultinject::{FaultInjector, FaultPoint, InjectedFault};
 use tagmem::{
     AddressSpace, PageTable, RegisterFile, Segment, SegmentImage, TaggedMemory, GRANULE_SIZE,
     LINE_SIZE, PAGE_SIZE,
@@ -815,6 +816,7 @@ pub struct ParallelSweepEngine {
     kernel: Kernel,
     workers: usize,
     telemetry: crate::SweepTelemetry,
+    faults: FaultInjector,
 }
 
 impl ParallelSweepEngine {
@@ -825,6 +827,7 @@ impl ParallelSweepEngine {
             kernel,
             workers: workers.max(1),
             telemetry: crate::SweepTelemetry::default(),
+            faults: FaultInjector::disabled(),
         }
     }
 
@@ -839,6 +842,22 @@ impl ParallelSweepEngine {
     pub fn with_telemetry(mut self, telemetry: crate::SweepTelemetry) -> ParallelSweepEngine {
         self.telemetry = telemetry;
         self
+    }
+
+    /// Arms fault injection: sweep chunks then run under `catch_unwind`
+    /// with injected [`FaultPoint::SweepWorkerPanic`] /
+    /// [`FaultPoint::TagReadError`] faults, recovering by retrying the
+    /// poisoned chunk on the sequential reference kernel
+    /// ([`Kernel::Wide`]). A disabled injector (the default) keeps the
+    /// unguarded fast path.
+    pub fn with_faults(mut self, faults: FaultInjector) -> ParallelSweepEngine {
+        self.faults = faults;
+        self
+    }
+
+    /// The armed fault injector (disabled by default).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
     }
 
     /// The configured kernel.
@@ -912,6 +931,7 @@ impl ParallelSweepEngine {
             execute_chunks(
                 self.kernel,
                 self.workers,
+                &self.faults,
                 mem,
                 chunks,
                 shadow,
@@ -937,11 +957,96 @@ impl ParallelSweepEngine {
         if let Some(regs) = source.registers() {
             stats += sweep_register_file(regs, shadow);
         }
+        if stats.chunks_retried > 0 {
+            self.telemetry
+                .observe_retries(stats.chunks_retried, self.kernel.name());
+        }
         if let Some(timer) = timer {
             self.telemetry
                 .observe(&stats, timer.elapsed(), self.workers, self.kernel.name());
         }
         stats
+    }
+}
+
+/// Runs one planned chunk through the kernel, panic-safely when fault
+/// injection is armed.
+///
+/// With a disabled injector this is exactly `run_kernel` — no
+/// `catch_unwind`, no extra branches beyond the enablement check. Armed,
+/// the chunk runs under [`std::panic::catch_unwind`] with injected
+/// [`FaultPoint::SweepWorkerPanic`] / [`FaultPoint::TagReadError`] faults;
+/// a panicking chunk is retried once on the sequential reference kernel
+/// ([`Kernel::Wide`]), which is sound because revocation is idempotent —
+/// kernels only *clear* tags, never set them, so re-sweeping a partially
+/// swept chunk revokes exactly the capabilities the aborted attempt
+/// missed. A panicked attempt's partial stats are discarded (the retry
+/// re-counts what is still tagged), so `caps_revoked` stays exact while
+/// `caps_inspected` may undercount caps revoked by the aborted attempt.
+/// A second panic is a genuine kernel bug and propagates.
+#[allow(clippy::too_many_arguments)] // mirrors run_kernel's plan ABI
+fn run_chunk_guarded(
+    kernel: Kernel,
+    faults: &FaultInjector,
+    data: &mut [u8],
+    tags: &mut [u64],
+    g0: usize,
+    g1: usize,
+    shadow: &ShadowMap,
+    base: u64,
+    stats: &mut SweepStats,
+) {
+    if !faults.is_enabled() {
+        run_kernel(kernel, data, tags, g0, g1, shadow, base, &mut NoCost, stats);
+        return;
+    }
+    let inject = if faults.should_fire(FaultPoint::SweepWorkerPanic) {
+        Some(InjectedFault::WorkerPanic)
+    } else if faults.should_fire(FaultPoint::TagReadError) {
+        Some(InjectedFault::TagReadError)
+    } else {
+        None
+    };
+    let mut attempt = SweepStats::default();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(fault) = inject {
+            std::panic::panic_any(fault);
+        }
+        run_kernel(
+            kernel,
+            data,
+            tags,
+            g0,
+            g1,
+            shadow,
+            base,
+            &mut NoCost,
+            &mut attempt,
+        );
+    }));
+    match outcome {
+        Ok(()) => *stats += attempt,
+        Err(_poisoned) => {
+            stats.chunks_retried = stats.chunks_retried.saturating_add(1);
+            let mut retry = SweepStats::default();
+            let retried = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_kernel(
+                    Kernel::Wide,
+                    data,
+                    tags,
+                    g0,
+                    g1,
+                    shadow,
+                    base,
+                    &mut NoCost,
+                    &mut retry,
+                );
+            }));
+            match retried {
+                Ok(()) => *stats += retry,
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
     }
 }
 
@@ -955,6 +1060,7 @@ impl ParallelSweepEngine {
 fn execute_chunks(
     kernel: Kernel,
     workers: usize,
+    faults: &FaultInjector,
     mem: &mut TaggedMemory,
     chunks: &[(u64, u64)],
     shadow: &ShadowMap,
@@ -978,7 +1084,7 @@ fn execute_chunks(
         let (data, tags) = mem.as_parts_mut();
         for (&(_, l), &(g0, g1)) in chunks.iter().zip(windows.iter()) {
             let before = stats.caps_inspected;
-            run_kernel(kernel, data, tags, g0, g1, shadow, base, &mut NoCost, stats);
+            run_chunk_guarded(kernel, faults, data, tags, g0, g1, shadow, base, stats);
             stats.bytes_swept = stats.bytes_swept.saturating_add(l);
             caps_per_chunk.push(stats.caps_inspected - before);
         }
@@ -1012,7 +1118,7 @@ fn execute_chunks(
         let (data, tags) = mem.as_parts_mut();
         for (&(_, l), &(g0, g1)) in chunks.iter().zip(windows.iter()) {
             let before = stats.caps_inspected;
-            run_kernel(kernel, data, tags, g0, g1, shadow, base, &mut NoCost, stats);
+            run_chunk_guarded(kernel, faults, data, tags, g0, g1, shadow, base, stats);
             stats.bytes_swept = stats.bytes_swept.saturating_add(l);
             caps_per_chunk.push(stats.caps_inspected - before);
         }
@@ -1062,15 +1168,15 @@ fn execute_chunks(
                     for i in c0..c1 {
                         let (g0, g1) = windows[i];
                         let before = local.caps_inspected;
-                        run_kernel(
+                        run_chunk_guarded(
                             kernel,
+                            faults,
                             dj,
                             tj,
                             g0 - w_lo * 64,
                             g1 - w_lo * 64,
                             shadow,
                             local_base,
-                            &mut NoCost,
                             &mut local,
                         );
                         local.bytes_swept = local.bytes_swept.saturating_add(chunks[i].1);
@@ -1080,9 +1186,15 @@ fn execute_chunks(
                 })
             })
             .collect();
+        // A worker only panics when even the reference-kernel retry in
+        // `run_chunk_guarded` failed (a genuine kernel bug, not an
+        // injected fault); propagate it with its original payload.
         handles
             .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
+            .map(|h| match h.join() {
+                Ok(partial) => partial,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
 
@@ -1170,6 +1282,65 @@ mod tests {
             assert_eq!(seq, par, "workers={workers}");
             assert_eq!(a.tag_count(), b.tag_count(), "workers={workers}");
         }
+    }
+
+    #[test]
+    fn injected_sweep_faults_recover_with_identical_results() {
+        faultinject::silence_injected_panics();
+        for workers in [1, 4] {
+            let (mut a, shadow) = seeded_space(11);
+            let (mut b, _) = seeded_space(11);
+
+            let (src_a, _) = SpaceSource::split(&mut a);
+            let clean = ParallelSweepEngine::new(Kernel::Fast, workers).sweep(
+                src_a,
+                CLoadTagsLines::new(),
+                &shadow,
+            );
+
+            // Panic on most chunks: every other chunk with a worker
+            // panic, every other remaining one with a tag read error.
+            let plan =
+                faultinject::FaultPlan::parse("worker_panic@1/2,tag_read_error@2/2").unwrap();
+            let inj = FaultInjector::new(plan);
+            let (src_b, _) = SpaceSource::split(&mut b);
+            let faulted = ParallelSweepEngine::new(Kernel::Fast, workers)
+                .with_faults(inj.clone())
+                .sweep(src_b, CLoadTagsLines::new(), &shadow);
+
+            assert!(faulted.chunks_retried > 0, "workers={workers}");
+            assert!(inj.fired(FaultPoint::SweepWorkerPanic) > 0);
+            // Injected panics fire before the kernel touches the chunk
+            // and the retry runs the reference kernel over the whole
+            // window, so results and stats are identical to a clean run.
+            let mut normalised = faulted;
+            normalised.chunks_retried = 0;
+            assert_eq!(clean, normalised, "workers={workers}");
+            assert_eq!(a.tag_count(), b.tag_count(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn sweep_retries_are_observable_in_telemetry() {
+        faultinject::silence_injected_panics();
+        let registry = telemetry::Registry::new(16);
+        let (mut space, shadow) = seeded_space(3);
+        let inj = FaultInjector::new(faultinject::FaultPlan::parse("worker_panic@1x2").unwrap());
+        let (src, _) = SpaceSource::split(&mut space);
+        let stats = ParallelSweepEngine::new(Kernel::Fast, 2)
+            .with_telemetry(crate::SweepTelemetry::register(&registry))
+            .with_faults(inj)
+            .sweep(src, NoFilter, &shadow);
+        assert!(stats.chunks_retried > 0);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters["cvk_sweep_retries_total"],
+            stats.chunks_retried
+        );
+        assert!(registry
+            .recent_events(16)
+            .iter()
+            .any(|e| matches!(e.kind, telemetry::EventKind::SweepRetried { .. })));
     }
 
     #[test]

@@ -81,6 +81,9 @@ pub use engine::{
     ParallelSweepEngine, RangeSource, RegisterSource, RevokeKernel, SegmentSource, SpaceSource,
     SweepCost, SweepEngine, SweepScratch, TagProbe, MAX_SWEEP_WORKERS,
 };
+/// Deterministic fault injection for chaos testing the sweep machinery
+/// (re-export of the `faultinject` crate; see its docs for plan syntax).
+pub use faultinject as fault;
 pub use obs::{SweepTelemetry, TelemetryCost};
 pub use plan::{SkipMode, SweepPlan};
 pub use shadow::ShadowMap;

@@ -17,6 +17,7 @@ pub struct SweepTelemetry {
     bytes: Counter,
     caps_inspected: Counter,
     caps_revoked: Counter,
+    retries: Counter,
     sweep_ns: LogHistogram,
     sweep_bytes: LogHistogram,
     registry: Registry,
@@ -31,6 +32,7 @@ impl SweepTelemetry {
             bytes: registry.counter("cvk_sweep_bytes_total"),
             caps_inspected: registry.counter("cvk_sweep_caps_inspected_total"),
             caps_revoked: registry.counter("cvk_sweep_caps_revoked_total"),
+            retries: registry.counter("cvk_sweep_retries_total"),
             sweep_ns: registry.histogram("cvk_sweep_duration_ns"),
             sweep_bytes: registry.histogram("cvk_sweep_bytes"),
             registry: registry.clone(),
@@ -69,6 +71,18 @@ impl SweepTelemetry {
             workers,
             kernel,
         });
+    }
+
+    /// Records a sweep that recovered from `chunks` panicking chunks by
+    /// retrying them on the reference kernel. `kernel` is the kernel
+    /// whose chunks panicked.
+    pub fn observe_retries(&self, chunks: u64, kernel: &'static str) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.retries.add(chunks);
+        self.registry
+            .event(EventKind::SweepRetried { chunks, kernel });
     }
 }
 

@@ -90,6 +90,10 @@ pub struct SweepStats {
     pub pages_skipped: u64,
     /// Cache lines skipped by CLoadTags filtering (when enabled).
     pub lines_skipped: u64,
+    /// Chunks whose kernel panicked and were retried on the sequential
+    /// reference kernel (only ever non-zero with fault injection armed or
+    /// a genuinely buggy kernel; see `ParallelSweepEngine`).
+    pub chunks_retried: u64,
 }
 
 impl SweepStats {
@@ -108,6 +112,7 @@ impl SweepStats {
             out.caps_inspected = out.caps_inspected.saturating_add(p.caps_inspected);
             out.caps_revoked = out.caps_revoked.saturating_add(p.caps_revoked);
             out.regs_revoked = out.regs_revoked.saturating_add(p.regs_revoked);
+            out.chunks_retried = out.chunks_retried.saturating_add(p.chunks_retried);
         }
         out
     }
@@ -122,6 +127,7 @@ impl core::ops::AddAssign for SweepStats {
         self.regs_revoked = self.regs_revoked.saturating_add(rhs.regs_revoked);
         self.pages_skipped = self.pages_skipped.saturating_add(rhs.pages_skipped);
         self.lines_skipped = self.lines_skipped.saturating_add(rhs.lines_skipped);
+        self.chunks_retried = self.chunks_retried.saturating_add(rhs.chunks_retried);
     }
 }
 
@@ -623,12 +629,15 @@ mod tests {
             regs_revoked: 1,
             pages_skipped: 5,
             lines_skipped: 9,
+            chunks_retried: 1,
         };
         let merged = SweepStats::merge_parallel([worker, worker]);
         assert_eq!(merged.bytes_swept, 2000);
         assert_eq!(merged.caps_inspected, 20);
         assert_eq!(merged.caps_revoked, 8);
         assert_eq!(merged.regs_revoked, 2);
+        // Retries are work-level: each worker's own retries count.
+        assert_eq!(merged.chunks_retried, 2);
         // Plan-level counters are not double-counted across workers.
         assert_eq!(merged.segments_swept, 0);
         assert_eq!(merged.pages_skipped, 0);

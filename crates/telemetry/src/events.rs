@@ -66,6 +66,36 @@ pub enum EventKind {
         /// Shard that ran out of memory.
         shard: usize,
     },
+    /// A fault-injection point fired (chaos testing; see the
+    /// `faultinject` crate).
+    FaultInjected {
+        /// Stable name of the fault point (`faultinject::FaultPoint::name`).
+        point: &'static str,
+        /// Shard the fault was injected into (0 when not shard-scoped).
+        shard: usize,
+    },
+    /// A sweep recovered from panicking chunks by retrying them on the
+    /// sequential reference kernel.
+    SweepRetried {
+        /// Chunks that panicked and were retried.
+        chunks: u64,
+        /// Kernel whose chunks panicked (the retry always runs `"wide"`).
+        kernel: &'static str,
+    },
+    /// The supervisor restarted a dead or stalled background revoker.
+    RevokerRestarted {
+        /// Generation number of the replacement revoker thread.
+        generation: u64,
+        /// Why: `"death"` (thread exited) or `"stall"` (watchdog deadline
+        /// missed).
+        cause: &'static str,
+    },
+    /// Quarantine overflow or allocation failure forced an emergency
+    /// synchronous sweep.
+    EmergencySweep {
+        /// Shard under memory pressure.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for EventKind {
@@ -104,6 +134,16 @@ impl fmt::Display for EventKind {
                 "foreign-sweep paint={painting_shard} swept={swept_shard} revoked={caps_revoked}"
             ),
             EventKind::OomRevocation { shard } => write!(f, "oom-revocation shard={shard}"),
+            EventKind::FaultInjected { point, shard } => {
+                write!(f, "fault-injected point={point} shard={shard}")
+            }
+            EventKind::SweepRetried { chunks, kernel } => {
+                write!(f, "sweep-retried chunks={chunks} kernel={kernel}")
+            }
+            EventKind::RevokerRestarted { generation, cause } => {
+                write!(f, "revoker-restarted gen={generation} cause={cause}")
+            }
+            EventKind::EmergencySweep { shard } => write!(f, "emergency-sweep shard={shard}"),
         }
     }
 }
