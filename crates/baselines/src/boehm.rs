@@ -104,13 +104,18 @@ impl BoehmGcHeap {
 
         // Sweep: reclaim unmarked objects, except the conservatively
         // pinned ones (1 in 50 garbage objects is falsely retained).
-        let garbage: Vec<u64> = self
+        // Sorted so the pin_tick counter lands on the same ids every run:
+        // HashMap iteration order is per-process random, and which ids
+        // get pinned changes retained bytes — and with them fig. 5's
+        // Boehm column.
+        let mut garbage: Vec<u64> = self
             .base
             .blocks
             .keys()
             .copied()
             .filter(|id| !marked.contains(id))
             .collect();
+        garbage.sort_unstable();
         for id in garbage {
             self.pin_tick += 1;
             if self.pin_tick.is_multiple_of(50) {

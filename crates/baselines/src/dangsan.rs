@@ -101,7 +101,11 @@ impl WorkloadHeap for DangSanHeap {
         // and DangSan pays on every one. Spread it over the live objects.
         let implied = (self.implied_rate * self.duration_s) as u64;
         if implied > 0 && !self.base.blocks.is_empty() {
-            let ids: Vec<u64> = self.base.blocks.keys().copied().take(64).collect();
+            // Sorted + truncated (not HashMap order, which is per-process
+            // random) so the charged per-object costs are reproducible.
+            let mut ids: Vec<u64> = self.base.blocks.keys().copied().collect();
+            ids.sort_unstable();
+            ids.truncate(64);
             let per = implied / ids.len() as u64;
             for id in ids {
                 self.track(id, per);

@@ -73,20 +73,13 @@ fn bench_kernel_matrix(c: &mut Criterion) {
 }
 
 /// The acceptance-bar check: fast ≥ 3× reference on the sparse clustered
-/// image with a painted quarantine (median-of-three via
-/// `bench::engine_sweep_rate`, the same measurement every experiment
-/// binary uses).
+/// image with a painted quarantine. The measurement lives in
+/// [`bench::verdicts::fast_kernel_verdict`] so `cargo xtask lab` computes
+/// the identical verdict in-process; this main just prints it in the
+/// historical line format.
 fn fast_verdict() {
-    let mem = bench::image_with_clustered_caps(IMAGE_BYTES, 0.05);
-    let mut shadow = ShadowMap::new(mem.base(), mem.len());
-    shadow.paint(mem.base(), mem.len() / 4);
-    let reference = bench::engine_sweep_rate(Kernel::Simple, 1, &mem, &shadow);
-    let fast = bench::engine_sweep_rate(Kernel::Fast, 1, &mem, &shadow);
-    let speedup = fast / reference;
-    let verdict = if speedup >= 3.0 { "PASS" } else { "BELOW-BAR" };
-    println!(
-        "sweep_kernel/fast_verdict: {verdict} ({reference:.0} MiB/s reference, {fast:.0} MiB/s fast, {speedup:.2}x, target 3.00x)"
-    );
+    let v = bench::verdicts::fast_kernel_verdict();
+    println!("sweep_kernel/fast_verdict: {} ({})", v.status(), v.detail);
 }
 
 criterion_group!(benches, bench_kernel_matrix);

@@ -18,7 +18,6 @@
 //! budget (the real count on the malloc/free paths is 1-2).
 
 use std::hint::black_box;
-use std::time::Instant;
 
 use criterion::{criterion_group, Criterion};
 use telemetry::{Counter, LogHistogram, Registry};
@@ -72,53 +71,18 @@ fn bench_enabled_handles(c: &mut Criterion) {
     group.finish();
 }
 
-/// Median of three timed runs of `f`, in nanoseconds per iteration.
-fn ns_per_iter(iters: u64, mut f: impl FnMut(u64)) -> f64 {
-    let mut samples = [0.0f64; 3];
-    for s in &mut samples {
-        let t0 = Instant::now();
-        for i in 0..iters {
-            f(i);
-        }
-        *s = t0.elapsed().as_nanos() as f64 / iters as f64;
-    }
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[1]
-}
-
 /// The acceptance bar: a disabled telemetry site must cost under 1% of a
 /// service malloc/free op, even assuming 4 such sites per op (the real
-/// count on the malloc/free paths is 1-2).
+/// count on the malloc/free paths is 1-2). The measurement lives in
+/// [`bench::verdicts::telemetry_disabled_verdict`] so `cargo xtask lab`
+/// computes the identical verdict in-process; this main just prints it in
+/// the historical line format.
 fn disabled_overhead_verdict() {
-    let counter = Counter::default();
-    let histogram = LogHistogram::default();
-    let disabled_ns = ns_per_iter(50_000_000, |i| {
-        black_box(&counter).inc();
-        black_box(&histogram).record(black_box(i));
-    }) / 2.0; // two records per iteration
-
-    // A real service op for scale: single-threaded churn against a
-    // telemetry-off ConcurrentHeap (the service_throughput hot path).
-    let heap = cherivoke::ConcurrentHeap::new(cherivoke::ServiceConfig::small()).expect("service");
-    let client = heap.handle();
-    let mut held = Vec::with_capacity(16);
-    let op_ns = ns_per_iter(40_000, |i| {
-        let cap = client.malloc(64 + (i % 8) * 48).expect("malloc");
-        held.push(cap);
-        if held.len() >= 16 {
-            let victim = held.swap_remove((i % 16) as usize);
-            client.free(victim).expect("free");
-        }
-    });
-
-    let budget_sites = 4.0;
-    let pct = disabled_ns * budget_sites / op_ns * 100.0;
-    let verdict = if pct < 1.0 { "PASS" } else { "BELOW-BAR" };
+    let v = bench::verdicts::telemetry_disabled_verdict(50_000_000);
     println!(
-        "telemetry_overhead/disabled_verdict: {verdict} \
-         ({disabled_ns:.2} ns/disabled record x {budget_sites:.0} sites = {:.2} ns \
-         vs {op_ns:.0} ns/service op = {pct:.3}%, target < 1%)",
-        disabled_ns * budget_sites
+        "telemetry_overhead/disabled_verdict: {} ({})",
+        v.status(),
+        v.detail
     );
 }
 

@@ -13,7 +13,9 @@
 //! `--metrics-out PATH` writes the 4-thread sharded run's final metrics
 //! snapshot (JSON) to `PATH` — the artifact CI uploads.
 //!
-//! Two properties are measured:
+//! The measurement core lives in [`bench::service`] (so `cargo xtask lab`
+//! runs the identical churn in-process); this binary is the human-facing
+//! presentation plus the scaling/contention/fault verdicts:
 //!
 //! 1. **Parallel scaling** — each mutator thread gets a
 //!    [`cherivoke::HeapClient`] pinned to its own shard and churns a
@@ -32,197 +34,10 @@
 //! bound (peak quarantined bytes stay below the configured heap fraction),
 //! and — since the fault-injection subsystem landed — proof that a
 //! *disabled* [`cherivoke::fault::FaultInjector`] costs <1% per service
-//! op: a `sharded-faults-off` row churns with an explicitly disabled
-//! injector, and the disabled `should_fire` branch is microbenchmarked
-//! directly (the same methodology that priced the telemetry handles).
+//! op ([`bench::verdicts::fault_overhead_verdict`]).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Instant;
-
-use cherivoke::fault::{FaultInjector, FaultPoint};
-use cherivoke::{ConcurrentHeap, ServiceConfig};
+use bench::service::{churn, ChurnParams, FaultMode, ServiceRow, FAULT_SITES_PER_OP};
 use serde::Serialize;
-
-/// Disabled `should_fire` branches a single service op crosses: mallocs
-/// cross exactly one (the allocator's alloc-failure check), frees cross
-/// none, and the sweep/barrier/revoker sites run on the sweep path behind
-/// an `is_enabled()` gate, amortising to a rounding error per op — so 1.0
-/// over-counts the true per-op average (which is ~0.5 across a
-/// malloc+free pair).
-const FAULT_SITES_PER_OP: f64 = 1.0;
-
-#[derive(Serialize)]
-struct Row {
-    mode: &'static str,
-    kernel: &'static str,
-    threads: usize,
-    shards: usize,
-    total_ops: u64,
-    secs: f64,
-    ops_per_sec: f64,
-    epochs: u64,
-    foreign_sweeps: u64,
-    caps_revoked_foreign: u64,
-    peak_quarantine_fraction: f64,
-    quarantine_bound_fraction: f64,
-    quarantine_bounded: bool,
-    p50_pause_us: f64,
-    p99_pause_us: f64,
-    max_pause_us: f64,
-    sweep_bandwidth_mib_s: f64,
-}
-
-/// One churn run: `threads` mutators over a `shards`-sharded service, each
-/// doing `ops_per_thread` malloc(+store/load)+free pairs. With `contend`,
-/// every mutator is pinned to shard 0 so allocation serialises on one lock.
-fn run(
-    threads: usize,
-    shards: usize,
-    contend: bool,
-    ops_per_thread: u64,
-    shard_mib: u64,
-    telemetry: bool,
-) -> (Row, Option<String>) {
-    run_with(
-        threads,
-        shards,
-        contend,
-        ops_per_thread,
-        shard_mib,
-        telemetry,
-        false,
-    )
-}
-
-fn run_with(
-    threads: usize,
-    shards: usize,
-    contend: bool,
-    ops_per_thread: u64,
-    shard_mib: u64,
-    telemetry: bool,
-    faults_off: bool,
-) -> (Row, Option<String>) {
-    let config = ServiceConfig {
-        shards,
-        shard_heap_size: shard_mib << 20,
-        telemetry,
-        ..ServiceConfig::default()
-    };
-    let fraction = config.policy.quarantine.fraction;
-    let kernel = config.policy.kernel.name();
-    // `faults_off` pins an explicitly disabled injector (ignoring any
-    // `CHERIVOKE_FAULT_PLAN` in the environment) — the control row for the
-    // fault-overhead verdict.
-    let heap = if faults_off {
-        ConcurrentHeap::with_faults(config, FaultInjector::disabled())
-    } else {
-        ConcurrentHeap::new(config)
-    }
-    .expect("construct service");
-    let total_heap = (shard_mib << 20) * shards as u64;
-
-    // Peak-quarantine sampler: fraction of the *total heap* detained, in
-    // parts per million, sampled while the mutators run.
-    let peak_ppm = AtomicU64::new(0);
-    let done = AtomicBool::new(false);
-
-    let t0 = Instant::now();
-    let mut secs = 0.0;
-    std::thread::scope(|scope| {
-        scope.spawn(|| {
-            while !done.load(Ordering::Relaxed) {
-                let q = heap.quarantined_bytes();
-                let ppm = q * 1_000_000 / total_heap;
-                peak_ppm.fetch_max(ppm, Ordering::Relaxed);
-                std::thread::sleep(std::time::Duration::from_millis(1));
-            }
-        });
-        let mutators: Vec<_> = (0..threads)
-            .map(|t| {
-                let client = if contend {
-                    heap.handle_on(0)
-                } else {
-                    heap.handle()
-                };
-                scope.spawn(move || {
-                    let mut held = Vec::with_capacity(32);
-                    for i in 0..ops_per_thread {
-                        let size = 64 + ((i * 7 + t as u64) % 16) * 48;
-                        let cap = client.malloc(size).expect("service malloc");
-                        client.store_u64(&cap, 0, i).expect("store");
-                        held.push(cap);
-                        if held.len() >= 16 {
-                            let victim = held.swap_remove((i % 16) as usize);
-                            let v = client.load_u64(&victim, 0).expect("load");
-                            assert!(v <= i);
-                            client.free(victim).expect("service free");
-                        }
-                    }
-                    for cap in held {
-                        client.free(cap).expect("drain working set");
-                    }
-                })
-            })
-            .collect();
-        // Join mutators *before* asserting on their results: the sampler
-        // must see `done` even if a mutator panicked, or the scope would
-        // deadlock joining it during unwind.
-        let results: Vec<_> = mutators.into_iter().map(|m| m.join()).collect();
-        secs = t0.elapsed().as_secs_f64();
-        done.store(true, Ordering::Relaxed);
-        for r in results {
-            r.expect("mutator thread");
-        }
-    });
-
-    let stats = heap.stats();
-    let metrics = telemetry.then(|| heap.snapshot().to_json());
-    let total_ops = 2 * threads as u64 * ops_per_thread; // mallocs + frees
-    let peak_fraction = peak_ppm.load(Ordering::Relaxed) as f64 / 1e6;
-    let row = Row {
-        mode: if contend {
-            "contended-1-shard"
-        } else if faults_off {
-            "sharded-faults-off"
-        } else {
-            "sharded"
-        },
-        kernel,
-        threads,
-        shards,
-        total_ops,
-        secs,
-        ops_per_sec: total_ops as f64 / secs,
-        epochs: stats.epochs,
-        foreign_sweeps: stats.foreign_sweeps,
-        caps_revoked_foreign: stats.foreign_caps_revoked,
-        peak_quarantine_fraction: peak_fraction,
-        quarantine_bound_fraction: fraction,
-        quarantine_bounded: peak_fraction < fraction,
-        p50_pause_us: stats.pauses.percentile_ns(50.0) as f64 / 1e3,
-        p99_pause_us: stats.pauses.percentile_ns(99.0) as f64 / 1e3,
-        max_pause_us: stats.pauses.max_ns() as f64 / 1e3,
-        sweep_bandwidth_mib_s: stats.sweep_bandwidth() / (1 << 20) as f64,
-    };
-    (row, metrics)
-}
-
-/// Nanoseconds per call of `should_fire` on a *disabled* injector — the
-/// cost every instrumented hot-path site pays in production.
-fn disabled_branch_ns(iters: u64) -> f64 {
-    let injector = FaultInjector::disabled();
-    let mut fired = 0u64;
-    let t0 = Instant::now();
-    for _ in 0..iters {
-        if std::hint::black_box(&injector).should_fire(FaultPoint::AllocFailure) {
-            fired += 1;
-        }
-    }
-    let ns = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
-    assert_eq!(std::hint::black_box(fired), 0);
-    ns
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -236,27 +51,49 @@ fn main() {
     let shard_mib = if smoke { 4 } else { 16 };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
+    let base = ChurnParams {
+        ops_per_thread,
+        shard_mib,
+        telemetry,
+        ..ChurnParams::default()
+    };
+
     // With telemetry on, the 4-thread sharded run's snapshot is the one
     // worth keeping (the configuration the scaling verdict is about).
     let mut sharded_metrics = None;
-    let mut rows: Vec<Row> = [1usize, 2, 4]
+    let mut rows: Vec<ServiceRow> = [1usize, 2, 4]
         .iter()
         .map(|&t| {
-            let (row, metrics) = run(t, 4, false, ops_per_thread, shard_mib, telemetry);
+            let (row, metrics) = churn(&ChurnParams {
+                threads: t,
+                ..base.clone()
+            });
             if t == 4 {
                 sharded_metrics = metrics;
             }
             row
         })
         .collect();
-    rows.push(run(4, 4, true, ops_per_thread, shard_mib, telemetry).0);
-    rows.push(run_with(4, 4, false, ops_per_thread, shard_mib, telemetry, true).0);
+    rows.push(
+        churn(&ChurnParams {
+            contend: true,
+            ..base.clone()
+        })
+        .0,
+    );
+    rows.push(
+        churn(&ChurnParams {
+            faults: FaultMode::Disabled,
+            ..base.clone()
+        })
+        .0,
+    );
 
     if let Some(path) = &metrics_out {
         let metrics = sharded_metrics
-            .as_deref()
+            .as_ref()
             .expect("--metrics-out requires --telemetry");
-        std::fs::write(path, metrics).expect("write metrics snapshot");
+        std::fs::write(path, metrics.to_json()).expect("write metrics snapshot");
         eprintln!("metrics snapshot written to {path}");
     }
 
@@ -285,10 +122,12 @@ fn main() {
     // Fault-injection overhead verdict: price the disabled `should_fire`
     // branch directly and scale by the sites a service op can cross. The
     // churn rows are too noisy to resolve <1%; the branch cost is not.
-    let fault_branch_ns = disabled_branch_ns(if smoke { 10_000_000 } else { 100_000_000 });
     let op_ns = sharded_4.secs * 1e9 / sharded_4.total_ops as f64;
-    let fault_overhead_pct = 100.0 * FAULT_SITES_PER_OP * fault_branch_ns / op_ns;
-    let fault_verdict = fault_overhead_pct < 1.0;
+    let fault = bench::verdicts::fault_overhead_verdict(
+        if smoke { 10_000_000 } else { 100_000_000 },
+        op_ns,
+    );
+    let fault_branch_ns = fault.value / 100.0 * op_ns / FAULT_SITES_PER_OP;
     let bound_violation = rows.iter().find(|r| !r.quarantine_bounded).map(|r| {
         format!(
             "{} threads ({}): peak quarantine {:.1}% exceeded the configured {:.0}% heap fraction",
@@ -303,7 +142,7 @@ fn main() {
         #[derive(Serialize)]
         struct Report {
             cores: usize,
-            rows: Vec<Row>,
+            rows: Vec<ServiceRow>,
             scaling_1_to_4: f64,
             scaling_measurable: bool,
             sharding_speedup: f64,
@@ -317,14 +156,14 @@ fn main() {
             "{}",
             serde_json::to_string_pretty(&Report {
                 cores,
-                rows,
+                rows: rows.clone(),
                 scaling_1_to_4,
                 scaling_measurable,
                 sharding_speedup,
                 fault_branch_ns,
                 fault_sites_per_op: FAULT_SITES_PER_OP,
-                fault_overhead_pct,
-                fault_verdict,
+                fault_overhead_pct: fault.value,
+                fault_verdict: fault.pass,
                 pass,
             })
             .expect("serialise")
@@ -335,8 +174,8 @@ fn main() {
             .iter()
             .map(|r| {
                 vec![
-                    r.mode.to_string(),
-                    r.kernel.to_string(),
+                    r.mode.clone(),
+                    r.kernel.clone(),
                     r.threads.to_string(),
                     format!("{:.0}k", r.ops_per_sec / 1e3),
                     r.epochs.to_string(),
@@ -372,10 +211,7 @@ fn main() {
             );
         }
         println!("sharded vs contended single lock, 4 threads: {sharding_speedup:.2}x");
-        println!(
-            "disabled fault injection: {fault_branch_ns:.2} ns/branch × {FAULT_SITES_PER_OP:.0} \
-             sites = {fault_overhead_pct:.3}% of a service op (target < 1%)"
-        );
+        println!("disabled fault injection: {}", fault.detail);
     }
 
     assert!(bound_violation.is_none(), "{}", bound_violation.unwrap());
@@ -385,7 +221,8 @@ fn main() {
          (measurable: {scaling_measurable}), sharding speedup {sharding_speedup:.2}x"
     );
     assert!(
-        fault_verdict,
-        "disabled fault injection costs {fault_overhead_pct:.3}% per service op (target < 1%)"
+        fault.pass,
+        "disabled fault injection costs {:.3}% per service op (target < 1%)",
+        fault.value
     );
 }

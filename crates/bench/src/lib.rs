@@ -17,9 +17,19 @@
 //!
 //! Every binary prints a human-readable table; pass `--json` for a
 //! machine-readable record (used to regenerate `EXPERIMENTS.md`).
+//!
+//! The [`lab`] module is the scalability lab: the declarative experiment
+//! matrix `cargo xtask lab` runs in-process, built on the same
+//! [`engine_sweep_rate`] measurement and the [`service`] churn harness
+//! (the `service_throughput` binary's core). The [`verdicts`] module
+//! holds the acceptance bars CI gates on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod lab;
+pub mod service;
+pub mod verdicts;
 
 use cheri::Capability;
 use revoker::{Kernel, NoFilter, ParallelSweepEngine, SegmentSource, ShadowMap};

@@ -1,20 +1,29 @@
 //! Offline stand-in for [`serde_json`](https://docs.rs/serde_json):
-//! renders the shim `serde` crate's [`serde::Value`] tree. Only the
-//! serialisation direction is provided — nothing in this workspace parses
-//! JSON back.
+//! renders the shim `serde` crate's [`serde::Value`] tree, and parses
+//! JSON text back into one (the subset the workspace emits — objects,
+//! arrays, strings with the escapes `render` produces, numbers, bools,
+//! null). Typed deserialisation is not reproduced: consumers that read
+//! JSON back (the `xtask` perf gate) walk the [`Value`] tree via its
+//! accessors.
 
 #![forbid(unsafe_code)]
 
 use serde::Serialize;
+pub use serde::Value;
 
-/// Serialisation error. The shim serialiser is total, so this is never
-/// constructed — it exists so call sites keep serde_json's `Result` shape.
+/// Serialisation/parse error with a human-readable message.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
+
+impl Error {
+    fn at(msg: &str, pos: usize) -> Error {
+        Error(format!("{msg} at byte {pos}"))
+    }
+}
 
 impl core::fmt::Display for Error {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "json serialisation error")
+        write!(f, "json error: {}", self.0)
     }
 }
 
@@ -42,8 +51,210 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(out)
 }
 
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Integer literals become [`Value::UInt`] / [`Value::Int`]; anything
+/// with a fraction or exponent becomes [`Value::Float`].
+///
+/// # Errors
+///
+/// Returns a positioned error on malformed input or trailing garbage.
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::at("trailing characters", pos));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), Error> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error::at(&format!("expected '{}'", b as char), *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::at("unexpected end of input", *pos)),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(Error::at(&format!("expected '{lit}'"), *pos))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    expect(bytes, pos, b'{')?;
+    let mut entries = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(entries));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        entries.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            _ => return Err(Error::at("expected ',' or '}'", *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(Error::at("expected ',' or ']'", *pos)),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::at("unterminated string", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| Error::at("truncated \\u escape", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::at("bad \\u escape", *pos))?;
+                        // Surrogate pairs are not emitted by the renderer;
+                        // map them to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::at("bad escape", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (input came in as &str, so
+                // byte boundaries are already valid).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| Error::at("invalid utf-8", *pos))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' => {
+                float = true;
+                *pos += 1;
+            }
+            b'-' if float => *pos += 1, // exponent sign
+            _ => break,
+        }
+    }
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::at("invalid number", start))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error::at("expected value", start));
+    }
+    if float {
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::at("bad float literal", start))
+    } else if let Some(stripped) = text.strip_prefix('-') {
+        stripped
+            .parse::<u64>()
+            .map_err(|_| Error::at("bad int literal", start))
+            .map(|u| {
+                i64::try_from(u)
+                    .map(|i| Value::Int(-i))
+                    .unwrap_or(Value::Float(-(u as f64)))
+            })
+    } else {
+        match text.parse::<u64>() {
+            Ok(u) => Ok(Value::UInt(u)),
+            Err(_) => text
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::at("bad int literal", start)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn compact_and_pretty() {
         let rows = vec![vec![1u64], vec![2, 3]];
@@ -52,5 +263,49 @@ mod tests {
             super::to_string_pretty(&rows).unwrap(),
             "[\n  [\n    1\n  ],\n  [\n    2,\n    3\n  ]\n]"
         );
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("3").unwrap(), Value::UInt(3));
+        assert_eq!(from_str("-3").unwrap(), Value::Int(-3));
+        assert_eq!(from_str("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(from_str("2e3").unwrap(), Value::Float(2000.0));
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("\"a\\nb\"").unwrap(), Value::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = from_str(r#"{"rows": [{"x": 1, "y": -2.5}], "ok": true}"#).unwrap();
+        let rows = v.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows[0].get("x").unwrap().as_u64(), Some(1));
+        assert_eq!(rows[0].get("y").unwrap().as_f64(), Some(-2.5));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("1 2").is_err());
+        assert!(from_str("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn render_parse_round_trip_is_stable() {
+        let v = Value::Object(vec![
+            ("throughput".into(), Value::Float(123.456)),
+            ("count".into(), Value::UInt(7)),
+            ("name".into(), Value::Str("fig5/omnetpp \"q\"".into())),
+            (
+                "nested".into(),
+                Value::Array(vec![Value::Null, Value::Bool(false)]),
+            ),
+        ]);
+        let rendered = to_string_pretty(&v).unwrap();
+        let reparsed = from_str(&rendered).unwrap();
+        assert_eq!(to_string_pretty(&reparsed).unwrap(), rendered);
     }
 }
