@@ -24,6 +24,7 @@
 //! comparable across commits.
 
 use cherivoke::fault::FaultPlan;
+use cherivoke::BackendKind;
 use revoker::{Kernel, ShadowMap};
 use serde::Serialize;
 use workloads::{profiles, run_trace, CherivokeUnderTest, CostModel, Stage, TraceGenerator};
@@ -39,7 +40,7 @@ use crate::service::{churn, ChurnParams, FaultMode, ServiceRow};
 pub const CHAOS_SMOKE_PLAN: &str =
     "worker_panic@4/8x4,tag_read_error@6/10x3,barrier_delay@2/4x2,revoker_death@1/3x2";
 
-/// The matrix: every combination of the four axes is one experiment.
+/// The matrix: every combination of the five axes is one experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct LabMatrix {
     /// Table-2 workload names (`omnetpp`, `xalancbmk`, …).
@@ -50,21 +51,25 @@ pub struct LabMatrix {
     pub sweep_workers: Vec<usize>,
     /// Fault plans: `off` or `chaos-smoke`.
     pub fault_plans: Vec<String>,
+    /// Revocation backends: `stock`, `colored`, `hierarchical`.
+    pub backends: Vec<String>,
 }
 
 impl LabMatrix {
-    /// The reduced matrix CI runs on every PR (8 experiments).
+    /// The reduced matrix CI runs on every PR (16 experiments).
     pub fn smoke() -> LabMatrix {
         LabMatrix {
             workloads: vec!["omnetpp".into(), "xalancbmk".into()],
             kernels: vec!["reference".into(), "fast".into()],
             sweep_workers: vec![1, 4],
             fault_plans: vec!["off".into()],
+            backends: vec!["stock".into(), "colored".into()],
         }
     }
 
     /// The full characterisation matrix (the paper's axes: 4 workloads ×
-    /// 3 kernels × 4 worker counts × 2 fault plans = 96 experiments).
+    /// 3 kernels × 4 worker counts × 2 fault plans × 3 backends = 288
+    /// experiments).
     pub fn full() -> LabMatrix {
         LabMatrix {
             workloads: vec![
@@ -76,23 +81,27 @@ impl LabMatrix {
             kernels: vec!["reference".into(), "wide".into(), "fast".into()],
             sweep_workers: vec![1, 2, 4, 8],
             fault_plans: vec!["off".into(), "chaos-smoke".into()],
+            backends: vec!["stock".into(), "colored".into(), "hierarchical".into()],
         }
     }
 
     /// Expands the matrix into its experiment list, in deterministic
-    /// order (workload-major, fault-plan-minor).
+    /// order (workload-major, backend-minor).
     pub fn expand(&self) -> Vec<ExperimentConfig> {
         let mut out = Vec::new();
         for workload in &self.workloads {
             for kernel in &self.kernels {
                 for &workers in &self.sweep_workers {
                     for fault_plan in &self.fault_plans {
-                        out.push(ExperimentConfig {
-                            workload: workload.clone(),
-                            kernel: kernel.clone(),
-                            sweep_workers: workers,
-                            fault_plan: fault_plan.clone(),
-                        });
+                        for backend in &self.backends {
+                            out.push(ExperimentConfig {
+                                workload: workload.clone(),
+                                kernel: kernel.clone(),
+                                sweep_workers: workers,
+                                fault_plan: fault_plan.clone(),
+                                backend: backend.clone(),
+                            });
+                        }
                     }
                 }
             }
@@ -112,15 +121,17 @@ pub struct ExperimentConfig {
     pub sweep_workers: usize,
     /// Fault plan name (`off` / `chaos-smoke`).
     pub fault_plan: String,
+    /// Revocation backend name (`stock` / `colored` / `hierarchical`).
+    pub backend: String,
 }
 
 impl ExperimentConfig {
-    /// Stable experiment id: `workload/kernel/wN/faults` — the key the
-    /// trajectory diff joins baseline and current runs on.
+    /// Stable experiment id: `workload/kernel/wN/faults/backend` — the
+    /// key the trajectory diff joins baseline and current runs on.
     pub fn id(&self) -> String {
         format!(
-            "{}/{}/w{}/{}",
-            self.workload, self.kernel, self.sweep_workers, self.fault_plan
+            "{}/{}/w{}/{}/{}",
+            self.workload, self.kernel, self.sweep_workers, self.fault_plan, self.backend
         )
     }
 
@@ -142,6 +153,15 @@ impl ExperimentConfig {
             )),
             other => Err(format!("unknown fault plan '{other}'")),
         }
+    }
+
+    fn backend(&self) -> Result<BackendKind, String> {
+        // The lab wants a hard error on a typo'd axis value — the
+        // CHERIVOKE_BACKEND env knob's clamp-and-warn is for production
+        // heaps, not for experiment matrices.
+        self.backend
+            .parse::<BackendKind>()
+            .map_err(|_| format!("unknown backend '{}'", self.backend))
     }
 }
 
@@ -209,6 +229,12 @@ pub struct ExperimentMetrics {
     pub overhead_time: f64,
     /// fig. 5b: memory normalised to peak live bytes. Deterministic.
     pub overhead_memory: f64,
+    /// Fraction of the sweepable address space a single revocation pass
+    /// actually visited in the [`swept_fraction_probe`] scenario (1.0 =
+    /// every byte walked). Deterministic — pure counts, no wall clock —
+    /// so it gates hard; the sweep-avoidance backends must hold this well
+    /// below the stock backend's value.
+    pub swept_fraction: f64,
     /// Revocation epochs the service completed during churn.
     pub service_epochs: u64,
     /// Did the churn's peak quarantine stay under the policy bound?
@@ -237,6 +263,7 @@ impl ExperimentMetrics {
         self.service_noise_pct = self.service_noise_pct.max(fresh.service_noise_pct);
         self.overhead_time = fresh.overhead_time;
         self.overhead_memory = fresh.overhead_memory;
+        self.swept_fraction = fresh.swept_fraction;
         self.service_epochs = fresh.service_epochs;
         self.quarantine_bounded = fresh.quarantine_bounded;
     }
@@ -253,13 +280,91 @@ pub struct ExperimentResult {
     pub metrics: ExperimentMetrics,
 }
 
+/// The deterministic sweep-avoidance scenario behind
+/// [`ExperimentMetrics::swept_fraction`]: a 16 MiB heap tiled with ~60 KiB
+/// arenas, each holding capabilities **to itself** (the clustered pointer
+/// locality the PICASSO/PoisonCap summaries exploit), with exactly one
+/// arena freed — so the painted set occupies a single 64 KiB color window
+/// inside a single 1 MiB poison region. One `revoke_now` then reports how
+/// much of the sweepable address space the backend actually walked.
+///
+/// Pure counts, no wall clock: the same backend, density and seed always
+/// produce the same fraction, so the metric gates hard in CI.
+///
+/// # Errors
+///
+/// Returns a message if the probe heap cannot be constructed or driven.
+pub fn swept_fraction_probe(
+    backend: BackendKind,
+    pointer_page_density: f64,
+    seed: u64,
+) -> Result<f64, String> {
+    let mut policy = cherivoke::RevocationPolicy::paper_default();
+    policy.backend = backend;
+    policy.use_capdirty = true;
+    policy.strict = false;
+    policy.incremental_slice_bytes = None;
+    policy.sweep_workers = 1;
+    policy.quarantine.fraction = f64::INFINITY; // only the explicit pass sweeps
+    let config = cherivoke::HeapConfig {
+        policy,
+        ..cherivoke::HeapConfig::default()
+    };
+    let mut heap = cherivoke::CherivokeHeap::new(config).map_err(|e| format!("probe heap: {e}"))?;
+
+    const ARENA_BYTES: u64 = 60 << 10;
+    const PAGE: u64 = 4096;
+    let mut arenas = Vec::new();
+    while arenas.len() < 4096 {
+        match heap.malloc(ARENA_BYTES) {
+            Ok(cap) => arenas.push(cap),
+            Err(_) => break, // heap full: the tiling is complete
+        }
+    }
+    if arenas.len() < 32 {
+        return Err("probe heap tiled fewer than 32 arenas".into());
+    }
+    // Each arena stores a capability to itself on its first page, and on
+    // each further page with probability `pointer_page_density` (the
+    // workload's Table-2 pointer page density), via a fixed-seed LCG.
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (rng >> 33) as f64 / (1u64 << 31) as f64
+    };
+    for arena in &arenas {
+        for page in 0..arena.length() / PAGE {
+            if page == 0 || next() < pointer_page_density {
+                heap.store_cap(arena, page * PAGE, arena)
+                    .map_err(|e| format!("probe store: {e}"))?;
+            }
+        }
+    }
+    let victim = arenas.swap_remove(0);
+    heap.free(victim).map_err(|e| format!("probe free: {e}"))?;
+    let stats = heap.revoke_now();
+    if stats.caps_revoked == 0 {
+        return Err("probe revoked nothing: the victim arena held no capability".into());
+    }
+    let sweepable: u64 = heap
+        .space()
+        .segments()
+        .iter()
+        .filter(|s| s.kind().sweepable())
+        .map(|s| s.mem().len())
+        .sum();
+    Ok(stats.bytes_swept as f64 / sweepable as f64)
+}
+
 /// Runs one experiment end to end (sweep rate, service churn, workload
-/// replay) and returns its trajectory record.
+/// replay, sweep-avoidance probe) and returns its trajectory record.
 ///
 /// # Errors
 ///
 /// Returns a message naming the failing stage for unknown workloads /
-/// kernels / fault plans or a failed trace replay.
+/// kernels / fault plans / backends or a failed trace replay.
 pub fn run_experiment(
     config: &ExperimentConfig,
     opts: &LabOptions,
@@ -268,6 +373,7 @@ pub fn run_experiment(
         .ok_or_else(|| format!("unknown workload '{}'", config.workload))?;
     let kernel = config.kernel()?;
     let faults = config.fault_mode()?;
+    let backend = config.backend()?;
 
     let repeats = opts.measure_repeats.max(1);
 
@@ -301,6 +407,7 @@ pub fn run_experiment(
                 shard_mib: opts.service_shard_mib,
                 kernel: Some(kernel),
                 sweep_workers: Some(config.sweep_workers),
+                backend: Some(backend),
                 faults: faults.clone(),
                 ..ChurnParams::default()
             })
@@ -321,10 +428,17 @@ pub fn run_experiment(
     let mut policy = cherivoke::RevocationPolicy::paper_default();
     policy.kernel = kernel;
     policy.sweep_workers = config.sweep_workers;
+    policy.backend = backend;
     let mut sut = CherivokeUnderTest::new(&trace, policy, CostModel::x86_default(), Stage::Full)
         .map_err(|e| format!("{}: heap construction failed: {e}", config.id()))?;
     let report = run_trace(&mut sut, &trace)
         .map_err(|e| format!("{}: trace replay failed: {e}", config.id()))?;
+
+    // 4. The deterministic sweep-avoidance probe (clustered pointer
+    // locality, single-window revocation): how much of the sweepable
+    // space does this backend actually visit per pass?
+    let swept_fraction = swept_fraction_probe(backend, profile.pointer_page_density, opts.seed)
+        .map_err(|e| format!("{}: {e}", config.id()))?;
 
     Ok(ExperimentResult {
         id: config.id(),
@@ -336,6 +450,7 @@ pub fn run_experiment(
             p99_pause_us,
             overhead_time: report.normalized_time,
             overhead_memory: report.normalized_memory,
+            swept_fraction,
             service_epochs: row.epochs,
             quarantine_bounded: row.quarantine_bounded,
             sweep_noise_pct: rel_spread_pct(&sweep_samples),
@@ -368,14 +483,35 @@ mod tests {
             .iter()
             .map(ExperimentConfig::id)
             .collect();
-        assert_eq!(ids.len(), 8);
-        assert_eq!(ids[0], "omnetpp/reference/w1/off");
-        assert_eq!(ids[7], "xalancbmk/fast/w4/off");
+        assert_eq!(ids.len(), 16);
+        assert_eq!(ids[0], "omnetpp/reference/w1/off/stock");
+        assert_eq!(ids[1], "omnetpp/reference/w1/off/colored");
+        assert_eq!(ids[15], "xalancbmk/fast/w4/off/colored");
         // Ids are unique — the trajectory diff joins on them.
         let mut dedup = ids.clone();
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), ids.len());
+    }
+
+    #[test]
+    fn sweep_avoidance_backends_visit_far_less_than_stock() {
+        // The ISSUE acceptance bar, as a deterministic unit test: on the
+        // clustered probe scenario the colored and hierarchical backends
+        // must visit at least 2x fewer bytes per pass than stock — and
+        // re-running the probe must reproduce the fraction bit-for-bit.
+        let density = profiles::by_name("omnetpp").unwrap().pointer_page_density;
+        let stock = swept_fraction_probe(BackendKind::Stock, density, 42).unwrap();
+        let colored = swept_fraction_probe(BackendKind::Colored, density, 42).unwrap();
+        let hierarchical = swept_fraction_probe(BackendKind::Hierarchical, density, 42).unwrap();
+        assert!(stock > 0.0);
+        assert!(colored <= stock / 2.0, "colored {colored} vs stock {stock}");
+        assert!(
+            hierarchical <= stock / 2.0,
+            "hierarchical {hierarchical} vs stock {stock}"
+        );
+        let again = swept_fraction_probe(BackendKind::Colored, density, 42).unwrap();
+        assert_eq!(colored, again, "probe must be deterministic");
     }
 
     #[test]
@@ -403,6 +539,7 @@ mod tests {
             kernel: "fast".into(),
             sweep_workers: 2,
             fault_plan: "chaos-smoke".into(),
+            backend: "colored".into(),
         };
         let opts = LabOptions {
             trace_scale: 1.0 / 8192.0,
@@ -413,10 +550,12 @@ mod tests {
             measure_repeats: 1,
         };
         let result = run_experiment(&config, &opts).expect("experiment runs");
-        assert_eq!(result.id, "omnetpp/fast/w2/chaos-smoke");
+        assert_eq!(result.id, "omnetpp/fast/w2/chaos-smoke/colored");
         assert!(result.metrics.sweep_mib_s > 0.0);
         assert!(result.metrics.service_ops_per_sec > 0.0);
         assert!(result.metrics.overhead_time >= 1.0 - 0.05);
         assert!(result.metrics.overhead_memory > 0.0);
+        assert!(result.metrics.swept_fraction > 0.0);
+        assert!(result.metrics.swept_fraction < 1.0);
     }
 }

@@ -60,6 +60,9 @@ pub struct ChurnParams {
     /// Sweep worker threads per sweep (`None` = policy default,
     /// honouring `CHERIVOKE_SWEEP_WORKERS`).
     pub sweep_workers: Option<usize>,
+    /// Revocation backend for every shard (`None` = policy default,
+    /// honouring `CHERIVOKE_BACKEND`).
+    pub backend: Option<cherivoke::BackendKind>,
 }
 
 impl Default for ChurnParams {
@@ -74,6 +77,7 @@ impl Default for ChurnParams {
             faults: FaultMode::Inherit,
             kernel: None,
             sweep_workers: None,
+            backend: None,
         }
     }
 }
@@ -136,6 +140,9 @@ pub fn churn(params: &ChurnParams) -> (ServiceRow, Option<MetricsSnapshot>) {
     }
     if let Some(workers) = params.sweep_workers {
         config.policy.sweep_workers = workers;
+    }
+    if let Some(backend) = params.backend {
+        config.policy.backend = backend;
     }
     let fraction = config.policy.quarantine.fraction;
     let kernel = config.policy.kernel.name();

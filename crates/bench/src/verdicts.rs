@@ -151,6 +151,38 @@ pub fn fault_overhead_verdict(branch_iters: u64, op_ns: f64) -> Verdict {
     }
 }
 
+/// The sweep-avoidance acceptance bar: on the deterministic clustered
+/// probe ([`crate::lab::swept_fraction_probe`]) the colored backend must
+/// visit at least 2× fewer bytes per revocation pass than the stock
+/// backend. Pure counts — the verdict is host-independent.
+pub fn backend_sweep_avoidance_verdict() -> Verdict {
+    // omnetpp's Table-2 pointer page density, the lab's default seed.
+    let density = workloads::profiles::by_name("omnetpp")
+        .expect("omnetpp profile exists")
+        .pointer_page_density;
+    let probe = |kind| {
+        crate::lab::swept_fraction_probe(kind, density, 42).expect("sweep-avoidance probe runs")
+    };
+    let stock = probe(cherivoke::BackendKind::Stock);
+    let colored = probe(cherivoke::BackendKind::Colored);
+    let ratio = if colored > 0.0 {
+        stock / colored
+    } else {
+        f64::INFINITY
+    };
+    Verdict {
+        name: "backend_sweep_avoidance".to_string(),
+        pass: ratio >= 2.0,
+        value: ratio,
+        target: 2.0,
+        detail: format!(
+            "stock visits {:.4} of the sweepable space, colored {:.4} — {ratio:.2}x avoidance, \
+             target 2.00x",
+            stock, colored
+        ),
+    }
+}
+
 /// The telemetry-smoke checks CI used to run as inline Python over the
 /// exported JSON snapshot: a telemetry-enabled churn must actually have
 /// recorded allocator traffic, service epochs and pause samples.

@@ -1,0 +1,153 @@
+//! Capability **colors** and coarse **poison regions** — the address-space
+//! partitions the sweep-avoidance revocation backends key on.
+//!
+//! The 128-bit [`crate::CapWord`] has no spare meta bits (perms, otype and
+//! the compressed bounds use all 64), so a color cannot be stored as an
+//! extra field without breaking the paper's encoding. Instead the color is
+//! *carved from the capability bits that are already there*: the low
+//! [`COLOR_BITS`] of the base address's [`COLOR_REGION_BYTES`]-aligned
+//! region index. Every capability to an allocation therefore agrees on its
+//! color — including copies forged via [`crate::Capability::root_rw`] —
+//! and the allocator controls a chunk's color purely by where it places
+//! it, exactly as a color-aware CHERI allocator would.
+//!
+//! Two granularities serve the two backends:
+//!
+//! - **Colors** (PICASSO-style): [`NUM_COLORS`] recycling classes striped
+//!   across the heap in [`COLOR_REGION_BYTES`] runs. Quarantine is
+//!   partitioned by color; a sweep for a revoked color set only needs to
+//!   visit memory whose stored capabilities can carry those colors.
+//! - **Poison regions** (PoisonCap-style): a flat map of
+//!   [`POISON_REGION_BYTES`] regions, summarised as one bit each in a
+//!   64-bit mask (aliased modulo 64 for address spaces larger than
+//!   64 regions — aliasing only ever *adds* sweeps, never skips one).
+
+/// Bits of color carried by a capability's base address.
+pub const COLOR_BITS: u32 = 3;
+
+/// Number of distinct capability colors (`1 << COLOR_BITS`).
+pub const NUM_COLORS: u8 = 1 << COLOR_BITS;
+
+/// Bytes per color stripe. 64 KiB keeps whole allocations (and the
+/// allocator's neighbour coalescing) inside one color for everything
+/// smaller than a stripe, while cycling all [`NUM_COLORS`] colors every
+/// 512 KiB of heap.
+pub const COLOR_REGION_BYTES: u64 = 64 * 1024;
+
+/// Bytes per coarse poison region (PoisonCap's outer granularity).
+pub const POISON_REGION_BYTES: u64 = 1 << 20;
+
+/// The color of the allocation at `base`: its 64 KiB stripe index, modulo
+/// [`NUM_COLORS`].
+#[inline]
+pub fn color_of(base: u64) -> u8 {
+    ((base / COLOR_REGION_BYTES) & u64::from(NUM_COLORS - 1)) as u8
+}
+
+/// Bit mask (bit `c` = color `c`) of every color overlapped by
+/// `[start, start + len)`. An empty range has no colors.
+pub fn color_mask_of_range(start: u64, len: u64) -> u8 {
+    if len == 0 {
+        return 0;
+    }
+    let first = start / COLOR_REGION_BYTES;
+    let last = (start + len - 1) / COLOR_REGION_BYTES;
+    if last - first >= u64::from(NUM_COLORS) - 1 {
+        return u8::MAX;
+    }
+    let mut mask = 0u8;
+    for stripe in first..=last {
+        mask |= 1 << ((stripe & u64::from(NUM_COLORS - 1)) as u8);
+    }
+    mask
+}
+
+/// The poison-map bit for the address `addr` (its 1 MiB region index,
+/// aliased modulo 64).
+#[inline]
+pub fn poison_bit(addr: u64) -> u64 {
+    1u64 << ((addr / POISON_REGION_BYTES) % 64)
+}
+
+/// Bit mask of every poison region overlapped by `[start, start + len)`.
+pub fn poison_mask_of_range(start: u64, len: u64) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let first = start / POISON_REGION_BYTES;
+    let last = (start + len - 1) / POISON_REGION_BYTES;
+    if last - first >= 63 {
+        return u64::MAX;
+    }
+    let mut mask = 0u64;
+    for region in first..=last {
+        mask |= 1u64 << (region % 64);
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colors_cycle_per_stripe() {
+        assert_eq!(color_of(0), 0);
+        assert_eq!(color_of(COLOR_REGION_BYTES - 1), 0);
+        assert_eq!(color_of(COLOR_REGION_BYTES), 1);
+        assert_eq!(color_of(7 * COLOR_REGION_BYTES), 7);
+        assert_eq!(color_of(8 * COLOR_REGION_BYTES), 0);
+        // Every address inside one stripe shares the stripe's color.
+        let base = 0x1234 * COLOR_REGION_BYTES;
+        for off in [0, 16, 4096, COLOR_REGION_BYTES - 16] {
+            assert_eq!(color_of(base + off), color_of(base));
+        }
+    }
+
+    #[test]
+    fn range_masks_cover_exactly_the_overlapped_stripes() {
+        assert_eq!(color_mask_of_range(0, 0), 0);
+        assert_eq!(color_mask_of_range(0, 1), 1);
+        assert_eq!(color_mask_of_range(0, COLOR_REGION_BYTES), 1);
+        assert_eq!(color_mask_of_range(0, COLOR_REGION_BYTES + 1), 0b11);
+        // A range spanning a stripe boundary carries both colors.
+        assert_eq!(
+            color_mask_of_range(COLOR_REGION_BYTES - 8, 16),
+            0b11,
+            "boundary-spanning chunk must contribute both colors"
+        );
+        // Eight stripes or more saturates.
+        assert_eq!(color_mask_of_range(0, 8 * COLOR_REGION_BYTES), u8::MAX);
+        assert_eq!(color_mask_of_range(0, 1 << 30), u8::MAX);
+    }
+
+    #[test]
+    fn poison_masks_alias_modulo_64() {
+        assert_eq!(poison_bit(0), 1);
+        assert_eq!(poison_bit(POISON_REGION_BYTES), 2);
+        assert_eq!(poison_bit(64 * POISON_REGION_BYTES), 1, "aliases back");
+        assert_eq!(poison_mask_of_range(0, 0), 0);
+        assert_eq!(poison_mask_of_range(0, POISON_REGION_BYTES), 1);
+        assert_eq!(
+            poison_mask_of_range(POISON_REGION_BYTES - 8, 16),
+            0b11,
+            "boundary-spanning chunk poisons both regions"
+        );
+        assert_eq!(poison_mask_of_range(0, 64 * POISON_REGION_BYTES), u64::MAX);
+    }
+
+    #[test]
+    fn masks_are_sound_for_contained_addresses() {
+        // Any address inside a range maps to a bit the range's mask set —
+        // the property the backend filters rely on.
+        let ranges = [(0x4_0000u64, 0x3_0000u64), (0xff_fff0, 0x20), (0, 16)];
+        for (start, len) in ranges {
+            let cmask = color_mask_of_range(start, len);
+            let pmask = poison_mask_of_range(start, len);
+            for addr in [start, start + len / 2, start + len - 1] {
+                assert_ne!(cmask & (1 << color_of(addr)), 0, "{addr:#x} color");
+                assert_ne!(pmask & poison_bit(addr), 0, "{addr:#x} poison");
+            }
+        }
+    }
+}

@@ -41,13 +41,22 @@ impl Epoch {
 
     /// Takes up to `max_bytes` of work off the front of the worklist,
     /// returning the regions to sweep now.
+    #[cfg(test)]
     pub fn take_slice(&mut self, max_bytes: u64) -> Vec<(u64, u64)> {
-        let mut budget = max_bytes.max(tagmem::GRANULE_SIZE);
         let mut slice = Vec::new();
+        self.take_slice_into(max_bytes, &mut slice);
+        slice
+    }
+
+    /// Takes up to `max_bytes` of work off the front of the worklist,
+    /// appending the regions to sweep now to `out` (a caller-recycled
+    /// buffer — the steady-state slice path allocates nothing).
+    pub fn take_slice_into(&mut self, max_bytes: u64, out: &mut Vec<(u64, u64)>) {
+        let mut budget = max_bytes.max(tagmem::GRANULE_SIZE);
         while budget > 0 && !self.worklist.is_empty() {
             let (start, len) = self.worklist[0];
             if len <= budget {
-                slice.push((start, len));
+                out.push((start, len));
                 budget -= len;
                 self.worklist.remove(0);
             } else {
@@ -55,12 +64,11 @@ impl Epoch {
                 if take == 0 {
                     break;
                 }
-                slice.push((start, take));
+                out.push((start, take));
                 self.worklist[0] = (start + take, len - take);
                 budget = 0;
             }
         }
-        slice
     }
 
     /// `true` once every region has been swept.

@@ -6,8 +6,8 @@
 use cheri::{CapError, Capability, Perms};
 use cvkalloc::{CherivokeAllocator, DlAllocator};
 use revoker::{
-    sweep_register_file, CapDirtyPages, NoFilter, ParallelSweepEngine, RangeSource, ShadowMap,
-    SpaceSource, SweepScratch, SweepStats,
+    poisoned_subspans, sweep_register_file, BackendFilter, BackendKind, NoFilter,
+    ParallelSweepEngine, RangeSource, ShadowMap, SpaceSource, SweepScratch, SweepStats,
 };
 use tagmem::{AddressSpace, CoreDump, SegmentKind};
 
@@ -72,6 +72,14 @@ pub struct CherivokeHeap {
     /// Reusable sweep working memory: persists across epochs so
     /// steady-state sweeps allocate nothing in the walk and inner loop.
     scratch: SweepScratch,
+    /// Recycled range buffers for the epoch lifecycle (seal hand-off and
+    /// `revoke_now` paint set, drain hand-off, worklist build/prune, slice
+    /// take): retained across epochs, so the steady-state seal → sweep →
+    /// drain path performs no Vec allocations.
+    range_scratch: Vec<(u64, u64)>,
+    drain_scratch: Vec<(u64, u64)>,
+    worklist_scratch: Vec<(u64, u64)>,
+    slice_scratch: Vec<(u64, u64)>,
     policy: RevocationPolicy,
     heap_root: Capability,
     stack_root: Capability,
@@ -135,16 +143,21 @@ impl CherivokeHeap {
         let globals_root = root
             .set_bounds_exact(globals_base, config.globals_size)?
             .with_perms(Perms::RW_DATA)?;
-        let alloc = CherivokeAllocator::with_config(
+        let mut alloc = CherivokeAllocator::with_config(
             DlAllocator::new(config.heap_base, config.heap_size),
             config.policy.quarantine,
         );
+        alloc.set_partitions(config.policy.backend.backend().partitions());
         Ok(CherivokeHeap {
             space,
             alloc,
             shadow: ShadowMap::new(config.heap_base, config.heap_size),
             engine: ParallelSweepEngine::new(config.policy.kernel, config.policy.sweep_workers),
             scratch: SweepScratch::new(),
+            range_scratch: Vec::new(),
+            drain_scratch: Vec::new(),
+            worklist_scratch: Vec::new(),
+            slice_scratch: Vec::new(),
             policy: config.policy,
             heap_root,
             stack_root,
@@ -262,8 +275,11 @@ impl CherivokeHeap {
         }
         // The base identifies the allocation (monotonic bounds guarantee it
         // is inside the original allocation, §4.1 — and the allocator
-        // demands it be exactly the chunk start).
-        self.alloc.free(cap.base())?;
+        // demands it be exactly the chunk start). The backend picks the
+        // quarantine bin (always 0 for stock; the chunk's color for the
+        // colored backend).
+        let bin = self.policy.backend.backend().bin_of(cap.base());
+        self.alloc.free_binned(cap.base(), bin)?;
         if self.policy.strict {
             self.revoke_now();
         } else if self.alloc.needs_sweep() {
@@ -301,16 +317,26 @@ impl CherivokeHeap {
         }
     }
 
-    /// Opens an incremental revocation epoch (paper §3.5): seals and paints
-    /// the current quarantine generation and builds the sweep worklist from
-    /// the CapDirty page set. Returns `false` if an epoch is already active
-    /// or there is nothing to revoke.
+    /// Opens an incremental revocation epoch (paper §3.5): the backend
+    /// selects which quarantine bins to seal, the sealed ranges are
+    /// painted, and the sweep worklist is built from the CapDirty page set
+    /// restricted to what the backend says the sweep must visit (pages
+    /// whose color summary intersects the revoked colors for the colored
+    /// backend; poisoned coarse regions for the hierarchical one). Returns
+    /// `false` if an epoch is already active or there is nothing to revoke.
     pub fn begin_revocation(&mut self) -> bool {
         if self.epoch.is_some() {
             return false;
         }
-        let ranges = self.alloc.seal_quarantine();
+        let backend = self.policy.backend.backend();
+        let mut bin_bytes = [0u64; 64];
+        self.alloc.open_bin_bytes_into(&mut bin_bytes);
+        let mask = backend.select_bins(&bin_bytes[..usize::from(backend.partitions())]);
+        let mut ranges = std::mem::take(&mut self.range_scratch);
+        ranges.clear();
+        self.alloc.seal_bins_into(mask, &mut ranges);
         if ranges.is_empty() {
+            self.range_scratch = ranges;
             return false;
         }
         let mut painted = 0u64;
@@ -324,10 +350,19 @@ impl CherivokeHeap {
             self.telemetry.on_epoch_opened(painted);
             self.epoch_opened_at = Some(std::time::Instant::now());
         }
-        // Worklist: CapDirty pages of every sweepable segment, coalesced.
-        // Capabilities stored to clean pages *after* this point are caught
-        // by the store barrier, so the snapshot is sound.
-        let mut worklist: Vec<(u64, u64)> = Vec::new();
+        // Worklist: CapDirty pages of every sweepable segment, coalesced,
+        // then narrowed to the backend's visit set. Capabilities stored to
+        // clean (or skipped) pages *after* this point are caught by the
+        // store barrier, so the snapshot is sound; pages whose pointee
+        // summaries miss the painted set provably hold no capability into
+        // it (the summaries only over-approximate).
+        let revoked_colors = match self.policy.backend {
+            BackendKind::Colored => self.shadow.painted_color_mask(),
+            _ => u8::MAX,
+        };
+        let mut worklist = std::mem::take(&mut self.worklist_scratch);
+        worklist.clear();
+        let table = self.space.page_table();
         for seg in self
             .space
             .segments()
@@ -335,8 +370,11 @@ impl CherivokeHeap {
             .filter(|s| s.kind().sweepable())
         {
             let mem = seg.mem();
-            for page in self.space.page_table().cap_dirty_pages() {
-                if page >= mem.base() && page < mem.end() {
+            table.for_each_cap_dirty_page(|page, flags| {
+                if page >= mem.base()
+                    && page < mem.end()
+                    && (revoked_colors == u8::MAX || flags.pointee_colors & revoked_colors != 0)
+                {
                     let start = page.max(mem.base());
                     let len = (mem.end() - start).min(tagmem::PAGE_SIZE);
                     match worklist.last_mut() {
@@ -344,7 +382,18 @@ impl CherivokeHeap {
                         _ => worklist.push((start, len)),
                     }
                 }
-            }
+            });
+        }
+        if self.policy.backend == BackendKind::Hierarchical {
+            // PoisonCap's hierarchy: consult the coarse region poison map
+            // first — whole 1 MiB regions with no capability pointing into
+            // the painted set fall through in O(1) each.
+            let poisoned = self.shadow.painted_poison_mask();
+            let mut pruned = std::mem::take(&mut self.slice_scratch);
+            pruned.clear();
+            poisoned_subspans(table, poisoned, &worklist, &mut pruned);
+            std::mem::swap(&mut worklist, &mut pruned);
+            self.slice_scratch = pruned;
         }
         self.epoch = Some(Epoch {
             ranges,
@@ -374,8 +423,10 @@ impl CherivokeHeap {
     /// [`CherivokeHeap::set_epoch_hold`]).
     pub fn revoke_step(&mut self, max_bytes: u64) -> Option<SweepStats> {
         let mut epoch = self.epoch.take()?;
-        let slice = epoch.take_slice(max_bytes);
-        for (start, len) in slice {
+        let mut slice = std::mem::take(&mut self.slice_scratch);
+        slice.clear();
+        epoch.take_slice_into(max_bytes, &mut slice);
+        for &(start, len) in &slice {
             let seg = self
                 .space
                 .segments_mut()
@@ -392,6 +443,7 @@ impl CherivokeHeap {
             stats.segments_swept = 0;
             epoch.stats += stats;
         }
+        self.slice_scratch = slice;
         if !epoch.is_done() || self.epoch_hold {
             self.epoch = Some(epoch);
             return None;
@@ -399,12 +451,20 @@ impl CherivokeHeap {
         // Epoch complete: registers, drain, unpaint.
         let (_, regs, _) = self.space.sweep_parts_mut();
         epoch.stats += sweep_register_file(regs, &self.shadow);
-        self.alloc.drain_sealed();
+        let mut drained = std::mem::take(&mut self.drain_scratch);
+        drained.clear();
+        self.alloc.drain_sealed_into(&mut drained);
+        self.drain_scratch = drained;
         let mut painted = 0;
         for &(addr, len) in &epoch.ranges {
             self.shadow.clear(addr, len);
             painted += len;
         }
+        // Recycle the epoch's buffers for the next seal/worklist build.
+        epoch.ranges.clear();
+        self.range_scratch = std::mem::take(&mut epoch.ranges);
+        epoch.worklist.clear();
+        self.worklist_scratch = std::mem::take(&mut epoch.worklist);
         self.stats.absorb_sweep(&epoch.stats, painted);
         self.stats.epochs += 1;
         if self.telemetry.is_enabled() {
@@ -461,17 +521,17 @@ impl CherivokeHeap {
     /// sweep counters (the orchestrator accounts for foreign sweeps).
     pub fn sweep_foreign(&mut self, shadow: &ShadowMap) -> SweepStats {
         let (source, page_table) = SpaceSource::split(&mut self.space);
-        if self.policy.use_capdirty {
-            self.engine.sweep_scratched(
-                source,
-                CapDirtyPages::new(page_table),
-                shadow,
-                &mut self.scratch,
-            )
-        } else {
-            self.engine
-                .sweep_scratched(source, NoFilter, shadow, &mut self.scratch)
-        }
+        // The visit set derives entirely from the *foreign* shadow's
+        // painted colors/regions plus this heap's own page summaries, so
+        // sweep-avoidance backends restrict foreign sweeps too.
+        let filter = BackendFilter::for_epoch(
+            self.policy.backend,
+            self.policy.use_capdirty,
+            page_table,
+            shadow,
+        );
+        self.engine
+            .sweep_scratched(source, filter, shadow, &mut self.scratch)
     }
 
     /// The §3.5 barrier: while an epoch is active, no dangling capability
@@ -546,7 +606,10 @@ impl CherivokeHeap {
         // An in-progress incremental epoch completes first (its painted
         // ranges must not be re-painted or double-drained).
         self.finish_revocation();
-        let ranges = self.alloc.quarantined_ranges();
+        let mut ranges = std::mem::take(&mut self.range_scratch);
+        ranges.clear();
+        self.alloc
+            .for_each_quarantined_range(|addr, size| ranges.push((addr, size)));
         let mut painted = 0u64;
         for &(addr, len) in &ranges {
             self.shadow.paint(addr, len);
@@ -554,22 +617,27 @@ impl CherivokeHeap {
         }
         let stats = {
             let (source, page_table) = SpaceSource::split(&mut self.space);
-            if self.policy.use_capdirty {
-                self.engine.sweep_scratched(
-                    source,
-                    CapDirtyPages::new(page_table),
-                    &self.shadow,
-                    &mut self.scratch,
-                )
-            } else {
-                self.engine
-                    .sweep_scratched(source, NoFilter, &self.shadow, &mut self.scratch)
-            }
+            let filter = BackendFilter::for_epoch(
+                self.policy.backend,
+                self.policy.use_capdirty,
+                page_table,
+                &self.shadow,
+            );
+            self.engine
+                .sweep_scratched(source, filter, &self.shadow, &mut self.scratch)
         };
-        self.alloc.drain_quarantine();
+        // Full drain regardless of backend: every painted range was swept.
+        let mut drained = std::mem::take(&mut self.drain_scratch);
+        drained.clear();
+        self.alloc.seal_bins_into(u64::MAX, &mut drained);
+        drained.clear();
+        self.alloc.drain_sealed_into(&mut drained);
+        self.drain_scratch = drained;
         for &(addr, len) in &ranges {
             self.shadow.clear(addr, len);
         }
+        ranges.clear();
+        self.range_scratch = ranges;
         self.stats.absorb_sweep(&stats, painted);
         stats
     }
@@ -697,6 +765,8 @@ impl CherivokeHeap {
     pub fn set_policy(&mut self, policy: RevocationPolicy) {
         self.policy = policy;
         self.alloc.set_config(policy.quarantine);
+        self.alloc
+            .set_partitions(policy.backend.backend().partitions());
         self.rebuild_engine();
     }
 

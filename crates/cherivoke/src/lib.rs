@@ -73,7 +73,7 @@ pub use stats::{
 };
 
 pub use cvkalloc::QuarantineConfig;
-pub use revoker::Kernel;
+pub use revoker::{BackendKind, Kernel};
 
 /// Deterministic fault injection ([`fault::FaultInjector`],
 /// [`fault::FaultPlan`], the `CHERIVOKE_FAULT_PLAN` knob) — re-exported so

@@ -1,7 +1,7 @@
 //! Revocation policy: when and how to sweep.
 
 use cvkalloc::QuarantineConfig;
-use revoker::{Kernel, MAX_SWEEP_WORKERS};
+use revoker::{BackendKind, Kernel, MAX_SWEEP_WORKERS};
 
 use crate::HeapError;
 
@@ -47,6 +47,13 @@ pub struct RevocationPolicy {
     /// reads `CHERIVOKE_SWEEP_WORKERS` (default 1), so CI can force the
     /// parallel engine on without code changes.
     pub sweep_workers: usize,
+    /// The revocation backend owning the quarantine→sweep lifecycle (see
+    /// [`revoker::backend`]): [`BackendKind::Stock`] reproduces the paper's
+    /// behaviour; [`BackendKind::Colored`] / [`BackendKind::Hierarchical`]
+    /// are the PICASSO / PoisonCap sweep-avoidance strategies.
+    /// [`RevocationPolicy::paper_default`] reads `CHERIVOKE_BACKEND`
+    /// (default `stock`), so CI can compare backends without code changes.
+    pub backend: BackendKind,
 }
 
 impl RevocationPolicy {
@@ -65,6 +72,7 @@ impl RevocationPolicy {
             sweep_on_oom: true,
             incremental_slice_bytes: None,
             sweep_workers: revoker::workers_from_env(),
+            backend: revoker::backend_from_env(),
         }
     }
 
@@ -93,6 +101,15 @@ impl RevocationPolicy {
         if fraction.is_nan() || fraction <= 0.0 {
             return Err(HeapError::InvalidConfig(
                 "quarantine fraction must be > 0 (f64::INFINITY disables the size trigger)",
+            ));
+        }
+        if self.strict && self.backend != BackendKind::Stock {
+            // Strict mode promises exhaustive per-free revocation for
+            // debugging; pairing it with a sweep-avoidance backend is a
+            // configuration contradiction no clamp can repair.
+            return Err(HeapError::InvalidConfig(
+                "strict per-free revocation requires the stock backend \
+                 (sweep-avoidance backends schedule partial sweeps)",
             ));
         }
         let mut warnings = Vec::new();
@@ -274,6 +291,28 @@ mod tests {
         let (p, warnings) = RevocationPolicy::with_fraction(2.0).validated().unwrap();
         assert_eq!(p.quarantine.fraction, 2.0);
         assert_eq!(warnings.len(), 1);
+    }
+
+    #[test]
+    fn strict_mode_rejects_sweep_avoidance_backends() {
+        for backend in [BackendKind::Colored, BackendKind::Hierarchical] {
+            let p = RevocationPolicy {
+                strict: true,
+                backend,
+                ..RevocationPolicy::paper_default()
+            };
+            assert!(
+                matches!(p.validated(), Err(HeapError::InvalidConfig(_))),
+                "strict + {backend:?} must be rejected"
+            );
+        }
+        // Strict with the stock backend stays valid.
+        let p = RevocationPolicy {
+            strict: true,
+            backend: BackendKind::Stock,
+            ..RevocationPolicy::paper_default()
+        };
+        assert!(p.validated().is_ok());
     }
 
     #[test]

@@ -653,10 +653,19 @@ impl Inner {
 
     /// Synchronous whole-service revocation (stop-the-world equivalent):
     /// every shard's quarantine is sealed, painted, foreign-swept and
-    /// drained in one sound sequence.
+    /// drained in one sound sequence. A sweep-avoidance backend may seal
+    /// only part of a shard's quarantine per epoch (the colored backend
+    /// picks the richest bins), so each shard loops until its quarantine
+    /// is empty — every epoch retires at least half the quarantined
+    /// bytes, so absent concurrent frees this terminates geometrically.
     fn revoke_all_now(&self) {
         for i in 0..self.shards.len() {
-            self.revoke_shard_now(i);
+            loop {
+                self.revoke_shard_now(i);
+                if self.lock(i).quarantined_bytes() == 0 {
+                    break;
+                }
+            }
         }
     }
 

@@ -19,7 +19,7 @@ use std::time::Duration;
 
 use cheri::Capability;
 use cherivoke::fault::{FaultInjector, FaultPlan, FaultPoint};
-use cherivoke::{ConcurrentHeap, HeapError, ServiceConfig};
+use cherivoke::{BackendKind, ConcurrentHeap, HeapError, ServiceConfig};
 use telemetry::EventKind;
 
 /// SplitMix64 — the op driver's own deterministic stream (independent of
@@ -209,6 +209,10 @@ fn chaos_config(seed: u64) -> ServiceConfig {
     config.telemetry = true;
     config.revoker_watchdog = Duration::from_millis(20);
     config.policy.quarantine.fraction = if seed % 3 == 0 { 0.1 } else { 0.25 };
+    // Rotate the revocation backend by seed: the headline invariant must
+    // hold under the stock, colored and hierarchical lifecycles alike
+    // (the seed list covers all three).
+    config.policy.backend = BackendKind::ALL[(seed % 3) as usize];
     config
 }
 

@@ -60,12 +60,19 @@ impl QuarantineConfig {
 pub struct CherivokeAllocator {
     inner: DlAllocator,
     config: QuarantineConfig,
-    /// Open generation: chunks freed since the last seal, still aggregating.
-    open: BTreeSet<u64>,
+    /// Open generation, partitioned into **bins** (the revocation backend's
+    /// quarantine partitions — one per capability color for the colored
+    /// backend, a single bin otherwise): chunks freed since the last seal,
+    /// still aggregating. Aggregation never crosses bins, so each bin's
+    /// ranges stay attributable to its partition.
+    open: Vec<BTreeSet<u64>>,
     /// Sealed generation: chunks whose shadow bits are painted for an
     /// in-progress (incremental) revocation epoch. No further aggregation —
-    /// their extents must match what was painted.
-    sealed: BTreeSet<u64>,
+    /// the `(addr, size)` extents are frozen at seal time because they must
+    /// match what was painted. A plain vector (rather than a set) so the
+    /// buffer's capacity survives [`CherivokeAllocator::drain_sealed_into`]
+    /// and steady-state epochs allocate nothing here.
+    sealed: Vec<(u64, u64)>,
     /// Metric handles (detached by default; see
     /// [`CherivokeAllocator::set_telemetry`]).
     telemetry: AllocTelemetry,
@@ -85,11 +92,31 @@ impl CherivokeAllocator {
         CherivokeAllocator {
             inner,
             config,
-            open: BTreeSet::new(),
-            sealed: BTreeSet::new(),
+            open: vec![BTreeSet::new()],
+            sealed: Vec::new(),
             telemetry: AllocTelemetry::default(),
             faults: faultinject::FaultInjector::disabled(),
         }
+    }
+
+    /// Number of quarantine bins (1 unless a partitioning backend called
+    /// [`CherivokeAllocator::set_partitions`]).
+    pub fn partitions(&self) -> u8 {
+        self.open.len() as u8
+    }
+
+    /// Re-partitions the open quarantine into `n` bins (clamped to 1..=64).
+    /// Growing adds empty bins; shrinking folds the surplus bins' chunks
+    /// into bin 0 (they keep their frozen extents — no cross-bin
+    /// aggregation happens retroactively), so no quarantined chunk is ever
+    /// stranded by a policy change.
+    pub fn set_partitions(&mut self, n: u8) {
+        let n = usize::from(n.clamp(1, 64));
+        while self.open.len() > n {
+            let surplus = self.open.pop().expect("len > n >= 1");
+            self.open[0].extend(surplus);
+        }
+        self.open.resize_with(n, BTreeSet::new);
     }
 
     /// Arms fault injection: `malloc` fails with a spurious
@@ -166,6 +193,21 @@ impl CherivokeAllocator {
     /// particular, freeing an already-quarantined chunk is a detected double
     /// free.
     pub fn free(&mut self, addr: u64) -> Result<u64, AllocError> {
+        self.free_binned(addr, 0)
+    }
+
+    /// Frees `addr` into quarantine **bin** `bin` (the revocation backend's
+    /// partition for the chunk). Bins beyond the current partition count
+    /// fold into bin 0. Aggregation only
+    /// merges with quarantined neighbours *in the same open bin*, so each
+    /// bin's aggregated ranges stay attributable to its partition.
+    ///
+    /// # Errors
+    ///
+    /// As [`CherivokeAllocator::free`].
+    pub fn free_binned(&mut self, addr: u64, bin: u8) -> Result<u64, AllocError> {
+        let bin = usize::from(bin);
+        let bin = if bin < self.open.len() { bin } else { 0 };
         let levels_before = self.telemetry.is_enabled().then(|| self.byte_levels());
         let size = self.inner.begin_free(addr)?;
         self.inner.set_chunk_state(addr, ChunkState::Quarantined);
@@ -173,28 +215,29 @@ impl CherivokeAllocator {
         self.inner.stats_mut().note_footprint();
 
         // Aggregate with quarantined neighbours (constant-time, §5.2) — but
-        // only within the *open* generation: sealed chunks' extents are
-        // frozen because their shadow bits are already painted.
+        // only within the *same bin of the open* generation: sealed chunks'
+        // extents are frozen because their shadow bits are already painted,
+        // and other bins' chunks belong to different sweep partitions.
         if !self.config.aggregate {
-            self.open.insert(addr);
+            self.open[bin].insert(addr);
         } else {
             let mut start = addr;
             if let Some((paddr, _, ChunkState::Quarantined)) =
                 self.inner.chunks().prev_neighbour(addr)
             {
-                if self.open.contains(&paddr) {
+                if self.open[bin].contains(&paddr) {
                     self.inner.chunks_mut().merge_with_next(paddr);
                     start = paddr;
                 } else {
-                    self.open.insert(addr);
+                    self.open[bin].insert(addr);
                 }
             } else {
-                self.open.insert(addr);
+                self.open[bin].insert(addr);
             }
             if let Some((naddr, _, ChunkState::Quarantined)) =
                 self.inner.chunks().next_neighbour(start)
             {
-                if self.open.remove(&naddr) {
+                if self.open[bin].remove(&naddr) {
                     self.inner.chunks_mut().merge_with_next(start);
                 }
             }
@@ -212,7 +255,7 @@ impl CherivokeAllocator {
 
     /// Number of (aggregated) chunks in quarantine (both generations).
     pub fn quarantined_chunks(&self) -> usize {
-        self.open.len() + self.sealed.len()
+        self.open.iter().map(BTreeSet::len).sum::<usize>() + self.sealed.len()
     }
 
     /// `true` when the quarantine policy says it is time to sweep:
@@ -223,59 +266,115 @@ impl CherivokeAllocator {
             && q as f64 >= self.config.fraction * self.inner.live_bytes().max(1) as f64
     }
 
-    fn ranges_of(&self, set: &BTreeSet<u64>) -> Vec<(u64, u64)> {
-        set.iter()
-            .map(|&a| {
-                let (size, state) = self.inner.chunks().get(a).expect("quarantined chunk");
-                debug_assert_eq!(state, ChunkState::Quarantined);
-                (a, size)
-            })
-            .collect()
+    fn range_of(&self, addr: u64) -> (u64, u64) {
+        let (size, state) = self.inner.chunks().get(addr).expect("quarantined chunk");
+        debug_assert_eq!(state, ChunkState::Quarantined);
+        (addr, size)
+    }
+
+    /// Visits every aggregated `(addr, size)` range currently in quarantine
+    /// — sealed generation first, then each open bin in order — without
+    /// materialising a vector. This is the allocation-free spine behind
+    /// [`CherivokeAllocator::quarantined_ranges`].
+    pub fn for_each_quarantined_range(&self, mut f: impl FnMut(u64, u64)) {
+        for &(addr, size) in &self.sealed {
+            f(addr, size);
+        }
+        for bin in &self.open {
+            for &addr in bin {
+                let (addr, size) = self.range_of(addr);
+                f(addr, size);
+            }
+        }
     }
 
     /// The aggregated `(addr, size)` ranges currently in quarantine — the
     /// ranges to paint into the revocation shadow map before a sweep
-    /// (both generations).
+    /// (both generations). Allocates the result; epoch paths use
+    /// [`CherivokeAllocator::for_each_quarantined_range`] instead.
     pub fn quarantined_ranges(&self) -> Vec<(u64, u64)> {
-        let mut v = self.ranges_of(&self.sealed);
-        v.extend(self.ranges_of(&self.open));
+        let mut v = Vec::new();
+        self.for_each_quarantined_range(|a, s| v.push((a, s)));
         v.sort_unstable();
         v
     }
 
-    /// Seals the open generation for an incremental revocation epoch: its
-    /// chunks stop aggregating (their extents are about to be painted) and
-    /// will be released by [`CherivokeAllocator::drain_sealed`]. Returns the
-    /// newly sealed `(addr, size)` ranges. Frees arriving while the epoch
-    /// runs accumulate in a fresh open generation for the *next* epoch.
+    /// Quarantined bytes per open bin, written into `out[bin]` (bins past
+    /// `out.len()` are ignored; callers pass a `[u64; 64]` scratch). The
+    /// backend's seal selection reads these.
+    pub fn open_bin_bytes_into(&self, out: &mut [u64]) {
+        out.fill(0);
+        for (bin, set) in self.open.iter().enumerate().take(out.len()) {
+            out[bin] = set.iter().map(|&a| self.range_of(a).1).sum();
+        }
+    }
+
+    /// Seals the open bins selected by `mask` (bit `b` ⇒ bin `b`) for an
+    /// incremental revocation epoch: their chunks stop aggregating (their
+    /// extents are about to be painted) and will be released by
+    /// [`CherivokeAllocator::drain_sealed_into`]. The newly sealed
+    /// `(addr, size)` ranges are *appended* to `out` — callers reuse the
+    /// buffer across epochs, so steady-state sealing allocates nothing.
+    /// Frees arriving while the epoch runs accumulate in the still-open
+    /// bins for a later epoch.
+    pub fn seal_bins_into(&mut self, mask: u64, out: &mut Vec<(u64, u64)>) {
+        let sealed_before = self.sealed.len();
+        for (bin, set) in self.open.iter_mut().enumerate() {
+            if bin < 64 && mask & (1 << bin) == 0 {
+                continue;
+            }
+            for &addr in set.iter() {
+                let (size, state) = self.inner.chunks().get(addr).expect("quarantined chunk");
+                debug_assert_eq!(state, ChunkState::Quarantined);
+                self.sealed.push((addr, size));
+            }
+            set.clear();
+        }
+        out.extend_from_slice(&self.sealed[sealed_before..]);
+    }
+
+    /// Seals the *entire* open generation. Returns the newly sealed
+    /// `(addr, size)` ranges (allocating wrapper around
+    /// [`CherivokeAllocator::seal_bins_into`]).
     pub fn seal_quarantine(&mut self) -> Vec<(u64, u64)> {
-        let ranges = self.ranges_of(&self.open);
-        self.sealed.extend(std::mem::take(&mut self.open));
+        let mut ranges = Vec::new();
+        self.seal_bins_into(u64::MAX, &mut ranges);
         ranges
     }
 
     /// Bytes in the sealed generation.
     pub fn sealed_bytes(&self) -> u64 {
-        self.ranges_of(&self.sealed).iter().map(|&(_, s)| s).sum()
+        self.sealed.iter().map(|&(_, s)| s).sum()
     }
 
     /// Releases the sealed generation into the free lists (call after the
-    /// epoch's sweep completes). Returns the drained ranges, whose shadow
-    /// bits the caller clears.
-    pub fn drain_sealed(&mut self) -> Vec<(u64, u64)> {
+    /// epoch's sweep completes), *appending* the drained ranges — whose
+    /// shadow bits the caller clears — to `out`. Like
+    /// [`CherivokeAllocator::seal_bins_into`], reusing `out` across epochs
+    /// makes the steady-state drain hand-off allocation-free.
+    pub fn drain_sealed_into(&mut self, out: &mut Vec<(u64, u64)>) {
         let levels_before = self.telemetry.is_enabled().then(|| self.byte_levels());
-        let ranges = self.ranges_of(&self.sealed);
-        for &(addr, _) in &ranges {
+        let mut drained = 0u64;
+        for &(addr, size) in &self.sealed {
             self.inner.release(addr);
+            drained += size;
         }
+        out.extend_from_slice(&self.sealed);
         self.sealed.clear();
-        let drained: u64 = ranges.iter().map(|&(_, s)| s).sum();
         let stats = self.inner.stats_mut();
         stats.quarantined_bytes -= drained;
         stats.drains += 1;
         if let Some(before) = levels_before {
             self.telemetry.on_drain(before, self.byte_levels());
         }
+    }
+
+    /// Releases the sealed generation, returning the drained ranges
+    /// (allocating wrapper around
+    /// [`CherivokeAllocator::drain_sealed_into`]).
+    pub fn drain_sealed(&mut self) -> Vec<(u64, u64)> {
+        let mut ranges = Vec::new();
+        self.drain_sealed_into(&mut ranges);
         ranges
     }
 
@@ -429,6 +528,124 @@ mod tests {
         assert_eq!(h.quarantined_chunks(), 0);
         assert_eq!(h.stats().drains, 1);
         h.inner().chunks().assert_tiling();
+    }
+
+    #[test]
+    fn binned_frees_partition_and_never_aggregate_across_bins() {
+        let mut h = heap();
+        h.set_partitions(4);
+        assert_eq!(h.partitions(), 4);
+        let a = h.malloc(64).unwrap();
+        let b = h.malloc(64).unwrap();
+        let c = h.malloc(64).unwrap();
+        let _guard = h.malloc(64).unwrap();
+        // a and c in bin 1; b (the bridge) in bin 2 — adjacent but in a
+        // different partition, so no merge happens.
+        h.free_binned(a.addr, 1).unwrap();
+        h.free_binned(c.addr, 1).unwrap();
+        h.free_binned(b.addr, 2).unwrap();
+        assert_eq!(h.quarantined_chunks(), 3);
+        // Same-bin adjacency still aggregates: free b's twin next to a new
+        // chunk in the same bin.
+        let mut bytes = [0u64; 64];
+        h.open_bin_bytes_into(&mut bytes);
+        assert_eq!(bytes[1], 128);
+        assert_eq!(bytes[2], 64);
+        assert_eq!(bytes[0], 0);
+        // Out-of-range bins clamp to bin 0.
+        let d = h.malloc(64).unwrap();
+        h.free_binned(d.addr, 200).unwrap();
+        h.open_bin_bytes_into(&mut bytes);
+        assert_eq!(bytes[0], 64);
+    }
+
+    #[test]
+    fn selective_sealing_drains_only_selected_bins() {
+        let mut h = heap();
+        h.set_partitions(2);
+        let a = h.malloc(64).unwrap();
+        let _g1 = h.malloc(16).unwrap();
+        let b = h.malloc(64).unwrap();
+        let _g2 = h.malloc(16).unwrap();
+        h.free_binned(a.addr, 0).unwrap();
+        h.free_binned(b.addr, 1).unwrap();
+
+        // Seal only bin 1; bin 0 stays open (and keeps aggregating).
+        let mut sealed = Vec::new();
+        h.seal_bins_into(1 << 1, &mut sealed);
+        assert_eq!(sealed, vec![(b.addr, b.size)]);
+        assert_eq!(h.sealed_bytes(), b.size);
+        assert_eq!(h.quarantined_bytes(), a.size + b.size);
+
+        // Draining releases only the sealed bin's chunk.
+        let mut drained = Vec::new();
+        h.drain_sealed_into(&mut drained);
+        assert_eq!(drained, vec![(b.addr, b.size)]);
+        assert_eq!(h.quarantined_bytes(), a.size);
+        assert_eq!(h.quarantined_chunks(), 1);
+        // The still-open chunk paints (and later drains) normally.
+        assert_eq!(h.quarantined_ranges(), vec![(a.addr, a.size)]);
+        h.drain_quarantine();
+        assert_eq!(h.quarantined_bytes(), 0);
+        h.inner().chunks().assert_tiling();
+    }
+
+    #[test]
+    fn sealed_extents_survive_neighbouring_frees() {
+        // A free adjacent to a *sealed* chunk must not merge with it (its
+        // painted extent is frozen), even in the same notional partition.
+        let mut h = heap();
+        let a = h.malloc(64).unwrap();
+        let b = h.malloc(64).unwrap();
+        let _guard = h.malloc(64).unwrap();
+        h.free(a.addr).unwrap();
+        let sealed = h.seal_quarantine();
+        assert_eq!(sealed, vec![(a.addr, a.size)]);
+        h.free(b.addr).unwrap();
+        assert_eq!(h.quarantined_chunks(), 2, "no merge across the seal");
+        let drained = h.drain_sealed();
+        assert_eq!(drained, vec![(a.addr, a.size)]);
+        assert_eq!(h.quarantined_ranges(), vec![(b.addr, b.size)]);
+        h.drain_quarantine();
+        h.inner().chunks().assert_tiling();
+    }
+
+    #[test]
+    fn shrinking_partitions_folds_chunks_into_bin_zero() {
+        let mut h = heap();
+        h.set_partitions(8);
+        let a = h.malloc(64).unwrap();
+        let _guard = h.malloc(16).unwrap();
+        h.free_binned(a.addr, 7).unwrap();
+        h.set_partitions(2);
+        assert_eq!(h.partitions(), 2);
+        let mut bytes = [0u64; 64];
+        h.open_bin_bytes_into(&mut bytes);
+        assert_eq!(bytes[0], a.size, "stranded bin folds into bin 0");
+        // Nothing is lost: the chunk still seals and drains.
+        assert_eq!(h.drain_quarantine(), vec![(a.addr, a.size)]);
+        h.inner().chunks().assert_tiling();
+    }
+
+    #[test]
+    fn scratch_buffers_are_reused_without_growth() {
+        // The allocation-free contract: once warm, seal/drain hand-offs fit
+        // in the buffers' existing capacity.
+        let mut h = heap();
+        let mut sealed = Vec::with_capacity(8);
+        let mut drained = Vec::with_capacity(8);
+        for _ in 0..16 {
+            let a = h.malloc(64).unwrap();
+            let _guard = h.malloc(16).unwrap();
+            h.free(a.addr).unwrap();
+            sealed.clear();
+            drained.clear();
+            h.seal_bins_into(u64::MAX, &mut sealed);
+            h.drain_sealed_into(&mut drained);
+            assert_eq!(sealed, drained);
+            assert_eq!(sealed.len(), 1);
+            assert!(sealed.capacity() == 8 && drained.capacity() == 8);
+        }
     }
 
     #[test]

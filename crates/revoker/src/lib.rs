@@ -66,6 +66,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod conservative;
 pub mod engine;
 pub mod obs;
@@ -74,6 +75,10 @@ mod shadow;
 mod sweep;
 pub mod timed;
 
+pub use backend::{
+    backend_from_env, parse_backend, BackendFilter, BackendKind, ColoredBackend,
+    HierarchicalBackend, RevocationBackend, StockBackend, MAX_QUARANTINE_BINS,
+};
 pub use engine::{
     fast_kernel_from_env, line_spans, page_spans, parse_fast_kernel, parse_workers,
     sweep_register_file, workers_from_env, CLoadTagsLines, CapDirtyPages, CapSource, DirtyPageList,
@@ -85,6 +90,6 @@ pub use engine::{
 /// (re-export of the `faultinject` crate; see its docs for plan syntax).
 pub use faultinject as fault;
 pub use obs::{SweepTelemetry, TelemetryCost};
-pub use plan::{SkipMode, SweepPlan};
+pub use plan::{poisoned_subspans, SkipMode, SweepPlan};
 pub use shadow::ShadowMap;
 pub use sweep::{Kernel, SweepStats, Sweeper};

@@ -6,13 +6,21 @@
 use cheri::Capability;
 use proptest::prelude::*;
 use revoker::{
-    CLoadTagsLines, CapDirtyPages, EveryLine, IdealLines, Kernel, NoFilter, ParallelSweepEngine,
-    SegmentSource, ShadowMap, SweepEngine, SweepStats,
+    BackendFilter, BackendKind, CLoadTagsLines, CapDirtyPages, EveryLine, IdealLines, Kernel,
+    NoFilter, ParallelSweepEngine, SegmentSource, ShadowMap, SweepEngine, SweepStats,
 };
 use tagmem::{PageTable, TaggedMemory, GRANULE_SIZE, PAGE_SIZE};
 
 const HEAP: u64 = 0x1000_0000;
 const LEN: u64 = 1 << 16;
+
+/// A wider image for the backend-filter tests: 2 MiB spans 32 of the
+/// 64 KiB color windows (the 8 colors cycle four times) and two 1 MiB
+/// poison regions, so the colored and hierarchical filters actually get
+/// pages to skip. The paint window is confined to the first 128 KiB (two
+/// color windows, one poison region) to keep the revoked sets narrow.
+const BLEN: u64 = 1 << 21;
+const PAINT_WINDOW: u64 = 1 << 17;
 
 #[derive(Debug, Clone, Copy)]
 struct PlantedCap {
@@ -42,14 +50,14 @@ fn kernels() -> impl Strategy<Value = Kernel> {
     ]
 }
 
-fn build(plants: &[PlantedCap], paint: &[u64]) -> (TaggedMemory, ShadowMap) {
-    let mut mem = TaggedMemory::new(HEAP, LEN);
+fn build_len(len: u64, plants: &[PlantedCap], paint: &[u64]) -> (TaggedMemory, ShadowMap) {
+    let mut mem = TaggedMemory::new(HEAP, len);
     for p in plants {
         let cap = Capability::root_rw(HEAP + p.obj * GRANULE_SIZE, GRANULE_SIZE);
         mem.write_cap(HEAP + p.slot * GRANULE_SIZE, &cap)
             .expect("in range");
     }
-    let mut shadow = ShadowMap::new(HEAP, LEN);
+    let mut shadow = ShadowMap::new(HEAP, len);
     // Dedupe: painting the same granule twice violates the shadow map's
     // strict paint/clear contract (each granule painted once per
     // quarantine generation).
@@ -58,6 +66,38 @@ fn build(plants: &[PlantedCap], paint: &[u64]) -> (TaggedMemory, ShadowMap) {
         shadow.paint(HEAP + g * GRANULE_SIZE, GRANULE_SIZE);
     }
     (mem, shadow)
+}
+
+fn build(plants: &[PlantedCap], paint: &[u64]) -> (TaggedMemory, ShadowMap) {
+    build_len(LEN, plants, paint)
+}
+
+/// Plants for the wide image: slots anywhere, pointees either anywhere or
+/// biased into the paint window (so sweeps actually revoke something).
+fn planted_wide() -> impl Strategy<Value = Vec<PlantedCap>> {
+    let obj = prop_oneof![0u64..PAINT_WINDOW / GRANULE_SIZE, 0u64..BLEN / GRANULE_SIZE,];
+    proptest::collection::vec(
+        (0u64..BLEN / GRANULE_SIZE, obj).prop_map(|(slot, obj)| PlantedCap { slot, obj }),
+        0..80,
+    )
+}
+
+fn painted_window_granules() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..PAINT_WINDOW / GRANULE_SIZE, 0..40)
+}
+
+/// The page table a real heap would carry for this image: every stored
+/// capability noted on the store choke point (CapDirty bit + pointee
+/// color/region summaries). Overwritten slots keep their old pointee
+/// noted — exactly the over-approximation the live table accumulates.
+fn summaries(plants: &[PlantedCap]) -> PageTable {
+    let mut table = PageTable::new();
+    for p in plants {
+        let slot = HEAP + p.slot * GRANULE_SIZE;
+        table.note_cap_store(slot).expect("stores not inhibited");
+        table.note_cap_pointee(slot, HEAP + p.obj * GRANULE_SIZE);
+    }
+    table
 }
 
 /// Sequential reference sweep of a fresh image.
@@ -213,5 +253,60 @@ proptest! {
         );
         prop_assert_eq!(&par_mem, &seq_mem);
         prop_assert_eq!(par, seq);
+    }
+
+    /// The no-tagged-cap-to-reused-granule invariant is backend-blind:
+    /// every [`BackendFilter`] (stock CapDirty, colored page summaries,
+    /// hierarchical region summaries) leaves byte-identical memory to the
+    /// unfiltered sweep — the skipped pages provably held no capability
+    /// into the painted set — for any kernel and any worker count.
+    #[test]
+    fn backend_filters_revoke_same_set(
+        plants in planted_wide(),
+        paint in painted_window_granules(),
+        kernel in kernels(),
+        workers in 1..=8usize,
+    ) {
+        let (mut seq_mem, shadow) = build_len(BLEN, &plants, &paint);
+        let seq_stats = SweepEngine::new(kernel)
+            .sweep(SegmentSource::new(&mut seq_mem), NoFilter, &shadow);
+
+        for kind in BackendKind::ALL {
+            // Sequential, through the backend's epoch filter.
+            let (mut mem, shadow) = build_len(BLEN, &plants, &paint);
+            let mut table = summaries(&plants);
+            let filter = BackendFilter::for_epoch(kind, true, &mut table, &shadow);
+            let stats = SweepEngine::new(kernel)
+                .sweep(SegmentSource::new(&mut mem), filter, &shadow);
+            prop_assert_eq!(
+                &mem, &seq_mem,
+                "{:?} backend revoked a different set", kind
+            );
+            prop_assert_eq!(stats.caps_revoked, seq_stats.caps_revoked);
+            prop_assert!(stats.caps_inspected <= seq_stats.caps_inspected);
+            prop_assert!(stats.bytes_swept <= seq_stats.bytes_swept);
+            // Pages the filter visited but found capability-free had their
+            // summaries purged: whatever stayed dirty really holds caps.
+            for page in table.cap_dirty_pages() {
+                prop_assert!(
+                    plants.iter().any(|p| (HEAP + p.slot * GRANULE_SIZE)
+                        & !(PAGE_SIZE - 1) == page),
+                    "{:?}: dirty page {page:#x} holds no capability", kind
+                );
+            }
+
+            // Parallel at the sampled worker count: same memory, same
+            // revocations (the plan is built by the same filter walk).
+            let (mut mem, shadow) = build_len(BLEN, &plants, &paint);
+            let mut table = summaries(&plants);
+            let filter = BackendFilter::for_epoch(kind, true, &mut table, &shadow);
+            let par = ParallelSweepEngine::new(kernel, workers)
+                .sweep(SegmentSource::new(&mut mem), filter, &shadow);
+            prop_assert_eq!(
+                &mem, &seq_mem,
+                "{:?} backend diverged at {} workers", kind, workers
+            );
+            prop_assert_eq!(par, stats, "{:?} stats diverged at {} workers", kind, workers);
+        }
     }
 }

@@ -8,13 +8,19 @@
 use cheri::Capability;
 use proptest::prelude::*;
 use revoker::{
-    CLoadTagsLines, CapDirtyPages, EveryLine, Kernel, NoFilter, ParallelSweepEngine, SegmentSource,
-    ShadowMap, SweepEngine, SweepStats,
+    BackendFilter, BackendKind, CLoadTagsLines, CapDirtyPages, EveryLine, Kernel, NoFilter,
+    ParallelSweepEngine, SegmentSource, ShadowMap, SweepEngine, SweepStats,
 };
 use tagmem::{PageTable, TaggedMemory, GRANULE_SIZE};
 
 const HEAP: u64 = 0x1000_0000;
 const LEN: u64 = 1 << 16;
+
+/// Wider image for the backend-filter pinning test: 2 MiB crosses all 8
+/// colors four times and two 1 MiB poison regions; paint stays in the
+/// first 128 KiB so the colored/hierarchical filters have pages to skip.
+const BLEN: u64 = 1 << 21;
+const PAINT_WINDOW: u64 = 1 << 17;
 
 #[derive(Debug, Clone, Copy)]
 struct PlantedCap {
@@ -34,6 +40,47 @@ fn planted() -> impl Strategy<Value = Vec<PlantedCap>> {
 
 fn painted_granules() -> impl Strategy<Value = Vec<u64>> {
     proptest::collection::vec(0u64..LEN / GRANULE_SIZE, 0..40)
+}
+
+/// Plants for the wide image: slots anywhere, pointees either anywhere
+/// or biased into the paint window.
+fn planted_wide() -> impl Strategy<Value = Vec<PlantedCap>> {
+    let obj = prop_oneof![0u64..PAINT_WINDOW / GRANULE_SIZE, 0u64..BLEN / GRANULE_SIZE,];
+    proptest::collection::vec(
+        (0u64..BLEN / GRANULE_SIZE, obj).prop_map(|(slot, obj)| PlantedCap { slot, obj }),
+        0..80,
+    )
+}
+
+fn painted_window_granules() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..PAINT_WINDOW / GRANULE_SIZE, 0..40)
+}
+
+fn build_wide(plants: &[PlantedCap], paint: &[u64]) -> (TaggedMemory, ShadowMap) {
+    let mut mem = TaggedMemory::new(HEAP, BLEN);
+    for p in plants {
+        let cap = Capability::root_rw(HEAP + p.obj * GRANULE_SIZE, GRANULE_SIZE);
+        mem.write_cap(HEAP + p.slot * GRANULE_SIZE, &cap)
+            .expect("in range");
+    }
+    let mut shadow = ShadowMap::new(HEAP, BLEN);
+    let paint: std::collections::BTreeSet<u64> = paint.iter().copied().collect();
+    for &g in &paint {
+        shadow.paint(HEAP + g * GRANULE_SIZE, GRANULE_SIZE);
+    }
+    (mem, shadow)
+}
+
+/// The page table a real heap would carry: each stored capability noted
+/// at the store choke point (CapDirty bit + pointee summaries).
+fn summaries(plants: &[PlantedCap]) -> PageTable {
+    let mut table = PageTable::new();
+    for p in plants {
+        let slot = HEAP + p.slot * GRANULE_SIZE;
+        table.note_cap_store(slot).expect("stores not inhibited");
+        table.note_cap_pointee(slot, HEAP + p.obj * GRANULE_SIZE);
+    }
+    table
 }
 
 fn build(plants: &[PlantedCap], paint: &[u64]) -> (TaggedMemory, ShadowMap) {
@@ -157,5 +204,54 @@ proptest! {
         let stats = engine.sweep(SegmentSource::new(&mut mem), EveryLine, &shadow);
         prop_assert_eq!(&mem, &line_mem, "parallel line-plan fast diverged at {} workers", workers);
         prop_assert_eq!(stats, line_stats);
+    }
+
+    /// The fast kernel behind every [`BackendFilter`] (stock CapDirty,
+    /// colored, hierarchical) matches the wide reference bit for bit —
+    /// memory, stats, and which pages stayed summary-dirty afterwards —
+    /// sequentially and at any worker count in 1..=8.
+    #[test]
+    fn fast_matches_wide_under_backend_filters(
+        plants in planted_wide(),
+        paint in painted_window_granules(),
+        workers in 1..=8usize,
+    ) {
+        for kind in BackendKind::ALL {
+            let (mut wide_mem, shadow) = build_wide(&plants, &paint);
+            let mut wide_table = summaries(&plants);
+            let wide_stats = SweepEngine::new(Kernel::Wide).sweep(
+                SegmentSource::new(&mut wide_mem),
+                BackendFilter::for_epoch(kind, true, &mut wide_table, &shadow),
+                &shadow,
+            );
+
+            let (mut mem, shadow) = build_wide(&plants, &paint);
+            let mut table = summaries(&plants);
+            let stats = SweepEngine::new(Kernel::Fast).sweep(
+                SegmentSource::new(&mut mem),
+                BackendFilter::for_epoch(kind, true, &mut table, &shadow),
+                &shadow,
+            );
+            prop_assert_eq!(&mem, &wide_mem, "{:?} fast sweep diverged", kind);
+            prop_assert_eq!(stats, wide_stats);
+            prop_assert_eq!(
+                wide_table.cap_dirty_pages(),
+                table.cap_dirty_pages(),
+                "{:?} summary purging diverged", kind
+            );
+
+            let (mut mem, shadow) = build_wide(&plants, &paint);
+            let mut table = summaries(&plants);
+            let par = ParallelSweepEngine::new(Kernel::Fast, workers).sweep(
+                SegmentSource::new(&mut mem),
+                BackendFilter::for_epoch(kind, true, &mut table, &shadow),
+                &shadow,
+            );
+            prop_assert_eq!(
+                &mem, &wide_mem,
+                "{:?} parallel fast diverged at {} workers", kind, workers
+            );
+            prop_assert_eq!(par, wide_stats);
+        }
     }
 }

@@ -132,6 +132,9 @@ impl LabFile {
         if let Some(v) = self.get(&section, "fault_plans") {
             matrix.fault_plans = string_axis(v, "fault_plans")?;
         }
+        if let Some(v) = self.get(&section, "backends") {
+            matrix.backends = string_axis(v, "backends")?;
+        }
         if let Some(v) = self.get(&section, "sweep_workers") {
             let TomlValue::Array(items) = v else {
                 return Err("sweep_workers must be an array".into());
@@ -287,6 +290,7 @@ workloads = ["omnetpp"]  # one workload only
 kernels = ["reference", "fast"]
 sweep_workers = [1, 2]
 fault_plans = ["off", "chaos-smoke"]
+backends = ["stock", "hierarchical"]
 
 [thresholds]
 sweep_mib_s = 25.0
@@ -305,9 +309,11 @@ overhead_time = 1
         assert_eq!(matrix.kernels, vec!["reference", "fast"]);
         assert_eq!(matrix.sweep_workers, vec![1, 2]);
         assert_eq!(matrix.fault_plans, vec!["off", "chaos-smoke"]);
+        assert_eq!(matrix.backends, vec!["stock", "hierarchical"]);
         // Absent mode falls through to defaults.
         let full = file.matrix("full", LabMatrix::full()).expect("full");
         assert_eq!(full.sweep_workers, LabMatrix::full().sweep_workers);
+        assert_eq!(full.backends, LabMatrix::full().backends);
 
         let opts = file.options(LabOptions::smoke()).expect("options");
         assert_eq!(opts.seed, 7);

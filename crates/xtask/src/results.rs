@@ -23,6 +23,7 @@ const SCRUBBED_ENV: &[&str] = &[
     "CHERIVOKE_FAST_KERNEL",
     "CHERIVOKE_SWEEP_WORKERS",
     "CHERIVOKE_FAULT_PLAN",
+    "CHERIVOKE_BACKEND",
     "BENCH_MEASURED_PSWEEPER",
 ];
 

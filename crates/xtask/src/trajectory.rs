@@ -219,6 +219,7 @@ pub(crate) mod fixtures {
             kernel: "fast".into(),
             sweep_workers: 4,
             fault_plan: "off".into(),
+            backend: "stock".into(),
         };
         ExperimentResult {
             id: config.id(),
@@ -230,6 +231,7 @@ pub(crate) mod fixtures {
                 p99_pause_us: 400.0,
                 overhead_time: 1.05,
                 overhead_memory: 1.2,
+                swept_fraction: 0.25,
                 service_epochs: 12,
                 quarantine_bounded: true,
                 // Perfectly repeatable fixture: gate tests exercise the
@@ -278,10 +280,11 @@ mod tests {
         assert_eq!(parsed.mode, "smoke");
         assert_eq!(parsed.host, t.host);
         assert_eq!(parsed.metrics.len(), 2);
-        let a = &parsed.metrics["wl-a/fast/w4/off"];
+        let a = &parsed.metrics["wl-a/fast/w4/off/stock"];
         assert_eq!(a["sweep_mib_s"], 1000.0);
         assert_eq!(a["service_ops_per_sec"], 2_000_000.0);
         assert_eq!(a["overhead_time"], 1.05);
+        assert_eq!(a["swept_fraction"], 0.25);
         assert_eq!(a["quarantine_bounded"], 1.0);
         assert_eq!(parsed.verdicts["fast_kernel"], true);
         // flatten() is the same projection.
