@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod lab;
 pub mod service;
 pub mod verdicts;

@@ -55,6 +55,7 @@
 
 mod epoch;
 mod error;
+pub mod fleet;
 mod heap;
 mod model;
 mod obs;
@@ -63,6 +64,7 @@ mod service;
 mod stats;
 
 pub use error::HeapError;
+pub use fleet::{FleetClient, FleetConfig, FleetError, FleetStats, HeapService, TenantPolicy};
 pub use heap::{CherivokeHeap, HeapConfig};
 pub use model::OverheadModel;
 pub use obs::HeapTelemetry;

@@ -96,15 +96,32 @@ pub enum FaultPoint {
     /// supervisor restarts it with exponential backoff; mutators revoke
     /// inline while it is down.
     RevokerDeath,
+    /// A fleet tenant's epoch slice stalls mid-sweep (the tenant holds
+    /// its heap lock longer than its pause bound), as a descheduled or
+    /// page-faulting tenant would. Recovery: the fleet scheduler's
+    /// work-stealing pool keeps other tenants' epochs advancing and the
+    /// stalled epoch completes on a later slice.
+    TenantStall,
+    /// The fleet scheduler drops the tenant it just selected instead of
+    /// sweeping it, as a buggy arbiter would. Recovery: the round-robin
+    /// fallback guarantees the skipped tenant is reselected, so every
+    /// epoch still completes.
+    SchedulerSkip,
 }
 
 /// All fault points, for iteration (plan derivation, catalogues, docs).
-pub const ALL_POINTS: [FaultPoint; 5] = [
+///
+/// New points append at the end: [`FaultPlan::from_seed`] draws its RNG
+/// stream in this order, so appending keeps every existing seed's rules
+/// for the earlier points bit-identical.
+pub const ALL_POINTS: [FaultPoint; 7] = [
     FaultPoint::SweepWorkerPanic,
     FaultPoint::TagReadError,
     FaultPoint::EpochBarrierDelay,
     FaultPoint::AllocFailure,
     FaultPoint::RevokerDeath,
+    FaultPoint::TenantStall,
+    FaultPoint::SchedulerSkip,
 ];
 
 impl FaultPoint {
@@ -116,6 +133,8 @@ impl FaultPoint {
             FaultPoint::EpochBarrierDelay => "barrier_delay",
             FaultPoint::AllocFailure => "alloc_failure",
             FaultPoint::RevokerDeath => "revoker_death",
+            FaultPoint::TenantStall => "tenant_stall",
+            FaultPoint::SchedulerSkip => "scheduler_skip",
         }
     }
 
@@ -131,6 +150,8 @@ impl FaultPoint {
             FaultPoint::EpochBarrierDelay => 2,
             FaultPoint::AllocFailure => 3,
             FaultPoint::RevokerDeath => 4,
+            FaultPoint::TenantStall => 5,
+            FaultPoint::SchedulerSkip => 6,
         }
     }
 }
@@ -251,6 +272,9 @@ impl FaultPlan {
                 FaultPoint::AllocFailure => (400, 256),
                 FaultPoint::SweepWorkerPanic | FaultPoint::TagReadError => (24, 16),
                 FaultPoint::EpochBarrierDelay | FaultPoint::RevokerDeath => (8, 6),
+                // Fleet scheduler points fire per scheduling decision /
+                // epoch slice — pass-rate, like the barrier and revoker.
+                FaultPoint::TenantStall | FaultPoint::SchedulerSkip => (8, 6),
             };
             rules.push(FaultRule {
                 point,

@@ -12,6 +12,17 @@ use std::time::Duration;
 
 use crate::registry::{bucket_ceiling, HistogramSnapshot, MetricsSnapshot, Registry, HIST_BUCKETS};
 
+/// Splits a registry series name into its metric base name and the inner
+/// label list, if the series was registered through
+/// [`crate::labeled_name`]: `cvk_x{tenant="3"}` → `("cvk_x",
+/// Some("tenant=\"3\""))`, a plain `cvk_x` → `("cvk_x", None)`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match (name.find('{'), name.ends_with('}')) {
+        (Some(open), true) => (&name[..open], Some(&name[open + 1..name.len() - 1])),
+        _ => (name, None),
+    }
+}
+
 impl MetricsSnapshot {
     /// Renders the snapshot in the Prometheus text exposition format.
     ///
@@ -21,13 +32,19 @@ impl MetricsSnapshot {
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, v) in &self.counters {
-            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+            let (base, _) = split_labels(name);
+            out.push_str(&format!("# TYPE {base} counter\n{name} {v}\n"));
         }
         for (name, v) in &self.gauges {
-            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+            let (base, _) = split_labels(name);
+            out.push_str(&format!("# TYPE {base} gauge\n{name} {v}\n"));
         }
         for (name, h) in &self.histograms {
-            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let (base, labels) = split_labels(name);
+            // A labelled histogram series (`crate::labeled_name`) folds
+            // its labels in front of the exposition `le` label.
+            let le_prefix = labels.map_or(String::new(), |l| format!("{l},"));
+            out.push_str(&format!("# TYPE {base} histogram\n"));
             let mut cumulative = 0u64;
             for (i, &c) in h.counts.iter().enumerate() {
                 if c == 0 {
@@ -35,11 +52,15 @@ impl MetricsSnapshot {
                 }
                 cumulative += c;
                 let le = bucket_ceiling(i);
-                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                out.push_str(&format!(
+                    "{base}_bucket{{{le_prefix}le=\"{le}\"}} {cumulative}\n"
+                ));
             }
             out.push_str(&format!(
-                "{name}_bucket{{le=\"+Inf\"}} {cumulative}\n{name}_sum {}\n{name}_count {cumulative}\n",
-                h.sum
+                "{base}_bucket{{{le_prefix}le=\"+Inf\"}} {cumulative}\n{base}_sum{labels} {}\n\
+                 {base}_count{labels} {cumulative}\n",
+                h.sum,
+                labels = labels.map_or(String::new(), |l| format!("{{{l}}}")),
             ));
         }
         out
@@ -206,6 +227,52 @@ mod tests {
         let mallocs = a.find("cvk_mallocs_total 100").unwrap();
         let sweeps = a.find("cvk_sweeps_total 3").unwrap();
         assert!(mallocs < sweeps);
+    }
+
+    #[test]
+    fn labelled_series_render_as_labelled_prometheus_samples() {
+        let r = Registry::new(16);
+        r.counter_labeled("cvk_fleet_mallocs_total", "tenant", "3")
+            .add(7);
+        r.counter_labeled("cvk_fleet_mallocs_total", "tenant", "11")
+            .add(2);
+        r.gauge_labeled("cvk_fleet_quarantined_bytes", "tenant", "3")
+            .add(512);
+        r.histogram_labeled("cvk_fleet_pause_ns", "tenant", "3")
+            .record(100);
+        let out = r.snapshot().to_prometheus();
+        // One TYPE line per series, base name only; samples keep labels.
+        assert!(
+            out.contains("# TYPE cvk_fleet_mallocs_total counter\ncvk_fleet_mallocs_total{tenant=\"11\"} 2\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("cvk_fleet_mallocs_total{tenant=\"3\"} 7\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("cvk_fleet_quarantined_bytes{tenant=\"3\"} 512\n"),
+            "{out}"
+        );
+        // Histogram labels fold in front of the exposition `le` label.
+        assert!(
+            out.contains("cvk_fleet_pause_ns_bucket{tenant=\"3\",le=\"128\"} 1\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("cvk_fleet_pause_ns_sum{tenant=\"3\"} 100\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("cvk_fleet_pause_ns_count{tenant=\"3\"} 1\n"),
+            "{out}"
+        );
+        // Same (name, label, value) shares one cell.
+        assert_eq!(
+            r.counter_labeled("cvk_fleet_mallocs_total", "tenant", "3")
+                .get(),
+            7
+        );
     }
 
     #[test]

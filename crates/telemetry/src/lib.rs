@@ -65,5 +65,6 @@ mod registry;
 pub use events::{EventKind, TelemetryEvent};
 pub use export::PeriodicExporter;
 pub use registry::{
-    Counter, Gauge, HistogramSnapshot, LogHistogram, MetricsSnapshot, Registry, HIST_BUCKETS,
+    labeled_name, Counter, Gauge, HistogramSnapshot, LogHistogram, MetricsSnapshot, Registry,
+    HIST_BUCKETS,
 };

@@ -12,6 +12,15 @@ use crate::events::{EventKind, EventRing, TelemetryEvent};
 /// whole `u64` range.
 pub const HIST_BUCKETS: usize = 64;
 
+/// Folds one label into a Prometheus-style series name:
+/// `labeled_name("cvk_fleet_mallocs_total", "tenant", "17")` →
+/// `cvk_fleet_mallocs_total{tenant="17"}`. The registry keys metrics by
+/// this full series name, so each label value gets its own cell while
+/// the exporters render it as a conventionally-labelled series.
+pub fn labeled_name(name: &str, label: &str, value: &str) -> String {
+    format!("{name}{{{label}=\"{value}\"}}")
+}
+
 /// A monotonically increasing counter. Cheap to clone; clones share the
 /// same cell. A default-constructed (or disabled-registry) handle is a
 /// no-op whose `add` is a single branch.
@@ -332,6 +341,28 @@ impl Registry {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         })
+    }
+
+    /// The counter for the labelled series `name{label="value"}`,
+    /// registering it on first use. Labelled registration is the same
+    /// idempotent named registration — the label is folded into the
+    /// series name ([`labeled_name`]), so two handles for the same
+    /// `(name, label, value)` share one cell and snapshots/exports key
+    /// each label value separately (the fleet's per-tenant metrics).
+    pub fn counter_labeled(&self, name: &str, label: &str, value: &str) -> Counter {
+        self.counter(&labeled_name(name, label, value))
+    }
+
+    /// The gauge for the labelled series `name{label="value"}` (see
+    /// [`Registry::counter_labeled`] for the label semantics).
+    pub fn gauge_labeled(&self, name: &str, label: &str, value: &str) -> Gauge {
+        self.gauge(&labeled_name(name, label, value))
+    }
+
+    /// The histogram for the labelled series `name{label="value"}` (see
+    /// [`Registry::counter_labeled`] for the label semantics).
+    pub fn histogram_labeled(&self, name: &str, label: &str, value: &str) -> LogHistogram {
+        self.histogram(&labeled_name(name, label, value))
     }
 
     /// The counter named `name`, registering it on first use.

@@ -99,6 +99,153 @@ pub fn allocation_intensive() -> Vec<BenchmarkProfile> {
         .collect()
 }
 
+/// The traffic shape a fleet tenant's intensity follows over a run
+/// (the burst/diurnal knob on [`zipfian_fleet`]). Every shape averages
+/// to 1.0 over a full period, so the Zipfian weights alone decide each
+/// tenant's share of the fleet's total load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetShape {
+    /// Constant intensity — the pure Zipfian mix.
+    Steady,
+    /// A hot quarter-period burst (2.5×) over a quiet floor (0.5×) —
+    /// batch jobs and flash traffic.
+    Burst,
+    /// A smooth day/night sinusoid (±80% around the mean) — interactive
+    /// fleets.
+    Diurnal,
+}
+
+impl FleetShape {
+    /// Intensity multiplier at `phase` of the shape's period (`phase` is
+    /// folded into `[0, 1)`, so callers can feed raw progress ratios).
+    pub fn intensity(self, phase: f64) -> f64 {
+        let phase = phase.rem_euclid(1.0);
+        match self {
+            FleetShape::Steady => 1.0,
+            FleetShape::Burst => {
+                if phase < 0.25 {
+                    2.5
+                } else {
+                    0.5
+                }
+            }
+            FleetShape::Diurnal => 1.0 + 0.8 * (2.0 * std::f64::consts::PI * phase).sin(),
+        }
+    }
+}
+
+/// One tenant's slice of a Zipfian fleet: a Table-2 profile, the
+/// tenant's share of fleet load, and the deterministic seed its trace
+/// deals from.
+#[derive(Debug, Clone)]
+pub struct TenantLoad {
+    /// Tenant index (also the Zipfian rank: tenant 0 is the heaviest).
+    pub tenant: usize,
+    /// The Table-2 behaviour this tenant replays. Stored by value but
+    /// always one of [`all`]'s named rows, so dealt traces survive the
+    /// name-keyed trace encode/decode round trip.
+    pub profile: BenchmarkProfile,
+    /// Normalised Zipfian share of the fleet's total op rate (sums to
+    /// 1.0 across the fleet).
+    pub weight: f64,
+    /// Per-tenant trace seed (derived from the fleet seed).
+    pub seed: u64,
+}
+
+impl TenantLoad {
+    /// This tenant's dealt trace at heap scale `scale`, capped at
+    /// `max_events` events — [`crate::TraceGenerator`] with the
+    /// tenant's profile and seed.
+    pub fn trace(&self, scale: f64, max_events: usize) -> crate::trace::Trace {
+        crate::trace::TraceGenerator::new(self.profile, scale, self.seed)
+            .with_max_events(max_events)
+            .generate()
+    }
+}
+
+/// A multi-tenant fleet workload: Table-2 profiles dealt across
+/// `n_tenants` tenants with Zipfian-skewed intensity.
+#[derive(Debug, Clone)]
+pub struct FleetProfile {
+    tenants: Vec<TenantLoad>,
+    shape: FleetShape,
+    skew: f64,
+}
+
+impl FleetProfile {
+    /// Replaces the traffic shape (default [`FleetShape::Steady`]).
+    pub fn with_shape(mut self, shape: FleetShape) -> FleetProfile {
+        self.shape = shape;
+        self
+    }
+
+    /// The configured traffic shape.
+    pub fn shape(&self) -> FleetShape {
+        self.shape
+    }
+
+    /// The Zipfian exponent the fleet was dealt with.
+    pub fn skew(&self) -> f64 {
+        self.skew
+    }
+
+    /// The per-tenant loads, tenant 0 first (the heaviest).
+    pub fn tenants(&self) -> &[TenantLoad] {
+        &self.tenants
+    }
+
+    /// Tenant `tenant`'s instantaneous share of fleet load at `phase`
+    /// of the shape period: the Zipfian weight modulated by the shape.
+    /// Tenants are phase-staggered so a burst shape does not synchronise
+    /// the whole fleet.
+    pub fn intensity(&self, tenant: usize, phase: f64) -> f64 {
+        let load = &self.tenants[tenant];
+        let stagger = tenant as f64 / self.tenants.len().max(1) as f64;
+        load.weight * self.shape.intensity(phase + stagger)
+    }
+}
+
+/// Deals a Zipfian multi-tenant fleet: `n_tenants` tenants, each with a
+/// deterministically-assigned Table-2 profile and per-tenant trace seed,
+/// with intensity weights `w_rank ∝ 1 / rank^s` (tenant 0 heaviest). At
+/// `s = 0` every tenant carries equal load; `s ≥ 1.0` concentrates most
+/// of the fleet's traffic on the first few tenants — the regime where
+/// the fleet scheduler's work-stealing has to move sweep bandwidth.
+/// The same `(n_tenants, s, seed)` always deals the same fleet.
+pub fn zipfian_fleet(n_tenants: usize, s: f64, seed: u64) -> FleetProfile {
+    let n = n_tenants.max(1);
+    let s = if s.is_finite() && s >= 0.0 { s } else { 0.0 };
+    // SplitMix64 stream for profile assignment, decoupled from the
+    // per-tenant trace seeds derived from the same generator.
+    let mut state = seed ^ 0xf1ee_7000_0000_0000;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let pool = all();
+    let harmonic: f64 = (1..=n).map(|rank| 1.0 / (rank as f64).powf(s)).sum();
+    let tenants = (0..n)
+        .map(|tenant| {
+            let profile = pool[(next() % pool.len() as u64) as usize];
+            let weight = 1.0 / ((tenant + 1) as f64).powf(s) / harmonic;
+            TenantLoad {
+                tenant,
+                profile,
+                weight,
+                seed: next(),
+            }
+        })
+        .collect();
+    FleetProfile {
+        tenants,
+        shape: FleetShape::Steady,
+        skew: s,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +273,61 @@ mod tests {
             assert!(p.free_rate_mib_s >= 0.0);
             assert!(p.heap_mib > 0.0);
         }
+    }
+
+    #[test]
+    fn zipfian_fleet_is_deterministic_and_normalised() {
+        let a = zipfian_fleet(100, 1.2, 42);
+        let b = zipfian_fleet(100, 1.2, 42);
+        assert_eq!(a.tenants().len(), 100);
+        for (ta, tb) in a.tenants().iter().zip(b.tenants()) {
+            assert_eq!(ta.profile.name, tb.profile.name);
+            assert_eq!(ta.seed, tb.seed);
+            assert_eq!(ta.weight, tb.weight);
+        }
+        let total: f64 = a.tenants().iter().map(|t| t.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+        // Ranks are monotone: tenant 0 is the heaviest.
+        for w in a.tenants().windows(2) {
+            assert!(w[0].weight >= w[1].weight);
+        }
+        // Every dealt profile is a named Table-2 row.
+        for t in a.tenants() {
+            assert!(by_name(t.profile.name).is_some(), "{}", t.profile.name);
+        }
+    }
+
+    #[test]
+    fn zipfian_skew_concentrates_load() {
+        let flat = zipfian_fleet(50, 0.0, 7);
+        let skewed = zipfian_fleet(50, 1.5, 7);
+        assert!((flat.tenants()[0].weight - 0.02).abs() < 1e-9);
+        assert!(
+            skewed.tenants()[0].weight > 5.0 * flat.tenants()[0].weight,
+            "s=1.5 head weight {}",
+            skewed.tenants()[0].weight
+        );
+        assert_eq!(skewed.skew(), 1.5);
+        // Degenerate inputs are repaired, not panicked on.
+        assert_eq!(zipfian_fleet(0, f64::NAN, 1).tenants().len(), 1);
+    }
+
+    #[test]
+    fn fleet_shapes_average_to_unity() {
+        const STEPS: usize = 10_000;
+        for shape in [FleetShape::Steady, FleetShape::Burst, FleetShape::Diurnal] {
+            let mean: f64 = (0..STEPS)
+                .map(|i| shape.intensity(i as f64 / STEPS as f64))
+                .sum::<f64>()
+                / STEPS as f64;
+            assert!((mean - 1.0).abs() < 0.01, "{shape:?} mean {mean}");
+            assert!(shape.intensity(-0.3) > 0.0, "negative phase folds");
+        }
+        // The shape knob modulates intensity without touching weights.
+        let fleet = zipfian_fleet(4, 1.0, 3).with_shape(FleetShape::Burst);
+        assert_eq!(fleet.shape(), FleetShape::Burst);
+        let w0 = fleet.tenants()[0].weight;
+        assert!((fleet.intensity(0, 0.0) - 2.5 * w0).abs() < 1e-9);
     }
 
     #[test]

@@ -308,6 +308,27 @@ mod fuzz {
             let _ = decode_trace(Bytes::from(bytes));
         }
 
+        /// Every trace a Zipfian fleet deals (any tenant count, skew and
+        /// seed) round-trips losslessly — the fleet dealer only ever
+        /// assigns named Table-2 profiles, so the name-keyed codec can
+        /// always resolve them on decode.
+        #[test]
+        fn zipfian_fleet_traces_round_trip(
+            n_tenants in 1usize..6,
+            s in 0.0..2.0f64,
+            seed in any::<u64>(),
+        ) {
+            let fleet = crate::profiles::zipfian_fleet(n_tenants, s, seed);
+            prop_assert_eq!(fleet.tenants().len(), n_tenants);
+            for load in fleet.tenants() {
+                let t = load.trace(1.0 / 4096.0, 128);
+                let back = decode_trace(encode_trace(&t)).unwrap();
+                prop_assert_eq!(back.profile.name, t.profile.name);
+                prop_assert_eq!(back.heap_bytes, t.heap_bytes);
+                prop_assert_eq!(back.events, t.events);
+            }
+        }
+
         /// Valid encodings corrupted at one byte either fail cleanly or
         /// still decode to *some* structurally valid trace (single-bit
         /// integrity is not a goal; panic-freedom is).

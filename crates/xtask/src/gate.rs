@@ -11,7 +11,7 @@
 //!   unconditionally, with tight thresholds.
 //! * **Wall-clock** metrics (`sweep_mib_s`, `service_ops_per_sec`, pause
 //!   percentiles) gate only when the baseline was recorded on a
-//!   comparable host (same OS/arch/cores, [`HostFingerprint`]
+//!   comparable host (same OS/arch/cores, [`crate::trajectory::HostFingerprint`]
 //!   comparability); otherwise they are reported informationally. This is
 //!   what keeps a baseline committed from a laptop from failing CI on a
 //!   2-core runner while still catching regressions wherever the hosts do
@@ -116,6 +116,34 @@ pub fn default_policies() -> BTreeMap<String, MetricPolicy> {
     // The sweep-avoidance probe's visited fraction is pure counting —
     // zero tolerance, like the other deterministic metrics.
     p("swept_fraction", 0.0, Direction::LowerIsBetter, false, None);
+    // Fleet cells (`[matrix.fleet]`): aggregate throughput and pause tail
+    // are wall-clock; budget boundedness is enforced synchronously by
+    // admission control, so it is deterministic and gates at zero drift.
+    p(
+        "fleet_ops_per_sec",
+        10.0,
+        Direction::HigherIsBetter,
+        true,
+        Some("fleet_noise_pct"),
+    );
+    // Fleet sweep slices are tens of µs and contention-scheduled, so the
+    // log2-bucketed p99 jitters a couple of buckets run to run; only an
+    // order-of-magnitude blowup is a regression (the hard bound is the
+    // fleet_fairness verdict's policy max_pause).
+    p(
+        "fleet_p99_pause_us",
+        700.0,
+        Direction::LowerIsBetter,
+        true,
+        None,
+    );
+    p(
+        "tenant_budget_bounded",
+        0.0,
+        Direction::HigherIsBetter,
+        false,
+        None,
+    );
     m
 }
 

@@ -147,6 +147,59 @@ impl LabFile {
         Ok(matrix)
     }
 
+    /// The `[matrix.fleet]` grid: the cross product of `tenants` ×
+    /// `skew` × `workers`, each cell one fleet experiment
+    /// ([`bench::fleet::run_fleet_cell`]), in deterministic order
+    /// (tenants-major, workers-minor). An absent section means no fleet
+    /// cells; a present section must declare all three axes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for a missing axis or malformed entries.
+    pub fn fleet_grid(&self) -> Result<Vec<(usize, f64, usize)>, String> {
+        let Some(section) = self.sections.get("matrix.fleet") else {
+            return Ok(Vec::new());
+        };
+        let axis = |key: &str| -> Result<&TomlValue, String> {
+            section
+                .get(key)
+                .ok_or_else(|| format!("[matrix.fleet] is missing the '{key}' axis"))
+        };
+        let usizes = |key: &str| -> Result<Vec<usize>, String> {
+            let TomlValue::Array(items) = axis(key)? else {
+                return Err(format!("[matrix.fleet] {key} must be an array"));
+            };
+            items
+                .iter()
+                .map(|i| {
+                    i.as_usize()
+                        .ok_or_else(|| format!("[matrix.fleet] {key} entries must be integers"))
+                })
+                .collect()
+        };
+        let TomlValue::Array(skews) = axis("skew")? else {
+            return Err("[matrix.fleet] skew must be an array".into());
+        };
+        let skews: Vec<f64> = skews
+            .iter()
+            .map(|i| {
+                i.as_f64()
+                    .ok_or_else(|| "[matrix.fleet] skew entries must be numbers".to_string())
+            })
+            .collect::<Result<_, _>>()?;
+        let tenants = usizes("tenants")?;
+        let workers = usizes("workers")?;
+        let mut cells = Vec::new();
+        for &t in &tenants {
+            for &s in &skews {
+                for &w in &workers {
+                    cells.push((t, s, w));
+                }
+            }
+        }
+        Ok(cells)
+    }
+
     /// `[lab]` sizing overrides on top of `defaults`.
     ///
     /// # Errors
@@ -292,6 +345,11 @@ sweep_workers = [1, 2]
 fault_plans = ["off", "chaos-smoke"]
 backends = ["stock", "hierarchical"]
 
+[matrix.fleet]
+tenants = [8, 128]
+skew = [0.0, 1.2]
+workers = [2]
+
 [thresholds]
 sweep_mib_s = 25.0
 overhead_time = 1
@@ -319,6 +377,23 @@ overhead_time = 1
         assert_eq!(opts.seed, 7);
         assert_eq!(opts.service_ops_per_thread, 5000);
         assert_eq!(opts.image_mib, LabOptions::smoke().image_mib);
+
+        let cells = file.fleet_grid().expect("fleet grid");
+        assert_eq!(
+            cells,
+            vec![(8, 0.0, 2), (8, 1.2, 2), (128, 0.0, 2), (128, 1.2, 2)]
+        );
+    }
+
+    #[test]
+    fn fleet_grid_is_optional_but_strict_when_present() {
+        assert_eq!(LabFile::parse("").unwrap().fleet_grid().unwrap(), vec![]);
+        let missing = LabFile::parse("[matrix.fleet]\ntenants = [8]\nskew = [1.0]").unwrap();
+        let err = missing.fleet_grid().unwrap_err();
+        assert!(err.contains("workers"), "{err}");
+        let bad = LabFile::parse("[matrix.fleet]\ntenants = [\"x\"]\nskew = [1.0]\nworkers = [2]")
+            .unwrap();
+        assert!(bad.fleet_grid().is_err());
     }
 
     #[test]

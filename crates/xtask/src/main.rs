@@ -17,6 +17,7 @@ mod labtoml;
 mod results;
 mod trajectory;
 
+use bench::fleet::{run_fleet_cell, FleetParams};
 use bench::lab::{run_experiment, ExperimentConfig, LabMatrix, LabOptions};
 use bench::service::{churn, ChurnParams};
 use gate::{compare, default_policies};
@@ -134,11 +135,19 @@ fn lab(args: &[String]) -> Result<(), String> {
     let matrix = lab_file.matrix(mode, defaults.0)?;
     let opts = lab_file.options(defaults.1)?;
     let experiments = matrix.expand();
+    let fleet_cells = fleet_params(mode, &lab_file.fleet_grid()?, &opts);
 
     if flags.switches.iter().any(|s| s == "--list") {
-        println!("lab matrix ({mode}): {} experiments", experiments.len());
+        println!(
+            "lab matrix ({mode}): {} experiments + {} fleet cells",
+            experiments.len(),
+            fleet_cells.len()
+        );
         for config in &experiments {
             println!("  {}", config.id());
+        }
+        for cell in &fleet_cells {
+            println!("  {}", cell.id());
         }
         return Ok(());
     }
@@ -156,7 +165,13 @@ fn lab(args: &[String]) -> Result<(), String> {
     // Read the baseline *before* the run overwrites the file.
     let baseline_text = std::fs::read_to_string(&baseline_path).ok();
 
-    let trajectory = run_lab(mode, &experiments, &opts, flags.values.get("--metrics-out"))?;
+    let trajectory = run_lab(
+        mode,
+        &experiments,
+        &fleet_cells,
+        &opts,
+        flags.values.get("--metrics-out"),
+    )?;
     std::fs::write(&out_path, trajectory.to_json())
         .map_err(|e| format!("write {}: {e}", out_path.display()))?;
     eprintln!(
@@ -212,13 +227,15 @@ fn lab(args: &[String]) -> Result<(), String> {
             ids.join(", ")
         );
         for id in &ids {
-            let Some(pos) = trajectory.experiments.iter().position(|e| &e.id == id) else {
-                continue;
-            };
-            let fresh = run_experiment(&trajectory.experiments[pos].config.clone(), &opts)?;
-            trajectory.experiments[pos]
-                .metrics
-                .merge_best(&fresh.metrics);
+            if let Some(pos) = trajectory.experiments.iter().position(|e| &e.id == id) {
+                let fresh = run_experiment(&trajectory.experiments[pos].config.clone(), &opts)?;
+                trajectory.experiments[pos]
+                    .metrics
+                    .merge_best(&fresh.metrics);
+            } else if let Some(pos) = trajectory.fleet.iter().position(|e| &e.id == id) {
+                let fresh = run_fleet_cell(&trajectory.fleet[pos].config.clone())?;
+                trajectory.fleet[pos].metrics.merge_best(&fresh.metrics);
+            }
         }
         std::fs::write(&out_path, trajectory.to_json())
             .map_err(|e| format!("write {}: {e}", out_path.display()))?;
@@ -232,11 +249,29 @@ fn lab(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Sizes the `[matrix.fleet]` grid cells for the run: the lab seed flows
+/// through, and the full mode drives each cell harder.
+fn fleet_params(mode: &str, cells: &[(usize, f64, usize)], opts: &LabOptions) -> Vec<FleetParams> {
+    cells
+        .iter()
+        .map(|&(tenants, skew, workers)| {
+            let mut params = FleetParams::smoke(tenants, skew, workers);
+            params.seed = opts.seed;
+            if mode == "full" {
+                params.ops_per_thread = 25_000;
+                params.measure_repeats = opts.measure_repeats.max(1);
+            }
+            params
+        })
+        .collect()
+}
+
 /// Runs the matrix plus the acceptance-bar verdicts and assembles the
 /// trajectory.
 fn run_lab(
     mode: &str,
     experiments: &[ExperimentConfig],
+    fleet_cells: &[FleetParams],
     opts: &LabOptions,
     metrics_out: Option<&String>,
 ) -> Result<Trajectory, String> {
@@ -245,6 +280,17 @@ fn run_lab(
     for (i, config) in experiments.iter().enumerate() {
         eprintln!("lab: [{}/{total}] {}", i + 1, config.id());
         results.push(run_experiment(config, opts)?);
+    }
+
+    let mut fleet = Vec::with_capacity(fleet_cells.len());
+    for (i, params) in fleet_cells.iter().enumerate() {
+        eprintln!(
+            "lab: [fleet {}/{}] {}",
+            i + 1,
+            fleet_cells.len(),
+            params.id()
+        );
+        fleet.push(run_fleet_cell(params)?);
     }
 
     // The acceptance bars CI used to compute with inline Python over
@@ -272,6 +318,9 @@ fn run_lab(
     });
     let snapshot = snapshot.expect("telemetry churn returns a snapshot");
     verdicts.push(bench::verdicts::telemetry_snapshot_verdict(&snapshot));
+    if !fleet.is_empty() {
+        verdicts.push(bench::fleet::fleet_fairness_verdict(&fleet));
+    }
     if let Some(path) = metrics_out {
         std::fs::write(path, snapshot.to_json()).map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("lab: metrics snapshot written to {path}");
@@ -285,6 +334,7 @@ fn run_lab(
         mode: mode.to_string(),
         host: HostFingerprint::current(),
         experiments: results,
+        fleet,
         verdicts,
     })
 }

@@ -13,6 +13,7 @@
 //! produce a byte-identical file for the deterministic metrics, so the
 //! committed trajectory only changes when the performance does.
 
+use bench::fleet::FleetResult;
 use bench::lab::ExperimentResult;
 use bench::verdicts::Verdict;
 use serde::{Serialize, Value};
@@ -74,6 +75,10 @@ pub struct Trajectory {
     pub host: HostFingerprint,
     /// Per-experiment records, in matrix order.
     pub experiments: Vec<ExperimentResult>,
+    /// Fleet-cell records (`[matrix.fleet]`), in grid order. Empty when
+    /// the run had no fleet grid; old baselines without the field still
+    /// parse (the gate then treats fleet ids as new experiments).
+    pub fleet: Vec<FleetResult>,
     /// The acceptance-bar verdicts ([`bench::verdicts`]).
     pub verdicts: Vec<Verdict>,
 }
@@ -176,6 +181,31 @@ fn parse(value: &Value) -> Result<ParsedTrajectory, String> {
         }
     }
 
+    // Fleet cells are optional (the field postdates schema v1 baselines)
+    // and flatten into the same id -> metric map the gate diffs.
+    if let Some(cells) = value.get("fleet").and_then(Value::as_array) {
+        for cell in cells {
+            let id = str_field(cell, "id")?;
+            let mut row = BTreeMap::new();
+            for (name, metric) in cell
+                .get("metrics")
+                .and_then(Value::as_object)
+                .ok_or_else(|| format!("fleet cell {id}: missing metrics"))?
+            {
+                let folded = match metric {
+                    Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+                    other => other.as_f64(),
+                };
+                if let Some(v) = folded {
+                    row.insert(name.clone(), v);
+                }
+            }
+            if metrics.insert(id.clone(), row).is_some() {
+                return Err(format!("duplicate experiment id '{id}'"));
+            }
+        }
+    }
+
     let mut verdicts = BTreeMap::new();
     for v in value
         .get("verdicts")
@@ -209,7 +239,33 @@ fn str_field(value: &Value, key: &str) -> Result<String, String> {
 
 #[cfg(test)]
 pub(crate) mod fixtures {
+    use bench::fleet::{FleetMetrics, FleetParams, FleetResult};
     use bench::lab::{ExperimentConfig, ExperimentMetrics, ExperimentResult};
+
+    /// A fixture fleet cell with round metric values.
+    pub fn fleet_cell(tenants: usize, ops: f64, bounded: bool) -> FleetResult {
+        let config = FleetParams {
+            ops_per_thread: 1_000,
+            driver_threads: 2,
+            measure_repeats: 1,
+            ..FleetParams::smoke(tenants, 1.2, 4)
+        };
+        FleetResult {
+            id: config.id(),
+            config,
+            metrics: FleetMetrics {
+                fleet_ops_per_sec: ops,
+                fleet_p99_pause_us: 800.0,
+                tenant_budget_bounded: bounded,
+                max_budget_fraction: 0.9,
+                steals: 5,
+                epochs: 20,
+                throttled: 3,
+                emergency_sweeps: 1,
+                fleet_noise_pct: 0.0,
+            },
+        }
+    }
 
     /// A fixture experiment with round metric values the gate tests can
     /// perturb.
@@ -253,6 +309,7 @@ pub(crate) mod fixtures {
                 rustc: "rustc 1.0.0-fixture".into(),
             },
             experiments,
+            fleet: Vec::new(),
             verdicts: vec![bench::verdicts::Verdict {
                 name: "fast_kernel".into(),
                 pass: true,
@@ -286,9 +343,25 @@ mod tests {
         assert_eq!(a["overhead_time"], 1.05);
         assert_eq!(a["swept_fraction"], 0.25);
         assert_eq!(a["quarantine_bounded"], 1.0);
-        assert_eq!(parsed.verdicts["fast_kernel"], true);
+        assert!(parsed.verdicts["fast_kernel"]);
         // flatten() is the same projection.
         assert_eq!(t.flatten(), parsed);
+    }
+
+    #[test]
+    fn fleet_cells_flatten_into_the_metric_map() {
+        let mut t = fixtures::trajectory(vec![fixtures::experiment("a", 1000.0, 2_000_000.0)]);
+        t.fleet.push(fixtures::fleet_cell(128, 500_000.0, true));
+        let parsed = Trajectory::parse(&t.to_json()).expect("parses");
+        let cell = &parsed.metrics["fleet/t128/s1.2/w4"];
+        assert_eq!(cell["fleet_ops_per_sec"], 500_000.0);
+        assert_eq!(cell["fleet_p99_pause_us"], 800.0);
+        assert_eq!(cell["tenant_budget_bounded"], 1.0);
+        assert_eq!(cell["steals"], 5.0);
+        assert_eq!(t.flatten(), parsed);
+        // Baselines predating the field parse as before.
+        let without = fixtures::trajectory(vec![]).to_json();
+        assert!(Trajectory::parse(&without).is_ok());
     }
 
     #[test]
