@@ -97,8 +97,8 @@ fn bench_parallel_scaling(c: &mut Criterion) {
 
 /// The acceptance-bar check: 4 workers ≥ 2× sequential on a ≥ 4-core
 /// host; SKIP (never fail) elsewhere. Uses `bench::engine_sweep_rate`
-/// (median of three) rather than criterion samples so the verdict matches
-/// the fig7/parallelism harnesses.
+/// (warmed best of five) rather than criterion samples so the verdict
+/// matches the fig7/parallelism harnesses.
 fn scaling_verdict() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())

@@ -33,7 +33,7 @@ struct Fig7Row {
     cons_avx2_mib_s: f64,
 }
 
-/// Times one sweep of `mem` (median of three runs), returning MiB/s — the
+/// Times one sweep of `mem` (warmed best of five runs), returning MiB/s — the
 /// sequential [`revoker::SweepEngine`] path via [`bench::engine_sweep_rate`].
 fn sweep_rate(kernel: Kernel, mem: &tagmem::TaggedMemory, shadow: &ShadowMap) -> f64 {
     bench::engine_sweep_rate(kernel, 1, mem, shadow)

@@ -68,7 +68,7 @@ impl LabMatrix {
     }
 
     /// The full characterisation matrix (the paper's axes: 4 workloads ×
-    /// 3 kernels × 4 worker counts × 2 fault plans × 3 backends = 288
+    /// 4 kernels × 4 worker counts × 2 fault plans × 3 backends = 384
     /// experiments).
     pub fn full() -> LabMatrix {
         LabMatrix {
@@ -78,7 +78,12 @@ impl LabMatrix {
                 "dealII".into(),
                 "mcf".into(),
             ],
-            kernels: vec!["reference".into(), "wide".into(), "fast".into()],
+            kernels: vec![
+                "reference".into(),
+                "wide".into(),
+                "fast".into(),
+                "simd".into(),
+            ],
             sweep_workers: vec![1, 2, 4, 8],
             fault_plans: vec!["off".into(), "chaos-smoke".into()],
             backends: vec!["stock".into(), "colored".into(), "hierarchical".into()],
@@ -115,7 +120,7 @@ impl LabMatrix {
 pub struct ExperimentConfig {
     /// Table-2 workload name.
     pub workload: String,
-    /// Kernel name (`reference` / `wide` / `fast`).
+    /// Kernel name (`reference` / `wide` / `fast` / `simd`).
     pub kernel: String,
     /// Sweep workers per sweep.
     pub sweep_workers: usize,
@@ -141,6 +146,7 @@ impl ExperimentConfig {
             "unrolled" => Ok(Kernel::Unrolled),
             "wide" => Ok(Kernel::Wide),
             "fast" => Ok(Kernel::Fast),
+            "simd" => Ok(Kernel::Simd),
             other => Err(format!("unknown kernel '{other}'")),
         }
     }

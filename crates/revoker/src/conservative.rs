@@ -286,8 +286,9 @@ fn scan_avx2(words: &mut [u64], shadow: &ShadowMap) -> (u64, u64) {
 #[cfg(target_arch = "x86_64")]
 #[allow(unsafe_code)]
 mod simd {
-    //! The only `unsafe` in the workspace: AVX2 intrinsics for the fig. 7
-    //! vector tier. Soundness rests on (a) the caller's runtime
+    //! One of the workspace's two `unsafe` islands (the other is the
+    //! `Kernel::Simd` sweep kernel in `sweep.rs`): AVX2 intrinsics for the
+    //! fig. 7 vector tier. Soundness rests on (a) the caller's runtime
     //! `is_x86_feature_detected!("avx2")` check and (b) `loadu` tolerating
     //! unaligned addresses, so any `&[u64]` chunk of ≥ 4 words is valid.
 

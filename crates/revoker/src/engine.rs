@@ -501,6 +501,8 @@ pub struct SweepScratch {
     windows: Vec<(usize, usize)>,
     /// Per-chunk `caps_inspected` counts, in plan order.
     caps_per_chunk: Vec<u64>,
+    /// Per-chunk scheduling weights (bytes + decode work), in plan order.
+    weights: Vec<u64>,
     /// Worker group boundaries as chunk-index ranges.
     groups: Vec<(usize, usize)>,
     /// Per-worker capability-count buffers (never shrunk, so a worker
@@ -799,6 +801,70 @@ pub fn fast_kernel_from_env() -> bool {
     }
 }
 
+/// Validates a raw `CHERIVOKE_KERNEL` value. Returns the kernel to use
+/// plus a warning when the value was not recognised (unrecognised values
+/// keep the default: [`Kernel::Fast`]).
+///
+/// Accepted names (case-insensitive): `reference` (or `wide` — the
+/// bit-parallel reference tier), `simple`, `unrolled`, `fast`, and `simd`.
+pub fn parse_kernel(raw: &str) -> (Kernel, Option<String>) {
+    let v = raw.trim();
+    if v.eq_ignore_ascii_case("reference") || v.eq_ignore_ascii_case("wide") {
+        (Kernel::Wide, None)
+    } else if v.eq_ignore_ascii_case("simple") {
+        (Kernel::Simple, None)
+    } else if v.eq_ignore_ascii_case("unrolled") {
+        (Kernel::Unrolled, None)
+    } else if v.eq_ignore_ascii_case("fast") || v.is_empty() {
+        (Kernel::Fast, None)
+    } else if v.eq_ignore_ascii_case("simd") {
+        (Kernel::Simd, None)
+    } else {
+        (
+            Kernel::Fast,
+            Some(format!(
+                "CHERIVOKE_KERNEL={v:?} is not recognised \
+                 (expected reference|wide|simple|unrolled|fast|simd); using the fast kernel"
+            )),
+        )
+    }
+}
+
+/// The sweep kernel selected by the environment, unifying the kernel
+/// knobs behind one clamp+warn parse:
+///
+/// * `CHERIVOKE_KERNEL=reference|wide|simple|unrolled|fast|simd` picks a
+///   kernel by name and takes precedence; unrecognised values warn once
+///   to stderr and fall back to [`Kernel::Fast`] instead of panicking.
+/// * Otherwise the deprecated boolean `CHERIVOKE_FAST_KERNEL` is still
+///   honoured (with a one-time deprecation warning pointing at the new
+///   variable): enabled → [`Kernel::Fast`], disabled → [`Kernel::Wide`].
+/// * With neither set, the default is [`Kernel::Fast`].
+pub fn kernel_from_env() -> Kernel {
+    if let Ok(raw) = std::env::var("CHERIVOKE_KERNEL") {
+        let (kernel, warning) = parse_kernel(&raw);
+        if let Some(msg) = warning {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| eprintln!("warning: {msg}"));
+        }
+        return kernel;
+    }
+    if std::env::var("CHERIVOKE_FAST_KERNEL").is_ok() {
+        static DEPRECATED: std::sync::Once = std::sync::Once::new();
+        DEPRECATED.call_once(|| {
+            eprintln!(
+                "warning: CHERIVOKE_FAST_KERNEL is deprecated; \
+                 use CHERIVOKE_KERNEL=fast|wide (or reference|simple|unrolled|simd) instead"
+            )
+        });
+        if fast_kernel_from_env() {
+            return Kernel::Fast;
+        }
+        return Kernel::Wide;
+    }
+    Kernel::Fast
+}
+
 /// The parallel sweep engine (§3.5): plans the identical chunk list the
 /// sequential engine would visit, partitions it across scoped worker
 /// threads on tag-word boundaries (workers own disjoint 64-granule words,
@@ -904,6 +970,7 @@ impl ParallelSweepEngine {
             chunks,
             windows,
             caps_per_chunk,
+            weights,
             groups,
             worker_caps,
         } = scratch;
@@ -938,6 +1005,7 @@ impl ParallelSweepEngine {
                 &mut stats,
                 windows,
                 caps_per_chunk,
+                weights,
                 groups,
                 worker_caps,
             );
@@ -967,6 +1035,24 @@ impl ParallelSweepEngine {
         }
         stats
     }
+}
+
+/// Scheduling weight of one tagged granule relative to one clean byte:
+/// a tagged granule costs its 16 streamed bytes *plus* `DECODE_WEIGHT ×
+/// 16` for the capability decode, shadow probe, and (potential)
+/// revocation store. The value is a planning heuristic, not a cost model
+/// — it only shifts worker group boundaries, never what executes.
+const DECODE_WEIGHT: u64 = 4;
+
+/// Bytes of swept data covered by one modeled tag-cache line, from
+/// `simcache`'s FPGA-like machine geometry (one 128-byte tag line carries
+/// the tag bits for 16 KiB of data). Worker group boundaries prefer these
+/// seams so no modeled tag line is shared between two workers' streams.
+fn tag_cache_line_coverage() -> u64 {
+    static COVERAGE: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *COVERAGE.get_or_init(|| {
+        simcache::TagCache::new(&simcache::MachineConfig::cheri_fpga_like()).coverage_per_line()
+    })
 }
 
 /// Runs one planned chunk through the kernel, panic-safely when fault
@@ -1067,6 +1153,7 @@ fn execute_chunks(
     stats: &mut SweepStats,
     windows: &mut Vec<(usize, usize)>,
     caps_per_chunk: &mut Vec<u64>,
+    weights: &mut Vec<u64>,
     groups: &mut Vec<(usize, usize)>,
     worker_caps: &mut Vec<Vec<u64>>,
 ) {
@@ -1091,19 +1178,54 @@ fn execute_chunks(
         return;
     }
 
-    // Group contiguous runs of chunks, closing a group only between chunks
-    // that fall in different tag words (64 granules = 1 KiB), so groups
-    // own disjoint word ranges of both the data and tag arrays.
-    let total_bytes: u64 = chunks.iter().map(|c| c.1).sum();
-    let target = (total_bytes / workers as u64).max(1);
+    // Tag-cache-aware grouping (DESIGN.md §19). Two refinements over a
+    // plain equal-bytes split, both scheduling-only — every chunk still
+    // executes in plan order within its group, so memory, stats, and
+    // filter feedback stay byte-identical to the sequential engine:
+    //
+    // * Chunks are weighted by the work the kernel will actually do:
+    //   bytes streamed plus [`DECODE_WEIGHT`]× the tagged granules (each
+    //   forces a capability decode and shadow probe). The hierarchical
+    //   shadow summary collapses the decode term when nothing is painted —
+    //   the fast kernels then take their empty-shadow bulk fall-through
+    //   and tagged granules cost no more than clean ones.
+    // * Groups preferentially close on modeled tag-cache-line coverage
+    //   boundaries (`simcache`'s tag-cache geometry: one 128-byte tag
+    //   line covers 16 KiB of data), so no modeled tag line is shared
+    //   between workers and each worker streams whole tag lines in
+    //   address order. A group already one full line's coverage past its
+    //   target closes at any tag-word boundary, bounding the imbalance a
+    //   boundary-poor plan could otherwise accumulate.
+    //
+    // Groups always close *at least* on tag-word boundaries (64 granules
+    // = 1 KiB), so groups own disjoint word ranges of both arrays.
+    let summary_clean = shadow.painted_bytes() == 0;
+    weights.clear();
+    weights.extend(chunks.iter().map(|&(s, l)| {
+        if summary_clean {
+            l
+        } else {
+            l.saturating_add(DECODE_WEIGHT * mem.count_tags_in(s, l) * GRANULE_SIZE)
+        }
+    }));
+    let total_weight: u64 = weights.iter().sum();
+    let target = (total_weight / workers as u64).max(1);
+    let line_coverage = tag_cache_line_coverage();
+    let words_per_tag_line = ((line_coverage / (64 * GRANULE_SIZE)) as usize).max(1);
     groups.clear();
     let mut group_start = 0;
     let mut acc = 0u64;
     for i in 0..chunks.len() {
-        acc += chunks[i].1;
-        let word_boundary =
-            i + 1 == chunks.len() || windows[i + 1].0 / 64 > (windows[i].1 - 1) / 64;
-        if acc >= target && word_boundary && groups.len() + 1 < workers {
+        acc += weights[i];
+        if acc < target || groups.len() + 1 >= workers || i + 1 == chunks.len() {
+            continue;
+        }
+        let (next_w, last_w) = (windows[i + 1].0 / 64, (windows[i].1 - 1) / 64);
+        if next_w <= last_w {
+            continue; // not even a tag-word boundary
+        }
+        let line_boundary = next_w / words_per_tag_line > last_w / words_per_tag_line;
+        if line_boundary || acc >= target.saturating_add(line_coverage) {
             groups.push((group_start, i + 1));
             group_start = i + 1;
             acc = 0;
@@ -1405,6 +1527,46 @@ mod tests {
         let (enabled, warn) = parse_fast_kernel("banana");
         assert!(enabled, "unrecognised values keep the default");
         assert!(warn.unwrap().contains("not recognised"));
+    }
+
+    #[test]
+    fn parse_kernel_recognises_names_and_clamps() {
+        for (name, kernel) in [
+            ("reference", Kernel::Wide),
+            ("wide", Kernel::Wide),
+            ("simple", Kernel::Simple),
+            ("unrolled", Kernel::Unrolled),
+            ("fast", Kernel::Fast),
+            ("simd", Kernel::Simd),
+            ("SIMD", Kernel::Simd),
+            (" Fast ", Kernel::Fast),
+            ("", Kernel::Fast),
+        ] {
+            assert_eq!(parse_kernel(name), (kernel, None), "{name:?}");
+        }
+        let (kernel, warn) = parse_kernel("banana");
+        assert_eq!(kernel, Kernel::Fast, "unrecognised values fall back");
+        assert!(warn.unwrap().contains("not recognised"));
+    }
+
+    #[test]
+    fn kernel_from_env_agrees_with_parse() {
+        // The variables may or may not be set by CI's matrix; either way
+        // kernel_from_env must agree with the pure parse functions.
+        match std::env::var("CHERIVOKE_KERNEL") {
+            Ok(v) => assert_eq!(kernel_from_env(), parse_kernel(&v).0),
+            Err(_) => match std::env::var("CHERIVOKE_FAST_KERNEL") {
+                Ok(v) => {
+                    let expect = if parse_fast_kernel(&v).0 {
+                        Kernel::Fast
+                    } else {
+                        Kernel::Wide
+                    };
+                    assert_eq!(kernel_from_env(), expect);
+                }
+                Err(_) => assert_eq!(kernel_from_env(), Kernel::Fast),
+            },
+        }
     }
 
     #[test]

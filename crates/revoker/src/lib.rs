@@ -80,11 +80,11 @@ pub use backend::{
     HierarchicalBackend, RevocationBackend, StockBackend, MAX_QUARANTINE_BINS,
 };
 pub use engine::{
-    fast_kernel_from_env, line_spans, page_spans, parse_fast_kernel, parse_workers,
-    sweep_register_file, workers_from_env, CLoadTagsLines, CapDirtyPages, CapSource, DirtyPageList,
-    DumpSource, EveryLine, FilterGranularity, GranuleFilter, IdealLines, NoCost, NoFilter,
-    ParallelSweepEngine, RangeSource, RegisterSource, RevokeKernel, SegmentSource, SpaceSource,
-    SweepCost, SweepEngine, SweepScratch, TagProbe, MAX_SWEEP_WORKERS,
+    fast_kernel_from_env, kernel_from_env, line_spans, page_spans, parse_fast_kernel, parse_kernel,
+    parse_workers, sweep_register_file, workers_from_env, CLoadTagsLines, CapDirtyPages, CapSource,
+    DirtyPageList, DumpSource, EveryLine, FilterGranularity, GranuleFilter, IdealLines, NoCost,
+    NoFilter, ParallelSweepEngine, RangeSource, RegisterSource, RevokeKernel, SegmentSource,
+    SpaceSource, SweepCost, SweepEngine, SweepScratch, TagProbe, MAX_SWEEP_WORKERS,
 };
 /// Deterministic fault injection for chaos testing the sweep machinery
 /// (re-export of the `faultinject` crate; see its docs for plan syntax).
@@ -92,4 +92,6 @@ pub use faultinject as fault;
 pub use obs::{SweepTelemetry, TelemetryCost};
 pub use plan::{poisoned_subspans, SkipMode, SweepPlan};
 pub use shadow::ShadowMap;
+#[doc(hidden)]
+pub use sweep::force_scalar_kernel;
 pub use sweep::{Kernel, SweepStats, Sweeper};

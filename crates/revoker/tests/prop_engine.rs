@@ -47,6 +47,8 @@ fn kernels() -> impl Strategy<Value = Kernel> {
         Just(Kernel::Simple),
         Just(Kernel::Unrolled),
         Just(Kernel::Wide),
+        Just(Kernel::Fast),
+        Just(Kernel::Simd),
     ]
 }
 

@@ -1,0 +1,194 @@
+//! Property tests for [`Kernel::Simd`]'s guaranteed-equivalent fallbacks.
+//!
+//! Two guarantees live here:
+//!
+//! * **Forced scalar fallback** — with the `force_scalar_kernel` test hook
+//!   armed, the simd kernel must produce byte-identical memory and stats
+//!   to its own vector path (and to [`Kernel::Wide`]), across filters and
+//!   worker counts. The hook is process-global (the parallel engine's
+//!   scoped workers must observe it), so this lives in its own integration
+//!   binary: no other test in this process runs concurrently and the hook
+//!   cannot leak into unrelated equivalence tests.
+//! * **Identical `SweepCost` charges** — a costed simd sweep must replay
+//!   the exact scalar access stream: every `SweepCost` hook invocation, in
+//!   order, with the same operands as [`Kernel::Fast`].
+//!
+//! Together these pin the dispatch contract in `kernel_simd`: costed or
+//! forced-scalar sweeps are the fast kernel, bit for bit and charge for
+//! charge.
+
+use cheri::Capability;
+use proptest::prelude::*;
+use revoker::{
+    force_scalar_kernel, BackendFilter, BackendKind, EveryLine, Kernel, NoFilter,
+    ParallelSweepEngine, SegmentSource, ShadowMap, SweepCost, SweepEngine,
+};
+use tagmem::{PageTable, TaggedMemory, GRANULE_SIZE};
+
+const HEAP: u64 = 0x1000_0000;
+const LEN: u64 = 1 << 17;
+
+#[derive(Debug, Clone, Copy)]
+struct PlantedCap {
+    slot: u64,
+    obj: u64,
+}
+
+fn planted() -> impl Strategy<Value = Vec<PlantedCap>> {
+    proptest::collection::vec(
+        (0u64..LEN / GRANULE_SIZE, 0u64..LEN / GRANULE_SIZE)
+            .prop_map(|(slot, obj)| PlantedCap { slot, obj }),
+        0..80,
+    )
+}
+
+fn painted_granules() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..LEN / GRANULE_SIZE, 0..40)
+}
+
+fn build(plants: &[PlantedCap], paint: &[u64]) -> (TaggedMemory, ShadowMap) {
+    let mut mem = TaggedMemory::new(HEAP, LEN);
+    for p in plants {
+        let cap = Capability::root_rw(HEAP + p.obj * GRANULE_SIZE, GRANULE_SIZE);
+        mem.write_cap(HEAP + p.slot * GRANULE_SIZE, &cap)
+            .expect("in range");
+    }
+    let mut shadow = ShadowMap::new(HEAP, LEN);
+    let paint: std::collections::BTreeSet<u64> = paint.iter().copied().collect();
+    for &g in &paint {
+        shadow.paint(HEAP + g * GRANULE_SIZE, GRANULE_SIZE);
+    }
+    (mem, shadow)
+}
+
+fn summaries(plants: &[PlantedCap]) -> PageTable {
+    let mut table = PageTable::new();
+    for p in plants {
+        let slot = HEAP + p.slot * GRANULE_SIZE;
+        table.note_cap_store(slot).expect("stores not inhibited");
+        table.note_cap_pointee(slot, HEAP + p.obj * GRANULE_SIZE);
+    }
+    table
+}
+
+/// Records every [`SweepCost`] hook invocation, in order, with operands.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct RecordingCost(Vec<(&'static str, u64, u64)>);
+
+impl SweepCost for RecordingCost {
+    fn chunk_read(&mut self, addr: u64, len: u64) {
+        self.0.push(("chunk_read", addr, len));
+    }
+    fn cloadtags(&mut self, addr: u64) {
+        self.0.push(("cloadtags", addr, 0));
+    }
+    fn shadow_lookup(&mut self, cap_base: u64) {
+        self.0.push(("shadow_lookup", cap_base, 0));
+    }
+    fn revoke_store(&mut self, addr: u64) {
+        self.0.push(("revoke_store", addr, 0));
+    }
+    fn branch_mispredict(&mut self) {
+        self.0.push(("branch_mispredict", 0, 0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// With the scalar fallback forced, simd still matches wide (and its
+    /// own unforced vector results) bit for bit — sequentially, in
+    /// parallel at 1..=8 workers, and under every backend filter.
+    #[test]
+    fn forced_scalar_simd_matches_wide(
+        plants in planted(),
+        paint in painted_granules(),
+        workers in 1..=8usize,
+    ) {
+        let (mut wide_mem, shadow) = build(&plants, &paint);
+        let wide_stats = SweepEngine::new(Kernel::Wide)
+            .sweep(SegmentSource::new(&mut wide_mem), NoFilter, &shadow);
+
+        // Unforced simd first (vector path where the host supports it).
+        let (mut vec_mem, shadow) = build(&plants, &paint);
+        let vec_stats = SweepEngine::new(Kernel::Simd)
+            .sweep(SegmentSource::new(&mut vec_mem), NoFilter, &shadow);
+        prop_assert_eq!(&vec_mem, &wide_mem, "vector simd diverged from wide");
+        prop_assert_eq!(vec_stats, wide_stats);
+
+        force_scalar_kernel(true);
+        let outcome = (|| -> Result<(), proptest::test_runner::TestCaseError> {
+            let (mut mem, shadow) = build(&plants, &paint);
+            let stats = SweepEngine::new(Kernel::Simd)
+                .sweep(SegmentSource::new(&mut mem), NoFilter, &shadow);
+            prop_assert_eq!(&mem, &wide_mem, "forced-scalar simd diverged from wide");
+            prop_assert_eq!(stats, wide_stats);
+
+            let (mut mem, shadow) = build(&plants, &paint);
+            let stats = ParallelSweepEngine::new(Kernel::Simd, workers)
+                .sweep(SegmentSource::new(&mut mem), EveryLine, &shadow);
+            prop_assert_eq!(
+                &mem, &wide_mem,
+                "forced-scalar parallel simd diverged at {} workers", workers
+            );
+            prop_assert_eq!(stats.caps_revoked, wide_stats.caps_revoked);
+            prop_assert_eq!(stats.caps_inspected, wide_stats.caps_inspected);
+
+            for kind in BackendKind::ALL {
+                let (mut ref_mem, shadow) = build(&plants, &paint);
+                let mut ref_table = summaries(&plants);
+                let ref_stats = SweepEngine::new(Kernel::Wide).sweep(
+                    SegmentSource::new(&mut ref_mem),
+                    BackendFilter::for_epoch(kind, true, &mut ref_table, &shadow),
+                    &shadow,
+                );
+                let (mut mem, shadow) = build(&plants, &paint);
+                let mut table = summaries(&plants);
+                let stats = SweepEngine::new(Kernel::Simd).sweep(
+                    SegmentSource::new(&mut mem),
+                    BackendFilter::for_epoch(kind, true, &mut table, &shadow),
+                    &shadow,
+                );
+                prop_assert_eq!(&mem, &ref_mem, "forced-scalar {:?} simd diverged", kind);
+                prop_assert_eq!(stats, ref_stats);
+            }
+            Ok(())
+        })();
+        force_scalar_kernel(false);
+        outcome?;
+    }
+
+    /// A costed simd sweep charges exactly the hooks, in exactly the
+    /// order, with exactly the operands of a costed fast sweep (and both
+    /// report the stats the wide reference does).
+    #[test]
+    fn costed_simd_charges_match_fast(
+        plants in planted(),
+        paint in painted_granules(),
+    ) {
+        let (mut fast_mem, shadow) = build(&plants, &paint);
+        let mut fast_cost = RecordingCost::default();
+        let fast_stats = SweepEngine::new(Kernel::Fast).sweep_costed(
+            SegmentSource::new(&mut fast_mem),
+            EveryLine,
+            &shadow,
+            &mut fast_cost,
+        );
+
+        let (mut simd_mem, shadow) = build(&plants, &paint);
+        let mut simd_cost = RecordingCost::default();
+        let simd_stats = SweepEngine::new(Kernel::Simd).sweep_costed(
+            SegmentSource::new(&mut simd_mem),
+            EveryLine,
+            &shadow,
+            &mut simd_cost,
+        );
+
+        prop_assert_eq!(&simd_mem, &fast_mem, "costed simd revoked a different set");
+        prop_assert_eq!(simd_stats, fast_stats);
+        prop_assert_eq!(
+            simd_cost, fast_cost,
+            "costed simd charged a different access stream"
+        );
+    }
+}

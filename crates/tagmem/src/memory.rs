@@ -296,6 +296,45 @@ impl TaggedMemory {
         self.tags.iter().map(|w| w.count_ones() as u64).sum()
     }
 
+    /// Number of set tag bits covering `[addr, addr + len)`.
+    ///
+    /// Word-at-a-time popcount with masked edges, so chunk planners can
+    /// weight sweep work (tagged granules force capability decodes) without
+    /// walking individual granules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside the segment or not granule-aligned.
+    pub fn count_tags_in(&self, addr: u64, len: u64) -> u64 {
+        assert!(self.contains(addr, len), "range outside segment");
+        assert_eq!(
+            addr % GRANULE_SIZE,
+            0,
+            "range start must be granule-aligned"
+        );
+        assert_eq!(
+            len % GRANULE_SIZE,
+            0,
+            "range length must be granule-aligned"
+        );
+        if len == 0 {
+            return 0;
+        }
+        let g0 = self.granule_index(addr);
+        let g1 = g0 + (len / GRANULE_SIZE) as usize; // exclusive
+        let (w0, w1) = (g0 / 64, (g1 - 1) / 64);
+        let lo_mask = !0u64 << (g0 % 64);
+        let hi_mask = !0u64 >> (63 - (g1 - 1) % 64);
+        if w0 == w1 {
+            return (self.tags[w0] & lo_mask & hi_mask).count_ones() as u64;
+        }
+        let mut n = (self.tags[w0] & lo_mask).count_ones() as u64;
+        for &w in &self.tags[w0 + 1..w1] {
+            n += w.count_ones() as u64;
+        }
+        n + (self.tags[w1] & hi_mask).count_ones() as u64
+    }
+
     /// Iterates over the addresses of all tagged granules.
     pub fn tagged_addrs(&self) -> impl Iterator<Item = u64> + '_ {
         self.tags.iter().enumerate().flat_map(move |(wi, &w)| {
@@ -431,6 +470,31 @@ mod tests {
         m.write_cap(0x4020, &cap()).unwrap();
         m.write_cap(0x4020, &cap().cleared()).unwrap();
         assert!(!m.tag_at(0x4020));
+    }
+
+    #[test]
+    fn count_tags_in_matches_per_granule_probes() {
+        let mut m = TaggedMemory::new(0x4000, 64 * 1024);
+        // Tags scattered across several leaf words, including word edges.
+        for off in [0x0, 0x10, 0x3f0, 0x400, 0x7f0, 0x1000, 0x20f0, 0xfff0] {
+            m.write_cap(0x4000 + off, &Capability::root_rw(0x4000, 64))
+                .unwrap();
+        }
+        for (start, len) in [
+            (0x4000, 64 * 1024),
+            (0x4000, 0),
+            (0x4000, 16),
+            (0x4010, 0x3f0),
+            (0x4400, 0x400),
+            (0x43f0, 0x20),
+            (0x5000, 0x2000),
+        ] {
+            let expect = (0..len / GRANULE_SIZE)
+                .filter(|&g| m.tag_at(start + g * GRANULE_SIZE))
+                .count() as u64;
+            assert_eq!(m.count_tags_in(start, len), expect, "[{start:#x};{len:#x})");
+        }
+        assert_eq!(m.count_tags_in(0x4000, 64 * 1024), m.tag_count());
     }
 
     #[test]

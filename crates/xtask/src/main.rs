@@ -295,9 +295,12 @@ fn run_lab(
 
     // The acceptance bars CI used to compute with inline Python over
     // bench stdout, now in-process (bench::verdicts).
-    eprintln!("lab: verdicts (fast kernel, sweep avoidance, telemetry, faults, snapshot)");
+    eprintln!(
+        "lab: verdicts (fast kernel, simd kernel, sweep avoidance, telemetry, faults, snapshot)"
+    );
     let mut verdicts = vec![
         bench::verdicts::fast_kernel_verdict(),
+        bench::verdicts::simd_kernel_verdict(),
         bench::verdicts::backend_sweep_avoidance_verdict(),
     ];
     let record_iters = if mode == "full" {

@@ -20,6 +20,7 @@ pub const DETERMINISTIC_RESULTS: &[&str] =
 /// Environment variables that change experiment behaviour; scrubbed so a
 /// developer's shell cannot skew the regenerated captures.
 const SCRUBBED_ENV: &[&str] = &[
+    "CHERIVOKE_KERNEL",
     "CHERIVOKE_FAST_KERNEL",
     "CHERIVOKE_SWEEP_WORKERS",
     "CHERIVOKE_FAULT_PLAN",
