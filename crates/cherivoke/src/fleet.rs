@@ -64,10 +64,14 @@ use std::time::{Duration, Instant};
 
 use cheri::Capability;
 use faultinject::{FaultInjector, FaultPoint};
+use journal::Journal;
 use telemetry::{Counter, EventKind, MetricsSnapshot, Registry};
 
+use crate::recovery::{journal_dir_from_env, warn_once, HeapImage, ImageChunkState};
 use crate::stats::{PauseHistogram, PauseSnapshot};
-use crate::{CherivokeHeap, HeapConfig, HeapError, RevocationPolicy};
+use crate::{
+    CherivokeHeap, HeapConfig, HeapError, RecoveryError, RecoveryReport, RevocationPolicy,
+};
 
 /// Hard ceiling on the tenant count — beyond this the per-free global
 /// accounting and the scheduler's O(tenants) debt scan stop being
@@ -251,6 +255,59 @@ impl FleetConfig {
         warnings.extend(policy_warnings);
         Ok((self, warnings))
     }
+}
+
+/// Per-tenant heap policy derived from the fleet template, shared by
+/// construction and crash recovery so both build identical heaps:
+/// tenants never self-trigger revocation or sweep on OOM — the fleet
+/// scheduler owns both decisions. Returns the policy and the shared
+/// slice byte budget.
+fn fleet_heap_policy(config: &FleetConfig) -> (RevocationPolicy, u64) {
+    let slice_bytes = (config.tenant_heap_size / 16).clamp(64 << 10, 1 << 20);
+    let mut heap_policy = config.policy;
+    heap_policy.quarantine.fraction = f64::INFINITY;
+    heap_policy.strict = false;
+    heap_policy.sweep_on_oom = false;
+    heap_policy.incremental_slice_bytes = Some(slice_bytes);
+    (heap_policy, slice_bytes)
+}
+
+/// Tenant address-space layout: `(first_base, stride, rounded_size)`.
+/// Tenant `i`'s heap lives at `first_base + i·stride`, sized
+/// `rounded_size`. Shared by construction and crash recovery so a
+/// recovered image always lands on the extent it was captured from.
+fn tenant_layout(config: &FleetConfig) -> (u64, u64, u64) {
+    let rounded = cheri::CompressedBounds::representable_length(cheri::granule_round_up(
+        config.tenant_heap_size,
+    ));
+    let stride = rounded.next_power_of_two();
+    (stride.max(0x1000_0000), stride, rounded)
+}
+
+/// Persisted crash artifacts for one tenant: the heap image written at
+/// the crash point plus that tenant's epoch journal bytes (see the
+/// [`crate::recovery`] module). Feed a batch to [`HeapService::recover`].
+#[derive(Debug, Clone)]
+pub struct TenantCrashArtifact {
+    /// Which tenant the artifacts belong to. At most one artifact per
+    /// tenant; when duplicates are supplied the later one wins.
+    pub tenant: usize,
+    /// Encoded [`HeapImage`] bytes.
+    pub image: Vec<u8>,
+    /// Raw journal bytes. Torn tails are tolerated — they classify as
+    /// the interrupted step they tore in.
+    pub journal: Vec<u8>,
+}
+
+/// Outcome of recovering one tenant in [`HeapService::recover`].
+#[derive(Debug)]
+pub struct TenantRecovery {
+    /// The recovered tenant.
+    pub tenant: usize,
+    /// The debt-scheduler key its recovery order used (higher = sooner).
+    pub debt: f64,
+    /// The per-heap recovery report, including the safety audit.
+    pub report: RecoveryReport,
 }
 
 /// The ways a fleet operation can fail.
@@ -881,6 +938,125 @@ impl HeapService {
         config: FleetConfig,
         faults: FaultInjector,
     ) -> Result<HeapService, HeapError> {
+        let dir = journal_dir_from_env();
+        HeapService::with_journal_dir(config, faults, dir.as_deref())
+    }
+
+    /// As [`HeapService::with_faults`], with an explicit epoch-journal
+    /// directory: each tenant writes its crash-consistency journal to
+    /// `dir/tenant-{i}.cvj` (see [`crate::recovery`]). Pass `None` to run
+    /// without journaling — the default; `with_faults` reads the
+    /// `CHERIVOKE_JOURNAL` knob instead. A journal that cannot be created
+    /// degrades that tenant to unjournaled operation with a
+    /// once-per-process warning; construction still succeeds.
+    ///
+    /// # Errors
+    ///
+    /// As [`HeapService::new`].
+    pub fn with_journal_dir(
+        config: FleetConfig,
+        faults: FaultInjector,
+        journal_dir: Option<&std::path::Path>,
+    ) -> Result<HeapService, HeapError> {
+        HeapService::assemble(
+            config,
+            faults,
+            journal_dir,
+            std::collections::HashMap::new(),
+        )
+    }
+
+    /// Rebuilds a fleet after a crash. Each [`TenantCrashArtifact`] is
+    /// replayed through [`CherivokeHeap::recover`] onto the extent the
+    /// fleet layout assigns that tenant; tenants without artifacts start
+    /// fresh. Recovery runs in **debt-scheduler order** — the same
+    /// `priority × quarantine-fraction / target` key the epoch scheduler
+    /// uses, computed from the persisted images — so the tenants furthest
+    /// past their revocation target are made safe first. Every recovered
+    /// tenant's quarantine hint is synced before workers start, so
+    /// admission throttling engages immediately.
+    ///
+    /// Returns the running service plus one [`TenantRecovery`] per
+    /// artifact (in recovery order). Callers should gate on
+    /// [`RecoveryReport::safe`] before admitting traffic.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::UnknownTenant`] when an artifact names a tenant
+    /// outside the validated fleet; otherwise as
+    /// [`CherivokeHeap::recover`] and [`HeapService::new`].
+    pub fn recover(
+        config: FleetConfig,
+        faults: FaultInjector,
+        journal_dir: Option<&std::path::Path>,
+        artifacts: Vec<TenantCrashArtifact>,
+    ) -> Result<(HeapService, Vec<TenantRecovery>), RecoveryError> {
+        let (config, _) = config.validated()?;
+        let (heap_policy, _) = fleet_heap_policy(&config);
+        let (first_base, stride, rounded) = tenant_layout(&config);
+        // Debt key per artifact, from the persisted image's quarantine
+        // bytes. Priorities are uniform at construction (the config
+        // default), mirroring `FleetInner::debt` on a fresh fleet.
+        let target = config.policy.quarantine.fraction;
+        let priority = f64::from(config.tenant_policy.priority.max(1));
+        let mut ordered = Vec::with_capacity(artifacts.len());
+        for art in artifacts {
+            if art.tenant >= config.tenants {
+                return Err(RecoveryError::UnknownTenant { tenant: art.tenant });
+            }
+            let image = HeapImage::decode(&art.image)?;
+            let quarantined: u64 = image
+                .chunks
+                .iter()
+                .filter(|c| {
+                    matches!(
+                        c.state,
+                        ImageChunkState::QuarantinedOpen { .. }
+                            | ImageChunkState::QuarantinedSealed
+                    )
+                })
+                .map(|c| c.size)
+                .sum();
+            let fraction = quarantined as f64 / rounded as f64;
+            let debt = if target.is_finite() && target > 0.0 {
+                priority * fraction / target
+            } else {
+                fraction
+            };
+            ordered.push((debt, art));
+        }
+        ordered.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut recovered = std::collections::HashMap::new();
+        let mut reports = Vec::with_capacity(ordered.len());
+        for (debt, art) in ordered {
+            let base = first_base + art.tenant as u64 * stride;
+            let (heap, report) = CherivokeHeap::recover(
+                HeapConfig {
+                    heap_base: base,
+                    heap_size: rounded,
+                    policy: heap_policy,
+                    ..HeapConfig::default()
+                },
+                &art.image,
+                &art.journal,
+            )?;
+            recovered.insert(art.tenant, heap);
+            reports.push(TenantRecovery {
+                tenant: art.tenant,
+                debt,
+                report,
+            });
+        }
+        let service = HeapService::assemble(config, faults, journal_dir, recovered)?;
+        Ok((service, reports))
+    }
+
+    fn assemble(
+        config: FleetConfig,
+        faults: FaultInjector,
+        journal_dir: Option<&std::path::Path>,
+        mut recovered: std::collections::HashMap<usize, CherivokeHeap>,
+    ) -> Result<HeapService, HeapError> {
         let (config, warnings) = config.validated()?;
         for warning in &warnings {
             eprintln!("cherivoke: {warning}");
@@ -889,17 +1065,8 @@ impl HeapService {
         // scheduler owns that decision) and never sweep on OOM (the
         // fleet's emergency path owns that too) — the same inversion the
         // concurrent service applies to its shards.
-        let slice_bytes = (config.tenant_heap_size / 16).clamp(64 << 10, 1 << 20);
-        let mut heap_policy = config.policy;
-        heap_policy.quarantine.fraction = f64::INFINITY;
-        heap_policy.strict = false;
-        heap_policy.sweep_on_oom = false;
-        heap_policy.incremental_slice_bytes = Some(slice_bytes);
-        let rounded = cheri::CompressedBounds::representable_length(cheri::granule_round_up(
-            config.tenant_heap_size,
-        ));
-        let stride = rounded.next_power_of_two();
-        let first_base = stride.max(0x1000_0000);
+        let (heap_policy, slice_bytes) = fleet_heap_policy(&config);
+        let (first_base, stride, rounded) = tenant_layout(&config);
         let registry = if config.telemetry {
             Registry::new(512)
         } else {
@@ -908,17 +1075,36 @@ impl HeapService {
         let mut tenants = Vec::with_capacity(config.tenants);
         for i in 0..config.tenants {
             let base = first_base + i as u64 * stride;
-            let mut heap = CherivokeHeap::new(HeapConfig {
-                heap_base: base,
-                heap_size: rounded,
-                policy: heap_policy,
-                ..HeapConfig::default()
-            })?;
+            let mut heap = match recovered.remove(&i) {
+                Some(heap) => heap,
+                None => CherivokeHeap::new(HeapConfig {
+                    heap_base: base,
+                    heap_size: rounded,
+                    policy: heap_policy,
+                    ..HeapConfig::default()
+                })?,
+            };
             if config.telemetry {
                 heap.set_telemetry_for_shard(&registry, i);
             }
             if faults.is_enabled() {
                 heap.set_fault_injector(faults.clone());
+            }
+            if let Some(dir) = journal_dir {
+                // Creation failure is degraded mode, not a constructor
+                // error: the tenant runs correct-but-unjournaled, like a
+                // mid-run journal write failure (DESIGN.md §20).
+                let _ = std::fs::create_dir_all(dir);
+                match Journal::create(dir.join(format!("tenant-{i}.cvj"))) {
+                    Ok(j) => heap.set_journal(j),
+                    Err(e) => {
+                        warn_once(&format!(
+                            "cannot create tenant {i} epoch journal in {}: {e}; \
+                             tenant runs unjournaled",
+                            dir.display()
+                        ));
+                    }
+                }
             }
             let label = i.to_string();
             tenants.push(Tenant {
@@ -982,6 +1168,14 @@ impl HeapService {
             wake: Condvar::new(),
             config,
         });
+        // A recovered tenant can re-enter service still carrying
+        // quarantine (the reopen-seal rollback path); sync every hint now
+        // so the debt scheduler and the admission throttle see it before
+        // the first free, not after.
+        for i in 0..inner.tenants.len() {
+            let heap = inner.lock(i);
+            inner.tenants[i].sync_hints(&heap, &inner.global_quarantine);
+        }
         let mut workers = Vec::with_capacity(inner.config.workers);
         for w in 0..inner.config.workers {
             let worker_inner = Arc::clone(&inner);
@@ -1164,6 +1358,16 @@ impl HeapService {
     /// Wakes the worker pool now instead of at its next scheduled scan.
     pub fn kick(&self) {
         self.inner.kick();
+    }
+
+    /// Runs the full-heap safety audit ([`CherivokeHeap::audit`]) on
+    /// every tenant and returns the per-tenant reports. Valid at any
+    /// time, including mid-epoch. The chaos harnesses run this after a
+    /// fault-injected run as the final soundness check.
+    pub fn audit_all(&self) -> Vec<revoker::AuditReport> {
+        (0..self.inner.tenants.len())
+            .map(|i| self.inner.lock(i).audit())
+            .collect()
     }
 
     /// Current quarantine bytes of one tenant.
@@ -1424,5 +1628,210 @@ mod tests {
             ));
         }
         assert!(service.set_tenant_policy(5, ok).is_err());
+    }
+
+    /// Soft-crashes a standalone heap on the extent the fleet layout
+    /// assigns `tenant`, mid-epoch at `point`, and returns the persisted
+    /// image + journal as a recovery artifact. The crash heap runs a
+    /// self-triggering policy (the fleet's own tenants are
+    /// scheduler-driven) — recovery only requires the extent to match.
+    fn crash_artifact(
+        config: FleetConfig,
+        tenant: usize,
+        point: FaultPoint,
+        ballast: u64,
+    ) -> TenantCrashArtifact {
+        use faultinject::{silence_injected_panics, FaultPlan, FaultRule};
+        silence_injected_panics();
+        let (config, _) = config.validated().unwrap();
+        let (first_base, stride, rounded) = tenant_layout(&config);
+        let dir = std::env::temp_dir().join(format!(
+            "cvk-fleet-crash-{}-t{tenant}-{}",
+            std::process::id(),
+            point.name()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let image_path = dir.join("heap.img");
+        let journal_path = dir.join("heap.cvj");
+        let mut policy = config.policy;
+        policy.quarantine.fraction = 0.25;
+        policy.incremental_slice_bytes = Some(16 << 10);
+        let mut heap = CherivokeHeap::new(HeapConfig {
+            heap_base: first_base + tenant as u64 * stride,
+            heap_size: rounded,
+            policy,
+            ..HeapConfig::default()
+        })
+        .unwrap();
+        heap.set_journal(Journal::create(&journal_path).unwrap());
+        heap.set_crash_persist(image_path.clone(), false);
+        heap.set_fault_injector(FaultInjector::new(FaultPlan::from_rules(vec![
+            FaultRule::once(point, 0),
+        ])));
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Live ballast raises the epoch trigger (quarantine fraction
+            // is relative to live bytes), so `ballast` steers how much
+            // quarantine the image holds at the crash — i.e. the debt.
+            let mut live = Vec::new();
+            let mut remaining = ballast;
+            while remaining > 0 {
+                let piece = remaining.min(32 << 10);
+                live.push(heap.malloc(piece).unwrap());
+                remaining -= piece;
+            }
+            let holder = heap.malloc(16).unwrap();
+            for _ in 0..400 {
+                let obj = heap.malloc(4 << 10).unwrap();
+                heap.store_cap(&holder, 0, &obj).unwrap();
+                heap.free(obj).unwrap();
+            }
+        }));
+        assert!(crashed.is_err(), "{point:?} never fired");
+        drop(heap);
+        let artifact = TenantCrashArtifact {
+            tenant,
+            image: std::fs::read(&image_path).unwrap(),
+            journal: std::fs::read(&journal_path).unwrap(),
+        };
+        let _ = std::fs::remove_dir_all(&dir);
+        artifact
+    }
+
+    #[test]
+    fn recover_rolls_a_crashed_tenant_forward_in_debt_order() {
+        let config = small_config(3);
+        // Tenant 2 crashes holding a *sealed* quarantine (reopen-seal —
+        // its quarantine survives recovery) with 8× the live ballast of
+        // tenant 0's mid-sweep crash: its image carries several times the
+        // quarantine debt, so it must recover first despite being passed
+        // last.
+        let heavy = crash_artifact(config, 2, FaultPoint::CrashAfterSeal, 128 << 10);
+        let light = crash_artifact(config, 0, FaultPoint::CrashMidSweep, 16 << 10);
+        let (service, reports) =
+            HeapService::recover(config, FaultInjector::disabled(), None, vec![light, heavy])
+                .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(
+            reports.iter().map(|r| r.tenant).collect::<Vec<_>>(),
+            vec![2, 0],
+            "recovery must run highest debt first: {reports:?}"
+        );
+        assert!(reports[0].debt > reports[1].debt, "{reports:?}");
+        for r in &reports {
+            assert!(
+                r.report.safe(),
+                "tenant {} unsafe: {:?}",
+                r.tenant,
+                r.report
+            );
+        }
+        // Recovered tenants serve traffic again, isolated as before.
+        let a = service.malloc(0, 256).unwrap();
+        let b = service.malloc(2, 256).unwrap();
+        assert_ne!(a.base(), b.base());
+        service.free(a).unwrap();
+        service.free(b).unwrap();
+        service.drain_all();
+        assert_eq!(service.global_quarantined(), 0);
+    }
+
+    #[test]
+    fn recover_rejects_unknown_tenants() {
+        let config = small_config(2);
+        let art = crash_artifact(config, 0, FaultPoint::CrashAfterPaint, 16 << 10);
+        let bad = TenantCrashArtifact {
+            tenant: 7,
+            ..art.clone()
+        };
+        assert!(matches!(
+            HeapService::recover(config, FaultInjector::disabled(), None, vec![bad]),
+            Err(RecoveryError::UnknownTenant { tenant: 7 })
+        ));
+    }
+
+    #[test]
+    fn cross_tenant_store_is_still_refused_after_recovery() {
+        let config = small_config(2);
+        let art = crash_artifact(config, 0, FaultPoint::CrashMidSweep, 16 << 10);
+        let (service, reports) =
+            HeapService::recover(config, FaultInjector::disabled(), None, vec![art]).unwrap();
+        assert!(reports[0].report.safe());
+        let slot_a = service.malloc(0, 64).unwrap();
+        let obj_b = service.malloc(1, 64).unwrap();
+        assert_eq!(
+            service.store_cap(&slot_a, 0, &obj_b).unwrap_err(),
+            FleetError::CrossTenantStore { from: 1, to: 0 }
+        );
+        service.free(obj_b).unwrap();
+    }
+
+    #[test]
+    fn tenant_throttle_is_still_enforced_after_recovery() {
+        let mut config = small_config(2);
+        // Park the worker pool: nothing drains behind the test's back,
+        // so the throttle observation is deterministic.
+        config.scheduler_interval = Duration::from_secs(30);
+        // A mid-sweep crash rolls forward, so the recovered tenant comes
+        // back with an empty quarantine and the (single, parked) worker
+        // idles immediately — nothing drains behind the test's back.
+        let art = crash_artifact(config, 0, FaultPoint::CrashMidSweep, 16 << 10);
+        let (service, reports) =
+            HeapService::recover(config, FaultInjector::disabled(), None, vec![art]).unwrap();
+        assert!(matches!(
+            reports[0].report.action,
+            crate::RecoveryAction::RollForward { .. }
+        ));
+        assert!(reports[0].report.safe());
+        service
+            .set_tenant_policy(
+                0,
+                TenantPolicy {
+                    quarantine_quota: MIN_TENANT_QUOTA,
+                    ..TenantPolicy::default()
+                },
+            )
+            .unwrap();
+        // Push the recovered tenant past THROTTLE_FRACTION of the tight
+        // quota. Frees in this band never reach debt 1.0, so the parked
+        // scheduler is not kicked; admission reads the hint the frees
+        // keep synced, and the condition re-checks actual quarantine
+        // before each malloc, so every malloc in the loop stays admitted.
+        while (service.quarantined_bytes(0).unwrap() as f64)
+            < THROTTLE_FRACTION * MIN_TENANT_QUOTA as f64
+        {
+            let obj = service.malloc(0, 8 << 10).unwrap();
+            service.free(obj).unwrap();
+        }
+        assert!(matches!(
+            service.malloc(0, 64),
+            Err(FleetError::TenantThrottled { tenant: 0, .. })
+        ));
+        // An explicit drain clears the backpressure.
+        service.drain_tenant(0).unwrap();
+        let c = service.malloc(0, 64).unwrap();
+        service.free(c).unwrap();
+    }
+
+    #[test]
+    fn journal_dir_attaches_a_journal_per_tenant() {
+        let dir = std::env::temp_dir().join(format!("cvk-fleet-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service =
+            HeapService::with_journal_dir(small_config(2), FaultInjector::disabled(), Some(&dir))
+                .unwrap();
+        for i in 0..service.tenant_count() {
+            assert!(
+                service.inner.lock(i).journal_active(),
+                "tenant {i} journal missing"
+            );
+            assert!(dir.join(format!("tenant-{i}.cvj")).exists());
+        }
+        let obj = service.malloc(0, 256).unwrap();
+        service.free(obj).unwrap();
+        service.drain_all();
+        assert_eq!(service.global_quarantined(), 0);
+        drop(service);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -4,15 +4,21 @@
 //! [`RevocationPolicy::sweep_workers`].
 
 use cheri::{CapError, Capability, Perms};
-use cvkalloc::{CherivokeAllocator, DlAllocator};
+use cvkalloc::{CherivokeAllocator, ChunkState, DlAllocator};
+use journal::{Journal, Record, TailState};
+use revoker::fault::FaultPoint;
 use revoker::{
-    poisoned_subspans, sweep_register_file, BackendFilter, BackendKind, NoFilter,
-    ParallelSweepEngine, RangeSource, ShadowMap, SpaceSource, SweepScratch, SweepStats,
+    audit_dump, poisoned_subspans, sweep_register_file, AuditReport, BackendFilter, BackendKind,
+    NoFilter, ParallelSweepEngine, RangeSource, ShadowMap, SpaceSource, SweepScratch, SweepStats,
 };
 use tagmem::{AddressSpace, CoreDump, SegmentKind};
 
 use crate::epoch::Epoch;
 use crate::obs::HeapTelemetry;
+use crate::recovery::{
+    warn_once, HeapImage, ImageChunk, ImageChunkState, RecoveryAction, RecoveryError,
+    RecoveryReport,
+};
 use crate::{HeapError, HeapStats, RevocationPolicy};
 
 /// Memory layout and policy for a [`CherivokeHeap`].
@@ -90,6 +96,23 @@ pub struct CherivokeHeap {
     telemetry: HeapTelemetry,
     epoch_opened_at: Option<std::time::Instant>,
     faults: revoker::fault::FaultInjector,
+    /// Write-ahead epoch journal (crash consistency). `None` — the
+    /// default — leaves every epoch path byte-for-byte as before.
+    journal: Option<Journal>,
+    /// Set when a journal write failed: the journal is dropped and, to
+    /// preserve the crash-consistency contract without it, epochs from
+    /// then on complete synchronously (no in-flight state to lose).
+    journal_degraded: bool,
+    /// Monotonic epoch sequence number (journaled; survives recovery).
+    epoch_seq: u64,
+    /// Where `maybe_crash` persists the heap image before dying. Crash
+    /// fault points are inert unless this is armed, so seeded chaos
+    /// plans on ordinary heaps never kill the process.
+    crash_image_path: Option<std::path::PathBuf>,
+    /// `true` = `abort()` the process at the crash point (the fork/exec
+    /// harness); `false` = raise an `InjectedFault::CrashRequested`
+    /// panic the in-process probe can catch.
+    crash_hard: bool,
 }
 
 impl CherivokeHeap {
@@ -106,7 +129,10 @@ impl CherivokeHeap {
     pub fn new(mut config: HeapConfig) -> Result<CherivokeHeap, HeapError> {
         let (policy, warnings) = config.policy.validated()?;
         for warning in &warnings {
-            eprintln!("cherivoke: {warning}");
+            // Deduplicated process-wide: a fleet of heaps (or a hot
+            // construction loop) sharing one misconfigured knob warns
+            // once, not once per heap.
+            warn_once(warning);
         }
         config.policy = policy;
         // The heap-spanning root capability needs exactly-representable
@@ -168,6 +194,11 @@ impl CherivokeHeap {
             telemetry: HeapTelemetry::default(),
             epoch_opened_at: None,
             faults: revoker::fault::FaultInjector::disabled(),
+            journal: None,
+            journal_degraded: false,
+            epoch_seq: 0,
+            crash_image_path: None,
+            crash_hard: false,
         })
     }
 
@@ -180,6 +211,205 @@ impl CherivokeHeap {
         self.faults = faults;
         self.alloc.set_fault_injector(self.faults.clone());
         self.rebuild_engine();
+    }
+
+    // --- Crash consistency ---------------------------------------------------
+
+    /// Attaches a write-ahead epoch journal: every epoch state-machine
+    /// transition (open, seal, paint, slice, commit) is durably recorded
+    /// before the heap moves on, so [`CherivokeHeap::recover`] can
+    /// classify an interrupted epoch after a crash. Off by default; the
+    /// disabled path is unchanged.
+    pub fn set_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
+        self.journal_degraded = false;
+    }
+
+    /// `true` while a journal is attached and healthy.
+    pub fn journal_active(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// `true` once a journal write failed and the heap fell back to
+    /// synchronous epoch completion (see [`CherivokeHeap::set_journal`]).
+    pub fn journal_degraded(&self) -> bool {
+        self.journal_degraded
+    }
+
+    /// The current epoch sequence number (the next epoch opens as
+    /// `epoch_seq + 1`).
+    pub fn epoch_seq(&self) -> u64 {
+        self.epoch_seq
+    }
+
+    /// Arms crash persistence: when an armed `crash_*` fault point fires
+    /// mid-epoch, the heap persists its [`HeapImage`] to `image_path` and
+    /// dies — `abort()` when `hard` (the fork/exec chaos harness), or an
+    /// [`revoker::fault::InjectedFault::CrashRequested`] panic otherwise
+    /// (the in-process probe). Crash points are inert until this is
+    /// called, so seeded fault plans on ordinary heaps never kill the
+    /// process.
+    pub fn set_crash_persist(&mut self, image_path: std::path::PathBuf, hard: bool) {
+        self.crash_image_path = Some(image_path);
+        self.crash_hard = hard;
+    }
+
+    /// Captures the heap's persistent half: the memory image of every
+    /// sweepable segment plus the allocator's chunk and quarantine
+    /// records (see [`HeapImage`] for the split).
+    pub fn capture_image(&self) -> HeapImage {
+        let open: std::collections::HashMap<u64, u8> =
+            self.alloc.open_chunk_bins().into_iter().collect();
+        let sealed: std::collections::HashSet<u64> = self
+            .alloc
+            .sealed_ranges()
+            .iter()
+            .map(|&(addr, _)| addr)
+            .collect();
+        let chunks = self
+            .alloc
+            .inner()
+            .chunks()
+            .iter()
+            .map(|(addr, size, state)| ImageChunk {
+                addr,
+                size,
+                state: match state {
+                    ChunkState::Free => ImageChunkState::Free,
+                    ChunkState::Allocated => ImageChunkState::Allocated,
+                    ChunkState::Top => ImageChunkState::Top,
+                    ChunkState::Quarantined if sealed.contains(&addr) => {
+                        ImageChunkState::QuarantinedSealed
+                    }
+                    ChunkState::Quarantined => ImageChunkState::QuarantinedOpen {
+                        bin: open.get(&addr).copied().unwrap_or(0),
+                    },
+                },
+            })
+            .collect();
+        HeapImage {
+            chunks,
+            dump: CoreDump::capture(&self.space),
+        }
+    }
+
+    /// Appends one record to the journal (no-op without one). A write
+    /// failure — real, or injected via [`FaultPoint::JournalAppend`] —
+    /// triggers degraded mode: warn once, drop the journal, and complete
+    /// all future epochs synchronously so there is never in-flight state
+    /// an unjournaled crash could lose.
+    fn journal_append(&mut self, rec: &Record) {
+        let Some(j) = self.journal.as_mut() else {
+            return;
+        };
+        let result = if self.faults.should_fire(FaultPoint::JournalAppend) {
+            Err(std::io::Error::other("injected journal write failure"))
+        } else {
+            j.append(rec)
+        };
+        if let Err(e) = result {
+            warn_once(&format!(
+                "epoch journal write failed ({e}); journaling disabled, \
+                 epochs will complete synchronously"
+            ));
+            self.journal = None;
+            self.journal_degraded = true;
+            self.telemetry.on_journal_degraded();
+        }
+    }
+
+    /// Appends a burst of records ([`Journal::append_batch`]), with the
+    /// same degraded-mode contract as [`CherivokeHeap::journal_append`].
+    fn journal_append_batch(&mut self, recs: &[Record]) {
+        let Some(j) = self.journal.as_mut() else {
+            return;
+        };
+        let result = if self.faults.should_fire(FaultPoint::JournalAppend) {
+            Err(std::io::Error::other("injected journal write failure"))
+        } else {
+            j.append_batch(recs)
+        };
+        if let Err(e) = result {
+            warn_once(&format!(
+                "epoch journal write failed ({e}); journaling disabled, \
+                 epochs will complete synchronously"
+            ));
+            self.journal = None;
+            self.journal_degraded = true;
+            self.telemetry.on_journal_degraded();
+        }
+    }
+
+    /// Flushes pending journal frames to the backing file — the
+    /// durability points are the armed crash sites (unconditional, the
+    /// write-ahead contract), epoch commits once the buffer has grown
+    /// past [`CherivokeHeap::JOURNAL_FLUSH_BYTES`], and drop. Appends
+    /// themselves are buffered ([`Journal::flush`]); frames pending at
+    /// an unflushed real crash classify like a torn tail, and no such
+    /// crash can leave a recoverable image anyway (images are only
+    /// persisted by armed crash sites, which flush first). A flush
+    /// failure degrades exactly like an append failure.
+    fn journal_flush(&mut self) {
+        let Some(j) = self.journal.as_mut() else {
+            return;
+        };
+        if let Err(e) = j.flush() {
+            warn_once(&format!(
+                "epoch journal write failed ({e}); journaling disabled, \
+                 epochs will complete synchronously"
+            ));
+            self.journal = None;
+            self.journal_degraded = true;
+            self.telemetry.on_journal_degraded();
+        }
+    }
+
+    /// Epoch-commit flush batching threshold: a commit leaves its
+    /// records buffered until this many bytes accumulate, amortising
+    /// the journal to one `write(2)` per few dozen epochs. Safety never
+    /// rests on the commit flush — see [`CherivokeHeap::journal_flush`].
+    const JOURNAL_FLUSH_BYTES: usize = 4 << 10;
+
+    /// Commit-time flush: drains the journal buffer only once it has
+    /// grown past [`CherivokeHeap::JOURNAL_FLUSH_BYTES`]. High-churn
+    /// shards cycle epochs every few dozen ops; flushing each commit
+    /// individually is what the 1% `journal_overhead` bar caught.
+    fn journal_flush_batched(&mut self) {
+        let over = self
+            .journal
+            .as_ref()
+            .is_some_and(|j| j.pending_len() >= Self::JOURNAL_FLUSH_BYTES);
+        if over {
+            self.journal_flush();
+        }
+    }
+
+    /// An injected crash point: if crash persistence is armed and the
+    /// fault plan fires `point`, persist the heap image and die (see
+    /// [`CherivokeHeap::set_crash_persist`]). The journal flushes every
+    /// record preceding the point before the crash can fire — that
+    /// ordering is the write-ahead contract recovery relies on.
+    fn maybe_crash(&mut self, point: FaultPoint) {
+        if self.crash_image_path.is_none() {
+            return;
+        }
+        self.journal_flush();
+        if !self.faults.should_fire(point) {
+            return;
+        }
+        let path = self.crash_image_path.clone().expect("checked above");
+        let image = self.capture_image();
+        if let Err(e) = std::fs::write(&path, image.encode()) {
+            warn_once(&format!(
+                "crash persistence failed to write {}: {e}",
+                path.display()
+            ));
+            return;
+        }
+        if self.crash_hard {
+            std::process::abort();
+        }
+        std::panic::panic_any(revoker::fault::InjectedFault::CrashRequested(point));
     }
 
     /// Rebuilds the sweep engine from the current policy, telemetry and
@@ -287,6 +517,13 @@ impl CherivokeHeap {
                 None => {
                     self.revoke_now();
                 }
+                Some(_) if self.journal_degraded => {
+                    // Degraded mode: a journal write failed, so in-flight
+                    // epoch state can no longer be made crash-consistent.
+                    // Complete synchronously instead — slower, never less
+                    // safe.
+                    self.revoke_now();
+                }
                 Some(_) => {
                     // §3.5 mode: open an epoch (if none is running) and let
                     // slices interleave with execution. If the quarantine
@@ -339,11 +576,33 @@ impl CherivokeHeap {
             self.range_scratch = ranges;
             return false;
         }
+        // Write-ahead: the epoch-open record lands before any crash point
+        // can observe the seal, and the seal record before any point can
+        // observe the paint — so the journal tail always classifies the
+        // interrupted step correctly (see the recovery decision table).
+        self.epoch_seq += 1;
+        self.journal_append(&Record::EpochOpen {
+            epoch: self.epoch_seq,
+            backend: self.policy.backend as u8,
+            mask,
+            full: false,
+        });
+        self.maybe_crash(FaultPoint::CrashAfterSeal);
+        if self.journal.is_some() {
+            self.journal_append(&Record::BinsSealed {
+                epoch: self.epoch_seq,
+                ranges: ranges.clone(),
+            });
+        }
         let mut painted = 0u64;
         for &(addr, len) in &ranges {
             self.shadow.paint(addr, len);
             painted += len;
         }
+        self.maybe_crash(FaultPoint::CrashAfterPaint);
+        self.journal_append(&Record::ShadowPainted {
+            epoch: self.epoch_seq,
+        });
         if self.telemetry.is_enabled() {
             self.telemetry
                 .on_quarantine_sealed(painted, ranges.len() as u64);
@@ -443,6 +702,41 @@ impl CherivokeHeap {
             stats.segments_swept = 0;
             epoch.stats += stats;
         }
+        // Slice records are advisory (recovery re-sweeps exhaustively;
+        // sweeps are idempotent) but bound how much work a crash loses.
+        // Contiguous slices coalesce into one record each: a full-epoch
+        // sweep is usually a handful of runs, not hundreds of frames.
+        if self.journal.is_some() && !slice.is_empty() {
+            let seq = self.epoch_seq;
+            let mut recs: Vec<Record> = Vec::new();
+            let mut run: Option<(u64, u64)> = None;
+            for &(start, len) in &slice {
+                match &mut run {
+                    Some((rs, rl)) if *rs + *rl == start => *rl += len,
+                    _ => {
+                        if let Some((rs, rl)) = run.take() {
+                            recs.push(Record::ChunkSwept {
+                                epoch: seq,
+                                start: rs,
+                                len: rl,
+                            });
+                        }
+                        run = Some((start, len));
+                    }
+                }
+            }
+            if let Some((rs, rl)) = run {
+                recs.push(Record::ChunkSwept {
+                    epoch: seq,
+                    start: rs,
+                    len: rl,
+                });
+            }
+            self.journal_append_batch(&recs);
+        }
+        if !slice.is_empty() {
+            self.maybe_crash(FaultPoint::CrashMidSweep);
+        }
         self.slice_scratch = slice;
         if !epoch.is_done() || self.epoch_hold {
             self.epoch = Some(epoch);
@@ -451,6 +745,7 @@ impl CherivokeHeap {
         // Epoch complete: registers, drain, unpaint.
         let (_, regs, _) = self.space.sweep_parts_mut();
         epoch.stats += sweep_register_file(regs, &self.shadow);
+        self.maybe_crash(FaultPoint::CrashBeforeDrain);
         let mut drained = std::mem::take(&mut self.drain_scratch);
         drained.clear();
         self.alloc.drain_sealed_into(&mut drained);
@@ -460,6 +755,14 @@ impl CherivokeHeap {
             self.shadow.clear(addr, len);
             painted += len;
         }
+        // No allocation can occur between the drain above and the commit
+        // record below, so a crash here is safely rolled forward (the
+        // re-paint covers now-free ranges no capability can reach).
+        self.maybe_crash(FaultPoint::CrashBeforeCommit);
+        self.journal_append(&Record::EpochCommitted {
+            epoch: self.epoch_seq,
+        });
+        self.journal_flush_batched();
         // Recycle the epoch's buffers for the next seal/worklist build.
         epoch.ranges.clear();
         self.range_scratch = std::mem::take(&mut epoch.ranges);
@@ -610,10 +913,32 @@ impl CherivokeHeap {
         ranges.clear();
         self.alloc
             .for_each_quarantined_range(|addr, size| ranges.push((addr, size)));
+        // Full cycles are journaled too (as `full: true` epochs whose
+        // roll-forward drains *all* quarantine), keeping the record
+        // stream complete when incremental and full cycles interleave.
+        let journal_cycle = self.journal.is_some() && !ranges.is_empty();
+        if journal_cycle {
+            self.epoch_seq += 1;
+            self.journal_append(&Record::EpochOpen {
+                epoch: self.epoch_seq,
+                backend: self.policy.backend as u8,
+                mask: u64::MAX,
+                full: true,
+            });
+            self.journal_append(&Record::BinsSealed {
+                epoch: self.epoch_seq,
+                ranges: ranges.clone(),
+            });
+        }
         let mut painted = 0u64;
         for &(addr, len) in &ranges {
             self.shadow.paint(addr, len);
             painted += len;
+        }
+        if journal_cycle {
+            self.journal_append(&Record::ShadowPainted {
+                epoch: self.epoch_seq,
+            });
         }
         let stats = {
             let (source, page_table) = SpaceSource::split(&mut self.space);
@@ -636,10 +961,239 @@ impl CherivokeHeap {
         for &(addr, len) in &ranges {
             self.shadow.clear(addr, len);
         }
+        if journal_cycle {
+            self.journal_append(&Record::EpochCommitted {
+                epoch: self.epoch_seq,
+            });
+            self.journal_flush_batched();
+        }
         ranges.clear();
         self.range_scratch = ranges;
         self.stats.absorb_sweep(&stats, painted);
         stats
+    }
+
+    // --- Crash recovery ------------------------------------------------------
+
+    /// Rebuilds a heap from a persisted [`HeapImage`] and its epoch
+    /// journal, deterministically finishing whatever the crash
+    /// interrupted. The decision table (see `DESIGN.md` §20):
+    ///
+    /// | journal tail          | action                                     |
+    /// |-----------------------|--------------------------------------------|
+    /// | clean                 | nothing in flight — restore only           |
+    /// | seal interrupted      | re-open the partially sealed quarantine    |
+    /// | sweep interrupted     | re-paint, exhaustive re-sweep, drain       |
+    ///
+    /// Both actions are safe in every crash order: sealed memory stays
+    /// quarantined until a completed sweep drains it, and sweeps are
+    /// idempotent. Registers and the shadow map are process state — the
+    /// recovered heap starts with fresh ones (plus whatever the
+    /// roll-forward re-painted and cleared).
+    ///
+    /// Ends with a full-heap safety audit ([`CherivokeHeap::audit`]);
+    /// the report's [`RecoveryReport::safe`] is the harness's verdict.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError`] when the image or journal header is corrupt,
+    /// the chunk records are inconsistent, or the image does not match
+    /// `config`'s heap extent. Torn journal *tails* are not errors —
+    /// they classify as the interrupted step they tore in.
+    pub fn recover(
+        config: HeapConfig,
+        image_bytes: &[u8],
+        journal_bytes: &[u8],
+    ) -> Result<(CherivokeHeap, RecoveryReport), RecoveryError> {
+        let image = HeapImage::decode(image_bytes)?;
+        let outcome = journal::read_bytes(journal_bytes)?;
+        let tail = journal::classify(&outcome.records);
+        let mut heap = CherivokeHeap::new(config)?;
+
+        // Memory: replay the dump into the fresh segments, then rebuild
+        // the page table's CapDirty flags and pointee summaries by
+        // re-storing every tagged capability through the normal store
+        // path (the table is process state the dump does not carry).
+        image.dump.restore_into(heap.space.segments_mut());
+        let mut tagged: Vec<u64> = Vec::new();
+        for seg in heap
+            .space
+            .segments()
+            .iter()
+            .filter(|s| s.kind().sweepable())
+        {
+            tagged.extend(seg.mem().tagged_addrs());
+        }
+        let caps_replayed = tagged.len() as u64;
+        for addr in tagged {
+            let cap = heap.space.load_cap(addr).map_err(HeapError::from)?;
+            heap.space.store_cap(addr, &cap).map_err(HeapError::from)?;
+        }
+
+        // Allocator: chunk map, free lists and quarantine bookkeeping.
+        let base = heap.alloc.inner().base();
+        let size = heap.alloc.inner().size();
+        let found_base = image.chunks.first().map(|c| c.addr).unwrap_or(0);
+        let found_size: u64 = image.chunks.iter().map(|c| c.size).sum();
+        if found_base != base || found_size != size {
+            return Err(RecoveryError::LayoutMismatch {
+                expected: (base, size),
+                found: (found_base, found_size),
+            });
+        }
+        let triples: Vec<(u64, u64, ChunkState)> = image
+            .chunks
+            .iter()
+            .map(|c| {
+                let state = match c.state {
+                    ImageChunkState::Free => ChunkState::Free,
+                    ImageChunkState::Allocated => ChunkState::Allocated,
+                    ImageChunkState::Top => ChunkState::Top,
+                    ImageChunkState::QuarantinedOpen { .. }
+                    | ImageChunkState::QuarantinedSealed => ChunkState::Quarantined,
+                };
+                (c.addr, c.size, state)
+            })
+            .collect();
+        let mut open = Vec::new();
+        let mut sealed_records = Vec::new();
+        for c in &image.chunks {
+            match c.state {
+                ImageChunkState::QuarantinedOpen { bin } => open.push((c.addr, bin)),
+                ImageChunkState::QuarantinedSealed => sealed_records.push((c.addr, c.size)),
+                _ => {}
+            }
+        }
+        let inner = DlAllocator::restore(base, size, &triples)?;
+        let backend = heap.policy.backend.backend();
+        heap.alloc = CherivokeAllocator::restore(
+            inner,
+            heap.policy.quarantine,
+            backend.partitions(),
+            &open,
+            &sealed_records,
+        )?;
+
+        // The journal's epoch numbering continues across the crash.
+        heap.epoch_seq = outcome
+            .records
+            .iter()
+            .map(|r| match *r {
+                Record::EpochOpen { epoch, .. }
+                | Record::BinsSealed { epoch, .. }
+                | Record::ShadowPainted { epoch }
+                | Record::ChunkSwept { epoch, .. }
+                | Record::EpochCommitted { epoch } => epoch,
+            })
+            .max()
+            .unwrap_or(0);
+
+        let mut report = RecoveryReport {
+            action: RecoveryAction::None,
+            epoch: None,
+            torn_tail: outcome.torn_tail,
+            chunks_restored: image.chunks.len(),
+            caps_replayed,
+            reopened_chunks: 0,
+            repainted_ranges: 0,
+            caps_revoked: 0,
+            audit: AuditReport::default(),
+        };
+        match tail {
+            TailState::Clean => {
+                // A clean tail with sealed chunks means the journal
+                // predates the seal (journaling attached mid-life).
+                // Re-opening is the safe default: the memory stays
+                // quarantined and the next epoch re-seals it.
+                if !heap.alloc.sealed_ranges().is_empty() {
+                    report.reopened_chunks = heap.alloc.unseal_sealed(|addr| backend.bin_of(addr));
+                    report.action = RecoveryAction::ReopenSeal;
+                }
+            }
+            TailState::SealInterrupted { epoch } => {
+                report.epoch = Some(epoch);
+                report.action = RecoveryAction::ReopenSeal;
+                report.reopened_chunks = heap.alloc.unseal_sealed(|addr| backend.bin_of(addr));
+            }
+            TailState::SweepInterrupted {
+                epoch,
+                full,
+                ranges,
+                ..
+            } => {
+                report.epoch = Some(epoch);
+                report.action = RecoveryAction::RollForward { full };
+                report.repainted_ranges = ranges.len();
+                for &(addr, len) in &ranges {
+                    heap.shadow.paint(addr, len);
+                }
+                // Exhaustive, unfiltered re-sweep of every root: the
+                // crashed sweep's progress records are advisory only, and
+                // re-sweeping already-swept memory is free of harm.
+                let stats = heap.sweep_all_exhaustive();
+                report.caps_revoked = stats.caps_revoked;
+                let mut drained = std::mem::take(&mut heap.drain_scratch);
+                drained.clear();
+                if full {
+                    // A full cycle drains the entire quarantine.
+                    heap.alloc.seal_bins_into(u64::MAX, &mut drained);
+                    drained.clear();
+                }
+                heap.alloc.drain_sealed_into(&mut drained);
+                heap.drain_scratch = drained;
+                for &(addr, len) in &ranges {
+                    heap.shadow.clear(addr, len);
+                }
+                heap.stats.absorb_sweep(&stats, 0);
+            }
+        }
+        heap.telemetry.on_recovery(&report);
+        report.audit = heap.audit();
+        Ok((heap, report))
+    }
+
+    /// One unfiltered sweep of every sweepable segment plus the register
+    /// file against the current shadow map — recovery's roll-forward
+    /// sweep, deliberately ignoring every skip assist.
+    fn sweep_all_exhaustive(&mut self) -> SweepStats {
+        let mut total = SweepStats::default();
+        let (segments, regs, _) = self.space.sweep_parts_mut();
+        for seg in segments.iter_mut().filter(|s| s.kind().sweepable()) {
+            let (base, len) = (seg.mem().base(), seg.mem().len());
+            total += self.engine.sweep_scratched(
+                RangeSource::new(seg.mem_mut(), base, len),
+                NoFilter,
+                &self.shadow,
+                &mut self.scratch,
+            );
+        }
+        total += sweep_register_file(regs, &self.shadow);
+        total
+    }
+
+    /// Full-heap safety audit: proves that **no tagged capability points
+    /// into a granule the allocator may hand out again** (free or
+    /// wilderness memory). Capabilities into *quarantined* memory are
+    /// legal — that is the paper's §3.7 window between free and sweep —
+    /// so the audit shadow paints exactly the reusable set.
+    ///
+    /// The check reuses the sweep engine as its kernel over a clone of
+    /// the memory image (see [`revoker::audit`]); the live heap is never
+    /// mutated. Runs after every recovery, and as the chaos harness's
+    /// post-run invariant.
+    pub fn audit(&self) -> AuditReport {
+        let base = self.alloc.inner().base();
+        let size = self.alloc.inner().size();
+        let mut reusable = ShadowMap::new(base, size);
+        for (addr, csize, state) in self.alloc.inner().chunks().iter() {
+            if matches!(state, ChunkState::Free | ChunkState::Top) {
+                reusable.paint(addr, csize);
+            }
+        }
+        let mut dump = CoreDump::capture(&self.space);
+        let report = audit_dump(&self.engine, &mut dump, self.space.registers(), &reusable);
+        self.telemetry.on_audit(&report);
+        report
     }
 
     // --- Capability-mediated memory access -----------------------------------
@@ -1055,6 +1609,243 @@ mod tests {
             let stats = h.revoke_now();
             assert_eq!(stats.caps_revoked, 1, "use_capdirty={use_capdirty}");
         }
+    }
+
+    #[test]
+    fn audit_is_clean_across_the_lifecycle() {
+        let mut h = heap();
+        let _ballast = h.malloc(512 << 10).unwrap();
+        let obj = h.malloc(64).unwrap();
+        let holder = h.malloc(16).unwrap();
+        h.store_cap(&holder, 0, &obj).unwrap();
+        assert!(h.audit().clean(), "live heap");
+        h.free(obj).unwrap();
+        assert!(h.audit().clean(), "dangling-into-quarantine is legal");
+        h.revoke_now();
+        assert!(h.audit().clean(), "post-sweep");
+    }
+
+    #[test]
+    fn audit_catches_a_cap_into_reusable_memory() {
+        let mut h = heap();
+        let holder = h.malloc(16).unwrap();
+        // God mode: forge a capability into the wilderness (reusable
+        // memory no allocation covers) and plant it in the heap.
+        let top_addr = h
+            .allocator()
+            .inner()
+            .chunks()
+            .iter()
+            .find(|&(_, _, s)| s == cvkalloc::ChunkState::Top)
+            .map(|(addr, _, _)| addr)
+            .unwrap();
+        let rogue = Capability::root_rw(top_addr + 64, 32);
+        h.space_mut().store_cap(holder.base(), &rogue).unwrap();
+        let report = h.audit();
+        assert!(!report.clean());
+        assert_eq!(report.violations, 1);
+        assert_eq!(report.offenders.len(), 1);
+        assert_eq!(report.offenders[0].at, holder.base());
+        // The audit never mutates the live heap: the rogue cap survives.
+        assert!(h.space().load_cap(holder.base()).unwrap().tag());
+    }
+
+    #[test]
+    fn capture_image_round_trips_through_recover_clean() {
+        let mut h = heap();
+        let keep = h.malloc(128).unwrap();
+        let holder = h.malloc(16).unwrap();
+        h.store_cap(&holder, 0, &keep).unwrap();
+        let gone = h.malloc(64).unwrap();
+        h.free(gone).unwrap();
+        let image = h.capture_image().encode();
+        let empty_journal = journal::Journal::in_memory().into_bytes();
+        let (rh, report) =
+            CherivokeHeap::recover(HeapConfig::small(), &image, &empty_journal).unwrap();
+        assert_eq!(report.action, RecoveryAction::None);
+        assert!(report.safe(), "audit: {:?}", report.audit);
+        assert_eq!(
+            report.chunks_restored,
+            rh.allocator().inner().chunks().len()
+        );
+        assert_eq!(rh.live_bytes(), h.live_bytes());
+        assert_eq!(rh.quarantined_bytes(), h.quarantined_bytes());
+        // The replayed capability still works through the normal path.
+        let stored = rh.space().load_cap(holder.base()).unwrap();
+        assert!(stored.tag());
+        assert_eq!(stored.base(), keep.base());
+    }
+
+    #[test]
+    fn recover_rejects_mismatched_layout() {
+        let h = heap();
+        let image = h.capture_image().encode();
+        let empty_journal = journal::Journal::in_memory().into_bytes();
+        let mut other = HeapConfig::small();
+        other.heap_size = 2 << 20;
+        assert!(matches!(
+            CherivokeHeap::recover(other, &image, &empty_journal),
+            Err(RecoveryError::LayoutMismatch { .. })
+        ));
+    }
+
+    fn incremental_config(backend: BackendKind) -> HeapConfig {
+        let mut cfg = HeapConfig::small();
+        cfg.policy.backend = backend;
+        cfg.policy.quarantine.fraction = 0.125;
+        cfg.policy.incremental_slice_bytes = Some(16 << 10);
+        cfg
+    }
+
+    /// Drives a crash-armed heap until the injected crash point fires
+    /// (as an `InjectedFault::CrashRequested` panic), then recovers from
+    /// the persisted image + journal and asserts safety.
+    fn soft_crash_and_recover(point: revoker::fault::FaultPoint, backend: BackendKind) {
+        use revoker::fault::{silence_injected_panics, FaultInjector, FaultPlan, FaultRule};
+        silence_injected_panics();
+        let dir = std::env::temp_dir().join(format!(
+            "cvk-heap-crash-{}-{}",
+            point.name(),
+            backend.name()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let image_path = dir.join("heap.img");
+        let journal_path = dir.join("heap.cvj");
+        let cfg = incremental_config(backend);
+        let mut h = CherivokeHeap::new(cfg).unwrap();
+        h.set_journal(journal::Journal::create(&journal_path).unwrap());
+        h.set_crash_persist(image_path.clone(), false);
+        h.set_fault_injector(FaultInjector::new(FaultPlan::from_rules(vec![
+            FaultRule::once(point, 0),
+        ])));
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut ballast = Vec::new();
+            for _ in 0..4 {
+                ballast.push(h.malloc(64 << 10).unwrap());
+            }
+            let holder = h.malloc(16).unwrap();
+            for _ in 0..200 {
+                let obj = h.malloc(4 << 10).unwrap();
+                h.store_cap(&holder, 0, &obj).unwrap();
+                h.free(obj).unwrap();
+            }
+        }));
+        assert!(
+            crashed.is_err(),
+            "{point:?} never fired on {backend:?} — workload too small?"
+        );
+        drop(h);
+        let image = std::fs::read(&image_path).unwrap();
+        let journal_bytes = std::fs::read(&journal_path).unwrap();
+        let (mut rh, report) = CherivokeHeap::recover(cfg, &image, &journal_bytes).unwrap();
+        assert!(
+            report.safe(),
+            "{point:?}/{backend:?} recovery unsafe: {:?}",
+            report.audit
+        );
+        match point {
+            revoker::fault::FaultPoint::CrashAfterSeal => {
+                assert_eq!(report.action, RecoveryAction::ReopenSeal);
+                assert!(report.reopened_chunks > 0);
+            }
+            _ => {
+                assert!(matches!(report.action, RecoveryAction::RollForward { .. }));
+                assert!(report.repainted_ranges > 0);
+            }
+        }
+        // Post-recovery the heap is a normal heap: no sealed leftovers,
+        // and the full lifecycle still works.
+        assert!(rh.allocator().sealed_ranges().is_empty());
+        let c = rh.malloc(256).unwrap();
+        rh.free(c).unwrap();
+        rh.revoke_now();
+        assert!(rh.audit().clean());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_after_seal_recovers_by_reopening() {
+        soft_crash_and_recover(
+            revoker::fault::FaultPoint::CrashAfterSeal,
+            BackendKind::Stock,
+        );
+    }
+
+    #[test]
+    fn crash_after_paint_rolls_forward() {
+        soft_crash_and_recover(
+            revoker::fault::FaultPoint::CrashAfterPaint,
+            BackendKind::Colored,
+        );
+    }
+
+    #[test]
+    fn crash_mid_sweep_rolls_forward() {
+        soft_crash_and_recover(
+            revoker::fault::FaultPoint::CrashMidSweep,
+            BackendKind::Hierarchical,
+        );
+    }
+
+    #[test]
+    fn crash_before_drain_rolls_forward() {
+        soft_crash_and_recover(
+            revoker::fault::FaultPoint::CrashBeforeDrain,
+            BackendKind::Stock,
+        );
+    }
+
+    #[test]
+    fn crash_before_commit_rolls_forward() {
+        soft_crash_and_recover(
+            revoker::fault::FaultPoint::CrashBeforeCommit,
+            BackendKind::Colored,
+        );
+    }
+
+    #[test]
+    fn journal_write_failure_degrades_to_synchronous_epochs() {
+        use revoker::fault::{FaultInjector, FaultPlan, FaultPoint, FaultRule};
+        let cfg = incremental_config(BackendKind::Stock);
+        let mut h = CherivokeHeap::new(cfg).unwrap();
+        h.set_journal(journal::Journal::in_memory());
+        h.set_fault_injector(FaultInjector::new(FaultPlan::from_rules(vec![
+            FaultRule::once(FaultPoint::JournalAppend, 0),
+        ])));
+        assert!(h.journal_active());
+        let holder = h.malloc(16).unwrap();
+        for _ in 0..200 {
+            let obj = h.malloc(4 << 10).unwrap();
+            h.store_cap(&holder, 0, &obj).unwrap();
+            h.free(obj).unwrap();
+        }
+        assert!(h.journal_degraded(), "injected append failure never hit");
+        assert!(!h.journal_active());
+        // Degraded mode never leaves an epoch in flight: every free that
+        // needed a sweep completed it synchronously.
+        assert!(!h.revocation_active());
+        assert!(h.audit().clean());
+    }
+
+    #[test]
+    fn crash_points_are_inert_without_crash_persistence() {
+        use revoker::fault::{FaultInjector, FaultPlan, FaultPoint, FaultRule};
+        let cfg = incremental_config(BackendKind::Stock);
+        let mut h = CherivokeHeap::new(cfg).unwrap();
+        // Armed plan, but no set_crash_persist: the heap must run as if
+        // the crash points did not exist (seeded chaos plans rely on it).
+        h.set_fault_injector(FaultInjector::new(FaultPlan::from_rules(vec![
+            FaultRule::once(FaultPoint::CrashMidSweep, 0),
+            FaultRule::once(FaultPoint::CrashBeforeCommit, 0),
+        ])));
+        let holder = h.malloc(16).unwrap();
+        for _ in 0..100 {
+            let obj = h.malloc(4 << 10).unwrap();
+            h.store_cap(&holder, 0, &obj).unwrap();
+            h.free(obj).unwrap();
+        }
+        h.revoke_now();
+        assert!(h.audit().clean());
     }
 
     #[test]

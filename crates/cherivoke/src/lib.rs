@@ -60,22 +60,30 @@ mod heap;
 mod model;
 mod obs;
 mod policy;
+pub mod recovery;
 mod service;
 mod stats;
 
 pub use error::HeapError;
-pub use fleet::{FleetClient, FleetConfig, FleetError, FleetStats, HeapService, TenantPolicy};
+pub use fleet::{
+    FleetClient, FleetConfig, FleetError, FleetStats, HeapService, TenantCrashArtifact,
+    TenantPolicy, TenantRecovery,
+};
 pub use heap::{CherivokeHeap, HeapConfig};
 pub use model::OverheadModel;
 pub use obs::HeapTelemetry;
 pub use policy::{RevocationPolicy, SweepPacer};
+pub use recovery::{
+    journal_dir_from_env, warn_once, HeapImage, ImageChunk, ImageChunkState, RecoveryAction,
+    RecoveryError, RecoveryReport,
+};
 pub use service::{ConcurrentHeap, HeapClient, ServiceConfig};
 pub use stats::{
     HeapStats, PauseHistogram, PauseSnapshot, ServiceStats, ShardStats, PAUSE_BUCKETS,
 };
 
 pub use cvkalloc::QuarantineConfig;
-pub use revoker::{BackendKind, Kernel};
+pub use revoker::{AuditReport, AuditViolation, BackendKind, Kernel};
 
 /// Deterministic fault injection ([`fault::FaultInjector`],
 /// [`fault::FaultPlan`], the `CHERIVOKE_FAULT_PLAN` knob) — re-exported so

@@ -17,6 +17,11 @@ pub struct HeapTelemetry {
     epochs: Counter,
     oom_sweeps: Counter,
     barrier_revocations: Counter,
+    recoveries: Counter,
+    recovered_caps_revoked: Counter,
+    audit_runs: Counter,
+    audit_violations: Counter,
+    journal_degraded: Counter,
     sweep: SweepTelemetry,
     registry: Registry,
     shard: usize,
@@ -31,6 +36,11 @@ impl HeapTelemetry {
             epochs: registry.counter("cvk_heap_epochs_total"),
             oom_sweeps: registry.counter("cvk_heap_oom_sweeps_total"),
             barrier_revocations: registry.counter("cvk_heap_barrier_revocations_total"),
+            recoveries: registry.counter("cvk_heap_recoveries_total"),
+            recovered_caps_revoked: registry.counter("cvk_heap_recovery_caps_revoked_total"),
+            audit_runs: registry.counter("cvk_heap_audit_runs_total"),
+            audit_violations: registry.counter("cvk_heap_audit_violations_total"),
+            journal_degraded: registry.counter("cvk_heap_journal_degraded_total"),
             sweep: SweepTelemetry::register(registry),
             registry: registry.clone(),
             shard,
@@ -79,5 +89,29 @@ impl HeapTelemetry {
 
     pub(crate) fn on_barrier_revocation(&self) {
         self.barrier_revocations.inc();
+    }
+
+    pub(crate) fn on_recovery(&self, report: &crate::recovery::RecoveryReport) {
+        self.recoveries.inc();
+        self.recovered_caps_revoked.add(report.caps_revoked);
+        self.registry.event(EventKind::Recovery {
+            shard: self.shard,
+            action: match report.action {
+                crate::recovery::RecoveryAction::None => "none",
+                crate::recovery::RecoveryAction::ReopenSeal => "reopen-seal",
+                crate::recovery::RecoveryAction::RollForward { .. } => "roll-forward",
+            },
+            caps_revoked: report.caps_revoked,
+        });
+    }
+
+    pub(crate) fn on_audit(&self, report: &revoker::AuditReport) {
+        self.audit_runs.inc();
+        self.audit_violations
+            .add(report.violations + report.reg_violations);
+    }
+
+    pub(crate) fn on_journal_degraded(&self) {
+        self.journal_degraded.inc();
     }
 }

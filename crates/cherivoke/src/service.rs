@@ -71,9 +71,11 @@ use std::time::{Duration, Instant};
 
 use cheri::Capability;
 use faultinject::{FaultInjector, FaultPoint};
+use journal::Journal;
 use revoker::SweepStats;
 use telemetry::{Counter, EventKind, MetricsSnapshot, PeriodicExporter, Registry};
 
+use crate::recovery::{journal_dir_from_env, warn_once};
 use crate::stats::{PauseHistogram, ServiceStats, ShardStats};
 use crate::{CherivokeHeap, HeapConfig, HeapError, RevocationPolicy, SweepPacer};
 
@@ -204,6 +206,46 @@ fn shard_policy(service: &RevocationPolicy, pacer: &SweepPacer) -> RevocationPol
         // *floor* slice: enough to help, small enough not to stall them.
         incremental_slice_bytes: Some(pacer.min_slice_bytes),
         ..*service
+    }
+}
+
+/// Exponential restart backoff for the revoker supervisor: starts at
+/// `floor`, doubles on every respawn, caps at `ceiling`, and resets to
+/// the floor as soon as a healthy heartbeat is observed. Factored out of
+/// `supervisor_loop` as a pure state machine so the schedule is pinned by
+/// unit tests without threads or clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RestartBackoff {
+    floor: Duration,
+    ceiling: Duration,
+    current: Duration,
+}
+
+impl RestartBackoff {
+    pub(crate) fn new(floor: Duration, ceiling: Duration) -> RestartBackoff {
+        let floor = floor.min(ceiling);
+        RestartBackoff {
+            floor,
+            ceiling,
+            current: floor,
+        }
+    }
+
+    /// How long a restart must trail the last heartbeat.
+    pub(crate) fn delay(&self) -> Duration {
+        self.current
+    }
+
+    /// A live, heartbeating revoker was observed: the next failure's
+    /// backoff starts over from the floor.
+    pub(crate) fn on_healthy(&mut self) {
+        self.current = self.floor;
+    }
+
+    /// A replacement revoker was spawned: double the next delay, capped
+    /// at the ceiling.
+    pub(crate) fn on_restart(&mut self) {
+        self.current = (self.current * 2).min(self.ceiling);
     }
 }
 
@@ -750,9 +792,10 @@ impl Inner {
         let tick = (watchdog / 8)
             .max(Duration::from_micros(200))
             .min(Duration::from_millis(20));
-        let backoff_floor = self.config.revoker_interval.max(Duration::from_millis(1));
-        let backoff_ceiling = Duration::from_secs(1);
-        let mut backoff = backoff_floor;
+        let mut backoff = RestartBackoff::new(
+            self.config.revoker_interval.max(Duration::from_millis(1)),
+            Duration::from_secs(1),
+        );
         let mut handles: Vec<JoinHandle<()>> = Vec::new();
         self.heartbeat_ns.store(self.now_ns(), Ordering::Relaxed);
         self.revoker_gen.store(1, Ordering::SeqCst);
@@ -784,7 +827,7 @@ impl Inner {
                 .saturating_sub(self.heartbeat_ns.load(Ordering::Relaxed));
             let stalled = alive && heartbeat_age_ns > watchdog.as_nanos() as u64;
             if alive && !stalled {
-                backoff = backoff_floor;
+                backoff.on_healthy();
                 continue;
             }
             let cause = if stalled { "stall" } else { "death" };
@@ -793,7 +836,7 @@ impl Inner {
             if self
                 .heartbeat_ns
                 .load(Ordering::Relaxed)
-                .saturating_add(backoff.as_nanos() as u64)
+                .saturating_add(backoff.delay().as_nanos() as u64)
                 > self.now_ns()
                 && cause == "death"
             {
@@ -819,7 +862,7 @@ impl Inner {
                     eprintln!("cherivoke: {e}; mutators will revoke inline until a retry");
                 }
             }
-            backoff = (backoff * 2).min(backoff_ceiling);
+            backoff.on_restart();
             // Retired threads eventually finish; reap without blocking the
             // watch loop on a stalled one.
             handles.retain(|h| !h.is_finished());
@@ -911,6 +954,26 @@ impl ConcurrentHeap {
         config: ServiceConfig,
         faults: FaultInjector,
     ) -> Result<ConcurrentHeap, HeapError> {
+        let dir = journal_dir_from_env();
+        ConcurrentHeap::with_journal_dir(config, faults, dir.as_deref())
+    }
+
+    /// As [`ConcurrentHeap::with_faults`], with an explicit epoch-journal
+    /// directory: each shard writes its crash-consistency journal to
+    /// `dir/shard-{i}.cvj` (see [`crate::recovery`]). Pass `None` to run
+    /// without journaling — the default; `with_faults` reads the
+    /// `CHERIVOKE_JOURNAL` knob instead. A journal that cannot be created
+    /// degrades that shard to unjournaled operation with a
+    /// once-per-process warning; construction still succeeds.
+    ///
+    /// # Errors
+    ///
+    /// As [`ConcurrentHeap::new`].
+    pub fn with_journal_dir(
+        config: ServiceConfig,
+        faults: FaultInjector,
+        journal_dir: Option<&std::path::Path>,
+    ) -> Result<ConcurrentHeap, HeapError> {
         let (config, warnings) = config.validated()?;
         for warning in &warnings {
             eprintln!("cherivoke: {warning}");
@@ -945,6 +1008,22 @@ impl ConcurrentHeap {
             }
             if faults.is_enabled() {
                 heap.set_fault_injector(faults.clone());
+            }
+            if let Some(dir) = journal_dir {
+                // Creation failure is degraded mode, not a constructor
+                // error: the shard runs correct-but-unjournaled, exactly
+                // like a mid-run journal write failure (DESIGN.md §20).
+                let _ = std::fs::create_dir_all(dir);
+                match Journal::create(dir.join(format!("shard-{i}.cvj"))) {
+                    Ok(j) => heap.set_journal(j),
+                    Err(e) => {
+                        warn_once(&format!(
+                            "cannot create shard {i} epoch journal in {}: {e}; \
+                             shard runs unjournaled",
+                            dir.display()
+                        ));
+                    }
+                }
             }
             shard_vec.push(Shard {
                 heap: Mutex::new(heap),
@@ -1136,6 +1215,18 @@ impl ConcurrentHeap {
         self.inner.revoke_all_now();
     }
 
+    /// Runs the full-heap safety audit ([`CherivokeHeap::audit`]) on
+    /// every shard and returns the per-shard reports. Valid at any time,
+    /// including mid-epoch: the audit's invariant is that no tagged
+    /// capability points into *reusable* (free) memory, which must hold
+    /// in every epoch phase. The chaos harnesses run this after a
+    /// fault-injected run as the final soundness check.
+    pub fn audit_all(&self) -> Vec<revoker::AuditReport> {
+        (0..self.inner.shards.len())
+            .map(|i| self.inner.lock(i).audit())
+            .collect()
+    }
+
     /// Asks the background revoker to check quarantines now rather than
     /// at its next scheduled wakeup.
     pub fn kick_revoker(&self) {
@@ -1307,6 +1398,81 @@ mod tests {
 
     fn service() -> ConcurrentHeap {
         ConcurrentHeap::new(ServiceConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn restart_backoff_pins_the_exponential_sequence_and_cap() {
+        // The supervisor's schedule for ServiceConfig::default's 1 ms
+        // revoker cadence: 1, 2, 4, … doubling per respawn, capped at the
+        // 1 s ceiling, and never growing past it.
+        let mut b = RestartBackoff::new(Duration::from_millis(1), Duration::from_secs(1));
+        let mut seen = Vec::new();
+        for _ in 0..14 {
+            seen.push(b.delay().as_millis() as u64);
+            b.on_restart();
+        }
+        assert_eq!(
+            seen,
+            vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1000, 1000, 1000, 1000],
+            "doubling sequence with a 1 s cap"
+        );
+    }
+
+    #[test]
+    fn restart_backoff_resets_on_healthy_heartbeat() {
+        let mut b = RestartBackoff::new(Duration::from_millis(1), Duration::from_secs(1));
+        for _ in 0..6 {
+            b.on_restart();
+        }
+        assert_eq!(b.delay(), Duration::from_millis(64));
+        b.on_healthy();
+        assert_eq!(b.delay(), Duration::from_millis(1), "reset to the floor");
+        b.on_restart();
+        assert_eq!(b.delay(), Duration::from_millis(2), "doubling starts over");
+    }
+
+    #[test]
+    fn restart_backoff_floor_above_ceiling_is_clamped() {
+        let mut b = RestartBackoff::new(Duration::from_secs(5), Duration::from_secs(1));
+        assert_eq!(b.delay(), Duration::from_secs(1));
+        b.on_restart();
+        assert_eq!(b.delay(), Duration::from_secs(1));
+        b.on_healthy();
+        assert_eq!(b.delay(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn journal_dir_attaches_a_journal_per_shard() {
+        let dir = std::env::temp_dir().join(format!("cvk-svc-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let heap = ConcurrentHeap::with_journal_dir(
+            ServiceConfig::small(),
+            FaultInjector::disabled(),
+            Some(&dir),
+        )
+        .unwrap();
+        for i in 0..heap.shards() {
+            assert!(
+                heap.inner.lock(i).journal_active(),
+                "shard {i} journal missing"
+            );
+            assert!(dir.join(format!("shard-{i}.cvj")).exists());
+        }
+        // Journaled shards still run full epochs end to end.
+        let a = heap.malloc_on(0, 256).unwrap();
+        heap.free(a).unwrap();
+        heap.revoke_all_now();
+        assert_eq!(heap.quarantined_bytes(), 0);
+        drop(heap);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn without_journal_dir_shards_run_unjournaled() {
+        let heap = service();
+        for i in 0..heap.shards() {
+            assert!(!heap.inner.lock(i).journal_active());
+        }
     }
 
     #[test]

@@ -273,6 +273,17 @@ fn run_seed(seed: u64) {
     driver.epoch_and_check();
     assert_eq!(driver.heap.quarantined_bytes(), 0, "quarantine drained");
     assert!(must_malloc(&driver.heap, 0, 64).tag());
+
+    // Full-heap safety audit, per shard: whatever the fault plan did, no
+    // tagged capability may point into memory the allocator can hand out
+    // again (the crash-recovery module's invariant, applied to the live
+    // service).
+    for (shard, report) in driver.heap.audit_all().iter().enumerate() {
+        assert!(
+            report.clean(),
+            "post-chaos audit found dangling capabilities on shard {shard}: {report:?}"
+        );
+    }
 }
 
 #[test]

@@ -3,7 +3,7 @@
 use cheri::CompressedBounds;
 
 use crate::bins::Bins;
-use crate::{AllocError, AllocStats, ChunkMap, ChunkState, GRANULE};
+use crate::{AllocError, AllocStats, ChunkMap, ChunkState, RestoreError, GRANULE};
 
 /// A successful allocation: start address and *granted* size (the requested
 /// size rounded up to a granule multiple and a CHERI-representable length).
@@ -281,6 +281,87 @@ impl DlAllocator {
     pub(crate) fn stats_mut(&mut self) -> &mut AllocStats {
         &mut self.stats
     }
+
+    /// Rebuilds an allocator from a persisted chunk tiling (crash
+    /// recovery). `chunks` must be `(addr, size, state)` records in
+    /// address order that exactly tile `[base, base + size)`. Free chunks
+    /// re-enter the free bins, a trailing [`ChunkState::Top`] chunk
+    /// becomes the wilderness, and allocated/quarantined chunks are
+    /// restored as-is. Level stats (`live_bytes`, `quarantined_bytes`)
+    /// are recomputed from the tiling; cumulative counters (mallocs,
+    /// frees, drains, …) died with the process and restart at zero.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError`] when the records do not tile the heap, a value is
+    /// not granule-aligned, or a top chunk is not at the heap end.
+    pub fn restore(
+        base: u64,
+        size: u64,
+        chunks: &[(u64, u64, ChunkState)],
+    ) -> Result<DlAllocator, RestoreError> {
+        if size == 0 || !size.is_multiple_of(GRANULE) {
+            return Err(RestoreError::Unaligned { value: size });
+        }
+        if !base.is_multiple_of(GRANULE) {
+            return Err(RestoreError::Unaligned { value: base });
+        }
+        let end = base + size;
+        let mut map = ChunkMap::new(base, size);
+        let mut cursor = base;
+        for &(addr, csize, _) in chunks {
+            if addr != cursor {
+                return Err(RestoreError::BadTiling {
+                    expected: cursor,
+                    found: addr,
+                });
+            }
+            if csize == 0 || !csize.is_multiple_of(GRANULE) {
+                return Err(RestoreError::Unaligned { value: csize });
+            }
+            cursor = addr + csize;
+            if cursor > end {
+                return Err(RestoreError::BadTiling {
+                    expected: end,
+                    found: cursor,
+                });
+            }
+            if cursor < end {
+                map.split(addr, csize);
+            }
+        }
+        if cursor != end {
+            return Err(RestoreError::BadTiling {
+                expected: end,
+                found: u64::MAX,
+            });
+        }
+        let mut bins = Bins::new();
+        let mut top = None;
+        let mut stats = AllocStats::default();
+        for &(addr, csize, state) in chunks {
+            map.set_state(addr, state);
+            match state {
+                ChunkState::Free => bins.insert(addr, csize),
+                ChunkState::Allocated => stats.live_bytes += csize,
+                ChunkState::Quarantined => stats.quarantined_bytes += csize,
+                ChunkState::Top => {
+                    if addr + csize != end {
+                        return Err(RestoreError::MisplacedTop { addr });
+                    }
+                    top = Some(addr);
+                }
+            }
+        }
+        stats.note_footprint();
+        map.assert_tiling();
+        Ok(DlAllocator {
+            chunks: map,
+            bins,
+            top,
+            stats,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -421,6 +502,85 @@ mod tests {
         assert_eq!(s.frees, 1);
         assert_eq!(s.peak_live_bytes, a.size + b.size);
         assert_eq!(s.freed_bytes_total, a.size);
+    }
+
+    #[test]
+    fn restore_rebuilds_tiling_bins_and_top() {
+        let mut h = heap();
+        let a = h.malloc(64).unwrap();
+        let b = h.malloc(128).unwrap();
+        let _c = h.malloc(64).unwrap();
+        h.free(a.addr).unwrap();
+        let chunks: Vec<_> = h.chunks().iter().collect();
+        let mut r = DlAllocator::restore(BASE, SIZE, &chunks).unwrap();
+        r.chunks().assert_tiling();
+        assert_eq!(r.live_bytes(), h.live_bytes());
+        assert_eq!(r.free_bytes(), h.free_bytes());
+        // The freed chunk is back in the bins: same-size malloc reuses it.
+        let d = r.malloc(64).unwrap();
+        assert_eq!(d.addr, a.addr);
+        // The wilderness still serves large requests.
+        assert!(r.malloc(SIZE / 2).is_ok());
+        r.free(b.addr).unwrap();
+        r.chunks().assert_tiling();
+    }
+
+    #[test]
+    fn restore_without_top_chunk() {
+        let mut h = heap();
+        // Exhaust the wilderness completely.
+        while h.malloc(1 << 10).is_ok() {}
+        assert!(h.chunks().iter().all(|(_, _, s)| s != ChunkState::Top));
+        let chunks: Vec<_> = h.chunks().iter().collect();
+        let mut r = DlAllocator::restore(BASE, SIZE, &chunks).unwrap();
+        assert!(matches!(r.malloc(16), Err(AllocError::OutOfMemory { .. })));
+        r.chunks().assert_tiling();
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_tilings() {
+        use crate::RestoreError;
+        // Gap between records.
+        assert!(matches!(
+            DlAllocator::restore(
+                BASE,
+                SIZE,
+                &[
+                    (BASE, 64, ChunkState::Allocated),
+                    (BASE + 128, SIZE - 128, ChunkState::Top),
+                ]
+            ),
+            Err(RestoreError::BadTiling { .. })
+        ));
+        // Records stop short of the heap end.
+        assert!(matches!(
+            DlAllocator::restore(BASE, SIZE, &[(BASE, 64, ChunkState::Allocated)]),
+            Err(RestoreError::BadTiling { .. })
+        ));
+        // Top chunk not at the end.
+        assert!(matches!(
+            DlAllocator::restore(
+                BASE,
+                SIZE,
+                &[
+                    (BASE, 64, ChunkState::Top),
+                    (BASE + 64, SIZE - 64, ChunkState::Allocated),
+                ]
+            ),
+            Err(RestoreError::MisplacedTop { .. })
+        ));
+        // Unaligned chunk size.
+        assert!(matches!(
+            DlAllocator::restore(
+                BASE,
+                SIZE,
+                &[
+                    (BASE, 24, ChunkState::Allocated),
+                    (BASE + 24, SIZE - 24, ChunkState::Top),
+                ]
+            ),
+            Err(RestoreError::Unaligned { .. })
+        ));
     }
 
     #[test]

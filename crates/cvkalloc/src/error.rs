@@ -41,6 +41,64 @@ impl fmt::Display for AllocError {
 
 impl std::error::Error for AllocError {}
 
+/// The ways a persisted allocator image can fail to restore (crash
+/// recovery). These indicate a corrupt or inconsistent image, never a
+/// recoverable allocation condition — hence a separate type from
+/// [`AllocError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RestoreError {
+    /// Chunk records do not exactly tile the heap: the next record was
+    /// expected to start at `expected` but started at `found`.
+    BadTiling {
+        /// Where the next chunk record had to start.
+        expected: u64,
+        /// Where it actually started (`u64::MAX` when records ran out).
+        found: u64,
+    },
+    /// A top (wilderness) chunk appeared anywhere but at the end of the
+    /// heap.
+    MisplacedTop {
+        /// The offending chunk's address.
+        addr: u64,
+    },
+    /// A base, size, or chunk boundary was not granule-aligned.
+    Unaligned {
+        /// The offending value.
+        value: u64,
+    },
+    /// A quarantine record referenced `addr`, but the chunk map has no
+    /// quarantined chunk there.
+    NotQuarantined {
+        /// The offending address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::BadTiling { expected, found } => {
+                write!(
+                    f,
+                    "chunk records break tiling: expected {expected:#x}, found {found:#x}"
+                )
+            }
+            RestoreError::MisplacedTop { addr } => {
+                write!(f, "top chunk at {addr:#x} is not at the heap end")
+            }
+            RestoreError::Unaligned { value } => {
+                write!(f, "{value:#x} is not granule-aligned")
+            }
+            RestoreError::NotQuarantined { addr } => {
+                write!(f, "no quarantined chunk at {addr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,7 +57,7 @@ mod stats;
 
 pub use chunks::{ChunkMap, ChunkState};
 pub use dlmalloc::{Block, DlAllocator};
-pub use error::AllocError;
+pub use error::{AllocError, RestoreError};
 pub use obs::AllocTelemetry;
 pub use quarantine::{CherivokeAllocator, QuarantineConfig};
 pub use stats::AllocStats;

@@ -3,7 +3,7 @@
 use std::collections::BTreeSet;
 
 use crate::obs::{AllocTelemetry, ByteLevels};
-use crate::{AllocError, AllocStats, Block, ChunkState, DlAllocator};
+use crate::{AllocError, AllocStats, Block, ChunkState, DlAllocator, RestoreError};
 
 /// Sizing policy for the quarantine buffer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -401,6 +401,95 @@ impl CherivokeAllocator {
     pub fn inner(&self) -> &DlAllocator {
         &self.inner
     }
+
+    /// Rebuilds a quarantining allocator from a restored base allocator
+    /// plus the persisted quarantine bookkeeping (crash recovery):
+    /// `partitions` open bins, each open chunk assigned by `open`
+    /// `(addr, bin)` records, and the sealed generation's frozen
+    /// `(addr, size)` extents. Every referenced address must be a
+    /// [`ChunkState::Quarantined`] chunk in `inner`, and together the
+    /// open and sealed records must account for every quarantined chunk
+    /// (the caller's image format guarantees this by construction).
+    ///
+    /// Telemetry and fault injection come back detached, exactly as
+    /// after [`CherivokeAllocator::with_config`].
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::NotQuarantined`] when a record references an
+    /// address that is not the start of a quarantined chunk.
+    pub fn restore(
+        inner: DlAllocator,
+        config: QuarantineConfig,
+        partitions: u8,
+        open: &[(u64, u8)],
+        sealed: &[(u64, u64)],
+    ) -> Result<CherivokeAllocator, RestoreError> {
+        let n = usize::from(partitions.clamp(1, 64));
+        let mut bins: Vec<BTreeSet<u64>> = Vec::new();
+        bins.resize_with(n, BTreeSet::new);
+        for &(addr, bin) in open {
+            match inner.chunks().get(addr) {
+                Some((_, ChunkState::Quarantined)) => {}
+                _ => return Err(RestoreError::NotQuarantined { addr }),
+            }
+            let bin = usize::from(bin);
+            let bin = if bin < n { bin } else { 0 };
+            bins[bin].insert(addr);
+        }
+        for &(addr, size) in sealed {
+            match inner.chunks().get(addr) {
+                Some((csize, ChunkState::Quarantined)) if csize == size => {}
+                _ => return Err(RestoreError::NotQuarantined { addr }),
+            }
+        }
+        Ok(CherivokeAllocator {
+            inner,
+            config,
+            open: bins,
+            sealed: sealed.to_vec(),
+            telemetry: AllocTelemetry::default(),
+            faults: faultinject::FaultInjector::disabled(),
+        })
+    }
+
+    /// Moves every sealed chunk back into the open generation — the
+    /// recovery action for an epoch that died *before* its `BinsSealed`
+    /// journal record landed: nothing was durably painted, so the safe
+    /// rollback is to pretend the seal never happened. `bin_of` assigns
+    /// each returned chunk its open bin (the backend's partition
+    /// function). Returns the number of chunks re-opened. Safe in both
+    /// crash orders because the memory stays quarantined throughout.
+    pub fn unseal_sealed(&mut self, mut bin_of: impl FnMut(u64) -> u8) -> usize {
+        let n = self.open.len();
+        let count = self.sealed.len();
+        for (addr, _) in self.sealed.drain(..) {
+            let bin = usize::from(bin_of(addr));
+            let bin = if bin < n { bin } else { 0 };
+            self.open[bin].insert(addr);
+        }
+        count
+    }
+
+    /// The per-bin open-generation contents, as `(addr, bin)` records in
+    /// bin order — the persistence inverse of the `open` argument to
+    /// [`CherivokeAllocator::restore`].
+    pub fn open_chunk_bins(&self) -> Vec<(u64, u8)> {
+        let mut out = Vec::new();
+        for (bin, set) in self.open.iter().enumerate() {
+            for &addr in set {
+                out.push((addr, bin as u8));
+            }
+        }
+        out
+    }
+
+    /// The sealed generation's frozen `(addr, size)` extents — the
+    /// persistence inverse of the `sealed` argument to
+    /// [`CherivokeAllocator::restore`].
+    pub fn sealed_ranges(&self) -> &[(u64, u64)] {
+        &self.sealed
+    }
 }
 
 #[cfg(test)]
@@ -685,6 +774,90 @@ mod tests {
         assert_eq!(
             snap.gauges["cvk_alloc_free_bin_bytes"],
             h.inner().free_bytes()
+        );
+    }
+
+    #[test]
+    fn restore_round_trips_allocator_state() {
+        let mut h = heap();
+        h.set_partitions(4);
+        let a = h.malloc(64).unwrap();
+        let b = h.malloc(128).unwrap();
+        let c = h.malloc(64).unwrap();
+        let _guard = h.malloc(16).unwrap();
+        h.free_binned(a.addr, 1).unwrap();
+        h.free_binned(c.addr, 2).unwrap();
+        let mut sealed = Vec::new();
+        h.seal_bins_into(1 << 2, &mut sealed); // seal bin 2 (chunk c)
+
+        // Persist: chunk tiling + quarantine bookkeeping.
+        let chunks: Vec<_> = h.inner().chunks().iter().collect();
+        let open = h.open_chunk_bins();
+        let sealed_ranges = h.sealed_ranges().to_vec();
+
+        let inner = DlAllocator::restore(BASE, 1 << 20, &chunks).unwrap();
+        let mut r =
+            CherivokeAllocator::restore(inner, h.config(), h.partitions(), &open, &sealed_ranges)
+                .unwrap();
+        assert_eq!(r.partitions(), 4);
+        assert_eq!(r.quarantined_bytes(), h.quarantined_bytes());
+        assert_eq!(r.quarantined_chunks(), h.quarantined_chunks());
+        assert_eq!(r.sealed_ranges(), &[(c.addr, c.size)]);
+        assert_eq!(r.quarantined_ranges(), h.quarantined_ranges());
+        assert_eq!(r.live_bytes(), h.live_bytes());
+        r.inner().chunks().assert_tiling();
+
+        // The restored heap behaves: drain the sealed generation, then
+        // allocate from the recycled space.
+        let drained = r.drain_sealed();
+        assert_eq!(drained, vec![(c.addr, c.size)]);
+        // b is still live in both worlds.
+        assert_eq!(
+            r.inner().chunks().get(b.addr),
+            Some((b.size, ChunkState::Allocated))
+        );
+        r.free(b.addr).unwrap();
+        r.inner().chunks().assert_tiling();
+    }
+
+    #[test]
+    fn unseal_returns_sealed_chunks_to_open_bins() {
+        let mut h = heap();
+        h.set_partitions(2);
+        let a = h.malloc(64).unwrap();
+        let _guard = h.malloc(16).unwrap();
+        h.free_binned(a.addr, 1).unwrap();
+        h.seal_quarantine();
+        assert_eq!(h.sealed_bytes(), a.size);
+        let n = h.unseal_sealed(|_| 1);
+        assert_eq!(n, 1);
+        assert_eq!(h.sealed_bytes(), 0);
+        let mut bytes = [0u64; 64];
+        h.open_bin_bytes_into(&mut bytes);
+        assert_eq!(bytes[1], a.size, "chunk back in its open bin");
+        // And it still drains normally later.
+        assert_eq!(h.drain_quarantine(), vec![(a.addr, a.size)]);
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_quarantine_records() {
+        let mut h = heap();
+        let a = h.malloc(64).unwrap();
+        h.free(a.addr).unwrap();
+        let chunks: Vec<_> = h.inner().chunks().iter().collect();
+        let inner = DlAllocator::restore(BASE, 1 << 20, &chunks).unwrap();
+        // Open record pointing at a non-quarantined address.
+        assert_eq!(
+            CherivokeAllocator::restore(inner.clone(), h.config(), 1, &[(BASE + 0x8000, 0)], &[])
+                .unwrap_err(),
+            RestoreError::NotQuarantined {
+                addr: BASE + 0x8000
+            }
+        );
+        // Sealed record with the wrong extent.
+        assert!(
+            CherivokeAllocator::restore(inner, h.config(), 1, &[], &[(a.addr, a.size + 16)])
+                .is_err()
         );
     }
 

@@ -40,7 +40,11 @@
 //!   unlimited).
 //!
 //! Point names are the [`FaultPoint::name`] strings: `worker_panic`,
-//! `tag_read_error`, `barrier_delay`, `alloc_failure`, `revoker_death`.
+//! `tag_read_error`, `barrier_delay`, `alloc_failure`, `revoker_death`,
+//! `tenant_stall`, `scheduler_skip`, the process-kill points
+//! `crash_after_seal`, `crash_after_paint`, `crash_mid_sweep`,
+//! `crash_before_drain`, `crash_before_commit`, and `journal_append`
+//! (journal write failure → degraded mode).
 //!
 //! ```
 //! use faultinject::{FaultInjector, FaultPlan, FaultPoint};
@@ -107,6 +111,29 @@ pub enum FaultPoint {
     /// fallback guarantees the skipped tenant is reselected, so every
     /// epoch still completes.
     SchedulerSkip,
+    /// The process dies right after the quarantine bins are sealed but
+    /// before the `BinsSealed` journal record lands. Recovery: the
+    /// journal classifies the epoch as seal-interrupted and re-opens the
+    /// partially sealed quarantine (safe — the memory stays quarantined).
+    CrashAfterSeal,
+    /// The process dies after the shadow map painted but before any
+    /// sweeping. Recovery: roll forward — re-paint and re-sweep.
+    CrashAfterPaint,
+    /// The process dies mid-sweep, between sweep slices. Recovery: roll
+    /// forward with a full re-sweep (sweeps are idempotent).
+    CrashMidSweep,
+    /// The process dies after the register-file sweep but before the
+    /// sealed quarantine drains. Recovery: roll forward; the drain
+    /// re-runs from the journal's sealed ranges.
+    CrashBeforeDrain,
+    /// The process dies after the drain but before the `EpochCommitted`
+    /// record. Recovery: roll forward — re-painting already-drained
+    /// ranges is safe because no allocation happens in that window.
+    CrashBeforeCommit,
+    /// A journal append fails (disk full, I/O error). Recovery: degraded
+    /// mode — warn once, drop the journal, and force synchronous epoch
+    /// completion so no crash window spans an open epoch.
+    JournalAppend,
 }
 
 /// All fault points, for iteration (plan derivation, catalogues, docs).
@@ -114,7 +141,7 @@ pub enum FaultPoint {
 /// New points append at the end: [`FaultPlan::from_seed`] draws its RNG
 /// stream in this order, so appending keeps every existing seed's rules
 /// for the earlier points bit-identical.
-pub const ALL_POINTS: [FaultPoint; 7] = [
+pub const ALL_POINTS: [FaultPoint; 13] = [
     FaultPoint::SweepWorkerPanic,
     FaultPoint::TagReadError,
     FaultPoint::EpochBarrierDelay,
@@ -122,6 +149,23 @@ pub const ALL_POINTS: [FaultPoint; 7] = [
     FaultPoint::RevokerDeath,
     FaultPoint::TenantStall,
     FaultPoint::SchedulerSkip,
+    FaultPoint::CrashAfterSeal,
+    FaultPoint::CrashAfterPaint,
+    FaultPoint::CrashMidSweep,
+    FaultPoint::CrashBeforeDrain,
+    FaultPoint::CrashBeforeCommit,
+    FaultPoint::JournalAppend,
+];
+
+/// The process-kill fault points, in epoch-lifecycle order. The crash
+/// chaos harness iterates these; each names one window of the epoch
+/// state machine in which the process dies.
+pub const CRASH_POINTS: [FaultPoint; 5] = [
+    FaultPoint::CrashAfterSeal,
+    FaultPoint::CrashAfterPaint,
+    FaultPoint::CrashMidSweep,
+    FaultPoint::CrashBeforeDrain,
+    FaultPoint::CrashBeforeCommit,
 ];
 
 impl FaultPoint {
@@ -135,6 +179,12 @@ impl FaultPoint {
             FaultPoint::RevokerDeath => "revoker_death",
             FaultPoint::TenantStall => "tenant_stall",
             FaultPoint::SchedulerSkip => "scheduler_skip",
+            FaultPoint::CrashAfterSeal => "crash_after_seal",
+            FaultPoint::CrashAfterPaint => "crash_after_paint",
+            FaultPoint::CrashMidSweep => "crash_mid_sweep",
+            FaultPoint::CrashBeforeDrain => "crash_before_drain",
+            FaultPoint::CrashBeforeCommit => "crash_before_commit",
+            FaultPoint::JournalAppend => "journal_append",
         }
     }
 
@@ -152,6 +202,12 @@ impl FaultPoint {
             FaultPoint::RevokerDeath => 4,
             FaultPoint::TenantStall => 5,
             FaultPoint::SchedulerSkip => 6,
+            FaultPoint::CrashAfterSeal => 7,
+            FaultPoint::CrashAfterPaint => 8,
+            FaultPoint::CrashMidSweep => 9,
+            FaultPoint::CrashBeforeDrain => 10,
+            FaultPoint::CrashBeforeCommit => 11,
+            FaultPoint::JournalAppend => 12,
         }
     }
 }
@@ -275,6 +331,15 @@ impl FaultPlan {
                 // Fleet scheduler points fire per scheduling decision /
                 // epoch slice — pass-rate, like the barrier and revoker.
                 FaultPoint::TenantStall | FaultPoint::SchedulerSkip => (8, 6),
+                // Crash points are hit once per epoch phase — a handful
+                // of hits per run, so keep starts tight.
+                FaultPoint::CrashAfterSeal
+                | FaultPoint::CrashAfterPaint
+                | FaultPoint::CrashMidSweep
+                | FaultPoint::CrashBeforeDrain
+                | FaultPoint::CrashBeforeCommit => (4, 3),
+                // Journal appends happen several times per epoch.
+                FaultPoint::JournalAppend => (12, 8),
             };
             rules.push(FaultRule {
                 point,
@@ -293,7 +358,24 @@ impl FaultPlan {
     /// clauses expand via [`FaultPlan::from_seed`]; explicit rule clauses
     /// are appended after (and may re-arm a derived point — explicit rules
     /// win because later rules for the same point shadow earlier ones).
+    ///
+    /// Out-of-range but structurally sound values (`every=0`, `limit=0`)
+    /// are clamped silently; use [`FaultPlan::validated`] to surface the
+    /// clamp warnings, matching the `ServiceConfig::validated`
+    /// convention.
     pub fn parse(text: &str) -> Result<FaultPlan, PlanParseError> {
+        FaultPlan::validated(text).map(|(plan, _)| plan)
+    }
+
+    /// [`FaultPlan::parse`] with the clamp+warn path made explicit:
+    /// structurally malformed clauses (unknown point names, non-numeric
+    /// fields, `start=0`) still return a typed [`PlanParseError`], but
+    /// recoverable out-of-range values are clamped and reported as
+    /// human-readable warnings — `every=0` is clamped to 1 (a period of
+    /// zero would fire every hit anyway), and `limit=0` to 1 (a rule
+    /// that can never fire is always a typo for "once").
+    pub fn validated(text: &str) -> Result<(FaultPlan, Vec<String>), PlanParseError> {
+        let mut warnings = Vec::new();
         let mut plan = FaultPlan::empty();
         for clause in text.split(',').map(str::trim).filter(|c| !c.is_empty()) {
             let err = |reason| PlanParseError {
@@ -309,11 +391,11 @@ impl FaultPlan {
             }
             let (name, sched) = clause.split_once('@').ok_or(err("expected point@start"))?;
             let point = FaultPoint::from_name(name).ok_or(err("unknown fault point"))?;
-            let (sched, limit) = match sched.split_once('x') {
+            let (sched, mut limit) = match sched.split_once('x') {
                 Some((s, l)) => (s, l.parse().map_err(|_| err("limit is not a u64"))?),
                 None => (sched, u64::MAX),
             };
-            let (start, every) = match sched.split_once('/') {
+            let (start, mut every) = match sched.split_once('/') {
                 Some((s, e)) => (
                     s.parse().map_err(|_| err("start is not a u64"))?,
                     e.parse().map_err(|_| err("every is not a u64"))?,
@@ -323,16 +405,24 @@ impl FaultPlan {
             if start == 0 {
                 return Err(err("start must be >= 1 (hits are 1-based)"));
             }
+            if every == 0 {
+                warnings.push(format!("clause {clause:?}: every=0 clamped to 1"));
+                every = 1;
+            }
+            if limit == 0 {
+                warnings.push(format!("clause {clause:?}: limit=0 clamped to 1"));
+                limit = 1;
+            }
             // Explicit clauses shadow any derived rule for the same point.
             plan.rules.retain(|r| r.point != point);
             plan.rules.push(FaultRule {
                 point,
                 start,
-                every: every.max(1),
+                every,
                 limit,
             });
         }
-        Ok(plan)
+        Ok((plan, warnings))
     }
 
     /// The seed this plan was derived from, if any.
@@ -383,6 +473,11 @@ pub enum InjectedFault {
     WorkerPanic,
     /// Payload of a [`FaultPoint::TagReadError`] injection.
     TagReadError,
+    /// Payload of a soft (in-process) crash injection: the heap has
+    /// persisted its image and unwinds instead of calling `abort()`, so
+    /// the crash probe in the bench lab can recover in the same process.
+    /// Carries the crash point that fired.
+    CrashRequested(FaultPoint),
 }
 
 impl fmt::Display for InjectedFault {
@@ -390,6 +485,9 @@ impl fmt::Display for InjectedFault {
         match self {
             InjectedFault::WorkerPanic => f.write_str("injected sweep-worker panic"),
             InjectedFault::TagReadError => f.write_str("injected tag-memory read error"),
+            InjectedFault::CrashRequested(p) => {
+                write!(f, "injected process crash at {p}")
+            }
         }
     }
 }
@@ -450,18 +548,34 @@ impl FaultInjector {
 
     /// An injector armed from the `CHERIVOKE_FAULT_PLAN` environment
     /// variable, or disabled when unset. An unparsable plan disables
-    /// injection with a warning on stderr rather than panicking.
+    /// injection with a warning on stderr rather than panicking; clamp
+    /// warnings from [`FaultPlan::validated`] are also surfaced. Both
+    /// print once per process (`std::sync::Once`) — the fleet tests
+    /// construct hundreds of heaps, each of which consults the plan.
     pub fn from_env() -> FaultInjector {
+        use std::sync::Once;
+        static WARN_ONCE: Once = Once::new();
         let Ok(text) = std::env::var(FAULT_PLAN_ENV) else {
             return FaultInjector::disabled();
         };
         if text.trim().is_empty() {
             return FaultInjector::disabled();
         }
-        match FaultPlan::parse(&text) {
-            Ok(plan) => FaultInjector::new(plan),
+        match FaultPlan::validated(&text) {
+            Ok((plan, warnings)) => {
+                if !warnings.is_empty() {
+                    WARN_ONCE.call_once(|| {
+                        for w in &warnings {
+                            eprintln!("cherivoke: {FAULT_PLAN_ENV}: {w}");
+                        }
+                    });
+                }
+                FaultInjector::new(plan)
+            }
             Err(e) => {
-                eprintln!("cherivoke: ignoring {FAULT_PLAN_ENV}={text:?}: {e}");
+                WARN_ONCE.call_once(|| {
+                    eprintln!("cherivoke: ignoring {FAULT_PLAN_ENV}={text:?}: {e}");
+                });
                 FaultInjector::disabled()
             }
         }
@@ -657,5 +771,71 @@ mod tests {
             assert_eq!(FaultPoint::from_name(point.name()), Some(point));
         }
         assert_eq!(FaultPoint::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn parse_error_names_the_offending_clause() {
+        // Each malformed form produces a typed error whose Display
+        // carries the clause, so the warning a user sees is actionable.
+        for (text, needle) in [
+            ("nonsense", "expected point@start"),
+            ("worker_panic@0", "start must be >= 1"),
+            // `@x` splits at the limit separator first, so the empty
+            // limit field is what fails to parse.
+            ("worker_panic@x", "limit is not a u64"),
+            ("worker_panic@", "start is not a u64"),
+            ("unknown_point@1", "unknown fault point"),
+            ("worker_panic@1x?", "limit is not a u64"),
+            ("worker_panic@1/?", "every is not a u64"),
+            ("seed=notanumber", "seed is not a u64"),
+        ] {
+            let err = FaultPlan::parse(text).expect_err(text);
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{text}: {msg}");
+        }
+    }
+
+    #[test]
+    fn validated_clamps_every_zero_with_warning() {
+        let (plan, warnings) = FaultPlan::validated("worker_panic@2/0x3").unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("every=0"), "{warnings:?}");
+        assert_eq!(
+            plan.rules(),
+            [FaultRule {
+                point: FaultPoint::SweepWorkerPanic,
+                start: 2,
+                every: 1,
+                limit: 3,
+            }]
+        );
+    }
+
+    #[test]
+    fn validated_clamps_limit_zero_with_warning() {
+        let (plan, warnings) = FaultPlan::validated("alloc_failure@1x0").unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("limit=0"), "{warnings:?}");
+        assert_eq!(plan.rules()[0].limit, 1);
+    }
+
+    #[test]
+    fn validated_clean_plan_has_no_warnings() {
+        let (_, warnings) = FaultPlan::validated("worker_panic@2/3x2,seed=7").unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn crash_points_are_appended_after_existing_points() {
+        // from_seed draws its RNG stream in ALL_POINTS order, so the
+        // crash points must come last to keep old seeds' rules for the
+        // original seven points bit-identical.
+        for (i, point) in CRASH_POINTS.iter().enumerate() {
+            assert_eq!(ALL_POINTS[7 + i], *point);
+        }
+        assert_eq!(ALL_POINTS[12], FaultPoint::JournalAppend);
+        for point in ALL_POINTS {
+            assert_eq!(ALL_POINTS[point.index()], point);
+        }
     }
 }

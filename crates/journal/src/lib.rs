@@ -1,0 +1,829 @@
+//! Crash-consistent write-ahead journal for CHERIvoke revocation epochs.
+//!
+//! A revocation epoch is a multi-step state machine (seal quarantine bins
+//! → paint the shadow map → sweep → drain → commit). A process that dies
+//! mid-epoch can leave tagged capabilities pointing into granules the
+//! allocator later reuses — exactly the temporal-safety violation
+//! CHERIvoke exists to prevent. This crate records each transition as an
+//! append-only, checksummed record so recovery
+//! ([`cherivoke::CherivokeHeap::recover`]) can deterministically classify
+//! the interrupted epoch and either roll it forward (sweeps are
+//! idempotent) or re-open a partially sealed quarantine.
+//!
+//! # On-disk format (version 1)
+//!
+//! The file is mmap-friendly: a fixed 24-byte header followed by
+//! little-endian, length-prefixed frames. The header follows the
+//! magic/version/backward-compat-buffer convention used by the repo's
+//! other binary formats:
+//!
+//! ```text
+//! offset 0   magic      b"CVJ"
+//! offset 3   version    1
+//! offset 4   alignment  4 zero bytes (reserved, keeps frames 8-aligned)
+//! offset 8   buffer     16 zero bytes (reserved for future header fields)
+//! ```
+//!
+//! Each frame is `[u32 len][u8 kind][payload][u32 checksum]` where `len`
+//! counts the kind byte plus the payload, and the checksum is FNV-1a/32
+//! over the kind byte plus the payload. The reader is tolerant: a torn
+//! or corrupt tail (short write at crash time) terminates the scan and is
+//! reported via [`ReadOutcome::torn_tail`] rather than an error — only a
+//! bad header or unsupported version is fatal.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Journal file magic: the first three header bytes.
+pub const MAGIC: [u8; 3] = *b"CVJ";
+
+/// Current journal format version.
+pub const VERSION: u8 = 1;
+
+/// Fixed header length in bytes (magic + version + alignment + buffer).
+pub const HEADER_LEN: usize = 24;
+
+/// Largest frame the reader will accept; anything longer is treated as a
+/// corrupt tail. Bounds allocation when scanning damaged files.
+const MAX_FRAME_LEN: u32 = 1 << 24;
+
+const KIND_EPOCH_OPEN: u8 = 1;
+const KIND_BINS_SEALED: u8 = 2;
+const KIND_SHADOW_PAINTED: u8 = 3;
+const KIND_CHUNK_SWEPT: u8 = 4;
+const KIND_EPOCH_COMMITTED: u8 = 5;
+
+/// One epoch state-machine transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A revocation epoch opened. `backend` is the backend discriminant
+    /// (informational; recovery re-derives behavior from the heap's own
+    /// policy), `mask` the quarantine-bin selection, and `full` marks a
+    /// full-heap cycle (`revoke_now`) whose roll-forward drains *all*
+    /// quarantine rather than just the sealed portion.
+    EpochOpen {
+        /// Monotonic epoch sequence number.
+        epoch: u64,
+        /// Backend discriminant at the time the epoch opened.
+        backend: u8,
+        /// Quarantine-bin selection mask.
+        mask: u64,
+        /// Whether this is a full-heap (`revoke_now`-style) cycle.
+        full: bool,
+    },
+    /// The quarantine bins selected by `mask` were sealed; `ranges` is
+    /// the exact set of address ranges moved into the sealed list.
+    BinsSealed {
+        /// Epoch this sealing belongs to.
+        epoch: u64,
+        /// Sealed `(start, len)` ranges, in seal order.
+        ranges: Vec<(u64, u64)>,
+    },
+    /// The shadow map finished painting the sealed ranges.
+    ShadowPainted {
+        /// Epoch whose shadow paint completed.
+        epoch: u64,
+    },
+    /// One sweep slice completed. Advisory: recovery re-sweeps the whole
+    /// heap (sweeps are idempotent), but these records bound how much
+    /// work was lost and feed telemetry.
+    ChunkSwept {
+        /// Epoch the slice belonged to.
+        epoch: u64,
+        /// Slice start address.
+        start: u64,
+        /// Slice length in bytes.
+        len: u64,
+    },
+    /// The epoch drained its sealed quarantine and cleared the shadow
+    /// map; the heap is back in a steady state.
+    EpochCommitted {
+        /// Epoch that committed.
+        epoch: u64,
+    },
+}
+
+impl Record {
+    fn kind(&self) -> u8 {
+        match self {
+            Record::EpochOpen { .. } => KIND_EPOCH_OPEN,
+            Record::BinsSealed { .. } => KIND_BINS_SEALED,
+            Record::ShadowPainted { .. } => KIND_SHADOW_PAINTED,
+            Record::ChunkSwept { .. } => KIND_CHUNK_SWEPT,
+            Record::EpochCommitted { .. } => KIND_EPOCH_COMMITTED,
+        }
+    }
+
+    fn encode_payload(&self, out: &mut BytesMut) {
+        match self {
+            Record::EpochOpen {
+                epoch,
+                backend,
+                mask,
+                full,
+            } => {
+                out.put_u64_le(*epoch);
+                out.put_u8(*backend);
+                out.put_u64_le(*mask);
+                out.put_u8(u8::from(*full));
+            }
+            Record::BinsSealed { epoch, ranges } => {
+                out.put_u64_le(*epoch);
+                out.put_u32_le(ranges.len() as u32);
+                for (start, len) in ranges {
+                    out.put_u64_le(*start);
+                    out.put_u64_le(*len);
+                }
+            }
+            Record::ShadowPainted { epoch } | Record::EpochCommitted { epoch } => {
+                out.put_u64_le(*epoch);
+            }
+            Record::ChunkSwept { epoch, start, len } => {
+                out.put_u64_le(*epoch);
+                out.put_u64_le(*start);
+                out.put_u64_le(*len);
+            }
+        }
+    }
+
+    /// Decodes a payload; `None` on any structural mismatch (treated as
+    /// a corrupt record by the reader).
+    fn decode(kind: u8, payload: &[u8]) -> Option<Record> {
+        let mut buf = Bytes::from(payload.to_vec());
+        let rec = match kind {
+            KIND_EPOCH_OPEN => {
+                if buf.remaining() != 18 {
+                    return None;
+                }
+                Record::EpochOpen {
+                    epoch: buf.get_u64_le(),
+                    backend: buf.get_u8(),
+                    mask: buf.get_u64_le(),
+                    full: buf.get_u8() != 0,
+                }
+            }
+            KIND_BINS_SEALED => {
+                if buf.remaining() < 12 {
+                    return None;
+                }
+                let epoch = buf.get_u64_le();
+                let count = buf.get_u32_le() as usize;
+                if buf.remaining() != count.checked_mul(16)? {
+                    return None;
+                }
+                let mut ranges = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ranges.push((buf.get_u64_le(), buf.get_u64_le()));
+                }
+                Record::BinsSealed { epoch, ranges }
+            }
+            KIND_SHADOW_PAINTED => {
+                if buf.remaining() != 8 {
+                    return None;
+                }
+                Record::ShadowPainted {
+                    epoch: buf.get_u64_le(),
+                }
+            }
+            KIND_CHUNK_SWEPT => {
+                if buf.remaining() != 24 {
+                    return None;
+                }
+                Record::ChunkSwept {
+                    epoch: buf.get_u64_le(),
+                    start: buf.get_u64_le(),
+                    len: buf.get_u64_le(),
+                }
+            }
+            KIND_EPOCH_COMMITTED => {
+                if buf.remaining() != 8 {
+                    return None;
+                }
+                Record::EpochCommitted {
+                    epoch: buf.get_u64_le(),
+                }
+            }
+            _ => return None,
+        };
+        Some(rec)
+    }
+}
+
+/// FNV-1a/32 over `bytes` — cheap, dependency-free frame checksum.
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+fn encode_header(out: &mut BytesMut) {
+    out.put_slice(&MAGIC);
+    out.put_u8(VERSION);
+    out.put_slice(&[0u8; 4]); // alignment
+    out.put_slice(&[0u8; 16]); // backward-compat buffer
+}
+
+/// Encodes one record as a standalone frame.
+fn encode_frame(rec: &Record) -> Vec<u8> {
+    let mut body = BytesMut::new();
+    body.put_u8(rec.kind());
+    rec.encode_payload(&mut body);
+    let body = body.freeze();
+    let mut frame = BytesMut::with_capacity(body.len() + 8);
+    frame.put_u32_le(body.len() as u32);
+    frame.put_slice(&body);
+    frame.put_u32_le(fnv1a32(&body));
+    frame.freeze().to_vec()
+}
+
+enum Sink {
+    File(File),
+    Memory(Vec<u8>),
+}
+
+/// An append-only journal writer.
+///
+/// Appends are **buffered**: [`Journal::append`] and
+/// [`Journal::append_batch`] encode into an internal buffer and cost no
+/// syscall; [`Journal::flush`] writes the pending frames in one
+/// `write(2)`. Durability is therefore the *caller's* schedule — the
+/// heap flushes before any armed crash point can fire (the write-ahead
+/// contract recovery relies on) and at epoch commit, which prices the
+/// whole journal at about one syscall per revocation epoch on the
+/// service hot path. A crash without an armed crash point leaves no
+/// heap image to recover from, so pending frames lost with it classify
+/// exactly like a torn tail. Dropping a journal best-effort flushes.
+pub struct Journal {
+    sink: Sink,
+    path: Option<PathBuf>,
+    /// Encoded frames not yet written to a file sink.
+    pending: Vec<u8>,
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field(
+                "backing",
+                &match self.sink {
+                    Sink::File(_) => "file",
+                    Sink::Memory(_) => "memory",
+                },
+            )
+            .finish()
+    }
+}
+
+impl Journal {
+    /// Creates (truncating) a journal file at `path` and writes the
+    /// header.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Journal> {
+        let path = path.as_ref();
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut header = BytesMut::new();
+        encode_header(&mut header);
+        file.write_all(&header.freeze())?;
+        file.flush()?;
+        Ok(Journal {
+            sink: Sink::File(file),
+            path: Some(path.to_path_buf()),
+            pending: Vec::new(),
+        })
+    }
+
+    /// An in-memory journal (tests and the in-process crash probes);
+    /// retrieve the encoded bytes with [`Journal::into_bytes`].
+    pub fn in_memory() -> Journal {
+        let mut header = BytesMut::new();
+        encode_header(&mut header);
+        Journal {
+            sink: Sink::Memory(header.freeze().to_vec()),
+            path: None,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The file path backing this journal, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Appends one record to the buffer (memory sinks absorb it
+    /// immediately). Call [`Journal::flush`] at a durability point.
+    pub fn append(&mut self, rec: &Record) -> io::Result<()> {
+        let frame = encode_frame(rec);
+        match &mut self.sink {
+            Sink::File(_) => self.pending.extend_from_slice(&frame),
+            Sink::Memory(buf) => buf.extend_from_slice(&frame),
+        }
+        Ok(())
+    }
+
+    /// Appends a batch of records; exactly equivalent to appending each
+    /// in order (the per-slice `ChunkSwept` burst uses it).
+    pub fn append_batch(&mut self, recs: &[Record]) -> io::Result<()> {
+        for rec in recs {
+            self.append(rec)?;
+        }
+        Ok(())
+    }
+
+    /// Writes every pending frame to the backing file in one
+    /// `write(2)`. No-op for memory sinks and empty buffers. This is
+    /// the durability point: a frame is guaranteed to survive `abort()`
+    /// only once a flush after its append has returned. A flush torn
+    /// mid-write by a crash is classified exactly like any torn tail:
+    /// whole frames survive, the partial frame is dropped.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        if let Sink::File(file) = &mut self.sink {
+            file.write_all(&self.pending)?;
+            file.flush()?;
+        }
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Bytes appended but not yet flushed to the sink. Callers batching
+    /// flushes (one `write(2)` per few KiB rather than per epoch) poll
+    /// this to decide when the buffer is worth a syscall.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Consumes an in-memory journal, returning its encoded bytes
+    /// (header included). For file-backed journals flushes pending
+    /// frames and returns the bytes written so far by re-reading the
+    /// file.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        let _ = self.flush();
+        match std::mem::replace(&mut self.sink, Sink::Memory(Vec::new())) {
+            Sink::Memory(buf) => buf,
+            Sink::File(_) => {
+                let path = self.path.clone().expect("file sink always has a path");
+                std::fs::read(&path).unwrap_or_default()
+            }
+        }
+    }
+}
+
+/// Why a journal could not be opened at all. Torn or corrupt *records*
+/// are not errors (see [`ReadOutcome::torn_tail`]); only an unusable
+/// header is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The file is shorter than the fixed header.
+    TruncatedHeader,
+    /// The magic bytes do not match [`MAGIC`].
+    BadMagic,
+    /// The header version is newer than this reader understands.
+    UnsupportedVersion(u8),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::TruncatedHeader => write!(f, "journal shorter than header"),
+            JournalError::BadMagic => write!(f, "journal magic mismatch"),
+            JournalError::UnsupportedVersion(v) => {
+                write!(f, "journal version {v} newer than supported {VERSION}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// The result of scanning a journal: every intact record in order, plus
+/// whether the scan stopped early at a torn or corrupt tail.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Records that passed framing and checksum validation, in append
+    /// order.
+    pub records: Vec<Record>,
+    /// `true` if trailing bytes existed that did not form a valid frame
+    /// — the expected signature of a crash mid-`append`.
+    pub torn_tail: bool,
+}
+
+/// Scans journal `bytes` (header included). Never panics on garbage:
+/// structural damage past the header terminates the scan via
+/// [`ReadOutcome::torn_tail`].
+pub fn read_bytes(bytes: &[u8]) -> Result<ReadOutcome, JournalError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(JournalError::TruncatedHeader);
+    }
+    if bytes[..3] != MAGIC {
+        return Err(JournalError::BadMagic);
+    }
+    let version = bytes[3];
+    if version > VERSION {
+        return Err(JournalError::UnsupportedVersion(version));
+    }
+    let mut outcome = ReadOutcome::default();
+    let mut pos = HEADER_LEN;
+    while pos < bytes.len() {
+        let rest = &bytes[pos..];
+        if rest.len() < 4 {
+            outcome.torn_tail = true;
+            break;
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes"));
+        if len == 0 || len > MAX_FRAME_LEN {
+            outcome.torn_tail = true;
+            break;
+        }
+        let len = len as usize;
+        if rest.len() < 4 + len + 4 {
+            outcome.torn_tail = true;
+            break;
+        }
+        let body = &rest[4..4 + len];
+        let stored = u32::from_le_bytes(rest[4 + len..4 + len + 4].try_into().expect("4 bytes"));
+        if fnv1a32(body) != stored {
+            outcome.torn_tail = true;
+            break;
+        }
+        match Record::decode(body[0], &body[1..]) {
+            Some(rec) => outcome.records.push(rec),
+            None => {
+                outcome.torn_tail = true;
+                break;
+            }
+        }
+        pos += 4 + len + 4;
+    }
+    Ok(outcome)
+}
+
+/// Reads and scans the journal file at `path`.
+pub fn read_path(path: impl AsRef<Path>) -> io::Result<Result<ReadOutcome, JournalError>> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    Ok(read_bytes(&bytes))
+}
+
+/// What the journal tail says about the epoch in flight when the
+/// process died. Drives the recovery decision table (DESIGN.md §20).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailState {
+    /// No epoch was in flight: either no records at all or the last
+    /// epoch committed. Nothing to do.
+    Clean,
+    /// An epoch opened but no complete `BinsSealed` record exists (the
+    /// seal itself may have been interrupted, or its record torn).
+    /// Recovery re-opens the partially sealed quarantine — safe because
+    /// sealed memory stays quarantined either way.
+    SealInterrupted {
+        /// The interrupted epoch.
+        epoch: u64,
+    },
+    /// Bins were durably sealed but the epoch never committed. Recovery
+    /// rolls forward: re-paint the recorded ranges, re-sweep the whole
+    /// heap (idempotent), then drain.
+    SweepInterrupted {
+        /// The interrupted epoch.
+        epoch: u64,
+        /// Backend discriminant recorded at epoch open.
+        backend: u8,
+        /// Quarantine-bin mask recorded at epoch open.
+        mask: u64,
+        /// Whether this was a full-heap (`revoke_now`) cycle.
+        full: bool,
+        /// The sealed ranges to re-paint.
+        ranges: Vec<(u64, u64)>,
+        /// Whether the shadow paint had completed.
+        painted: bool,
+        /// Sweep slices recorded as complete (advisory).
+        swept: Vec<(u64, u64)>,
+    },
+}
+
+/// Classifies a record stream into the recovery decision table.
+pub fn classify(records: &[Record]) -> TailState {
+    struct Open {
+        epoch: u64,
+        backend: u8,
+        mask: u64,
+        full: bool,
+        ranges: Option<Vec<(u64, u64)>>,
+        painted: bool,
+        swept: Vec<(u64, u64)>,
+    }
+    let mut open: Option<Open> = None;
+    for rec in records {
+        match rec {
+            Record::EpochOpen {
+                epoch,
+                backend,
+                mask,
+                full,
+            } => {
+                open = Some(Open {
+                    epoch: *epoch,
+                    backend: *backend,
+                    mask: *mask,
+                    full: *full,
+                    ranges: None,
+                    painted: false,
+                    swept: Vec::new(),
+                });
+            }
+            Record::BinsSealed { epoch, ranges } => {
+                if let Some(o) = open.as_mut() {
+                    if o.epoch == *epoch {
+                        o.ranges = Some(ranges.clone());
+                    }
+                }
+            }
+            Record::ShadowPainted { epoch } => {
+                if let Some(o) = open.as_mut() {
+                    if o.epoch == *epoch {
+                        o.painted = true;
+                    }
+                }
+            }
+            Record::ChunkSwept { epoch, start, len } => {
+                if let Some(o) = open.as_mut() {
+                    if o.epoch == *epoch {
+                        o.swept.push((*start, *len));
+                    }
+                }
+            }
+            Record::EpochCommitted { epoch } => {
+                if open.as_ref().is_some_and(|o| o.epoch == *epoch) {
+                    open = None;
+                }
+            }
+        }
+    }
+    match open {
+        None => TailState::Clean,
+        Some(o) => match o.ranges {
+            None => TailState::SealInterrupted { epoch: o.epoch },
+            Some(ranges) => TailState::SweepInterrupted {
+                epoch: o.epoch,
+                backend: o.backend,
+                mask: o.mask,
+                full: o.full,
+                ranges,
+                painted: o.painted,
+                swept: o.swept,
+            },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::EpochOpen {
+                epoch: 7,
+                backend: 1,
+                mask: 0b101,
+                full: false,
+            },
+            Record::BinsSealed {
+                epoch: 7,
+                ranges: vec![(0x1000, 0x200), (0x4000, 0x80)],
+            },
+            Record::ShadowPainted { epoch: 7 },
+            Record::ChunkSwept {
+                epoch: 7,
+                start: 0,
+                len: 4096,
+            },
+            Record::EpochCommitted { epoch: 7 },
+        ]
+    }
+
+    #[test]
+    fn append_batch_is_byte_identical_to_sequential_appends() {
+        let records = sample_records();
+        let mut batched = Journal::in_memory();
+        batched.append_batch(&records).expect("batch append");
+        assert_eq!(batched.into_bytes(), encode_all(&records));
+    }
+
+    #[test]
+    fn append_batch_to_a_file_reads_back_whole() {
+        let path = std::env::temp_dir().join(format!("cvj-batch-{}.cvj", std::process::id()));
+        let records = sample_records();
+        let mut j = Journal::create(&path).expect("create");
+        j.append_batch(&records).expect("batch append");
+        drop(j);
+        let outcome = read_path(&path)
+            .expect("readable file")
+            .expect("valid journal");
+        assert_eq!(outcome.records, records);
+        assert!(!outcome.torn_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn encode_all(records: &[Record]) -> Vec<u8> {
+        let mut j = Journal::in_memory();
+        for r in records {
+            j.append(r).expect("in-memory append");
+        }
+        j.into_bytes()
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let records = sample_records();
+        let bytes = encode_all(&records);
+        let outcome = read_bytes(&bytes).expect("valid header");
+        assert!(!outcome.torn_tail);
+        assert_eq!(outcome.records, records);
+    }
+
+    #[test]
+    fn file_backed_roundtrip() {
+        let dir = std::env::temp_dir().join("cvj-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("roundtrip-{}.cvj", std::process::id()));
+        let records = sample_records();
+        {
+            let mut j = Journal::create(&path).expect("create");
+            for r in &records {
+                j.append(r).expect("append");
+            }
+        }
+        let outcome = read_path(&path).expect("io").expect("header");
+        assert!(!outcome.torn_tail);
+        assert_eq!(outcome.records, records);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_reported_not_fatal() {
+        let records = sample_records();
+        let full = encode_all(&records);
+        // Byte offsets at which a cut lands exactly between frames: a
+        // truncation there is indistinguishable from a shorter journal.
+        let boundaries: Vec<usize> = (0..records.len())
+            .map(|n| encode_all(&records[..n]).len())
+            .collect();
+        for cut in HEADER_LEN..full.len() {
+            let outcome = read_bytes(&full[..cut]).expect("valid header");
+            let on_boundary = boundaries.contains(&cut);
+            assert_eq!(
+                outcome.torn_tail, !on_boundary,
+                "cut at {cut}: torn_tail mis-reported"
+            );
+            // The intact prefix always parses.
+            let parsed = outcome.records.len();
+            assert_eq!(outcome.records, records[..parsed]);
+        }
+    }
+
+    #[test]
+    fn corruption_never_panics() {
+        let full = encode_all(&sample_records());
+        for i in 0..full.len() {
+            for bit in 0..8 {
+                let mut bytes = full.clone();
+                bytes[i] ^= 1 << bit;
+                // Must not panic; header damage errors, body damage
+                // terminates the scan.
+                let _ = read_bytes(&bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(read_bytes(&[]), Err(JournalError::TruncatedHeader));
+        let mut bytes = encode_all(&[]);
+        bytes[0] = b'X';
+        assert_eq!(read_bytes(&bytes), Err(JournalError::BadMagic));
+        let mut bytes = encode_all(&[]);
+        bytes[3] = VERSION + 1;
+        assert_eq!(
+            read_bytes(&bytes),
+            Err(JournalError::UnsupportedVersion(VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn classify_clean_when_empty_or_committed() {
+        assert_eq!(classify(&[]), TailState::Clean);
+        assert_eq!(classify(&sample_records()), TailState::Clean);
+    }
+
+    #[test]
+    fn classify_seal_interrupted_without_sealed_record() {
+        let records = vec![Record::EpochOpen {
+            epoch: 3,
+            backend: 0,
+            mask: 1,
+            full: false,
+        }];
+        assert_eq!(classify(&records), TailState::SealInterrupted { epoch: 3 });
+    }
+
+    #[test]
+    fn classify_sweep_interrupted_after_seal() {
+        let records = vec![
+            Record::EpochOpen {
+                epoch: 4,
+                backend: 2,
+                mask: 0xff,
+                full: true,
+            },
+            Record::BinsSealed {
+                epoch: 4,
+                ranges: vec![(0x100, 0x40)],
+            },
+            Record::ShadowPainted { epoch: 4 },
+            Record::ChunkSwept {
+                epoch: 4,
+                start: 0,
+                len: 64,
+            },
+        ];
+        match classify(&records) {
+            TailState::SweepInterrupted {
+                epoch,
+                backend,
+                mask,
+                full,
+                ranges,
+                painted,
+                swept,
+            } => {
+                assert_eq!(epoch, 4);
+                assert_eq!(backend, 2);
+                assert_eq!(mask, 0xff);
+                assert!(full);
+                assert_eq!(ranges, vec![(0x100, 0x40)]);
+                assert!(painted);
+                assert_eq!(swept, vec![(0, 64)]);
+            }
+            other => panic!("expected SweepInterrupted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_torn_sealed_record_falls_back_to_seal_interrupted() {
+        // A torn BinsSealed frame means the reader only sees EpochOpen:
+        // the safe classification is SealInterrupted (re-open bins).
+        let mut j = Journal::in_memory();
+        j.append(&Record::EpochOpen {
+            epoch: 9,
+            backend: 0,
+            mask: 1,
+            full: false,
+        })
+        .unwrap();
+        let open_only_len = j.into_bytes().len();
+
+        let mut j = Journal::in_memory();
+        j.append(&Record::EpochOpen {
+            epoch: 9,
+            backend: 0,
+            mask: 1,
+            full: false,
+        })
+        .unwrap();
+        j.append(&Record::BinsSealed {
+            epoch: 9,
+            ranges: vec![(0x1000, 0x100)],
+        })
+        .unwrap();
+        let bytes = j.into_bytes();
+        let torn = &bytes[..open_only_len + 5]; // tear inside the sealed frame
+        let outcome = read_bytes(torn).expect("header ok");
+        assert!(outcome.torn_tail);
+        assert_eq!(
+            classify(&outcome.records),
+            TailState::SealInterrupted { epoch: 9 }
+        );
+    }
+}

@@ -66,6 +66,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod backend;
 pub mod conservative;
 pub mod engine;
@@ -75,6 +76,7 @@ mod shadow;
 mod sweep;
 pub mod timed;
 
+pub use audit::{audit_dump, AuditReport, AuditViolation};
 pub use backend::{
     backend_from_env, parse_backend, BackendFilter, BackendKind, ColoredBackend,
     HierarchicalBackend, RevocationBackend, StockBackend, MAX_QUARANTINE_BINS,

@@ -96,6 +96,17 @@ pub enum EventKind {
         /// Shard under memory pressure.
         shard: usize,
     },
+    /// A crashed heap was rebuilt from its persisted image and epoch
+    /// journal (see the `cherivoke` crate's recovery module).
+    Recovery {
+        /// Shard that recovered (0 for a standalone heap).
+        shard: usize,
+        /// The recovery decision: `"none"`, `"reopen-seal"` or
+        /// `"roll-forward"`.
+        action: &'static str,
+        /// Dangling capabilities the roll-forward sweep revoked.
+        caps_revoked: u64,
+    },
 }
 
 impl fmt::Display for EventKind {
@@ -144,6 +155,14 @@ impl fmt::Display for EventKind {
                 write!(f, "revoker-restarted gen={generation} cause={cause}")
             }
             EventKind::EmergencySweep { shard } => write!(f, "emergency-sweep shard={shard}"),
+            EventKind::Recovery {
+                shard,
+                action,
+                caps_revoked,
+            } => write!(
+                f,
+                "recovery shard={shard} action={action} revoked={caps_revoked}"
+            ),
         }
     }
 }

@@ -296,7 +296,8 @@ fn run_lab(
     // The acceptance bars CI used to compute with inline Python over
     // bench stdout, now in-process (bench::verdicts).
     eprintln!(
-        "lab: verdicts (fast kernel, simd kernel, sweep avoidance, telemetry, faults, snapshot)"
+        "lab: verdicts (fast kernel, simd kernel, sweep avoidance, telemetry, faults, journal, \
+         recovery, snapshot)"
     );
     let mut verdicts = vec![
         bench::verdicts::fast_kernel_verdict(),
@@ -311,6 +312,10 @@ fn run_lab(
     verdicts.push(bench::verdicts::telemetry_disabled_verdict(record_iters));
     let op_ns = bench::verdicts::service_op_ns(40_000);
     verdicts.push(bench::verdicts::fault_overhead_verdict(record_iters, op_ns));
+    // Crash-recovery bars: the journal must be ~free on the service hot
+    // path, and the full soft-crash matrix must recover safely.
+    verdicts.push(bench::verdicts::journal_overhead_verdict(40_000));
+    verdicts.push(bench::verdicts::recovery_safety_verdict());
     // Telemetry-enabled churn: proves the instrumented path records real
     // traffic (the old telemetry-smoke CI job's Python assertions).
     let (_, snapshot) = churn(&ChurnParams {
